@@ -1,0 +1,29 @@
+//! # jtp-baselines — comparison transport protocols
+//!
+//! The two representatives the paper evaluates JTP against (§6.1):
+//!
+//! * [`tcp`] — **TCP-SACK, rate-based flavour**: *"the rate of each flow is
+//!   set by the well-known throughput equation of TCP \[Padhye et al.\]
+//!   … we used delayed ACKs (one ACK every two packets) … The SACK version
+//!   helps TCP selectively retransmit lost packets only."* Window-induced
+//!   burstiness is removed (TCP-pacing-style), exactly as the paper does to
+//!   make the comparison more competitive.
+//! * [`atp`] — **ATP-like explicit-rate transport**: *"adjusts the sending
+//!   rate based on explicit feedback collected by intermediate nodes,
+//!   supports only end-to-end recovery, and has constant-rate feedback
+//!   from the receiver. The feedback period is set to be larger than RTT."*
+//!
+//! Both support only 100 %-reliability transfers (0 % loss tolerance), so
+//! the cross-protocol experiments use bulk transfers with full reliability,
+//! as in the paper. Neither uses in-network caching or per-packet MAC
+//! budgets — intermediate nodes simply forward, with the MAC's default
+//! attempt cap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atp;
+pub mod tcp;
+
+pub use atp::{AtpConfig, AtpFeedback, AtpReceiver, AtpSender};
+pub use tcp::{TcpAck, TcpConfig, TcpReceiver, TcpSender};

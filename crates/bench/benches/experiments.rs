@@ -1,0 +1,83 @@
+//! Criterion benches of whole simulation runs — one compact scenario per
+//! experiment family, so `cargo bench` exercises the code paths behind
+//! every figure/table and tracks simulator throughput over time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jtp_netsim::{run_experiment, ExperimentConfig, FlowSpec, TransportKind};
+use jtp_sim::{NodeId, SimDuration};
+
+fn small(transport: TransportKind) -> ExperimentConfig {
+    ExperimentConfig::linear(5)
+        .transport(transport)
+        .duration_s(300.0)
+        .seed(1)
+        .bulk_flow(60, 5.0, 0.0)
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run/linear5_60pkts");
+    g.sample_size(10);
+    for (kind, name) in [
+        (TransportKind::Jtp, "jtp"),
+        (TransportKind::Jnc, "jnc"),
+        (TransportKind::Tcp, "tcp"),
+        (TransportKind::Atp, "atp"),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_experiment(&small(kind))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reliability_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run/reliability_levels");
+    g.sample_size(10);
+    for lt in [0.0, 0.2] {
+        g.bench_function(format!("jtp{}", (lt * 100.0) as u32), |b| {
+            let cfg = ExperimentConfig::linear(5)
+                .transport(TransportKind::Jtp)
+                .duration_s(300.0)
+                .seed(2)
+                .bulk_flow(60, 5.0, lt);
+            b.iter(|| black_box(run_experiment(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_random_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run/random15");
+    g.sample_size(10);
+    let mut cfg = ExperimentConfig::random(15)
+        .transport(TransportKind::Jtp)
+        .duration_s(300.0)
+        .seed(3);
+    for (i, (s, d)) in [(0u32, 14u32), (3, 11)].iter().enumerate() {
+        cfg = cfg.flow(FlowSpec {
+            src: NodeId(*s),
+            dst: NodeId(*d),
+            start: SimDuration::from_secs(10 + i as u64 * 5),
+            packets: 40,
+            loss_tolerance: 0.0,
+            initial_rate_pps: None,
+        });
+    }
+    let static_cfg = cfg.clone();
+    g.bench_function("static", |b| {
+        b.iter(|| black_box(run_experiment(&static_cfg)))
+    });
+    let mobile_cfg = cfg.mobile(1.0);
+    g.bench_function("mobile", |b| {
+        b.iter(|| black_box(run_experiment(&mobile_cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_protocols,
+    bench_reliability_levels,
+    bench_random_topology
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! §4.1 analysis — the in-network caching gain, closed form vs simulation.
+//!
+//! Validates eq. (5) (JTP with caching: `E[T] = k·H/(1−p)`) and eq. (6)
+//! (JNC) against measured MAC transmission counts on linear paths with a
+//! uniform per-attempt loss `p`, and prints the predicted-vs-measured gain
+//! factor `1/(1−pⁿ)^{H−1}`.
+
+use jtp::analysis::{
+    caching_gain, expected_tx_with_caching, expected_tx_without_caching,
+};
+use jtp_bench::{maybe_write_json, print_table, Args};
+use jtp_netsim::{run_many, ExperimentConfig, TransportKind};
+use jtp_phys::gilbert::GilbertConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    hops: u32,
+    p: f64,
+    predicted_jtp_tx_per_pkt: f64,
+    measured_jtp_tx_per_pkt: f64,
+    predicted_jnc_tx_per_pkt: f64,
+    measured_jnc_tx_per_pkt: f64,
+    predicted_gain: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let hop_counts: Vec<u32> = args.pick(vec![2, 4, 6], vec![3]);
+    let ps: Vec<f64> = args.pick(vec![0.1, 0.25], vec![0.2]);
+    let runs = args.pick(6, 2);
+    let packets = args.pick(300, 100);
+
+    let mut points = Vec::new();
+    for &hops in &hop_counts {
+        for &p in &ps {
+            let n = hops as usize + 1;
+            let mk = |kind: TransportKind| {
+                let mut cfg = ExperimentConfig::linear(n)
+                    .transport(kind)
+                    .duration_s(args.pick(4000.0, 1500.0))
+                    .seed(1500)
+                    .bulk_flow(packets, 10.0, 0.0);
+                // Uniform per-attempt loss: no good/bad alternation.
+                cfg.gilbert = GilbertConfig::stable();
+                cfg.pathloss.base_loss = p;
+                cfg
+            };
+            // Measure data transmissions per delivered packet. ACK traffic
+            // is excluded analytically (the closed forms count data only):
+            // we subtract it via the delivered count and MAC attempts on
+            // data frames being dominant; attempts include ACK frames, so
+            // compare against prediction + measured ACK share.
+            let measure = |kind: TransportKind| -> f64 {
+                let ms = run_many(&mk(kind), runs);
+                let tx: f64 = ms.iter().map(|m| m.mac_attempts as f64).sum();
+                let acks: f64 = ms.iter().map(|m| m.feedbacks_sent as f64).sum();
+                let delivered: f64 = ms.iter().map(|m| m.delivered_packets as f64).sum();
+                // Each feedback crosses ~hops links once (+ MAC retries it
+                // shares with data); subtract the first-order ACK share.
+                ((tx - acks * hops as f64) / delivered).max(0.0)
+            };
+            let measured_jtp = measure(TransportKind::Jtp);
+            let measured_jnc = measure(TransportKind::Jnc);
+            points.push(Point {
+                hops,
+                p,
+                predicted_jtp_tx_per_pkt: expected_tx_with_caching(1, hops, p),
+                measured_jtp_tx_per_pkt: measured_jtp,
+                predicted_jnc_tx_per_pkt: expected_tx_without_caching(1, hops, p, 5),
+                measured_jnc_tx_per_pkt: measured_jnc,
+                predicted_gain: caching_gain(hops, p, 5),
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.hops.to_string(),
+                format!("{:.2}", pt.p),
+                format!("{:.2}", pt.predicted_jtp_tx_per_pkt),
+                format!("{:.2}", pt.measured_jtp_tx_per_pkt),
+                format!("{:.2}", pt.predicted_jnc_tx_per_pkt),
+                format!("{:.2}", pt.measured_jnc_tx_per_pkt),
+                format!("{:.3}", pt.predicted_gain),
+            ]
+        })
+        .collect();
+    print_table(
+        "Eqs 5/6: node transmissions per delivered packet",
+        &["H", "p", "eq5(jtp)", "meas(jtp)", "eq6(jnc)", "meas(jnc)", "gain"],
+        &rows,
+    );
+
+    let mut pass = true;
+    for pt in &points {
+        // Within 35% of the closed form (finite caches, feedback delay and
+        // the loss-tolerance attempt budgets make the match approximate).
+        let rel = (pt.measured_jtp_tx_per_pkt - pt.predicted_jtp_tx_per_pkt).abs()
+            / pt.predicted_jtp_tx_per_pkt;
+        if rel > 0.35 {
+            pass = false;
+            println!("H={} p={}: JTP rel err {:.2}", pt.hops, pt.p, rel);
+        }
+    }
+    println!(
+        "\nshape check: measured JTP cost within 35% of eq. (5): {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    let ordering = points
+        .iter()
+        .all(|pt| pt.measured_jnc_tx_per_pkt >= pt.measured_jtp_tx_per_pkt * 0.95);
+    println!(
+        "shape check: JNC never cheaper than JTP: {}",
+        if ordering { "PASS" } else { "FAIL" }
+    );
+    maybe_write_json(&args, &points);
+}

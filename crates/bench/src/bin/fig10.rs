@@ -1,0 +1,103 @@
+//! Figure 10 — JTP vs ATP vs TCP on static random topologies.
+//!
+//! Nodes uniform in a field sized for connectivity; 5 simultaneous flows
+//! with random endpoints; 10 independent runs of 4000 s. All protocols run
+//! under the same conditions in the same run (same placement, same flows,
+//! same channel realisation) — as the paper does to make the comparison
+//! meaningful despite topology variance.
+
+use jtp_bench::{maybe_write_json, print_table, random_flows, with_flows, Args};
+use jtp_netsim::{run_many, summarize_runs, ExperimentConfig, TransportKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    net_size: usize,
+    protocol: String,
+    energy_uj_per_bit: f64,
+    energy_ci95: f64,
+    goodput_kbps: f64,
+    goodput_ci95: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let sizes: Vec<usize> = args.pick(vec![10, 15, 20, 25], vec![10]);
+    let runs = args.pick(10, 2);
+    let duration = args.pick(4000.0, 1000.0);
+    let packets = u32::MAX / 2; // long-lived flows, steady-state metrics
+    let protocols = [
+        (TransportKind::Jtp, "jtp"),
+        (TransportKind::Atp, "atp"),
+        (TransportKind::Tcp, "tcp"),
+    ];
+
+    let mut points = Vec::new();
+    for &n in &sizes {
+        let flows = random_flows(n, 5, packets, 900.0_f64.min(duration / 4.0), 1000.0_f64.min(duration / 3.0), 1000 + n as u64);
+        for (kind, name) in protocols {
+            let cfg = with_flows(
+                ExperimentConfig::random(n)
+                    .transport(kind)
+                    .duration_s(duration)
+                    .seed(1000),
+                flows.clone(),
+            );
+            let ms = run_many(&cfg, runs);
+            let (epb, gp) = summarize_runs(&ms);
+            points.push(Point {
+                net_size: n,
+                protocol: name.into(),
+                energy_uj_per_bit: epb.mean,
+                energy_ci95: epb.ci95,
+                goodput_kbps: gp.mean,
+                goodput_ci95: gp.ci95,
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.net_size.to_string(),
+                p.protocol.clone(),
+                format!("{:.4} ± {:.4}", p.energy_uj_per_bit, p.energy_ci95),
+                format!("{:.3} ± {:.3}", p.goodput_kbps, p.goodput_ci95),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 10: static random topologies, JTP vs ATP vs TCP",
+        &["netSize", "proto", "energy(uJ/bit)", "goodput(kbps)"],
+        &rows,
+    );
+
+    let mut pass_energy = true;
+    let mut pass_goodput = true;
+    for &n in &sizes {
+        let get = |proto: &str| {
+            points
+                .iter()
+                .find(|p| p.net_size == n && p.protocol == proto)
+                .unwrap()
+        };
+        let (j, a, t) = (get("jtp"), get("atp"), get("tcp"));
+        if j.energy_uj_per_bit > a.energy_uj_per_bit || j.energy_uj_per_bit > t.energy_uj_per_bit
+        {
+            pass_energy = false;
+        }
+        if j.goodput_kbps < a.goodput_kbps && j.goodput_kbps < t.goodput_kbps {
+            pass_goodput = false;
+        }
+    }
+    println!(
+        "\nshape check: JTP lowest energy/bit at every size: {}",
+        if pass_energy { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "shape check: JTP never worst on goodput: {}",
+        if pass_goodput { "PASS" } else { "FAIL" }
+    );
+    maybe_write_json(&args, &points);
+}

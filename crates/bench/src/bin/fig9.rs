@@ -1,0 +1,148 @@
+//! Figure 9 — JTP vs ATP vs TCP on static linear topologies.
+//!
+//! Two competing flows between the ends of linear networks of increasing
+//! size, good/bad channel alternation (§6.1.1), 20 independent runs with
+//! 95 % confidence intervals, 2500 s runs with flows starting randomly
+//! after a 900 s warm-up.
+//!
+//! Expected shape (paper): JTP spends the least energy per delivered bit
+//! — by growing factors as paths lengthen (ATP ~2×, TCP ~5× at size 10) —
+//! while also achieving the highest goodput.
+
+use jtp_bench::{maybe_write_json, print_table, Args};
+use jtp_netsim::{run_many, summarize_runs, ExperimentConfig, FlowSpec, TransportKind};
+use jtp_phys::gilbert::GilbertConfig;
+use jtp_sim::{NodeId, SimDuration, SimRng};
+use serde::Serialize;
+
+/// §6.1.1 channel with deep fades: bad 10 % of the time, 3 s mean bad
+/// period, ~0.8 per-attempt loss while bad — the regime where local vs
+/// end-to-end recovery differ most.
+fn channel() -> GilbertConfig {
+    GilbertConfig {
+        bad_loss_floor: 0.8,
+        ..GilbertConfig::paper_default()
+    }
+}
+
+#[derive(Serialize)]
+struct Point {
+    net_size: usize,
+    protocol: String,
+    energy_uj_per_bit: f64,
+    energy_ci95: f64,
+    goodput_kbps: f64,
+    goodput_ci95: f64,
+}
+
+fn flows(n: usize, warmup: f64, seed: u64) -> Vec<FlowSpec> {
+    // Two competing long-lived flows, one in each direction, started
+    // randomly after the warm-up; goodput and energy/bit are measured in
+    // steady state over the remainder of the run.
+    let mut rng = SimRng::derive(seed, "fig9-starts");
+    vec![
+        FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(n as u32 - 1),
+            start: SimDuration::from_secs_f64(warmup + rng.uniform(0.0, 100.0)),
+            packets: u32::MAX / 2,
+            loss_tolerance: 0.0,
+            initial_rate_pps: None,
+        },
+        FlowSpec {
+            src: NodeId(n as u32 - 1),
+            dst: NodeId(0),
+            start: SimDuration::from_secs_f64(warmup + rng.uniform(0.0, 100.0)),
+            packets: u32::MAX / 2,
+            loss_tolerance: 0.0,
+            initial_rate_pps: None,
+        },
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    let sizes: Vec<usize> = args.pick(vec![2, 4, 6, 8, 10], vec![3, 6]);
+    let runs = args.pick(20, 2);
+    let duration = args.pick(2500.0, 900.0);
+    let warmup = args.pick(900.0, 100.0);
+    let protocols = [
+        (TransportKind::Jtp, "jtp"),
+        (TransportKind::Atp, "atp"),
+        (TransportKind::Tcp, "tcp"),
+    ];
+
+    let mut points = Vec::new();
+    for &n in &sizes {
+        for (kind, name) in protocols {
+            let mut cfg = ExperimentConfig::linear(n)
+                .transport(kind)
+                .duration_s(duration)
+                .seed(900);
+            cfg.gilbert = channel();
+            cfg.flows = flows(n, warmup, 900);
+            let ms = run_many(&cfg, runs);
+            let (epb, gp) = summarize_runs(&ms);
+            points.push(Point {
+                net_size: n,
+                protocol: name.into(),
+                energy_uj_per_bit: epb.mean,
+                energy_ci95: epb.ci95,
+                goodput_kbps: gp.mean,
+                goodput_ci95: gp.ci95,
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.net_size.to_string(),
+                p.protocol.clone(),
+                format!("{:.4} ± {:.4}", p.energy_uj_per_bit, p.energy_ci95),
+                format!("{:.3} ± {:.3}", p.goodput_kbps, p.goodput_ci95),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 9: linear topologies, JTP vs ATP vs TCP",
+        &["netSize", "proto", "energy(uJ/bit)", "goodput(kbps)"],
+        &rows,
+    );
+
+    // Shape checks at the largest size.
+    let last = *sizes.last().unwrap();
+    let get = |proto: &str| {
+        points
+            .iter()
+            .find(|p| p.net_size == last && p.protocol == proto)
+            .unwrap()
+    };
+    let (j, a, t) = (get("jtp"), get("atp"), get("tcp"));
+    println!("\nat netSize {last}:");
+    println!(
+        "  energy ratios: atp/jtp = {:.2} (paper ~2), tcp/jtp = {:.2} (paper ~5)",
+        a.energy_uj_per_bit / j.energy_uj_per_bit,
+        t.energy_uj_per_bit / j.energy_uj_per_bit
+    );
+    println!(
+        "shape check: JTP lowest energy/bit: {}",
+        if j.energy_uj_per_bit <= a.energy_uj_per_bit
+            && j.energy_uj_per_bit <= t.energy_uj_per_bit
+        {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    println!(
+        "shape check: JTP highest goodput: {}",
+        if j.goodput_kbps >= a.goodput_kbps && j.goodput_kbps >= t.goodput_kbps {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    maybe_write_json(&args, &points);
+}

@@ -1,0 +1,138 @@
+//! Table 2 — The JAVeLEN testbed surrogate.
+//!
+//! The paper's Linux/RTLinux testbed: 14 nodes indoors, 30-minute runs,
+//! flows generated at each node with mean interarrival 400 s and mean
+//! transfer size 100 KB. Indoor links "are more stable and their quality
+//! is much better" than the simulated channel, "which results in lower
+//! energy consumption for all protocols" — we reproduce that with the
+//! stable channel configuration.
+//!
+//! Expected shape: JTP < ATP < TCP on energy per bit; JTP > ATP > TCP on
+//! goodput; TCP's goodput is better than in the lossy simulations because
+//! the loss rate is low.
+
+use jtp_bench::{maybe_write_json, print_table, Args};
+use jtp_netsim::{run_many, summarize_runs, ExperimentConfig, FlowSpec, TransportKind};
+use jtp_phys::gilbert::GilbertConfig;
+use jtp_sim::{NodeId, SimDuration, SimRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    protocol: String,
+    energy_uj_per_bit: f64,
+    goodput_kbps: f64,
+    source_rtx: f64,
+    queue_drops: f64,
+}
+
+/// Poisson-ish flow arrivals: each node sources transfers with
+/// exponential interarrival (mean 400 s) and 100 KB size (125 packets of
+/// 800 B), to random other nodes.
+fn testbed_workload(n: usize, duration_s: f64, seed: u64) -> Vec<FlowSpec> {
+    let mut rng = SimRng::derive(seed, "table2-workload");
+    let mut flows = Vec::new();
+    for src in 0..n {
+        let mut t = rng.exponential(400.0);
+        while t + 60.0 < duration_s {
+            let dst = loop {
+                let d = rng.below(n);
+                if d != src {
+                    break d;
+                }
+            };
+            flows.push(FlowSpec {
+                src: NodeId(src as u32),
+                dst: NodeId(dst as u32),
+                start: SimDuration::from_secs_f64(t),
+                packets: 125, // 100 KB / 800 B
+                loss_tolerance: 0.0,
+                initial_rate_pps: None,
+            });
+            t += rng.exponential(400.0);
+        }
+    }
+    flows
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = 14;
+    let duration = args.pick(1800.0, 600.0); // 30-minute runs
+    let runs = args.pick(5, 2);
+    let protocols = [
+        (TransportKind::Jtp, "JTP"),
+        (TransportKind::Atp, "ATP"),
+        (TransportKind::Tcp, "TCP"),
+    ];
+
+    let flows = testbed_workload(n, duration, 42);
+    println!("workload: {} transfers over {duration:.0} s", flows.len());
+
+    let mut rows_out = Vec::new();
+    for (kind, name) in protocols {
+        let mut cfg = ExperimentConfig::random(n)
+            .transport(kind)
+            .duration_s(duration)
+            .seed(1400);
+        cfg.flows = flows.clone();
+        // Indoor testbed: stable, high-quality links.
+        cfg.gilbert = GilbertConfig::stable();
+        cfg.pathloss.base_loss = 0.02;
+        let ms = run_many(&cfg, runs);
+        let (epb, gp) = summarize_runs(&ms);
+        let nruns = ms.len() as f64;
+        rows_out.push(Row {
+            protocol: name.into(),
+            energy_uj_per_bit: epb.mean,
+            goodput_kbps: gp.mean,
+            source_rtx: ms.iter().map(|m| m.source_retransmissions as f64).sum::<f64>() / nruns,
+            queue_drops: ms.iter().map(|m| m.queue_drops as f64).sum::<f64>() / nruns,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = rows_out
+        .iter()
+        .map(|r| {
+            vec![
+                r.protocol.clone(),
+                format!("{:.4}", r.energy_uj_per_bit),
+                format!("{:.3}", r.goodput_kbps),
+                format!("{:.1}", r.source_rtx),
+                format!("{:.1}", r.queue_drops),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 2: JAVeLEN testbed surrogate (14 nodes, stable links)",
+        &["protocol", "energy(uJ/bit)", "goodput(kbps)", "srcRtx", "qDrops"],
+        &rows,
+    );
+    println!("\npaper (absolute, real radios): JTP 5.4 uJ/bit / 0.63 kbps,");
+    println!("ATP 6.8 uJ/bit / 0.44 kbps, TCP 10.5 uJ/bit / 0.17 kbps");
+
+    let (j, a, t) = (&rows_out[0], &rows_out[1], &rows_out[2]);
+    println!(
+        "\nshape check: JTP lowest energy per bit: {}",
+        if j.energy_uj_per_bit < a.energy_uj_per_bit
+            && j.energy_uj_per_bit < t.energy_uj_per_bit
+        {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    println!(
+        "shape check: goodput ordering JTP > ATP > TCP: {}",
+        if j.goodput_kbps >= a.goodput_kbps && a.goodput_kbps >= t.goodput_kbps {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    // Divergence note: in the paper's testbed ATP also beat TCP on energy;
+    // here they are within a few percent of each other (our byte-propor-
+    // tional share of ACK energy is kinder to TCP's small ACKs than real
+    // radios were). See EXPERIMENTS.md.
+    maybe_write_json(&args, &rows_out);
+}

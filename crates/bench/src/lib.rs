@@ -1,0 +1,179 @@
+//! # jtp-bench — experiment harness
+//!
+//! One binary per figure/table of the paper (see DESIGN.md §4 for the
+//! index). Every binary accepts `--quick` (reduced replicas/durations for
+//! smoke runs) and `--json <path>` (machine-readable results next to the
+//! human-readable tables).
+//!
+//! The binaries print the same rows/series the paper reports; absolute
+//! values differ from the paper's OPNET/JAVeLEN numbers (different radio
+//! constants), but the *shape* — who wins, by what factor, where the
+//! crossovers fall — is the reproduction target (see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jtp_netsim::{ExperimentConfig, FlowSpec};
+use jtp_sim::{NodeId, SimDuration, SimRng};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Common command-line arguments of the experiment binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// Reduced replicas and durations (CI-friendly).
+    pub quick: bool,
+    /// Optional JSON output path.
+    pub json: Option<PathBuf>,
+}
+
+impl Args {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Args {
+        let mut out = Args::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--json" => out.json = it.next().map(PathBuf::from),
+                "--help" | "-h" => {
+                    eprintln!("usage: <bin> [--quick] [--json <path>]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Pick between full and quick values.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(|c| c.len()).unwrap_or(0))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&hdr));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for r in rows {
+        println!("{}", fmt_row(r));
+    }
+}
+
+/// Serialise results to the requested JSON path, if any.
+pub fn maybe_write_json<T: Serialize>(args: &Args, value: &T) {
+    if let Some(path) = &args.json {
+        let s = serde_json::to_string_pretty(value).expect("serialisable results");
+        std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+        println!("\n[json results written to {path:?}]");
+    }
+}
+
+/// Generate `k` random flows with distinct endpoints over `n` nodes,
+/// starting uniformly in `[start_lo, start_hi]` seconds (the paper's
+/// "source and destination nodes … chosen randomly").
+pub fn random_flows(
+    n: usize,
+    k: usize,
+    packets: u32,
+    start_lo: f64,
+    start_hi: f64,
+    seed: u64,
+) -> Vec<FlowSpec> {
+    let mut rng = SimRng::derive(seed, "workload-flows");
+    (0..k)
+        .map(|_| {
+            let src = rng.below(n);
+            let dst = loop {
+                let d = rng.below(n);
+                if d != src {
+                    break d;
+                }
+            };
+            FlowSpec {
+                src: NodeId(src as u32),
+                dst: NodeId(dst as u32),
+                start: SimDuration::from_secs_f64(rng.uniform(start_lo, start_hi)),
+                packets,
+                loss_tolerance: 0.0,
+                initial_rate_pps: None,
+            }
+        })
+        .collect()
+}
+
+/// Attach pre-generated flows to a config.
+pub fn with_flows(mut cfg: ExperimentConfig, flows: Vec<FlowSpec>) -> ExperimentConfig {
+    cfg.flows = flows;
+    cfg
+}
+
+/// Mean of a slice (0 on empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_flows_have_distinct_endpoints() {
+        let flows = random_flows(10, 20, 50, 900.0, 1000.0, 3);
+        assert_eq!(flows.len(), 20);
+        for f in &flows {
+            assert_ne!(f.src, f.dst);
+            let s = f.start.as_secs_f64();
+            assert!((900.0..=1000.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn random_flows_deterministic() {
+        let a = random_flows(8, 5, 10, 0.0, 10.0, 7);
+        let b = random_flows(8, 5, 10, 0.0, 10.0, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.src, y.src);
+            assert_eq!(x.dst, y.dst);
+        }
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Closed-form analysis of the in-network caching gain (§4.1, eqs 5–6).
+//!
+//! * **JTP with caching** (infinite caches, symmetric path): every lost
+//!   packet is recovered by the last node that has it, so each link behaves
+//!   like an independent geometric process —
+//!   `E[T_tot^JTP] = k · H / (1 − p)` (eq. 5).
+//! * **JTP without caching (JNC)**: a packet lost after `n` failed attempts
+//!   on any link must be resent from the source —
+//!   `E[T_tot^JNC] = k·(1−pⁿ)·(1−(1−pⁿ)^H) / ((1−pⁿ)^H (1−p) pⁿ)`
+//!   `≈ k·H / ((1−pⁿ)^{H−1} (1−p))` (eq. 6).
+//!
+//! The `bench` crate's `analysis` binary checks these against simulation;
+//! the tests below check internal consistency (the degeneracies the paper
+//! points out).
+
+/// Expected total node transmissions to deliver `k` packets over `H` hops
+/// with per-attempt loss `p`, **with** in-network caching (eq. 5).
+pub fn expected_tx_with_caching(k: u64, hops: u32, p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "p must be in [0,1)");
+    k as f64 * hops as f64 / (1.0 - p)
+}
+
+/// Expected node transmissions per received packet on one link when at
+/// most `n` attempts are made (the `E[T_l^JNC]` term):
+/// `(1 − pⁿ) / (1 − p)`.
+pub fn expected_tx_per_link_jnc(p: f64, n: u32) -> f64 {
+    assert!((0.0..1.0).contains(&p));
+    assert!(n >= 1);
+    (1.0 - p.powi(n as i32)) / (1.0 - p)
+}
+
+/// Expected total node transmissions to deliver `k` packets over `H` hops
+/// with per-attempt loss `p` and per-link attempt cap `n`, **without**
+/// caching (eq. 6, exact form).
+pub fn expected_tx_without_caching(k: u64, hops: u32, p: f64, n: u32) -> f64 {
+    assert!((0.0..1.0).contains(&p));
+    assert!(n >= 1 && hops >= 1);
+    let q = 1.0 - p.powi(n as i32); // per-link success with n attempts
+    if p == 0.0 {
+        // Perfect links: exactly one transmission per hop per packet.
+        return k as f64 * hops as f64;
+    }
+    let q_e2e = q.powi(hops as i32);
+    // E[S] = k / q_e2e source sends; a packet reaching link i (prob q^i)
+    // triggers E[T_l] transmissions there.
+    let e_s = k as f64 / q_e2e;
+    let e_t_l = expected_tx_per_link_jnc(p, n);
+    let sum_qi: f64 = (0..hops).map(|i| q.powi(i as i32)).sum();
+    e_s * e_t_l * sum_qi
+}
+
+/// The paper's approximation of eq. 6:
+/// `k·H / ((1−pⁿ)^{H−1}·(1−p))`.
+pub fn expected_tx_without_caching_approx(k: u64, hops: u32, p: f64, n: u32) -> f64 {
+    assert!((0.0..1.0).contains(&p));
+    let q = 1.0 - p.powi(n as i32);
+    k as f64 * hops as f64 / (q.powi(hops as i32 - 1) * (1.0 - p))
+}
+
+/// The caching gain factor `E[T^JNC] / E[T^JTP]` — the paper notes the JNC
+/// cost is `1/(1−pⁿ)^{H−1}` times higher.
+pub fn caching_gain(hops: u32, p: f64, n: u32) -> f64 {
+    expected_tx_without_caching(1, hops, p, n) / expected_tx_with_caching(1, hops, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq5_basic_values() {
+        // Perfect channel: k*H.
+        assert_eq!(expected_tx_with_caching(10, 5, 0.0), 50.0);
+        // p = 0.5 doubles the per-link cost.
+        assert_eq!(expected_tx_with_caching(1, 1, 0.5), 2.0);
+    }
+
+    #[test]
+    fn eq6_degenerates_to_eq5_for_single_hop() {
+        // Paper: "For H = 1, equation (6) degenerates to (5)" — with
+        // unlimited retries per link. With finite n the equality holds in
+        // the limit; for H = 1 exact: E[S]*E[T_l] = (1/q)*(1-p^n)/(1-p)
+        // = 1/(1-p) since q = 1-p^n.
+        for &p in &[0.1, 0.3, 0.6] {
+            for &n in &[1u32, 3, 5] {
+                let jnc = expected_tx_without_caching(7, 1, p, n);
+                let jtp = expected_tx_with_caching(7, 1, p);
+                assert!(
+                    (jnc - jtp).abs() < 1e-9,
+                    "H=1 mismatch p={p} n={n}: {jnc} vs {jtp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jnc_always_at_least_jtp() {
+        for &p in &[0.05, 0.2, 0.4] {
+            for hops in 1..10u32 {
+                for &n in &[1u32, 2, 5] {
+                    let jnc = expected_tx_without_caching(5, hops, p, n);
+                    let jtp = expected_tx_with_caching(5, hops, p);
+                    assert!(
+                        jnc >= jtp - 1e-9,
+                        "caching hurt: p={p} H={hops} n={n}: {jnc} < {jtp}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gain_grows_with_path_length() {
+        let mut prev = 0.0;
+        for hops in 1..12u32 {
+            let g = caching_gain(hops, 0.3, 3);
+            assert!(g >= prev - 1e-12, "gain fell at H={hops}");
+            prev = g;
+        }
+        assert!(prev > 1.05, "long paths should show real gains");
+    }
+
+    #[test]
+    fn gain_grows_with_loss() {
+        let mut prev = 0.0;
+        for &p in &[0.05, 0.1, 0.2, 0.3, 0.5] {
+            let g = caching_gain(6, p, 3);
+            assert!(g >= prev, "gain fell at p={p}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn approx_tracks_exact_for_reliable_links() {
+        // For small p the approximation in the paper is tight.
+        for hops in 2..8u32 {
+            let exact = expected_tx_without_caching(100, hops, 0.1, 5);
+            let approx = expected_tx_without_caching_approx(100, hops, 0.1, 5);
+            let rel = (exact - approx).abs() / exact;
+            assert!(rel < 0.05, "H={hops}: exact {exact} vs approx {approx}");
+        }
+    }
+
+    #[test]
+    fn per_link_tx_bounded_by_n() {
+        for &p in &[0.1, 0.5, 0.9] {
+            for n in 1..10u32 {
+                let e = expected_tx_per_link_jnc(p, n);
+                assert!(e >= 1.0 - 1e-12 && e <= n as f64 + 1e-12);
+            }
+        }
+    }
+}

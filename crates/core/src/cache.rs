@@ -1,0 +1,346 @@
+//! The in-network packet cache (§4 of the paper).
+//!
+//! Every intermediate node temporarily stores traversing data packets so a
+//! lost packet can be recovered "as close to the receiver as possible"
+//! instead of from the source. Eviction is **LRU** — "the packet evicted
+//! from the cache is the least recently manipulated" — where *manipulated*
+//! means inserted **or** served for a retransmission request.
+//!
+//! The cache is soft state: nothing breaks if entries vanish (the source
+//! still holds every unacknowledged packet, preserving the end-to-end
+//! argument); a hit merely saves upstream transmissions.
+
+use crate::packet::DataPacket;
+use jtp_sim::FlowId;
+use std::collections::HashMap;
+
+/// Key identifying a cached packet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Sequence number within the flow.
+    pub seq: u32,
+}
+
+/// Eviction policy. The paper uses LRU and names the study of
+/// alternatives as future work (§4); the alternatives are implemented
+/// here so the `ablation` harness can compare them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CachePolicy {
+    /// Least-recently-manipulated (inserted or served) — the paper's
+    /// choice: "it is unlikely that those packets not recently requested
+    /// for retransmission would be ever requested in the future".
+    #[default]
+    Lru,
+    /// First-in first-out: age of insertion only; serving a request does
+    /// not protect an entry.
+    Fifo,
+    /// Evict the entry with the deterministic pseudo-random smallest
+    /// priority (hash of key) — a baseline strategy with no recency
+    /// signal at all.
+    Random,
+}
+
+/// Counters exposed for the experiment harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Packets inserted.
+    pub insertions: u64,
+    /// Retransmission requests answered from the cache.
+    pub hits: u64,
+    /// Retransmission requests that missed.
+    pub misses: u64,
+    /// Entries evicted by LRU pressure.
+    pub evictions: u64,
+}
+
+/// In-network cache of data packets, bounded by a packet-count capacity
+/// (Table 1 default: 1000 packets), with a configurable eviction policy
+/// (LRU by default, as in the paper).
+#[derive(Clone, Debug)]
+pub struct PacketCache {
+    capacity: usize,
+    policy: CachePolicy,
+    map: HashMap<CacheKey, (u64, DataPacket)>,
+    /// Logical clock for recency; u64 never wraps in practice.
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// Deterministic priority for the Random policy (FNV-style key hash).
+fn key_priority(k: &CacheKey) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in k
+        .flow
+        .0
+        .to_le_bytes()
+        .into_iter()
+        .chain(k.seq.to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl PacketCache {
+    /// Create an LRU cache holding at most `capacity` packets. A capacity
+    /// of 0 disables caching entirely (the paper's JNC variant).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, CachePolicy::Lru)
+    }
+
+    /// Create with an explicit eviction policy.
+    pub fn with_policy(capacity: usize, policy: CachePolicy) -> Self {
+        PacketCache {
+            capacity,
+            policy,
+            map: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured eviction policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Insert (or refresh) a traversing packet, evicting per policy when
+    /// full.
+    pub fn insert(&mut self, packet: DataPacket) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = CacheKey {
+            flow: packet.flow,
+            seq: packet.seq,
+        };
+        let stamp = self.tick();
+        if self.map.insert(key, (stamp, packet)).is_none() {
+            self.stats.insertions += 1;
+            if self.map.len() > self.capacity {
+                self.evict_one();
+            }
+        }
+    }
+
+    fn evict_one(&mut self) {
+        let victim = match self.policy {
+            // Lru and Fifo both evict the smallest stamp; they differ in
+            // whether lookups refresh it (see `lookup`).
+            CachePolicy::Lru | CachePolicy::Fifo => self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| *k),
+            CachePolicy::Random => self.map.keys().min_by_key(|k| key_priority(k)).copied(),
+        };
+        if let Some(key) = victim {
+            self.map.remove(&key);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Look up a packet for retransmission. Under LRU a hit refreshes
+    /// recency (the "recently manipulated" rule); FIFO/Random do not.
+    pub fn lookup(&mut self, flow: FlowId, seq: u32) -> Option<DataPacket> {
+        let key = CacheKey { flow, seq };
+        let stamp = self.tick();
+        let refresh = self.policy == CachePolicy::Lru;
+        match self.map.get_mut(&key) {
+            Some((s, pkt)) => {
+                if refresh {
+                    *s = stamp;
+                }
+                self.stats.hits += 1;
+                Some(pkt.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without affecting recency or stats (used by tests/inspection).
+    pub fn contains(&self, flow: FlowId, seq: u32) -> bool {
+        self.map.contains_key(&CacheKey { flow, seq })
+    }
+
+    /// Drop every entry of a flow (e.g. on connection teardown).
+    pub fn purge_flow(&mut self, flow: FlowId) {
+        self.map.retain(|k, _| k.flow != flow);
+    }
+
+    /// Number of cached packets.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in packets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(flow: u16, seq: u32) -> DataPacket {
+        DataPacket {
+            flow: FlowId(flow),
+            seq,
+            rate_pps: 1.0,
+            loss_tolerance: 0.0,
+            remaining_hops: 2,
+            energy_budget_nj: 1_000_000,
+            energy_used_nj: 0,
+            deadline_ms: 0,
+            payload_len: 800,
+        }
+    }
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        let mut c = PacketCache::new(10);
+        c.insert(pkt(1, 5));
+        assert!(c.contains(FlowId(1), 5));
+        let got = c.lookup(FlowId(1), 5).unwrap();
+        assert_eq!(got.seq, 5);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn miss_counts() {
+        let mut c = PacketCache::new(10);
+        assert!(c.lookup(FlowId(1), 9).is_none());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = PacketCache::new(3);
+        c.insert(pkt(1, 0));
+        c.insert(pkt(1, 1));
+        c.insert(pkt(1, 2));
+        // Touch 0 so 1 becomes the least recently manipulated.
+        c.lookup(FlowId(1), 0);
+        c.insert(pkt(1, 3));
+        assert!(c.contains(FlowId(1), 0), "recently touched survives");
+        assert!(!c.contains(FlowId(1), 1), "LRU evicted");
+        assert!(c.contains(FlowId(1), 2));
+        assert!(c.contains(FlowId(1), 3));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_not_duplicates() {
+        let mut c = PacketCache::new(2);
+        c.insert(pkt(1, 0));
+        c.insert(pkt(1, 1));
+        c.insert(pkt(1, 0)); // refresh
+        c.insert(pkt(1, 2)); // should evict 1, not 0
+        assert!(c.contains(FlowId(1), 0));
+        assert!(!c.contains(FlowId(1), 1));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PacketCache::new(0);
+        c.insert(pkt(1, 0));
+        assert!(c.is_empty());
+        assert!(c.lookup(FlowId(1), 0).is_none());
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn purge_flow_is_selective() {
+        let mut c = PacketCache::new(10);
+        c.insert(pkt(1, 0));
+        c.insert(pkt(2, 0));
+        c.purge_flow(FlowId(1));
+        assert!(!c.contains(FlowId(1), 0));
+        assert!(c.contains(FlowId(2), 0));
+    }
+
+    #[test]
+    fn capacity_is_respected_under_pressure() {
+        let mut c = PacketCache::new(5);
+        for s in 0..100 {
+            c.insert(pkt(1, s));
+            assert!(c.len() <= 5);
+        }
+        assert_eq!(c.stats().evictions, 95);
+        // The five most recent survive.
+        for s in 95..100 {
+            assert!(c.contains(FlowId(1), s));
+        }
+    }
+
+    #[test]
+    fn fifo_does_not_protect_served_entries() {
+        let mut c = PacketCache::with_policy(3, CachePolicy::Fifo);
+        c.insert(pkt(1, 0));
+        c.insert(pkt(1, 1));
+        c.insert(pkt(1, 2));
+        // Touch 0: under FIFO this must NOT protect it.
+        c.lookup(FlowId(1), 0);
+        c.insert(pkt(1, 3));
+        assert!(!c.contains(FlowId(1), 0), "FIFO evicts oldest insertion");
+        assert!(c.contains(FlowId(1), 1));
+    }
+
+    #[test]
+    fn random_policy_respects_capacity_and_is_deterministic() {
+        let mut a = PacketCache::with_policy(4, CachePolicy::Random);
+        let mut b = PacketCache::with_policy(4, CachePolicy::Random);
+        for s in 0..50 {
+            a.insert(pkt(1, s));
+            b.insert(pkt(1, s));
+            assert!(a.len() <= 4);
+        }
+        for s in 0..50 {
+            assert_eq!(a.contains(FlowId(1), s), b.contains(FlowId(1), s));
+        }
+        assert_eq!(a.stats().evictions, 46);
+    }
+
+    #[test]
+    fn policy_accessor() {
+        assert_eq!(PacketCache::new(1).policy(), CachePolicy::Lru);
+        assert_eq!(
+            PacketCache::with_policy(1, CachePolicy::Fifo).policy(),
+            CachePolicy::Fifo
+        );
+    }
+
+    #[test]
+    fn flows_do_not_collide() {
+        let mut c = PacketCache::new(10);
+        c.insert(pkt(1, 7));
+        c.insert(pkt(2, 7));
+        assert!(c.lookup(FlowId(1), 7).is_some());
+        assert!(c.lookup(FlowId(2), 7).is_some());
+        assert_eq!(c.len(), 2);
+    }
+}

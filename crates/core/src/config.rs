@@ -1,0 +1,205 @@
+//! Protocol configuration with the paper's Table 1 defaults.
+
+use jtp_sim::SimDuration;
+
+/// All tunables of a JTP deployment. Defaults reproduce Table 1 of the
+/// paper plus the controller/filter constants described in §5.
+#[derive(Clone, Debug)]
+pub struct JtpConfig {
+    /// MAC cap on link-layer transmissions per packet (Table 1: 5).
+    pub max_attempts: u32,
+    /// Application payload bytes per packet (Table 1: 800).
+    pub packet_payload_bytes: u16,
+    /// In-network cache capacity in packets (Table 1: 1000).
+    pub cache_capacity: usize,
+    /// Cache eviction policy (paper: LRU; alternatives are the paper's
+    /// named future work, compared by the ablation harness).
+    pub cache_policy: crate::cache::CachePolicy,
+    /// Per-hop reliability allocation (paper: equal share, eq. 4).
+    pub allocation: crate::reliability::AllocationStrategy,
+    /// Lower bound on the regular feedback period (Table 1: 10 s).
+    pub t_lower_bound: SimDuration,
+    /// Feedback aggregation factor `n` in `T = max(T_lb, n / rate)` (§5.1).
+    pub feedback_aggregation: f64,
+    /// Integral gain of the PI²/MD rate controller, `0 < K_I < 1` (eq. 9).
+    pub k_i: f64,
+    /// Multiplicative-decrease factor, `0 < K_D < 1` (eq. 10).
+    pub k_d: f64,
+    /// Target available-rate margin δ ≥ 0 (pps): decrease when the
+    /// monitored available rate drops below it (§5.2.1).
+    pub delta_avail_pps: f64,
+    /// Energy-budget importance factor β > 1 (eq. 13).
+    pub beta_energy: f64,
+    /// Minimum spacing between PI² rate *increases*. Decreases apply on
+    /// every feedback (timely back-off is the point of early feedback),
+    /// but increases are rate-limited in time so the controller's
+    /// aggressiveness does not depend on how often feedback happens to be
+    /// transported (§5.2.2: lower update frequency still converges).
+    pub min_increase_interval: SimDuration,
+    /// Stable-filter EWMA weights (α, β of eq. 7).
+    pub stable_alpha: f64,
+    /// Stable-filter range weight.
+    pub stable_beta: f64,
+    /// Agile-filter mean weight ("a larger α value … so that x̄ catches
+    /// up", §5.1).
+    pub agile_alpha: f64,
+    /// Consecutive outliers before declaring a persistent change and
+    /// triggering early feedback (§5.1).
+    pub outlier_trigger: u32,
+    /// Minimum spacing between early feedbacks. A persistent excursion
+    /// keeps re-triggering (sustained overload needs sustained back-off)
+    /// but no more often than this, so a short fade costs one multiplica-
+    /// tive decrease rather than one per outlier batch.
+    pub min_early_feedback_spacing: SimDuration,
+    /// Initial sending rate (pps) before any feedback arrives.
+    pub initial_rate_pps: f64,
+    /// Ceiling on the sending rate (the receiver also limits by its
+    /// delivery rate up the stack; this models that bound).
+    pub max_rate_pps: f64,
+    /// Floor on the sending rate so a flow can always probe.
+    pub min_rate_pps: f64,
+    /// Initial per-packet energy budget, nanojoules; refreshed by the
+    /// energy-budget controller feedback afterwards.
+    pub initial_energy_budget_nj: u32,
+    /// Whether intermediate nodes cache data packets (switching this off
+    /// yields the paper's JNC comparison protocol).
+    pub caching_enabled: bool,
+    /// Whether the source backs off for locally recovered packets (§4.2;
+    /// switching this off reproduces Fig. 5(b)).
+    pub backoff_on_local_recovery: bool,
+    /// Use variable-rate feedback (§5.1). When `false` the receiver sends
+    /// feedback at the constant rate `1 / constant_feedback_period`
+    /// (reproducing Fig. 7's constant-rate sweeps).
+    pub variable_feedback: bool,
+    /// Feedback period used when `variable_feedback == false`.
+    pub constant_feedback_period: SimDuration,
+}
+
+impl Default for JtpConfig {
+    fn default() -> Self {
+        JtpConfig {
+            max_attempts: 5,
+            packet_payload_bytes: 800,
+            cache_capacity: 1000,
+            cache_policy: crate::cache::CachePolicy::Lru,
+            allocation: crate::reliability::AllocationStrategy::EqualShare,
+            t_lower_bound: SimDuration::from_secs(10),
+            feedback_aggregation: 8.0,
+            k_i: 0.25,
+            k_d: 0.85,
+            delta_avail_pps: 0.1,
+            beta_energy: 2.0,
+            min_increase_interval: SimDuration::from_secs(10),
+            stable_alpha: 0.1,
+            stable_beta: 0.1,
+            agile_alpha: 0.6,
+            outlier_trigger: 3,
+            min_early_feedback_spacing: SimDuration::from_secs(3),
+            initial_rate_pps: 1.0,
+            max_rate_pps: 50.0,
+            min_rate_pps: 0.1,
+            initial_energy_budget_nj: 20_000_000, // 20 mJ ≈ many-hop budget
+            caching_enabled: true,
+            backoff_on_local_recovery: true,
+            variable_feedback: true,
+            constant_feedback_period: SimDuration::from_secs(10),
+        }
+    }
+}
+
+impl JtpConfig {
+    /// The JNC variant: JTP with in-network caching disabled (§4.1).
+    pub fn jnc() -> Self {
+        JtpConfig {
+            caching_enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Validate invariants; call after hand-building configs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("max_attempts must be >= 1".into());
+        }
+        if !(self.k_i > 0.0 && self.k_i < 1.0) {
+            return Err(format!("K_I must be in (0,1), got {}", self.k_i));
+        }
+        if !(self.k_d > 0.0 && self.k_d < 1.0) {
+            return Err(format!("K_D must be in (0,1), got {}", self.k_d));
+        }
+        if self.beta_energy <= 1.0 {
+            return Err(format!(
+                "beta (energy importance) must be > 1, got {}",
+                self.beta_energy
+            ));
+        }
+        if !(self.stable_alpha > 0.0 && self.stable_alpha <= 1.0)
+            || !(self.agile_alpha > 0.0 && self.agile_alpha <= 1.0)
+        {
+            return Err("filter weights must be in (0,1]".into());
+        }
+        if self.agile_alpha <= self.stable_alpha {
+            return Err("agile filter must be faster than stable filter".into());
+        }
+        if self.min_rate_pps <= 0.0 || self.max_rate_pps < self.min_rate_pps {
+            return Err("rate bounds must satisfy 0 < min <= max".into());
+        }
+        if self.outlier_trigger == 0 {
+            return Err("outlier_trigger must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1_and_validates() {
+        let c = JtpConfig::default();
+        assert_eq!(c.max_attempts, 5);
+        assert_eq!(c.packet_payload_bytes, 800);
+        assert_eq!(c.cache_capacity, 1000);
+        assert_eq!(c.t_lower_bound, SimDuration::from_secs(10));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn jnc_disables_caching_only() {
+        let c = JtpConfig::jnc();
+        assert!(!c.caching_enabled);
+        assert_eq!(c.max_attempts, JtpConfig::default().max_attempts);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_gains() {
+        for (ki, kd) in [(0.0, 0.5), (1.0, 0.5), (0.5, 0.0), (0.5, 1.0)] {
+            let c = JtpConfig {
+                k_i: ki,
+                k_d: kd,
+                ..Default::default()
+            };
+            assert!(c.validate().is_err(), "K_I={ki} K_D={kd} accepted");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_beta_below_one() {
+        let c = JtpConfig {
+            beta_energy: 0.9,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_slow_agile_filter() {
+        let c = JtpConfig {
+            agile_alpha: 0.05,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Destination-based congestion avoidance controllers (§5.2 of the paper).
+//!
+//! * [`RateController`] — the **PI²/MD** sending-rate controller (eqs 9–10):
+//!   when the monitored available path rate `A̅` exceeds the target margin
+//!   `δ`, increase `r ← r + K_I·A̅/r` (proportional to headroom, inversely
+//!   proportional to the current rate for fairness); otherwise decrease
+//!   multiplicatively `r ← K_D·r`. §5.2.2 proves Lyapunov stability for any
+//!   `K_I > 0`, `K_D < 1`; a property test in this module re-checks the
+//!   decrease of `V(r) = |C − r|` on the fixed-capacity model of eqs 11–12.
+//! * [`EnergyBudgetController`] — eq. (13): the per-packet energy budget
+//!   fed back to the source is `e = β · eUCL`, where `eUCL` is the current
+//!   upper control limit of the energy flip-flop monitor and `β > 1` scales
+//!   with packet importance.
+
+/// PI²/MD sending-rate controller state (lives at the eJTP destination).
+#[derive(Clone, Debug)]
+pub struct RateController {
+    k_i: f64,
+    k_d: f64,
+    delta: f64,
+    min_rate: f64,
+    max_rate: f64,
+    rate: f64,
+}
+
+impl RateController {
+    /// Create with gains `k_i ∈ (0,1)`, `k_d ∈ (0,1)`, available-rate
+    /// margin `delta ≥ 0` and rate bounds.
+    pub fn new(k_i: f64, k_d: f64, delta: f64, min_rate: f64, max_rate: f64, initial: f64) -> Self {
+        assert!(k_i > 0.0 && k_i < 1.0, "K_I must be in (0,1)");
+        assert!(k_d > 0.0 && k_d < 1.0, "K_D must be in (0,1)");
+        assert!(delta >= 0.0);
+        assert!(min_rate > 0.0 && max_rate >= min_rate);
+        RateController {
+            k_i,
+            k_d,
+            delta,
+            min_rate,
+            max_rate,
+            rate: initial.clamp(min_rate, max_rate),
+        }
+    }
+
+    /// Current sending rate (pps).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Clamp helper.
+    fn clamped(&self, r: f64) -> f64 {
+        r.clamp(self.min_rate, self.max_rate)
+    }
+
+    /// Apply one controller step given the monitored average available
+    /// path rate `avail` (pps). Returns the new sending rate.
+    pub fn update(&mut self, avail: f64) -> f64 {
+        self.rate = if avail > self.delta {
+            // PI² increase (eq. 9).
+            self.clamped(self.rate + self.k_i * avail / self.rate)
+        } else {
+            // Multiplicative decrease (eq. 10).
+            self.clamped(self.rate * self.k_d)
+        };
+        self.rate
+    }
+
+    /// Multiplicative back-off applied when the sender misses expected
+    /// feedback (§2.1.2: "if the sender does not get an ACK within the
+    /// expected feedback delay, it backs off its transmission rate").
+    pub fn feedback_timeout_backoff(&mut self) -> f64 {
+        self.rate = self.clamped(self.rate * self.k_d);
+        self.rate
+    }
+
+    /// Override the rate (receiver side limits by app delivery rate).
+    pub fn set_rate(&mut self, rate: f64) {
+        self.rate = self.clamped(rate);
+    }
+}
+
+/// Energy-budget controller (eq. 13): `e(t+1) = β · eUCL(t)`.
+#[derive(Clone, Debug)]
+pub struct EnergyBudgetController {
+    beta: f64,
+    fallback_nj: u32,
+}
+
+impl EnergyBudgetController {
+    /// `beta > 1` expresses packet importance; `fallback_nj` is used before
+    /// the energy monitor has samples.
+    pub fn new(beta: f64, fallback_nj: u32) -> Self {
+        assert!(beta > 1.0, "beta must exceed 1 so outliers remain detectable");
+        EnergyBudgetController { beta, fallback_nj }
+    }
+
+    /// Compute the budget to feed back given the current energy-monitor
+    /// upper control limit (in nanojoules), if any.
+    pub fn budget_nj(&self, energy_ucl_nj: Option<f64>) -> u32 {
+        match energy_ucl_nj {
+            Some(ucl) if ucl > 0.0 => {
+                let e = self.beta * ucl;
+                if e >= u32::MAX as f64 {
+                    u32::MAX
+                } else {
+                    e.round() as u32
+                }
+            }
+            _ => self.fallback_nj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl(initial: f64) -> RateController {
+        RateController::new(0.25, 0.85, 0.1, 0.01, 1000.0, initial)
+    }
+
+    #[test]
+    fn increase_when_headroom() {
+        let mut c = ctl(2.0);
+        let r = c.update(4.0); // plenty available
+        assert!(r > 2.0);
+        // Increase magnitude is K_I * A / r.
+        assert!((r - (2.0 + 0.25 * 4.0 / 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decrease_when_no_headroom() {
+        let mut c = ctl(2.0);
+        let r = c.update(0.05); // below delta
+        assert!((r - 2.0 * 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_lower_rate_grows_faster() {
+        let mut slow = ctl(1.0);
+        let mut fast = ctl(8.0);
+        let d_slow = slow.update(4.0) - 1.0;
+        let d_fast = fast.update(4.0) - 8.0;
+        assert!(d_slow > d_fast, "inverse-proportional increase");
+    }
+
+    #[test]
+    fn converges_to_capacity_from_below_and_above() {
+        // Fixed-capacity model of §5.2.2: avail = C - r (eq. 11) when
+        // r < C, multiplicative decrease when r > C (eq. 12).
+        let capacity = 10.0;
+        for &start in &[1.0, 25.0] {
+            let mut c = ctl(start);
+            for _ in 0..500 {
+                let avail = capacity - c.rate();
+                c.update(avail);
+            }
+            // Steady state is a limit cycle of width ~C·(1−K_D) around C.
+            let band = capacity * (1.0 - 0.85) + 0.5;
+            assert!(
+                (c.rate() - capacity).abs() <= band,
+                "from {start}: settled at {}",
+                c.rate()
+            );
+        }
+    }
+
+    #[test]
+    fn lyapunov_decreases_each_step() {
+        // V(r) = |C - r| must not increase (allowing the small K_I
+        // overshoot band around C).
+        let capacity = 10.0;
+        let mut c = ctl(1.0);
+        let mut v_prev = (capacity - c.rate()).abs();
+        for _ in 0..100 {
+            let avail = capacity - c.rate();
+            c.update(avail);
+            let v = (capacity - c.rate()).abs();
+            if v_prev > 0.5 {
+                assert!(v < v_prev + 1e-9, "V increased: {v_prev} -> {v}");
+            }
+            v_prev = v;
+        }
+    }
+
+    #[test]
+    fn rate_respects_bounds() {
+        let mut c = RateController::new(0.25, 0.5, 0.1, 1.0, 5.0, 3.0);
+        for _ in 0..50 {
+            c.update(1000.0);
+        }
+        assert_eq!(c.rate(), 5.0, "capped at max");
+        for _ in 0..50 {
+            c.update(0.0);
+        }
+        assert_eq!(c.rate(), 1.0, "floored at min");
+    }
+
+    #[test]
+    fn timeout_backoff_is_multiplicative() {
+        let mut c = ctl(4.0);
+        let r = c.feedback_timeout_backoff();
+        assert!((r - 4.0 * 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "K_I must be in (0,1)")]
+    fn rejects_bad_ki() {
+        RateController::new(1.5, 0.5, 0.0, 0.1, 10.0, 1.0);
+    }
+
+    #[test]
+    fn energy_budget_scales_ucl() {
+        let c = EnergyBudgetController::new(2.0, 5_000);
+        assert_eq!(c.budget_nj(Some(1_000_000.0)), 2_000_000);
+        assert_eq!(c.budget_nj(None), 5_000, "fallback before samples");
+        assert_eq!(c.budget_nj(Some(0.0)), 5_000, "degenerate UCL");
+        assert_eq!(c.budget_nj(Some(f64::MAX)), u32::MAX, "saturates");
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must exceed 1")]
+    fn energy_budget_rejects_small_beta() {
+        EnergyBudgetController::new(1.0, 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # jtp — the JAVeLEN Transport Protocol
+//!
+//! A from-scratch Rust implementation of **JTP**, the energy-conscious
+//! transport protocol of Riga, Matta, Medina, Partridge and Redi
+//! (*An Energy-conscious Transport Protocol for Multi-hop Wireless
+//! Networks*, CoNEXT 2007 / BU technical report BUCS-2007-014).
+//!
+//! JTP minimises the **total number of node transmissions** needed to meet
+//! an application's delivery requirements, via three coordinated mechanisms:
+//!
+//! 1. **Balanced end-to-end vs. local retransmission** — per-packet loss
+//!    tolerance bounds the MAC retransmission effort on each hop
+//!    ([`reliability`], §3 of the paper), and in-network caches retransmit
+//!    on the source's behalf ([`cache`], [`ijtp`], §4).
+//! 2. **Minimal acknowledgment traffic** — the receiver controls all
+//!    transmission parameters and sends feedback at a variable rate set by
+//!    path stability ([`monitor`], [`receiver`], §5), combining cumulative
+//!    ACKs with selective negative ACKs (SNACKs).
+//! 3. **Congestion avoidance instead of congestion control** — explicit
+//!    available-rate feedback drives a PI²/MD rate controller so queues are
+//!    never deliberately overflowed ([`controller`], §5.2).
+//!
+//! The crate is split the way the paper splits the protocol:
+//!
+//! * **eJTP** (end-to-end): [`sender::JtpSender`], [`receiver::JtpReceiver`]
+//!   — connection endpoints, path monitoring, rate/energy control,
+//! * **iJTP** (hop-by-hop): [`ijtp::IjtpModule`] — the per-node soft-state
+//!   module the MAC invokes before transmitting and after receiving every
+//!   JTP packet (Algorithms 1 and 2 of the paper).
+//!
+//! Everything is a passive, deterministic state machine in the smoltcp
+//! style: endpoints are *polled* with the current time and return packets to
+//! emit plus the next instant they need attention. This keeps the protocol
+//! logic independent of any particular simulator, MAC or OS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cache;
+pub mod config;
+pub mod controller;
+pub mod ijtp;
+pub mod monitor;
+pub mod packet;
+pub mod receiver;
+pub mod reliability;
+pub mod sender;
+
+pub use cache::{CachePolicy, PacketCache};
+pub use config::JtpConfig;
+pub use reliability::AllocationStrategy;
+pub use controller::{EnergyBudgetController, RateController};
+pub use ijtp::{IjtpModule, LinkInfo, PreXmitVerdict};
+pub use monitor::FlipFlopMonitor;
+pub use packet::{AckPacket, DataPacket, SeqRange};
+pub use receiver::JtpReceiver;
+pub use sender::JtpSender;

@@ -1,0 +1,272 @@
+//! Path monitoring with flip-flop filtering (§5.1 of the paper).
+//!
+//! The destination samples path metrics (minimum available rate along the
+//! path, per-packet energy used) and keeps EWMA estimates of mean `x̄` and
+//! moving range `R̄` (eq. 7) with Shewhart-style control limits
+//! `x̄ ± 3·R̄/1.128` (eq. 8).
+//!
+//! Under normal operation a **stable** filter (small α, β) smooths away
+//! short-term noise. When a configurable number of *consecutive outliers*
+//! indicates a significant, persistent change, the monitor (a) signals that
+//! an **early feedback** should be sent to the source and (b) flips to an
+//! **agile** filter (large α) so the estimate catches up quickly. Once
+//! samples fall back inside the limits, the monitor flips back to the
+//! stable filter. This stable/agile pair is the *flip-flop filter*.
+
+use jtp_sim::stats::MeanRange;
+
+/// Which filter configuration is currently active.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FilterMode {
+    /// Small weights: short-term variations are filtered out.
+    Stable,
+    /// Large mean weight: the estimate chases the signal.
+    Agile,
+}
+
+/// Outcome of feeding one sample to the monitor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MonitorVerdict {
+    /// The sample fell outside the control limits.
+    pub outlier: bool,
+    /// The consecutive-outlier threshold was crossed by this sample: the
+    /// path state changed persistently, send feedback *now*.
+    pub trigger_feedback: bool,
+}
+
+/// One metric's flip-flop monitor.
+#[derive(Clone, Debug)]
+pub struct FlipFlopMonitor {
+    filter: MeanRange,
+    stable_alpha: f64,
+    stable_beta: f64,
+    agile_alpha: f64,
+    outlier_trigger: u32,
+    consecutive_outliers: u32,
+    mode: FilterMode,
+    samples_seen: u64,
+}
+
+impl FlipFlopMonitor {
+    /// Create a monitor.
+    ///
+    /// * `stable_alpha`, `stable_beta` — eq. (7) weights of the stable
+    ///   filter,
+    /// * `agile_alpha` — mean weight while agile (range weight keeps
+    ///   `stable_beta`),
+    /// * `outlier_trigger` — consecutive outliers indicating persistent
+    ///   change (the paper: "a certain number of consecutive outliers").
+    pub fn new(stable_alpha: f64, stable_beta: f64, agile_alpha: f64, outlier_trigger: u32) -> Self {
+        assert!(outlier_trigger >= 1);
+        FlipFlopMonitor {
+            filter: MeanRange::new(stable_alpha, stable_beta),
+            stable_alpha,
+            stable_beta,
+            agile_alpha,
+            outlier_trigger,
+            consecutive_outliers: 0,
+            mode: FilterMode::Stable,
+            samples_seen: 0,
+        }
+    }
+
+    /// Feed one sample.
+    pub fn observe(&mut self, x: f64) -> MonitorVerdict {
+        self.samples_seen += 1;
+        // The first sample initialises the filter; it cannot be an outlier.
+        if self.samples_seen == 1 {
+            self.filter.update(x);
+            return MonitorVerdict {
+                outlier: false,
+                trigger_feedback: false,
+            };
+        }
+        let outlier = self.filter.is_outlier(x);
+        let mut trigger = false;
+        if outlier {
+            self.consecutive_outliers += 1;
+            // Outliers move the mean (so the agile filter can catch up) but
+            // are excluded from the range estimate (§5.1).
+            self.filter.update_mean_only(x);
+            // Persistent change: trigger on the k-th consecutive outlier
+            // and keep re-triggering every further k outliers while the
+            // excursion lasts — sustained overload must produce sustained
+            // feedback ("whenever the system load increases, it sends a
+            // timely feedback forcing the sender to back off", §5.1).
+            if self.consecutive_outliers % self.outlier_trigger == 0 {
+                trigger = true;
+                self.enter_agile();
+            }
+        } else {
+            self.consecutive_outliers = 0;
+            self.filter.update(x);
+            if self.mode == FilterMode::Agile {
+                self.enter_stable();
+            }
+        }
+        MonitorVerdict {
+            outlier,
+            trigger_feedback: trigger,
+        }
+    }
+
+    fn enter_agile(&mut self) {
+        self.mode = FilterMode::Agile;
+        self.filter.set_weights(self.agile_alpha, self.stable_beta);
+    }
+
+    fn enter_stable(&mut self) {
+        self.mode = FilterMode::Stable;
+        self.filter.set_weights(self.stable_alpha, self.stable_beta);
+    }
+
+    /// Current filter mode.
+    pub fn mode(&self) -> FilterMode {
+        self.mode
+    }
+
+    /// Current mean estimate x̄.
+    pub fn mean(&self) -> Option<f64> {
+        self.filter.mean()
+    }
+
+    /// Current upper control limit (eq. 8).
+    pub fn ucl(&self) -> Option<f64> {
+        self.filter.ucl()
+    }
+
+    /// Current lower control limit (eq. 8).
+    pub fn lcl(&self) -> Option<f64> {
+        self.filter.lcl()
+    }
+
+    /// Samples observed so far.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> FlipFlopMonitor {
+        FlipFlopMonitor::new(0.1, 0.1, 0.6, 3)
+    }
+
+    /// Feed a stable signal with small noise.
+    fn feed_stable(m: &mut FlipFlopMonitor, level: f64, n: usize) {
+        for i in 0..n {
+            let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+            m.observe(level + noise);
+        }
+    }
+
+    #[test]
+    fn first_sample_never_outlier() {
+        let mut m = monitor();
+        let v = m.observe(100.0);
+        assert!(!v.outlier && !v.trigger_feedback);
+        assert_eq!(m.mean(), Some(100.0));
+    }
+
+    #[test]
+    fn stable_signal_stays_stable() {
+        let mut m = monitor();
+        feed_stable(&mut m, 10.0, 200);
+        assert_eq!(m.mode(), FilterMode::Stable);
+        assert!((m.mean().unwrap() - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn level_shift_triggers_after_k_outliers() {
+        let mut m = monitor();
+        feed_stable(&mut m, 10.0, 100);
+        // Jump far outside the control limits.
+        let v1 = m.observe(30.0);
+        assert!(v1.outlier && !v1.trigger_feedback);
+        let v2 = m.observe(30.0);
+        assert!(v2.outlier && !v2.trigger_feedback);
+        let v3 = m.observe(30.0);
+        assert!(v3.outlier && v3.trigger_feedback, "third outlier triggers");
+        assert_eq!(m.mode(), FilterMode::Agile);
+    }
+
+    #[test]
+    fn agile_filter_catches_up_quickly() {
+        let mut m = monitor();
+        feed_stable(&mut m, 10.0, 100);
+        for _ in 0..3 {
+            m.observe(30.0);
+        }
+        assert_eq!(m.mode(), FilterMode::Agile);
+        // A few agile samples pull the mean most of the way to 30.
+        for _ in 0..5 {
+            m.observe(30.0);
+        }
+        assert!(m.mean().unwrap() > 27.0, "mean = {:?}", m.mean());
+    }
+
+    #[test]
+    fn returns_to_stable_when_back_in_limits() {
+        let mut m = monitor();
+        feed_stable(&mut m, 10.0, 100);
+        for _ in 0..4 {
+            m.observe(30.0);
+        }
+        assert_eq!(m.mode(), FilterMode::Agile);
+        // Keep feeding 30: once the mean has caught up, 30 is inside the
+        // limits and the monitor flips back to stable.
+        let mut flipped = false;
+        for i in 0..50 {
+            let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+            m.observe(30.0 + noise);
+            if m.mode() == FilterMode::Stable {
+                flipped = true;
+                break;
+            }
+        }
+        assert!(flipped, "never returned to stable");
+    }
+
+    #[test]
+    fn isolated_outliers_do_not_trigger() {
+        let mut m = monitor();
+        feed_stable(&mut m, 10.0, 100);
+        for _ in 0..10 {
+            // One outlier, then normal samples: counter must reset.
+            let v = m.observe(25.0);
+            assert!(!v.trigger_feedback);
+            feed_stable(&mut m, 10.0, 5);
+        }
+        assert_eq!(m.mode(), FilterMode::Stable);
+    }
+
+    #[test]
+    fn trigger_fires_every_k_outliers_during_excursion() {
+        let mut m = monitor();
+        feed_stable(&mut m, 10.0, 100);
+        let mut triggers = 0;
+        for _ in 0..10 {
+            if m.observe(40.0).trigger_feedback {
+                triggers += 1;
+            }
+        }
+        // k = 3: triggers at the 3rd, 6th and 9th consecutive outlier
+        // (unless the agile filter catches up and re-admits the samples).
+        assert!(
+            (1..=3).contains(&triggers),
+            "expected periodic re-triggering, got {triggers}"
+        );
+        assert!(triggers >= 1, "the threshold crossing must trigger");
+    }
+
+    #[test]
+    fn control_limits_bracket_mean() {
+        let mut m = monitor();
+        feed_stable(&mut m, 5.0, 50);
+        let mean = m.mean().unwrap();
+        assert!(m.ucl().unwrap() > mean);
+        assert!(m.lcl().unwrap() < mean);
+    }
+}

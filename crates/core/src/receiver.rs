@@ -1,0 +1,530 @@
+//! eJTP destination: path monitoring, destination-based control and
+//! variable-rate feedback (§5 of the paper).
+//!
+//! The receiver is *fully responsible* for all transmission parameters: it
+//! monitors the path (minimum available rate and per-packet energy, both
+//! read from arriving data headers) with flip-flop filters, runs the PI²/MD
+//! rate controller and the energy-budget controller, decides which missing
+//! packets are still worth recovering given the application's loss
+//! tolerance, and schedules feedback:
+//!
+//! * **regular feedback** every `T = max(T_lower_bound, n / rate)` seconds
+//!   — low-frequency, aggregating ACK information,
+//! * **early feedback** the moment a monitor detects a persistent change
+//!   in path state (consecutive outliers outside the control limits).
+//!
+//! The structure is poll-based: the surrounding node calls
+//! [`JtpReceiver::on_data`] for every arriving packet (which may return an
+//! early feedback to send) and [`JtpReceiver::poll_feedback`] when the
+//! regular timer fires; [`JtpReceiver::next_feedback_at`] tells the caller
+//! when that is.
+
+use crate::config::JtpConfig;
+use crate::controller::{EnergyBudgetController, RateController};
+use crate::monitor::FlipFlopMonitor;
+use crate::packet::{compress_ranges, AckPacket, DataPacket};
+use jtp_sim::{FlowId, SimDuration, SimTime};
+use std::collections::BTreeSet;
+
+/// Statistics the harness reads from a receiver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReceiverStats {
+    /// Distinct data packets delivered to the application.
+    pub delivered_packets: u64,
+    /// Application payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Duplicate data packets discarded.
+    pub duplicates: u64,
+    /// Feedback packets generated (regular + early).
+    pub feedbacks_sent: u64,
+    /// Early feedbacks among them (monitor-triggered).
+    pub early_feedbacks: u64,
+    /// Missing packets the receiver chose to forgive (loss tolerance).
+    pub forgiven_packets: u64,
+}
+
+/// The eJTP destination endpoint of one JTP connection.
+#[derive(Clone, Debug)]
+pub struct JtpReceiver {
+    flow: FlowId,
+    cfg: JtpConfig,
+    /// Application's end-to-end loss tolerance for this flow, [0, 1].
+    loss_tolerance: f64,
+    /// All sequences `< prefix` are delivered or forgiven.
+    prefix: u32,
+    /// Out-of-order deliveries at/above `prefix`.
+    ooo: BTreeSet<u32>,
+    /// Highest sequence number seen (None before first packet).
+    highest_seen: Option<u32>,
+    /// Forgiven (tolerated-lost) sequences at/above `prefix`.
+    forgiven: BTreeSet<u32>,
+    rate_monitor: FlipFlopMonitor,
+    energy_monitor: FlipFlopMonitor,
+    rate_controller: RateController,
+    energy_controller: EnergyBudgetController,
+    last_feedback: SimTime,
+    /// Current regular feedback period T.
+    period: SimDuration,
+    /// When the controller last applied a rate increase.
+    last_increase: SimTime,
+    /// Highest sequence seen when the previous feedback went out. Only
+    /// gaps *below* it are treated as losses: younger gaps may simply be
+    /// in flight (the feedback period far exceeds the path transit time),
+    /// and SNACKing them would trigger duplicate recoveries.
+    confirm_below: u32,
+    /// Sequences requested in the previous feedback. A request needs a
+    /// full round trip (plus the recovery's forward trip) to take effect;
+    /// re-requesting in the very next round makes every cache on a
+    /// (possibly changed) path retransmit the same packet again. Under
+    /// mobility this duplicate-recovery traffic dominated JTP's energy,
+    /// so requests for a given sequence are paced to alternate rounds.
+    snacked_prev: BTreeSet<u32>,
+    stats: ReceiverStats,
+}
+
+impl JtpReceiver {
+    /// Create the destination endpoint.
+    pub fn new(flow: FlowId, loss_tolerance: f64, cfg: JtpConfig) -> Self {
+        cfg.validate().expect("invalid JTP configuration");
+        let rate_monitor = FlipFlopMonitor::new(
+            cfg.stable_alpha,
+            cfg.stable_beta,
+            cfg.agile_alpha,
+            cfg.outlier_trigger,
+        );
+        let energy_monitor = FlipFlopMonitor::new(
+            cfg.stable_alpha,
+            cfg.stable_beta,
+            cfg.agile_alpha,
+            cfg.outlier_trigger,
+        );
+        let rate_controller = RateController::new(
+            cfg.k_i,
+            cfg.k_d,
+            cfg.delta_avail_pps,
+            cfg.min_rate_pps,
+            cfg.max_rate_pps,
+            cfg.initial_rate_pps,
+        );
+        let energy_controller =
+            EnergyBudgetController::new(cfg.beta_energy, cfg.initial_energy_budget_nj);
+        let period = Self::initial_period(&cfg);
+        JtpReceiver {
+            flow,
+            loss_tolerance: loss_tolerance.clamp(0.0, 1.0),
+            cfg,
+            prefix: 0,
+            ooo: BTreeSet::new(),
+            highest_seen: None,
+            forgiven: BTreeSet::new(),
+            rate_monitor,
+            energy_monitor,
+            rate_controller,
+            energy_controller,
+            last_feedback: SimTime::ZERO,
+            period,
+            last_increase: SimTime::ZERO,
+            confirm_below: 0,
+            snacked_prev: BTreeSet::new(),
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    fn initial_period(cfg: &JtpConfig) -> SimDuration {
+        if cfg.variable_feedback {
+            cfg.t_lower_bound
+        } else {
+            cfg.constant_feedback_period
+        }
+    }
+
+    /// The flow this endpoint terminates.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Process an arriving data packet; returns an early-feedback ACK when
+    /// a path monitor crossed its outlier threshold.
+    pub fn on_data(&mut self, now: SimTime, pkt: &DataPacket) -> Option<AckPacket> {
+        debug_assert_eq!(pkt.flow, self.flow);
+        // Bookkeeping of the sequence space.
+        let seq = pkt.seq;
+        self.highest_seen = Some(self.highest_seen.map_or(seq, |h| h.max(seq)));
+        let fresh = if seq < self.prefix || self.forgiven.contains(&seq) {
+            false
+        } else {
+            self.ooo.insert(seq)
+        };
+        if fresh {
+            self.stats.delivered_packets += 1;
+            self.stats.delivered_bytes += pkt.payload_len as u64;
+            self.forgiven.remove(&seq);
+            self.advance_prefix();
+        } else {
+            self.stats.duplicates += 1;
+        }
+        // Path monitoring from the header's fields (Dynamic-Packet-State
+        // style: the path reports its condition inside the data packets).
+        let rate_verdict = if pkt.rate_pps.is_finite() {
+            self.rate_monitor.observe(pkt.rate_pps as f64)
+        } else {
+            crate::monitor::MonitorVerdict {
+                outlier: false,
+                trigger_feedback: false,
+            }
+        };
+        let energy_verdict = self.energy_monitor.observe(pkt.energy_used_nj as f64);
+        if (rate_verdict.trigger_feedback || energy_verdict.trigger_feedback)
+            && self.cfg.variable_feedback
+            && now.since(self.last_feedback) >= self.cfg.min_early_feedback_spacing
+        {
+            self.stats.early_feedbacks += 1;
+            return Some(self.build_feedback(now));
+        }
+        None
+    }
+
+    /// Advance the delivered-or-forgiven prefix over contiguous entries.
+    fn advance_prefix(&mut self) {
+        loop {
+            if self.ooo.remove(&self.prefix) || self.forgiven.remove(&self.prefix) {
+                self.prefix += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Missing sequences in `[prefix, highest_seen]` that are neither
+    /// delivered nor forgiven.
+    fn gaps(&self) -> Vec<u32> {
+        let Some(high) = self.highest_seen else {
+            return vec![];
+        };
+        (self.prefix..=high)
+            .filter(|s| !self.ooo.contains(s) && !self.forgiven.contains(s))
+            .collect()
+    }
+
+    /// Gaps old enough to be losses rather than in-flight packets: below
+    /// the highest sequence of the *previous* feedback round.
+    fn confirmed_gaps(&self) -> Vec<u32> {
+        let limit = self.confirm_below;
+        self.gaps().into_iter().filter(|&s| s < limit).collect()
+    }
+
+    /// Apply the application's loss tolerance: forgive the *oldest* gaps as
+    /// long as the delivered fraction stays within tolerance; the rest are
+    /// worth requesting ("retransmission requests only for those missing
+    /// packets that are important to the application", §2.2.1).
+    fn select_snack(&mut self) -> Vec<u32> {
+        let gaps = self.confirmed_gaps();
+        if gaps.is_empty() {
+            return gaps;
+        }
+        let Some(high) = self.highest_seen else {
+            return vec![];
+        };
+        let total = (high + 1) as f64;
+        let allowed = (self.loss_tolerance * total).floor() as u64;
+        // `forgiven_packets` counts every forgiveness ever granted (the
+        // set only holds those not yet swept past by the prefix).
+        let can_forgive = allowed.saturating_sub(self.stats.forgiven_packets) as usize;
+        let (to_forgive, to_request) = gaps.split_at(can_forgive.min(gaps.len()));
+        for &s in to_forgive {
+            self.forgiven.insert(s);
+            self.stats.forgiven_packets += 1;
+        }
+        self.advance_prefix();
+        to_request.to_vec()
+    }
+
+    /// Compute the regular feedback period (§5.1):
+    /// `T = max(T_lower_bound, n × 1/rate)`, never exceeding the rate at
+    /// which data flows. Constant-feedback mode returns the fixed period.
+    fn compute_period(&self) -> SimDuration {
+        if !self.cfg.variable_feedback {
+            return self.cfg.constant_feedback_period;
+        }
+        let rate = self.rate_controller.rate().max(self.cfg.min_rate_pps);
+        let aggregated = SimDuration::from_secs_f64(self.cfg.feedback_aggregation / rate);
+        self.cfg.t_lower_bound.max(aggregated)
+    }
+
+    /// Build a feedback packet (common to regular and early feedback).
+    fn build_feedback(&mut self, now: SimTime) -> AckPacket {
+        // Run the controllers on the freshest monitor state. Decreases
+        // (no headroom) apply on every feedback — that timeliness is what
+        // early feedback buys; increases are spaced at least
+        // `min_increase_interval` apart so feedback frequency does not
+        // change the controller's ramp aggressiveness.
+        let new_rate = match self.rate_monitor.mean() {
+            Some(avail) if avail <= self.cfg.delta_avail_pps => {
+                self.rate_controller.update(avail)
+            }
+            Some(avail)
+                if now.since(self.last_increase) >= self.cfg.min_increase_interval =>
+            {
+                self.last_increase = now;
+                self.rate_controller.update(avail)
+            }
+            _ => self.rate_controller.rate(),
+        };
+        let budget = self
+            .energy_controller
+            .budget_nj(self.energy_monitor.ucl());
+        let mut snack_seqs = self.select_snack();
+        // Pace repeat requests: a sequence SNACKed last round is given one
+        // round for the recovery to arrive before being requested again.
+        snack_seqs.retain(|s| !self.snacked_prev.contains(s));
+        self.snacked_prev = snack_seqs.iter().copied().collect();
+        self.confirm_below = self.highest_seen.map_or(0, |h| h + 1);
+        self.period = self.compute_period();
+        self.last_feedback = now;
+        self.stats.feedbacks_sent += 1;
+        AckPacket {
+            flow: self.flow,
+            cum_ack: self.prefix,
+            snack: compress_ranges(&snack_seqs),
+            locally_recovered: Vec::new(),
+            rate_pps: new_rate as f32,
+            energy_budget_nj: budget,
+            timeout: self.period,
+        }
+    }
+
+    /// Regular feedback timer fired: emit the periodic ACK.
+    pub fn poll_feedback(&mut self, now: SimTime) -> AckPacket {
+        self.build_feedback(now)
+    }
+
+    /// When the next regular feedback is due.
+    pub fn next_feedback_at(&self) -> SimTime {
+        self.last_feedback + self.period
+    }
+
+    /// All sequences `< seq` delivered or forgiven.
+    pub fn cum_ack(&self) -> u32 {
+        self.prefix
+    }
+
+    /// Application-visible statistics.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// The monitored mean available path rate, if any samples arrived.
+    pub fn monitored_avail_rate(&self) -> Option<f64> {
+        self.rate_monitor.mean()
+    }
+
+    /// Current receiver-chosen sending rate (pps).
+    pub fn current_rate(&self) -> f64 {
+        self.rate_controller.rate()
+    }
+
+    /// Rate-monitor control limits `(lcl, mean, ucl)` for instrumentation
+    /// (Fig. 8's bottom plots).
+    pub fn rate_monitor_state(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.rate_monitor.lcl()?,
+            self.rate_monitor.mean()?,
+            self.rate_monitor.ucl()?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u32, rate: f32, energy_nj: u32) -> DataPacket {
+        DataPacket {
+            flow: FlowId(1),
+            seq,
+            rate_pps: rate,
+            loss_tolerance: 0.0,
+            remaining_hops: 0,
+            energy_budget_nj: u32::MAX,
+            energy_used_nj: energy_nj,
+            deadline_ms: 0,
+            payload_len: 800,
+        }
+    }
+
+    fn rx(tolerance: f64) -> JtpReceiver {
+        JtpReceiver::new(FlowId(1), tolerance, JtpConfig::default())
+    }
+
+    #[test]
+    fn in_order_delivery_advances_cum_ack() {
+        let mut r = rx(0.0);
+        for s in 0..5 {
+            r.on_data(SimTime::from_secs_f64(s as f64), &pkt(s, 3.0, 1000));
+        }
+        assert_eq!(r.cum_ack(), 5);
+        assert_eq!(r.stats().delivered_packets, 5);
+        assert!(r.gaps().is_empty());
+    }
+
+    #[test]
+    fn gaps_are_snacked_for_zero_tolerance() {
+        let mut r = rx(0.0);
+        for s in [0u32, 1, 3, 5] {
+            r.on_data(SimTime::from_secs_f64(s as f64), &pkt(s, 3.0, 1000));
+        }
+        // First feedback: the gaps are unconfirmed (could be in flight).
+        let ack = r.poll_feedback(SimTime::from_secs_f64(10.0));
+        assert_eq!(ack.cum_ack, 2);
+        assert!(ack.snack.is_empty(), "unconfirmed gaps not yet SNACKed");
+        // Second feedback: the gaps persisted — now requested.
+        let ack = r.poll_feedback(SimTime::from_secs_f64(20.0));
+        assert_eq!(ack.snack_seqs(), vec![2, 4]);
+        assert_eq!(r.stats().forgiven_packets, 0);
+    }
+
+    #[test]
+    fn duplicates_are_counted_not_delivered() {
+        let mut r = rx(0.0);
+        r.on_data(SimTime::ZERO, &pkt(0, 3.0, 1000));
+        r.on_data(SimTime::ZERO, &pkt(0, 3.0, 1000));
+        assert_eq!(r.stats().delivered_packets, 1);
+        assert_eq!(r.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn tolerant_flow_forgives_oldest_gaps() {
+        let mut r = rx(0.25);
+        // Deliver 0..20 except 3 and 7: 19 delivered of 20, tolerance
+        // allows floor(0.25*20)=5 losses => both gaps forgiven, no snack.
+        for s in 0..20u32 {
+            if s != 3 && s != 7 {
+                r.on_data(SimTime::from_secs_f64(s as f64), &pkt(s, 3.0, 1000));
+            }
+        }
+        r.poll_feedback(SimTime::from_secs_f64(30.0)); // confirmation round
+        let ack = r.poll_feedback(SimTime::from_secs_f64(40.0));
+        assert!(ack.snack.is_empty(), "snack = {:?}", ack.snack);
+        assert_eq!(ack.cum_ack, 20, "forgiven gaps advance cum ack");
+        assert_eq!(r.stats().forgiven_packets, 2);
+    }
+
+    #[test]
+    fn tolerance_budget_is_finite() {
+        let mut r = rx(0.10);
+        // 20 packets, 5 missing: tolerance allows floor(0.1*20)=2.
+        for s in 0..20u32 {
+            if ![2u32, 5, 9, 12, 15].contains(&s) {
+                r.on_data(SimTime::from_secs_f64(s as f64), &pkt(s, 3.0, 1000));
+            }
+        }
+        r.poll_feedback(SimTime::from_secs_f64(30.0)); // confirmation round
+        let ack = r.poll_feedback(SimTime::from_secs_f64(40.0));
+        assert_eq!(r.stats().forgiven_packets, 2, "oldest two forgiven");
+        assert_eq!(ack.snack_seqs(), vec![9, 12, 15]);
+    }
+
+    #[test]
+    fn fully_tolerant_flow_never_snacks() {
+        let mut r = rx(1.0);
+        for s in [0u32, 5, 9] {
+            r.on_data(SimTime::from_secs_f64(s as f64), &pkt(s, 3.0, 1000));
+        }
+        let ack = r.poll_feedback(SimTime::from_secs_f64(20.0));
+        assert!(ack.snack.is_empty());
+        let ack = r.poll_feedback(SimTime::from_secs_f64(30.0));
+        assert!(ack.snack.is_empty());
+        assert_eq!(ack.cum_ack, 10, "everything below highest forgiven");
+    }
+
+    #[test]
+    fn late_arrival_of_forgiven_packet_is_duplicate() {
+        let mut r = rx(1.0);
+        r.on_data(SimTime::ZERO, &pkt(0, 3.0, 1000));
+        r.on_data(SimTime::ZERO, &pkt(5, 3.0, 1000));
+        r.poll_feedback(SimTime::from_secs_f64(10.0)); // confirmation round
+        r.poll_feedback(SimTime::from_secs_f64(20.0)); // forgives 1..=4
+        let before = r.stats().delivered_packets;
+        r.on_data(SimTime::from_secs_f64(21.0), &pkt(3, 3.0, 1000));
+        assert_eq!(r.stats().delivered_packets, before, "forgiven => not delivered");
+    }
+
+    #[test]
+    fn in_flight_gap_is_not_snacked_but_loss_is() {
+        let mut r = rx(0.0);
+        r.on_data(SimTime::ZERO, &pkt(0, 3.0, 1000));
+        r.poll_feedback(SimTime::from_secs_f64(10.0)); // confirm_below = 1
+        // Packets 1..=3 sent; 2 lost; 3 arrives just before feedback.
+        r.on_data(SimTime::from_secs_f64(11.0), &pkt(1, 3.0, 1000));
+        r.on_data(SimTime::from_secs_f64(12.0), &pkt(3, 3.0, 1000));
+        let ack = r.poll_feedback(SimTime::from_secs_f64(20.0));
+        // Gap {2} is above confirm_below=1: could still be in flight.
+        assert!(ack.snack.is_empty(), "in-flight gap SNACKed: {:?}", ack.snack);
+        // Next round: 2 still missing below the new confirm point => loss.
+        let ack = r.poll_feedback(SimTime::from_secs_f64(30.0));
+        assert_eq!(ack.snack_seqs(), vec![2]);
+    }
+
+    #[test]
+    fn feedback_carries_controller_outputs() {
+        let mut r = rx(0.0);
+        for s in 0..10 {
+            r.on_data(SimTime::from_secs_f64(s as f64), &pkt(s, 4.0, 500_000));
+        }
+        let ack = r.poll_feedback(SimTime::from_secs_f64(10.0));
+        assert!(ack.rate_pps > 0.0);
+        assert!(ack.energy_budget_nj > 0);
+        assert!(ack.timeout >= JtpConfig::default().t_lower_bound);
+    }
+
+    #[test]
+    fn early_feedback_on_rate_collapse() {
+        let mut r = rx(0.0);
+        // Stable path at 4 pps…
+        let mut early = None;
+        for s in 0..50 {
+            let v = r.on_data(SimTime::from_secs_f64(s as f64), &pkt(s, 4.0, 1000));
+            assert!(v.is_none(), "no early feedback while stable");
+        }
+        // …then the available rate collapses.
+        for s in 50..60 {
+            if let Some(a) = r.on_data(SimTime::from_secs_f64(s as f64), &pkt(s, 0.5, 1000)) {
+                early = Some((s, a));
+                break;
+            }
+        }
+        let (s, ack) = early.expect("no early feedback on persistent change");
+        assert!(s >= 52, "needs outlier_trigger consecutive outliers");
+        assert_eq!(r.stats().early_feedbacks, 1);
+        assert!(ack.rate_pps > 0.0);
+    }
+
+    #[test]
+    fn constant_feedback_mode_never_fires_early() {
+        let cfg = JtpConfig {
+            variable_feedback: false,
+            constant_feedback_period: SimDuration::from_secs(2),
+            ..Default::default()
+        };
+        let mut r = JtpReceiver::new(FlowId(1), 0.0, cfg);
+        for s in 0..50 {
+            r.on_data(SimTime::from_secs_f64(s as f64 * 0.1), &pkt(s, 4.0, 1000));
+        }
+        for s in 50..80 {
+            let v = r.on_data(SimTime::from_secs_f64(s as f64 * 0.1), &pkt(s, 0.1, 1000));
+            assert!(v.is_none(), "constant mode must not send early feedback");
+        }
+        let ack = r.poll_feedback(SimTime::from_secs_f64(8.0));
+        assert_eq!(ack.timeout, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn feedback_period_respects_lower_bound() {
+        let mut r = rx(0.0);
+        for s in 0..20 {
+            r.on_data(SimTime::from_secs_f64(s as f64), &pkt(s, 4.0, 1000));
+        }
+        r.poll_feedback(SimTime::from_secs_f64(20.0));
+        assert!(r.next_feedback_at() >= SimTime::from_secs_f64(30.0));
+    }
+}

@@ -1,0 +1,305 @@
+//! Adjustable reliability for energy conservation (§3 of the paper).
+//!
+//! The application expresses an end-to-end loss tolerance `l_e2e`; JTP
+//! translates it, hop by hop, into the *minimum* number of MAC transmission
+//! attempts that still meets the target:
+//!
+//! * eq. (1): `l_e2e = 1 − Π q_i` over per-hop success probabilities `q_i`,
+//! * eq. (4): JTP assigns equal per-hop success `q = (1 − lt_i)^(1/H_i)`
+//!   where `lt_i` is the tolerance remaining in the header at node `i` and
+//!   `H_i` the remaining hop count from this node's topology view,
+//! * eq. (2): with per-attempt link loss `p_i`, the attempt budget is
+//!   `M_i = max(1, min(log(1−q_i)/log(p_i), MAX_ATTEMPTS))`,
+//! * eq. (3): before forwarding, the header tolerance is updated to
+//!   `lt_{i+1} = 1 − (1 − lt_i)/q_i` so that left-over budget at this hop is
+//!   *not* re-spent downstream ("reducing the variability in energy
+//!   consumption across nodes along the path").
+
+/// How the remaining loss tolerance is split across the remaining hops.
+///
+/// §3 of the paper: *"there are many different strategies that might be
+/// employed to compute qi on each link — e.g. imposing higher successful
+/// delivery requirement on less loaded links or on nodes with higher
+/// available energy — in this paper we assume that JTP attempts to assign
+/// the same qi = q for all the links."* We implement the paper's equal
+/// share plus a loss-aware variant (named future work), compared in the
+/// `ablation` harness.
+///
+/// Any local choice remains end-to-end safe because the header tolerance
+/// is updated with the success probability the hop *actually achieves*
+/// (eq. 3), so downstream hops always compensate.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum AllocationStrategy {
+    /// eq. (4): `q = (1 − lt)^(1/H)` on every hop.
+    #[default]
+    EqualShare,
+    /// Spend less effort where reliability is expensive: on a link with
+    /// per-attempt loss `p`, the equal-share target is raised to the power
+    /// `θ = clamp(1 + shift·(p − ref_loss), 0.25, 3)` — lossier-than-
+    /// reference links accept a lower local success target (θ > 1 ⇒
+    /// smaller q) and cleaner links a higher one, reducing the marginal
+    /// cost of the end-to-end requirement.
+    LossAware {
+        /// Sensitivity of the exponent to the loss deviation.
+        shift: f64,
+        /// Reference per-attempt loss considered "typical".
+        ref_loss: f64,
+    },
+}
+
+impl AllocationStrategy {
+    /// The per-hop success target for this strategy.
+    pub fn q_target(&self, loss_tolerance: f64, remaining_hops: u32, link_loss: f64) -> f64 {
+        let base = per_hop_success_target(loss_tolerance, remaining_hops);
+        match *self {
+            AllocationStrategy::EqualShare => base,
+            AllocationStrategy::LossAware { shift, ref_loss } => {
+                // The final hop has no downstream to compensate a lowered
+                // target: it must meet the remaining requirement exactly.
+                if remaining_hops <= 1 {
+                    return base;
+                }
+                let theta = (1.0 + shift * (link_loss - ref_loss)).clamp(0.25, 3.0);
+                base.powf(theta)
+            }
+        }
+    }
+}
+
+/// Per-hop success probability target for equal allocation across the
+/// remaining `remaining_hops` hops (eq. 4). A tolerance ≥ 1 means the
+/// application does not care — any success probability (0) is acceptable.
+pub fn per_hop_success_target(loss_tolerance: f64, remaining_hops: u32) -> f64 {
+    if remaining_hops == 0 {
+        return 1.0;
+    }
+    let lt = loss_tolerance.clamp(0.0, 1.0);
+    if lt >= 1.0 {
+        return 0.0;
+    }
+    (1.0 - lt).powf(1.0 / remaining_hops as f64)
+}
+
+/// Number of MAC transmission attempts needed on a link with per-attempt
+/// loss probability `p_link` to achieve success probability `q` (eq. 2):
+/// `M = ⌈log(1−q)/log(p)⌉`, clamped into `[1, max_attempts]`.
+///
+/// Edge cases follow the physics: a perfect link (`p = 0`) needs one
+/// attempt; a target of `q = 0` needs only the mandatory single attempt; a
+/// dead link (`p = 1`) can never achieve `q > 0`, so the budget saturates at
+/// `max_attempts` (and the packet will be dropped there, as the paper
+/// intends for hopeless links).
+pub fn max_attempts_for(q: f64, p_link: f64, max_attempts: u32) -> u32 {
+    let max_attempts = max_attempts.max(1);
+    let q = q.clamp(0.0, 1.0);
+    let p = p_link.clamp(0.0, 1.0);
+    if q <= 0.0 || p <= 0.0 {
+        return 1;
+    }
+    if q >= 1.0 || p >= 1.0 {
+        return max_attempts;
+    }
+    // M = log(1 - q) / log(p); both logs are negative, ratio positive.
+    let m = ((1.0 - q).ln() / p.ln()).ceil();
+    if !m.is_finite() || m >= max_attempts as f64 {
+        max_attempts
+    } else {
+        (m as u32).max(1)
+    }
+}
+
+/// Success probability actually achieved by `attempts` tries on a link with
+/// per-attempt loss `p` (footnote 6: `q = 1 − p^M`).
+pub fn achieved_success(p_link: f64, attempts: u32) -> f64 {
+    let p = p_link.clamp(0.0, 1.0);
+    1.0 - p.powi(attempts as i32)
+}
+
+/// Update the header's loss tolerance before forwarding (eq. 3):
+/// `lt_{i+1} = 1 − (1 − lt_i) / q_i`, clamped to `[0, 1]`.
+///
+/// `q_i` is the success probability *planned* for this hop. When the plan
+/// over-achieves (link better than needed), the remaining tolerance shrinks
+/// so downstream hops don't spend the spare budget.
+pub fn update_loss_tolerance(lt_i: f64, q_i: f64) -> f64 {
+    if q_i <= 0.0 {
+        // Hop expected to fail outright: downstream tolerance irrelevant,
+        // keep it permissive.
+        return 1.0;
+    }
+    (1.0 - (1.0 - lt_i.clamp(0.0, 1.0)) / q_i).clamp(0.0, 1.0)
+}
+
+/// End-to-end success probability of a path with per-hop attempt budgets
+/// `attempts[i]` and per-attempt losses `p[i]` — the composition the paper
+/// checks against eq. (1).
+pub fn path_success(p: &[f64], attempts: &[u32]) -> f64 {
+    assert_eq!(p.len(), attempts.len());
+    p.iter()
+        .zip(attempts)
+        .map(|(&pi, &mi)| achieved_success(pi, mi))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_hop_target_equal_allocation() {
+        // 10% e2e tolerance over 3 hops: q = 0.9^(1/3).
+        let q = per_hop_success_target(0.10, 3);
+        assert!((q - 0.9f64.powf(1.0 / 3.0)).abs() < 1e-12);
+        // One hop: q = 1 - lt.
+        assert!((per_hop_success_target(0.2, 1) - 0.8).abs() < 1e-12);
+        // Zero tolerance requires q = 1 per hop.
+        assert_eq!(per_hop_success_target(0.0, 5), 1.0);
+        // Fully tolerant flows need no success at all.
+        assert_eq!(per_hop_success_target(1.0, 5), 0.0);
+        // Degenerate: at the destination.
+        assert_eq!(per_hop_success_target(0.1, 0), 1.0);
+    }
+
+    #[test]
+    fn attempts_formula_matches_closed_form() {
+        // q = 0.9, p = 0.3: M = ceil(ln(0.1)/ln(0.3)) = ceil(1.912) = 2.
+        assert_eq!(max_attempts_for(0.9, 0.3, 5), 2);
+        // q = 0.99, p = 0.3: ceil(ln 0.01 / ln 0.3) = ceil(3.82) = 4.
+        assert_eq!(max_attempts_for(0.99, 0.3, 5), 4);
+        // Cap at MAX_ATTEMPTS.
+        assert_eq!(max_attempts_for(0.999999, 0.5, 5), 5);
+    }
+
+    #[test]
+    fn attempts_edge_cases() {
+        assert_eq!(max_attempts_for(0.9, 0.0, 5), 1, "perfect link");
+        assert_eq!(max_attempts_for(0.0, 0.3, 5), 1, "no requirement");
+        assert_eq!(max_attempts_for(0.9, 1.0, 5), 5, "dead link saturates");
+        assert_eq!(max_attempts_for(1.0, 0.3, 5), 5, "full reliability");
+        assert_eq!(max_attempts_for(0.5, 0.5, 0), 1, "max_attempts floor");
+    }
+
+    #[test]
+    fn attempts_monotone_in_requirement_and_loss() {
+        let mut prev = 0;
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            let m = max_attempts_for(q, 0.4, 10);
+            assert!(m >= prev);
+            prev = m;
+        }
+        let mut prev = 0;
+        for p in [0.05, 0.2, 0.4, 0.6, 0.8] {
+            let m = max_attempts_for(0.95, p, 10);
+            assert!(m >= prev, "more loss, more attempts");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn achieved_success_matches_budget() {
+        // The attempts chosen by eq. 2 really achieve the target.
+        for &p in &[0.1, 0.3, 0.5, 0.7] {
+            for &q in &[0.5, 0.9, 0.99] {
+                let m = max_attempts_for(q, p, 50);
+                assert!(
+                    achieved_success(p, m) >= q - 1e-9,
+                    "p={p} q={q} m={m} got {}",
+                    achieved_success(p, m)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tolerance_update_composition_preserves_e2e_target() {
+        // Walk a 4-hop path, allocating per eq. 4 and updating per eq. 3;
+        // the composed success must meet the original 1 - l_e2e.
+        let e2e_tol = 0.15;
+        let losses = [0.2, 0.1, 0.35, 0.05];
+        let mut lt = e2e_tol;
+        let mut q_planned = Vec::new();
+        for i in 0..4 {
+            let remaining = 4 - i as u32;
+            let q = per_hop_success_target(lt, remaining);
+            q_planned.push(q);
+            lt = update_loss_tolerance(lt, q);
+        }
+        let _ = losses;
+        let composed: f64 = q_planned.iter().product();
+        assert!(
+            composed >= (1.0 - e2e_tol) - 1e-9,
+            "composed {composed} < target {}",
+            1.0 - e2e_tol
+        );
+    }
+
+    #[test]
+    fn tolerance_update_shrinks_when_overachieving() {
+        // Plan q=0.95 but the hop only needed 0.9 => downstream tolerance
+        // smaller than naive residual.
+        let lt1 = update_loss_tolerance(0.1, 0.95);
+        assert!(lt1 < 0.1 && lt1 > 0.0, "lt1 = {lt1}");
+        // Exactly-achieving hop passes residual tolerance through.
+        let lt_exact = update_loss_tolerance(0.1, 1.0);
+        assert!((lt_exact - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_update_clamps() {
+        assert_eq!(update_loss_tolerance(0.0, 0.5), 0.0);
+        assert_eq!(update_loss_tolerance(1.0, 0.5), 1.0);
+        assert_eq!(update_loss_tolerance(0.5, 0.0), 1.0);
+    }
+
+    #[test]
+    fn loss_aware_allocation_shifts_effort_off_lossy_links() {
+        let s = AllocationStrategy::LossAware {
+            shift: 3.0,
+            ref_loss: 0.1,
+        };
+        let equal = AllocationStrategy::EqualShare;
+        let (lt, hops) = (0.2, 4);
+        let q_clean = s.q_target(lt, hops, 0.02);
+        let q_lossy = s.q_target(lt, hops, 0.5);
+        let q_ref = s.q_target(lt, hops, 0.1);
+        let q_eq = equal.q_target(lt, hops, 0.5);
+        assert!(q_lossy < q_eq, "lossy link should get a lower target");
+        assert!(q_clean > q_eq, "clean link should get a higher target");
+        assert!((q_ref - q_eq).abs() < 1e-12, "at reference loss: equal share");
+    }
+
+    #[test]
+    fn loss_aware_composition_still_meets_e2e() {
+        // Walk a path of mixed link qualities; the achieved-q tolerance
+        // update compensates local choices (uncapped attempts).
+        let s = AllocationStrategy::LossAware {
+            shift: 2.0,
+            ref_loss: 0.1,
+        };
+        let losses = [0.05, 0.4, 0.1, 0.3];
+        let e2e = 0.15;
+        let mut lt = e2e;
+        let mut product = 1.0;
+        for (i, &p) in losses.iter().enumerate() {
+            let remaining = (losses.len() - i) as u32;
+            let q_t = s.q_target(lt, remaining, p);
+            let m = max_attempts_for(q_t, p, 100); // effectively uncapped
+            let q_a = achieved_success(p, m).max(q_t.min(1.0));
+            product *= q_a;
+            lt = update_loss_tolerance(lt, q_a.max(f64::MIN_POSITIVE));
+        }
+        assert!(
+            product >= (1.0 - e2e) - 1e-9,
+            "loss-aware path success {product} misses target {}",
+            1.0 - e2e
+        );
+    }
+
+    #[test]
+    fn path_success_composes() {
+        let p = [0.3, 0.3];
+        let m = [2, 2];
+        let q_hop = 1.0 - 0.09;
+        assert!((path_success(&p, &m) - q_hop * q_hop).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,591 @@
+//! eJTP source: rate-paced transmission under full receiver control.
+//!
+//! The sender is deliberately simple — the paper moves all decision making
+//! to the destination. The source:
+//!
+//! * paces data packets at the rate the receiver last fed back (it never
+//!   chooses its own rate, §5),
+//! * stamps each packet's loss tolerance, energy budget and deadline from
+//!   the application profile and the latest feedback,
+//! * retains a copy of every packet until the cumulative ACK covers it
+//!   (the end-to-end argument: caches are only an optimisation, §4),
+//! * retransmits only packets that remain in the SNACK after in-network
+//!   caches had their chance (the locally-recovered field),
+//! * **backs off** `t_b = Σ s_j / r(t)` for packets recovered inside the
+//!   network on its behalf, keeping the aggregate rate fair (§4.2, Fig. 5),
+//! * backs off multiplicatively when expected feedback does not arrive
+//!   (rate-based control is vulnerable to feedback loss, §2.1.2).
+
+use crate::config::JtpConfig;
+use crate::packet::{AckPacket, DataPacket};
+use jtp_sim::{FlowId, SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Sender-side statistics for the harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SenderStats {
+    /// Fresh data packets transmitted (first transmissions).
+    pub fresh_sent: u64,
+    /// End-to-end (source) retransmissions.
+    pub source_retransmissions: u64,
+    /// Packets the network recovered locally on our behalf (as reported by
+    /// the locally-recovered ACK field).
+    pub locally_recovered: u64,
+    /// Feedback packets received.
+    pub acks_received: u64,
+    /// Feedback-timeout rate back-offs taken.
+    pub timeout_backoffs: u64,
+    /// Total back-off time inserted for local recoveries.
+    pub backoff_time: SimDuration,
+}
+
+/// The eJTP source endpoint of one JTP connection.
+#[derive(Clone, Debug)]
+pub struct JtpSender {
+    flow: FlowId,
+    cfg: JtpConfig,
+    /// Application loss tolerance stamped into each packet.
+    loss_tolerance: f64,
+    /// Packets the application has asked to transfer.
+    total_packets: u32,
+    /// Next fresh sequence to transmit.
+    next_seq: u32,
+    /// Copies retained until cumulatively acknowledged.
+    unacked: BTreeMap<u32, DataPacket>,
+    /// Sequences queued for end-to-end retransmission.
+    rtx_queue: VecDeque<u32>,
+    /// Receiver-controlled sending rate (pps).
+    rate_pps: f64,
+    /// Per-packet energy budget from the latest feedback.
+    energy_budget_nj: u32,
+    /// Earliest instant the next packet may leave.
+    next_send: SimTime,
+    /// Deadline for hearing feedback before backing off.
+    feedback_deadline: SimTime,
+    /// Current expected feedback period (from the ACK timeout field).
+    feedback_period: SimDuration,
+    cum_ack: u32,
+    /// Cumulative ACK value of the previous feedback (tail-probe detector).
+    prev_cum_ack: u32,
+    /// Doublings applied to the energy budget while the transfer makes no
+    /// progress. The paper's source assigns the initial budget from "the
+    /// energy the network would typically expend"; when evidence shows the
+    /// estimate was too small to deliver anything (so the receiver-side
+    /// energy monitor can never correct it), the source revises upward.
+    budget_escalation: u32,
+    stats: SenderStats,
+}
+
+/// Safety factor on the advertised feedback period before the sender
+/// declares feedback lost (allows for one-way delay and jitter).
+const FEEDBACK_GRACE: f64 = 2.0;
+
+impl JtpSender {
+    /// Create a source endpoint that will transfer `total_packets` packets
+    /// with the given application loss tolerance.
+    pub fn new(flow: FlowId, total_packets: u32, loss_tolerance: f64, cfg: JtpConfig) -> Self {
+        cfg.validate().expect("invalid JTP configuration");
+        let feedback_period = cfg.t_lower_bound;
+        JtpSender {
+            flow,
+            loss_tolerance: loss_tolerance.clamp(0.0, 1.0),
+            total_packets,
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+            rtx_queue: VecDeque::new(),
+            rate_pps: cfg.initial_rate_pps,
+            energy_budget_nj: cfg.initial_energy_budget_nj,
+            next_send: SimTime::ZERO,
+            feedback_deadline: SimTime::ZERO
+                + SimDuration::from_secs_f64(feedback_period.as_secs_f64() * FEEDBACK_GRACE),
+            feedback_period,
+            cum_ack: 0,
+            prev_cum_ack: 0,
+            budget_escalation: 0,
+            cfg,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// The flow this endpoint feeds.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Add more packets to the transfer (streaming applications).
+    pub fn extend_transfer(&mut self, additional_packets: u32) {
+        self.total_packets = self.total_packets.saturating_add(additional_packets);
+    }
+
+    /// Current receiver-assigned rate (pps).
+    pub fn rate(&self) -> f64 {
+        self.rate_pps
+    }
+
+    /// True once every sequence is covered by the cumulative ACK.
+    pub fn is_complete(&self) -> bool {
+        self.cum_ack >= self.total_packets && self.next_seq >= self.total_packets
+    }
+
+    /// Sender statistics.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// Has data (fresh or retransmission) ready to pace out?
+    fn has_backlog(&self) -> bool {
+        !self.rtx_queue.is_empty() || self.next_seq < self.total_packets
+    }
+
+    /// The budget stamped into packets: receiver-fed value, doubled per
+    /// escalation level while the transfer is wedged.
+    fn effective_budget_nj(&self) -> u32 {
+        let factor = 1u32 << self.budget_escalation.min(16);
+        self.energy_budget_nj.saturating_mul(factor)
+    }
+
+    fn make_packet(&self, seq: u32) -> DataPacket {
+        DataPacket {
+            flow: self.flow,
+            seq,
+            rate_pps: f32::MAX, // min-stamped down by iJTP along the path
+            loss_tolerance: self.loss_tolerance,
+            remaining_hops: 0, // filled by iJTP from the routing view
+            energy_budget_nj: self.effective_budget_nj(),
+            energy_used_nj: 0,
+            deadline_ms: 0,
+            payload_len: self.cfg.packet_payload_bytes,
+        }
+    }
+
+    /// Emit at most one packet if the pacing clock allows. Returns the
+    /// packet (retransmissions take priority) or `None` when idle/ahead of
+    /// schedule.
+    pub fn poll_send(&mut self, now: SimTime) -> Option<DataPacket> {
+        if now < self.next_send || !self.has_backlog() {
+            return None;
+        }
+        let gap = SimDuration::from_secs_f64(1.0 / self.rate_pps.max(self.cfg.min_rate_pps));
+        // Retransmissions first: they are oldest and gate the cum ACK.
+        while let Some(seq) = self.rtx_queue.pop_front() {
+            // The receiver may have forgiven or received it meanwhile.
+            if let Some(pkt) = self.unacked.get(&seq) {
+                let mut pkt = pkt.clone();
+                // A retransmission opens a fresh energy account and carries
+                // the *current* tolerance/budget parameters.
+                pkt.energy_used_nj = 0;
+                pkt.rate_pps = f32::MAX;
+                pkt.energy_budget_nj = self.effective_budget_nj();
+                pkt.loss_tolerance = self.loss_tolerance;
+                self.stats.source_retransmissions += 1;
+                self.next_send = now + gap;
+                return Some(pkt);
+            }
+        }
+        if self.next_seq < self.total_packets {
+            let pkt = self.make_packet(self.next_seq);
+            self.unacked.insert(self.next_seq, pkt.clone());
+            self.next_seq += 1;
+            self.stats.fresh_sent += 1;
+            self.next_send = now + gap;
+            return Some(pkt);
+        }
+        None
+    }
+
+    /// When the sender next wants to be polled: the pacing instant while
+    /// backlogged, and the feedback deadline always.
+    pub fn next_wakeup(&self) -> SimTime {
+        if self.has_backlog() {
+            self.next_send.min(self.feedback_deadline)
+        } else {
+            self.feedback_deadline
+        }
+    }
+
+    /// Process a feedback packet.
+    pub fn on_ack(&mut self, now: SimTime, ack: &AckPacket) {
+        debug_assert_eq!(ack.flow, self.flow);
+        self.stats.acks_received += 1;
+
+        // Receiver-assigned transmission parameters.
+        if ack.rate_pps.is_finite() && ack.rate_pps > 0.0 {
+            self.rate_pps = (ack.rate_pps as f64)
+                .clamp(self.cfg.min_rate_pps, self.cfg.max_rate_pps);
+        }
+        if ack.energy_budget_nj > 0 {
+            self.energy_budget_nj = ack.energy_budget_nj;
+        }
+        if !ack.timeout.is_zero() {
+            self.feedback_period = ack.timeout;
+        }
+        self.feedback_deadline = now
+            + SimDuration::from_secs_f64(self.feedback_period.as_secs_f64() * FEEDBACK_GRACE);
+
+        // Cumulative ACK frees retained copies (end-to-end reliability is
+        // the source's responsibility until here).
+        self.prev_cum_ack = self.cum_ack;
+        if ack.cum_ack > self.cum_ack {
+            self.cum_ack = ack.cum_ack;
+            self.unacked = self.unacked.split_off(&ack.cum_ack);
+        }
+
+        // End-to-end retransmissions: only what no cache recovered.
+        for seq in ack.snack_seqs() {
+            if ack.wants_retransmission(seq)
+                && self.unacked.contains_key(&seq)
+                && !self.rtx_queue.contains(&seq)
+            {
+                self.rtx_queue.push_back(seq);
+            }
+        }
+
+        // Stall handling. "No progress and nothing requested" has two
+        // causes, both invisible to SNACK-based recovery:
+        //  * the tail of the transfer was lost *above* the receiver's
+        //    highest sequence — resend the oldest retained packet to
+        //    restart the pipeline (tail probe);
+        //  * every packet dies mid-path on its energy budget, so the
+        //    receiver has no energy samples to correct the budget with —
+        //    escalate the budget (reset on the next sign of progress).
+        let progressed = self.cum_ack > self.prev_cum_ack;
+        let receiver_idle = ack.snack.is_empty() && ack.locally_recovered.is_empty();
+        if progressed {
+            self.budget_escalation = 0;
+        } else if receiver_idle && self.stats.fresh_sent > 0 && !self.is_complete() {
+            self.budget_escalation = (self.budget_escalation + 1).min(16);
+        }
+        if self.next_seq >= self.total_packets
+            && !self.is_complete()
+            && !progressed
+            && receiver_idle
+            && self.rtx_queue.is_empty()
+        {
+            if let Some((&seq, _)) = self.unacked.iter().next() {
+                self.rtx_queue.push_back(seq);
+            }
+        }
+
+        // Fair-rate back-off for in-network retransmissions done on our
+        // behalf (§4.2): t_b = Σ s_j / r(t).
+        let recovered = ack.recovered_seqs();
+        if !recovered.is_empty() {
+            self.stats.locally_recovered += recovered.len() as u64;
+            if self.cfg.backoff_on_local_recovery {
+                let bytes: u64 = recovered
+                    .iter()
+                    .map(|s| {
+                        self.unacked
+                            .get(s)
+                            .map(|p| p.wire_bytes() as u64)
+                            .unwrap_or(self.cfg.packet_payload_bytes as u64)
+                    })
+                    .sum();
+                let pkt_bytes =
+                    (self.cfg.packet_payload_bytes as usize + crate::packet::DATA_HEADER_BYTES) as f64;
+                let packets_equiv = bytes as f64 / pkt_bytes;
+                // Cap the back-off at one feedback period: the compensation
+                // belongs to this epoch. Without the cap, a low-rate sender
+                // receiving several recovery reports spirals into
+                // ever-longer silences.
+                let tb = SimDuration::from_secs_f64(
+                    packets_equiv / self.rate_pps.max(self.cfg.min_rate_pps),
+                )
+                .min(self.feedback_period);
+                self.stats.backoff_time += tb;
+                let until = now + tb;
+                if until > self.next_send {
+                    self.next_send = until;
+                }
+            }
+        }
+    }
+
+    /// Call when `now` passes the feedback deadline without an ACK: the
+    /// sender assumes feedback was lost and multiplicatively backs off.
+    pub fn on_feedback_timeout(&mut self, now: SimTime) {
+        if now < self.feedback_deadline {
+            return; // spurious wakeup
+        }
+        self.rate_pps = (self.rate_pps * self.cfg.k_d).max(self.cfg.min_rate_pps);
+        self.stats.timeout_backoffs += 1;
+        self.feedback_deadline = now
+            + SimDuration::from_secs_f64(self.feedback_period.as_secs_f64() * FEEDBACK_GRACE);
+    }
+
+    /// Number of packets sent but not yet cumulatively acknowledged.
+    pub fn unacked_count(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Cumulative acknowledgment received so far.
+    pub fn cum_ack(&self) -> u32 {
+        self.cum_ack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::SeqRange;
+
+    fn cfg() -> JtpConfig {
+        JtpConfig {
+            initial_rate_pps: 2.0,
+            ..Default::default()
+        }
+    }
+
+    fn sender(total: u32) -> JtpSender {
+        JtpSender::new(FlowId(1), total, 0.0, cfg())
+    }
+
+    fn ack(cum: u32) -> AckPacket {
+        AckPacket {
+            flow: FlowId(1),
+            cum_ack: cum,
+            snack: vec![],
+            locally_recovered: vec![],
+            rate_pps: 2.0,
+            energy_budget_nj: 1_000_000,
+            timeout: SimDuration::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn pacing_respects_rate() {
+        let mut s = sender(10);
+        let t0 = SimTime::ZERO;
+        let p1 = s.poll_send(t0);
+        assert!(p1.is_some());
+        // Immediately polling again yields nothing (2 pps => 0.5 s gap).
+        assert!(s.poll_send(t0).is_none());
+        assert!(s.poll_send(SimTime::from_millis(499)).is_none());
+        assert!(s.poll_send(SimTime::from_millis(500)).is_some());
+    }
+
+    #[test]
+    fn sequences_are_consecutive() {
+        let mut s = sender(5);
+        let mut seqs = vec![];
+        let mut t = SimTime::ZERO;
+        while let Some(p) = s.poll_send(t) {
+            seqs.push(p.seq);
+            t = t + SimDuration::from_secs(1);
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.stats().fresh_sent, 5);
+    }
+
+    #[test]
+    fn retains_copies_until_cum_acked() {
+        let mut s = sender(5);
+        let mut t = SimTime::ZERO;
+        while s.poll_send(t).is_some() {
+            t = t + SimDuration::from_secs(1);
+        }
+        assert_eq!(s.unacked_count(), 5);
+        s.on_ack(t, &ack(3));
+        assert_eq!(s.unacked_count(), 2);
+        assert!(!s.is_complete());
+        s.on_ack(t, &ack(5));
+        assert_eq!(s.unacked_count(), 0);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn snack_triggers_source_retransmission() {
+        let mut s = sender(5);
+        let mut t = SimTime::ZERO;
+        while s.poll_send(t).is_some() {
+            t = t + SimDuration::from_secs(1);
+        }
+        let mut a = ack(2);
+        a.snack = vec![SeqRange::single(3)];
+        s.on_ack(t, &a);
+        let p = s.poll_send(t + SimDuration::from_secs(1)).unwrap();
+        assert_eq!(p.seq, 3, "retransmission takes priority");
+        assert_eq!(p.energy_used_nj, 0, "fresh energy account");
+        assert_eq!(s.stats().source_retransmissions, 1);
+    }
+
+    #[test]
+    fn locally_recovered_not_retransmitted_but_backed_off() {
+        let mut s = sender(5);
+        let mut t = SimTime::ZERO;
+        while s.poll_send(t).is_some() {
+            t = t + SimDuration::from_secs(1);
+        }
+        let mut a = ack(2);
+        a.snack = vec![];
+        a.locally_recovered = vec![SeqRange::single(3)];
+        let before = s.next_send;
+        s.on_ack(t, &a);
+        assert_eq!(s.stats().source_retransmissions, 0);
+        assert_eq!(s.stats().locally_recovered, 1);
+        assert!(s.next_send > before, "t_b back-off applied");
+        assert!(!s.stats().backoff_time.is_zero());
+    }
+
+    #[test]
+    fn backoff_disabled_config() {
+        let mut s = JtpSender::new(
+            FlowId(1),
+            5,
+            0.0,
+            JtpConfig {
+                backoff_on_local_recovery: false,
+                ..cfg()
+            },
+        );
+        let mut t = SimTime::ZERO;
+        while s.poll_send(t).is_some() {
+            t = t + SimDuration::from_secs(1);
+        }
+        let mut a = ack(2);
+        a.locally_recovered = vec![SeqRange::single(3)];
+        let before = s.next_send;
+        s.on_ack(t, &a);
+        assert_eq!(s.next_send, before, "no back-off when disabled");
+    }
+
+    #[test]
+    fn feedback_updates_rate_and_budget() {
+        let mut s = sender(100);
+        let mut a = ack(0);
+        a.rate_pps = 7.5;
+        a.energy_budget_nj = 42_000;
+        s.on_ack(SimTime::from_secs_f64(1.0), &a);
+        assert_eq!(s.rate(), 7.5);
+        let t = SimTime::from_secs_f64(2.0);
+        let p = s.poll_send(t).unwrap();
+        assert_eq!(p.energy_budget_nj, 42_000);
+    }
+
+    #[test]
+    fn feedback_timeout_backs_off_multiplicatively() {
+        let mut s = sender(100);
+        let r0 = s.rate();
+        // Deadline = 2 * 10 s initially.
+        s.on_feedback_timeout(SimTime::from_secs_f64(1.0));
+        assert_eq!(s.rate(), r0, "before deadline: no-op");
+        s.on_feedback_timeout(SimTime::from_secs_f64(25.0));
+        assert!((s.rate() - r0 * 0.85).abs() < 1e-12);
+        assert_eq!(s.stats().timeout_backoffs, 1);
+        // Deadline re-armed: next timeout only after another period.
+        s.on_feedback_timeout(SimTime::from_secs_f64(26.0));
+        assert_eq!(s.stats().timeout_backoffs, 1);
+    }
+
+    #[test]
+    fn ack_resets_feedback_deadline() {
+        let mut s = sender(100);
+        s.on_ack(SimTime::from_secs_f64(5.0), &ack(0));
+        s.on_feedback_timeout(SimTime::from_secs_f64(10.0));
+        assert_eq!(s.stats().timeout_backoffs, 0, "deadline was pushed out");
+    }
+
+    #[test]
+    fn stale_snack_for_acked_packet_is_ignored() {
+        let mut s = sender(5);
+        let mut t = SimTime::ZERO;
+        while s.poll_send(t).is_some() {
+            t = t + SimDuration::from_secs(1);
+        }
+        s.on_ack(t, &ack(5)); // everything delivered
+        let mut a = ack(5);
+        a.snack = vec![SeqRange::single(2)];
+        s.on_ack(t, &a);
+        assert!(s.poll_send(t + SimDuration::from_secs(1)).is_none());
+        assert_eq!(s.stats().source_retransmissions, 0);
+    }
+
+    #[test]
+    fn duplicate_snack_not_queued_twice() {
+        let mut s = sender(5);
+        let mut t = SimTime::ZERO;
+        while s.poll_send(t).is_some() {
+            t = t + SimDuration::from_secs(1);
+        }
+        let mut a = ack(0);
+        a.snack = vec![SeqRange::single(2)];
+        s.on_ack(t, &a);
+        s.on_ack(t, &a);
+        let mut rtx = 0;
+        let mut t2 = t;
+        while let Some(p) = s.poll_send(t2) {
+            if p.seq == 2 {
+                rtx += 1;
+            }
+            t2 = t2 + SimDuration::from_secs(1);
+        }
+        assert_eq!(rtx, 1);
+    }
+
+    #[test]
+    fn complete_transfer_stops_sending() {
+        let mut s = sender(2);
+        let mut t = SimTime::ZERO;
+        while s.poll_send(t).is_some() {
+            t = t + SimDuration::from_secs(1);
+        }
+        s.on_ack(t, &ack(2));
+        assert!(s.is_complete());
+        assert!(s.poll_send(t + SimDuration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn budget_escalates_while_wedged_and_resets_on_progress() {
+        let mut s = sender(5);
+        let mut t = SimTime::ZERO;
+        while s.poll_send(t).is_some() {
+            t = t + SimDuration::from_secs(1);
+        }
+        // The ack helper advertises a 1 mJ receiver-chosen budget; idle
+        // feedback with zero progress (nothing delivered, nothing
+        // requested) doubles the stamped value every round.
+        let base = 1_000_000u32;
+        s.on_ack(t, &ack(0));
+        assert_eq!(s.effective_budget_nj(), base * 2);
+        s.on_ack(t, &ack(0));
+        assert_eq!(s.effective_budget_nj(), base * 4);
+        // First sign of progress resets the escalation.
+        s.on_ack(t, &ack(2));
+        assert_eq!(s.effective_budget_nj(), base);
+        // Retransmissions carry the effective budget too.
+        s.on_ack(t, &ack(2)); // wedged again (cum stuck at 2)
+        let mut a = ack(2);
+        a.snack = vec![SeqRange::single(3)];
+        s.on_ack(t, &a); // snack present: not "idle", no further doubling
+        let p = s.poll_send(t + SimDuration::from_secs(1)).unwrap();
+        assert_eq!(p.seq, 3);
+        assert_eq!(p.energy_budget_nj, base * 2);
+    }
+
+    #[test]
+    fn tail_probe_fires_for_lost_tail() {
+        let mut s = sender(3);
+        let mut t = SimTime::ZERO;
+        while s.poll_send(t).is_some() {
+            t = t + SimDuration::from_secs(1);
+        }
+        // Receiver saw 0..=1 but never 2 (the tail): cum=2, empty snack.
+        s.on_ack(t, &ack(2));
+        // Second idle feedback with no progress triggers the probe.
+        s.on_ack(t + SimDuration::from_secs(10), &ack(2));
+        let p = s.poll_send(t + SimDuration::from_secs(11)).unwrap();
+        assert_eq!(p.seq, 2, "tail packet re-sent");
+        assert_eq!(s.stats().source_retransmissions, 1);
+    }
+
+    #[test]
+    fn extend_transfer_resumes() {
+        let mut s = sender(1);
+        let mut t = SimTime::ZERO;
+        assert!(s.poll_send(t).is_some());
+        t = t + SimDuration::from_secs(1);
+        assert!(s.poll_send(t).is_none());
+        s.extend_transfer(1);
+        assert_eq!(s.poll_send(t).unwrap().seq, 1);
+    }
+}

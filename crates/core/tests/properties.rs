@@ -1,0 +1,265 @@
+//! Property-based tests of the JTP core invariants.
+
+use jtp::packet::{compress_ranges, expand_ranges, AckPacket, DataPacket, SeqRange};
+use jtp::reliability::{
+    achieved_success, max_attempts_for, per_hop_success_target, update_loss_tolerance,
+};
+use jtp::{JtpConfig, PacketCache};
+use jtp_sim::{FlowId, SimDuration};
+use proptest::prelude::*;
+
+fn arb_data_packet() -> impl Strategy<Value = DataPacket> {
+    (
+        any::<u16>(),
+        any::<u32>(),
+        0.0f32..1000.0,
+        0.0f64..=1.0,
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        0u16..=2000,
+    )
+        .prop_map(
+            |(flow, seq, rate, lt, hops, budget, used, deadline, len)| DataPacket {
+                flow: FlowId(flow),
+                seq,
+                rate_pps: rate,
+                loss_tolerance: lt,
+                remaining_hops: hops,
+                energy_budget_nj: budget,
+                energy_used_nj: used,
+                deadline_ms: deadline,
+                payload_len: len,
+            },
+        )
+}
+
+fn arb_ranges(max_len: usize) -> impl Strategy<Value = Vec<SeqRange>> {
+    proptest::collection::vec((0u32..100_000, 0u32..50), 0..max_len).prop_map(|pairs| {
+        // Build non-overlapping ascending ranges.
+        let mut seqs: Vec<u32> = pairs
+            .into_iter()
+            .flat_map(|(s, l)| (s..=s.saturating_add(l)))
+            .collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        compress_ranges(&seqs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Data-header codec round-trips every representable packet.
+    #[test]
+    fn data_codec_roundtrip(pkt in arb_data_packet()) {
+        let bytes = pkt.to_bytes();
+        let back = DataPacket::decode(&bytes).unwrap();
+        prop_assert_eq!(back.flow, pkt.flow);
+        prop_assert_eq!(back.seq, pkt.seq);
+        prop_assert_eq!(back.remaining_hops, pkt.remaining_hops);
+        prop_assert_eq!(back.energy_budget_nj, pkt.energy_budget_nj);
+        prop_assert_eq!(back.energy_used_nj, pkt.energy_used_nj);
+        prop_assert_eq!(back.payload_len, pkt.payload_len);
+        prop_assert!((back.loss_tolerance - pkt.loss_tolerance).abs() < 1e-4);
+        // Rate survives bit-exactly (f32 on the wire).
+        prop_assert_eq!(back.rate_pps, pkt.rate_pps);
+    }
+
+    /// ACK codec round-trips whenever the ranges fit the wire budget.
+    #[test]
+    fn ack_codec_roundtrip(
+        flow in any::<u16>(),
+        cum in any::<u32>(),
+        snack in arb_ranges(8),
+        recovered in arb_ranges(8),
+        rate in 0.0f32..1000.0,
+        budget in any::<u32>(),
+        timeout_us in 0u64..100_000_000,
+    ) {
+        let ack = AckPacket {
+            flow: FlowId(flow),
+            cum_ack: cum,
+            snack,
+            locally_recovered: recovered,
+            rate_pps: rate,
+            energy_budget_nj: budget,
+            timeout: SimDuration::from_micros(timeout_us),
+        };
+        let bytes = ack.to_bytes();
+        prop_assert_eq!(bytes.len(), jtp::packet::ACK_PACKET_BYTES);
+        let back = AckPacket::decode(&bytes).unwrap();
+        if ack.snack.len() + ack.locally_recovered.len() <= jtp::packet::MAX_ACK_RANGES {
+            prop_assert_eq!(back, ack);
+        } else {
+            // Truncation keeps a prefix, SNACK first.
+            prop_assert!(back.snack.len() <= ack.snack.len());
+        }
+    }
+
+    /// compress/expand are inverses on sorted deduplicated input.
+    #[test]
+    fn ranges_compress_expand_inverse(mut seqs in proptest::collection::vec(any::<u32>(), 0..200)) {
+        seqs.sort_unstable();
+        seqs.dedup();
+        let ranges = compress_ranges(&seqs);
+        prop_assert_eq!(expand_ranges(&ranges), seqs);
+        // Ranges are minimal: no two adjacent ranges touch.
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].end + 1 < w[1].start);
+        }
+    }
+
+    /// The attempt budget from eq. (2) really achieves the target success
+    /// probability (or hits the cap).
+    #[test]
+    fn attempts_achieve_target(
+        q in 0.0f64..0.999,
+        p in 0.0f64..0.95,
+        cap in 1u32..20,
+    ) {
+        let m = max_attempts_for(q, p, cap);
+        prop_assert!(m >= 1 && m <= cap);
+        let uncapped = max_attempts_for(q, p, 1000);
+        if uncapped <= cap {
+            prop_assert!(achieved_success(p, m) >= q - 1e-9,
+                "m={} achieves {} < {}", m, achieved_success(p, m), q);
+        }
+    }
+
+    /// Composing per-hop targets via eqs (3)+(4) never under-delivers the
+    /// end-to-end requirement when each hop achieves its planned success.
+    #[test]
+    fn tolerance_composition_meets_e2e(
+        e2e in 0.0f64..0.9,
+        hops in 1u32..12,
+    ) {
+        let mut lt = e2e;
+        let mut product = 1.0;
+        for i in 0..hops {
+            let remaining = hops - i;
+            let q = per_hop_success_target(lt, remaining);
+            product *= q;
+            lt = update_loss_tolerance(lt, q);
+            prop_assert!((0.0..=1.0).contains(&lt));
+        }
+        prop_assert!(product >= (1.0 - e2e) - 1e-9,
+            "path success {} < required {}", product, 1.0 - e2e);
+    }
+
+    /// The loss tolerance field never grows along the path (budget is
+    /// consumed, not manufactured) when hops meet their targets.
+    #[test]
+    fn tolerance_monotone_nonincreasing(
+        e2e in 0.0f64..0.9,
+        hops in 1u32..10,
+        overachieve in 0.0f64..0.2,
+    ) {
+        let mut lt = e2e;
+        for i in 0..hops {
+            let remaining = hops - i;
+            let q = (per_hop_success_target(lt, remaining) + overachieve).min(1.0);
+            let next = update_loss_tolerance(lt, q);
+            prop_assert!(next <= lt + 1e-12, "tolerance grew: {} -> {}", lt, next);
+            lt = next;
+        }
+    }
+
+    /// LRU cache never exceeds capacity and keeps the most recently
+    /// manipulated entries.
+    #[test]
+    fn cache_capacity_and_recency(
+        capacity in 1usize..40,
+        ops in proptest::collection::vec((0u32..100, any::<bool>()), 1..300),
+    ) {
+        let mut cache = PacketCache::new(capacity);
+        let mk = |seq: u32| DataPacket {
+            flow: FlowId(1),
+            seq,
+            rate_pps: 1.0,
+            loss_tolerance: 0.0,
+            remaining_hops: 1,
+            energy_budget_nj: 1,
+            energy_used_nj: 0,
+            deadline_ms: 0,
+            payload_len: 100,
+        };
+        let mut last_touched = None;
+        for (seq, is_insert) in ops {
+            if is_insert {
+                cache.insert(mk(seq));
+                last_touched = Some(seq);
+            } else if cache.lookup(FlowId(1), seq).is_some() {
+                last_touched = Some(seq);
+            }
+            prop_assert!(cache.len() <= capacity);
+        }
+        // The most recently manipulated entry is always present.
+        if let Some(seq) = last_touched {
+            prop_assert!(cache.contains(FlowId(1), seq));
+        }
+    }
+
+    /// mark_locally_recovered conserves the SNACK+recovered universe.
+    #[test]
+    fn snack_recovery_conserves_sequences(
+        snack in arb_ranges(6),
+        picks in proptest::collection::vec(any::<u32>(), 0..30),
+    ) {
+        let mut ack = AckPacket {
+            flow: FlowId(1),
+            cum_ack: 0,
+            snack: snack.clone(),
+            locally_recovered: vec![],
+            rate_pps: 1.0,
+            energy_budget_nj: 1,
+            timeout: SimDuration::from_secs(1),
+        };
+        let universe: std::collections::BTreeSet<u32> =
+            expand_ranges(&snack).into_iter().collect();
+        for p in picks {
+            ack.mark_locally_recovered(p);
+        }
+        let after: std::collections::BTreeSet<u32> = ack
+            .snack_seqs()
+            .into_iter()
+            .chain(ack.recovered_seqs())
+            .collect();
+        prop_assert_eq!(universe, after);
+        // Recovered and snack are disjoint.
+        for s in ack.recovered_seqs() {
+            prop_assert!(!ack.wants_retransmission(s));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A sender paced at any rate never violates its pacing gap.
+    #[test]
+    fn sender_pacing_gap(rate in 0.5f64..40.0, n in 2u32..40) {
+        use jtp::JtpSender;
+        use jtp_sim::SimTime;
+        let cfg = JtpConfig {
+            initial_rate_pps: rate,
+            ..Default::default()
+        };
+        let mut s = JtpSender::new(FlowId(1), n, 0.0, cfg);
+        let mut t = SimTime::ZERO;
+        let mut last_emit: Option<SimTime> = None;
+        let gap_us = (1e6 / rate) as u64;
+        for _ in 0..(n as usize * 4) {
+            if let Some(_p) = s.poll_send(t) {
+                if let Some(prev) = last_emit {
+                    let elapsed = t.since(prev).as_micros();
+                    prop_assert!(elapsed + 1 >= gap_us,
+                        "emitted after {} us, gap {} us", elapsed, gap_us);
+                }
+                last_emit = Some(t);
+            }
+            t = t + SimDuration::from_micros(gap_us / 3 + 1);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! MAC-layer statistics: the link estimates iJTP consumes.
+//!
+//! §2.2.2: *"iJTP is responsible for acquiring from the MAC layer an
+//! estimate of the available rate to every neighbor, as well as an estimate
+//! of the packet loss rate on that link."* And §2.1.1: the available rate
+//! is *"determined by the current rate of unused (idle) time slots"* and
+//! *"must be normalized by the average number of MAC-level
+//! transmissions"*.
+
+use jtp_sim::stats::Ewma;
+
+/// Per-neighbour link statistics: per-attempt loss rate and average
+/// attempts per delivered frame.
+#[derive(Clone, Debug)]
+pub struct LinkEstimator {
+    loss: Ewma,
+    attempts: Ewma,
+    prior_loss: f64,
+    observed_attempts: u64,
+}
+
+impl LinkEstimator {
+    /// Create with a prior loss estimate used before any observations.
+    pub fn new(prior_loss: f64, alpha: f64) -> Self {
+        LinkEstimator {
+            loss: Ewma::new(alpha),
+            attempts: Ewma::new(alpha),
+            prior_loss: prior_loss.clamp(0.0, 1.0),
+            observed_attempts: 0,
+        }
+    }
+
+    /// Record the outcome of one transmission attempt.
+    pub fn record_attempt(&mut self, success: bool) {
+        self.loss.update(if success { 0.0 } else { 1.0 });
+        self.observed_attempts += 1;
+    }
+
+    /// Record how many attempts a delivered frame consumed.
+    pub fn record_delivery_attempts(&mut self, attempts: u32) {
+        self.attempts.update(attempts as f64);
+    }
+
+    /// Current per-attempt loss estimate (prior before observations).
+    pub fn loss_rate(&self) -> f64 {
+        self.loss.get_or(self.prior_loss).clamp(0.0, 1.0)
+    }
+
+    /// Average MAC transmissions per delivered frame (≥ 1).
+    pub fn avg_attempts(&self) -> f64 {
+        self.attempts.get_or(1.0).max(1.0)
+    }
+
+    /// Attempts observed so far (test/diagnostic).
+    pub fn observations(&self) -> u64 {
+        self.observed_attempts
+    }
+}
+
+/// Idle-slot available-rate estimator for a node's own transmit capacity.
+///
+/// Each owned TDMA slot is either *used* (a frame was sent) or *idle*. The
+/// available rate is `idle_fraction × per_node_capacity`, smoothed with an
+/// EWMA per owned slot.
+#[derive(Clone, Debug)]
+pub struct AvailRateEstimator {
+    idle_fraction: Ewma,
+    capacity_pps: f64,
+}
+
+impl AvailRateEstimator {
+    /// Create given the node's slot capacity in packets/second.
+    pub fn new(capacity_pps: f64, alpha: f64) -> Self {
+        assert!(capacity_pps > 0.0);
+        AvailRateEstimator {
+            idle_fraction: Ewma::new(alpha),
+            capacity_pps,
+        }
+    }
+
+    /// Record one owned slot: `idle == true` when the queue was empty.
+    pub fn record_slot(&mut self, idle: bool) {
+        self.idle_fraction.update(if idle { 1.0 } else { 0.0 });
+    }
+
+    /// Currently available transmission rate (pps). Before any observation
+    /// the full capacity is assumed available.
+    pub fn available_pps(&self) -> f64 {
+        self.idle_fraction.get_or(1.0).clamp(0.0, 1.0) * self.capacity_pps
+    }
+
+    /// The node's raw slot capacity (pps).
+    pub fn capacity_pps(&self) -> f64 {
+        self.capacity_pps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_estimator_uses_prior_then_learns() {
+        let mut e = LinkEstimator::new(0.1, 0.2);
+        assert_eq!(e.loss_rate(), 0.1);
+        for _ in 0..100 {
+            e.record_attempt(false);
+        }
+        assert!(e.loss_rate() > 0.9, "all failures: loss ~1");
+        for _ in 0..200 {
+            e.record_attempt(true);
+        }
+        assert!(e.loss_rate() < 0.05, "all successes: loss ~0");
+        assert_eq!(e.observations(), 300);
+    }
+
+    #[test]
+    fn loss_estimator_tracks_mixture() {
+        let mut e = LinkEstimator::new(0.5, 0.05);
+        for i in 0..1000 {
+            e.record_attempt(i % 5 != 0); // 20% loss
+        }
+        assert!((e.loss_rate() - 0.2).abs() < 0.1, "loss = {}", e.loss_rate());
+    }
+
+    #[test]
+    fn avg_attempts_floors_at_one() {
+        let mut e = LinkEstimator::new(0.1, 0.2);
+        assert_eq!(e.avg_attempts(), 1.0);
+        e.record_delivery_attempts(3);
+        e.record_delivery_attempts(2);
+        assert!(e.avg_attempts() > 1.0);
+    }
+
+    #[test]
+    fn avail_rate_full_when_idle() {
+        let mut a = AvailRateEstimator::new(5.0, 0.2);
+        assert_eq!(a.available_pps(), 5.0);
+        for _ in 0..100 {
+            a.record_slot(true);
+        }
+        assert!((a.available_pps() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn avail_rate_zero_when_saturated() {
+        let mut a = AvailRateEstimator::new(5.0, 0.2);
+        for _ in 0..100 {
+            a.record_slot(false);
+        }
+        assert!(a.available_pps() < 0.01);
+    }
+
+    #[test]
+    fn avail_rate_tracks_load_fraction() {
+        let mut a = AvailRateEstimator::new(4.0, 0.05);
+        for i in 0..1000 {
+            a.record_slot(i % 2 == 0); // 50% idle
+        }
+        assert!((a.available_pps() - 2.0).abs() < 0.4, "{}", a.available_pps());
+    }
+}

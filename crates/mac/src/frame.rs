@@ -1,0 +1,70 @@
+//! MAC frames: one queued link-layer transmission unit.
+
+use jtp_sim::NodeId;
+
+/// Coarse frame class, used for energy attribution (data vs. feedback) and
+/// ARQ policy defaults.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameKind {
+    /// Transport data.
+    Data,
+    /// Transport feedback (JTP ACK / TCP ACK / ATP feedback).
+    Ack,
+}
+
+/// A frame waiting in (or at the head of) a node's MAC queue.
+///
+/// `P` is the transport payload type — the MAC never inspects it; the
+/// assembly layer's hop hooks do (the iJTP plug-in model).
+#[derive(Clone, Debug)]
+pub struct Frame<P> {
+    /// Transmitting node (owner of the queue this frame sits in).
+    pub src: NodeId,
+    /// Intended next-hop receiver.
+    pub dst: NodeId,
+    /// Data or feedback.
+    pub kind: FrameKind,
+    /// Wire size in bytes (headers + payload), for airtime/energy.
+    pub bytes: usize,
+    /// ARQ budget: maximum transmissions of this frame on this link. Set
+    /// by the transport's hop module on the first attempt.
+    pub max_attempts: u32,
+    /// Transmissions performed so far.
+    pub attempts: u32,
+    /// The transport payload.
+    pub payload: P,
+}
+
+impl<P> Frame<P> {
+    /// Construct a frame with no attempts yet and a provisional ARQ budget
+    /// of 1 (hooks raise it on the first attempt).
+    pub fn new(src: NodeId, dst: NodeId, kind: FrameKind, bytes: usize, payload: P) -> Self {
+        Frame {
+            src,
+            dst,
+            kind,
+            bytes,
+            max_attempts: 1,
+            attempts: 0,
+            payload,
+        }
+    }
+
+    /// True before the first transmission attempt.
+    pub fn is_first_attempt(&self) -> bool {
+        self.attempts == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_frame_state() {
+        let f = Frame::new(NodeId(0), NodeId(1), FrameKind::Data, 828, "payload");
+        assert!(f.is_first_attempt());
+        assert_eq!(f.max_attempts, 1);
+        assert_eq!(f.bytes, 828);
+    }
+}

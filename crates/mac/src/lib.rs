@@ -1,0 +1,37 @@
+//! # jtp-mac — the JAVeLEN-like TDMA MAC
+//!
+//! The paper's substrate (§2): *"JAVeLEN deploys a TDMA MAC which
+//! orchestrates nodes' transmissions by using pseudo-random schedules,
+//! providing collision-free access to the channel and allowing nodes to
+//! turn off their radios when they are not in use. Each node also keeps
+//! statistics about link transmissions and idle slots in order to provide
+//! estimates of the available transmission rate and of the packet loss rate
+//! on every link."*
+//!
+//! This crate reproduces exactly that transport-visible surface:
+//!
+//! * [`schedule::TdmaSchedule`] — a pseudo-random, collision-free slot
+//!   permutation (one owned slot per node per frame),
+//! * [`NodeMac`] — per-node queue + stop-and-wait ARQ with a *per-packet*
+//!   attempt budget (the knob iJTP turns),
+//! * [`estimator`] — the idle-slot available-rate estimator and per-link
+//!   loss-rate / average-attempts EWMAs that Algorithm 1 consumes.
+//!
+//! The MAC is mechanism only: *policy* (what attempt budget a packet gets,
+//! when a packet is dropped for energy) lives in the transport's hop module
+//! (iJTP), which the assembly crate invokes around [`NodeMac`] operations —
+//! mirroring the paper's "iJTP is implemented as a separate loadable
+//! plug-in module of the MAC protocol".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod frame;
+pub mod node;
+pub mod schedule;
+
+pub use estimator::{AvailRateEstimator, LinkEstimator};
+pub use frame::{Frame, FrameKind};
+pub use node::{MacConfig, MacStats, NodeMac, SlotOutcome};
+pub use schedule::TdmaSchedule;

@@ -1,0 +1,362 @@
+//! Per-node MAC state: queue, stop-and-wait ARQ, and statistics.
+//!
+//! The slot-by-slot mechanics are driven by the assembly layer (it owns the
+//! channel model and the transport hop hooks); `NodeMac` provides the
+//! queue/ARQ state machine:
+//!
+//! ```text
+//! owner's slot:
+//!   queue empty           -> Idle            (counted for available rate)
+//!   head frame, attempt   -> assembly samples the channel
+//!     success             -> Delivered(frame)
+//!     failure, budget left-> Retrying        (frame stays at head)
+//!     failure, exhausted  -> Exhausted(frame)(link-layer drop)
+//! ```
+//!
+//! A frame's `max_attempts` is the per-packet budget iJTP computed — the
+//! paper's central MAC/transport coupling.
+
+use crate::estimator::{AvailRateEstimator, LinkEstimator};
+use crate::frame::Frame;
+use jtp_sim::NodeId;
+use std::collections::{HashMap, VecDeque};
+
+/// MAC configuration shared by all nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct MacConfig {
+    /// Queue capacity in frames; arrivals beyond it are dropped and
+    /// counted (the paper's Fig. 7(b) "packet drops in the queues").
+    pub queue_capacity: usize,
+    /// Global cap on per-frame transmissions (Table 1: MAX_ATTEMPTS = 5).
+    pub max_attempts_cap: u32,
+    /// Prior per-attempt loss before a link has observations.
+    pub loss_prior: f64,
+    /// EWMA weight of the link estimators.
+    pub estimator_alpha: f64,
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig {
+            queue_capacity: 50,
+            max_attempts_cap: 5,
+            loss_prior: 0.1,
+            estimator_alpha: 0.05,
+        }
+    }
+}
+
+/// Counters the harness reads.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MacStats {
+    /// Frames accepted into the queue.
+    pub enqueued: u64,
+    /// Frames dropped on arrival because the queue was full.
+    pub queue_drops: u64,
+    /// Data frames among the queue drops.
+    pub queue_drops_data: u64,
+    /// Transmission attempts made.
+    pub attempts: u64,
+    /// Frames delivered to the next hop.
+    pub delivered: u64,
+    /// Frames dropped after exhausting their attempt budget.
+    pub arq_drops: u64,
+    /// Owned slots that went idle.
+    pub idle_slots: u64,
+    /// Owned slots total.
+    pub owned_slots: u64,
+}
+
+/// Result of one slot's transmission attempt.
+#[derive(Debug)]
+pub enum SlotOutcome<P> {
+    /// Nothing queued; the slot was idle.
+    Idle,
+    /// The head frame was delivered to its next hop.
+    Delivered(Frame<P>),
+    /// The attempt failed; the frame remains queued with budget left.
+    Retrying,
+    /// The attempt failed and the budget is exhausted; frame dropped.
+    Exhausted(Frame<P>),
+}
+
+/// Per-node MAC state.
+#[derive(Clone, Debug)]
+pub struct NodeMac<P> {
+    cfg: MacConfig,
+    queue: VecDeque<Frame<P>>,
+    links: HashMap<NodeId, LinkEstimator>,
+    avail: AvailRateEstimator,
+    stats: MacStats,
+}
+
+impl<P> NodeMac<P> {
+    /// Create a node's MAC given its slot capacity (pps).
+    pub fn new(cfg: MacConfig, capacity_pps: f64) -> Self {
+        NodeMac {
+            queue: VecDeque::new(),
+            links: HashMap::new(),
+            avail: AvailRateEstimator::new(capacity_pps, cfg.estimator_alpha),
+            cfg,
+            stats: MacStats::default(),
+        }
+    }
+
+    /// Enqueue a frame for transmission. Returns the frame back when the
+    /// queue is full (a queue drop, already counted).
+    pub fn enqueue(&mut self, frame: Frame<P>) -> Result<(), Frame<P>> {
+        if self.queue.len() >= self.cfg.queue_capacity {
+            self.stats.queue_drops += 1;
+            if frame.kind == crate::frame::FrameKind::Data {
+                self.stats.queue_drops_data += 1;
+            }
+            return Err(frame);
+        }
+        self.stats.enqueued += 1;
+        self.queue.push_back(frame);
+        Ok(())
+    }
+
+    /// The frame that would transmit in the next owned slot.
+    pub fn head(&self) -> Option<&Frame<P>> {
+        self.queue.front()
+    }
+
+    /// Mutable head access (hooks stamp headers in place).
+    pub fn head_mut(&mut self) -> Option<&mut Frame<P>> {
+        self.queue.front_mut()
+    }
+
+    /// Remove the head frame without transmitting (hook-initiated drop,
+    /// e.g. energy budget exhausted).
+    pub fn drop_head(&mut self) -> Option<Frame<P>> {
+        self.queue.pop_front()
+    }
+
+    /// Record that an owned slot began. Call exactly once per owned slot,
+    /// before any transmission; `will_transmit` says whether the queue has
+    /// a frame to send. Maintains the idle-slot statistics that drive the
+    /// available-rate estimate.
+    pub fn record_owned_slot(&mut self, will_transmit: bool) {
+        self.stats.owned_slots += 1;
+        if !will_transmit {
+            self.stats.idle_slots += 1;
+        }
+        self.avail.record_slot(!will_transmit);
+    }
+
+    /// Apply the sampled channel outcome of the head frame's transmission
+    /// attempt. The assembly layer must have sampled `success` from its
+    /// channel model and charged energy already.
+    ///
+    /// # Panics
+    /// Panics if the queue is empty — callers must only invoke this after
+    /// a non-idle [`NodeMac::record_owned_slot`].
+    pub fn transmit_result(&mut self, success: bool) -> SlotOutcome<P> {
+        let head = self.queue.front_mut().expect("transmit_result on empty queue");
+        head.attempts += 1;
+        self.stats.attempts += 1;
+        let dst = head.dst;
+        let attempts = head.attempts;
+        let budget = head.max_attempts.min(self.cfg.max_attempts_cap).max(1);
+        self.link_mut(dst).record_attempt(success);
+        if success {
+            self.link_mut(dst).record_delivery_attempts(attempts);
+            self.stats.delivered += 1;
+            let frame = self.queue.pop_front().expect("head exists");
+            SlotOutcome::Delivered(frame)
+        } else if attempts >= budget {
+            self.stats.arq_drops += 1;
+            let frame = self.queue.pop_front().expect("head exists");
+            SlotOutcome::Exhausted(frame)
+        } else {
+            SlotOutcome::Retrying
+        }
+    }
+
+    fn link_mut(&mut self, neighbor: NodeId) -> &mut LinkEstimator {
+        let (prior, alpha) = (self.cfg.loss_prior, self.cfg.estimator_alpha);
+        self.links
+            .entry(neighbor)
+            .or_insert_with(|| LinkEstimator::new(prior, alpha))
+    }
+
+    /// Current loss estimate toward a neighbour.
+    pub fn loss_rate(&self, neighbor: NodeId) -> f64 {
+        self.links
+            .get(&neighbor)
+            .map(|l| l.loss_rate())
+            .unwrap_or(self.cfg.loss_prior)
+    }
+
+    /// Current average attempts per delivered frame toward a neighbour.
+    pub fn avg_attempts(&self, neighbor: NodeId) -> f64 {
+        self.links
+            .get(&neighbor)
+            .map(|l| l.avg_attempts())
+            .unwrap_or(1.0)
+    }
+
+    /// Currently available transmission rate (pps, idle-slot statistic).
+    pub fn available_pps(&self) -> f64 {
+        self.avail.available_pps()
+    }
+
+    /// This node's raw slot capacity (pps).
+    pub fn capacity_pps(&self) -> f64 {
+        self.avail.capacity_pps()
+    }
+
+    /// Frames currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MacStats {
+        self.stats
+    }
+
+    /// The global attempt cap (Table 1's MAX_ATTEMPTS).
+    pub fn max_attempts_cap(&self) -> u32 {
+        self.cfg.max_attempts_cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameKind;
+
+    fn frame(dst: u32) -> Frame<u32> {
+        Frame::new(NodeId(0), NodeId(dst), FrameKind::Data, 828, 7)
+    }
+
+    fn mac() -> NodeMac<u32> {
+        NodeMac::new(MacConfig::default(), 5.0)
+    }
+
+    #[test]
+    fn delivery_on_success() {
+        let mut m = mac();
+        m.enqueue(frame(1)).unwrap();
+        m.record_owned_slot(true);
+        match m.transmit_result(true) {
+            SlotOutcome::Delivered(f) => assert_eq!(f.attempts, 1),
+            o => panic!("unexpected {o:?}"),
+        }
+        assert_eq!(m.queue_len(), 0);
+        assert_eq!(m.stats().delivered, 1);
+    }
+
+    #[test]
+    fn retry_until_budget_then_drop() {
+        let mut m = mac();
+        let mut f = frame(1);
+        f.max_attempts = 3;
+        m.enqueue(f).unwrap();
+        m.record_owned_slot(true);
+        assert!(matches!(m.transmit_result(false), SlotOutcome::Retrying));
+        m.record_owned_slot(true);
+        assert!(matches!(m.transmit_result(false), SlotOutcome::Retrying));
+        m.record_owned_slot(true);
+        match m.transmit_result(false) {
+            SlotOutcome::Exhausted(f) => assert_eq!(f.attempts, 3),
+            o => panic!("unexpected {o:?}"),
+        }
+        assert_eq!(m.stats().arq_drops, 1);
+        assert_eq!(m.stats().attempts, 3);
+    }
+
+    #[test]
+    fn budget_is_capped_globally() {
+        let mut m = mac();
+        let mut f = frame(1);
+        f.max_attempts = 100; // hook asked for more than the MAC allows
+        m.enqueue(f).unwrap();
+        for _ in 0..4 {
+            m.record_owned_slot(true);
+            assert!(matches!(m.transmit_result(false), SlotOutcome::Retrying));
+        }
+        m.record_owned_slot(true);
+        assert!(matches!(
+            m.transmit_result(false),
+            SlotOutcome::Exhausted(_)
+        ));
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut m: NodeMac<u32> = NodeMac::new(
+            MacConfig {
+                queue_capacity: 2,
+                ..Default::default()
+            },
+            5.0,
+        );
+        assert!(m.enqueue(frame(1)).is_ok());
+        assert!(m.enqueue(frame(1)).is_ok());
+        assert!(m.enqueue(frame(1)).is_err());
+        assert_eq!(m.stats().queue_drops, 1);
+        assert_eq!(m.queue_len(), 2);
+    }
+
+    #[test]
+    fn idle_slots_raise_available_rate() {
+        let mut m = mac();
+        for _ in 0..50 {
+            m.record_owned_slot(false);
+        }
+        assert!((m.available_pps() - 5.0).abs() < 0.5);
+        assert_eq!(m.stats().idle_slots, 50);
+    }
+
+    #[test]
+    fn busy_slots_lower_available_rate() {
+        let mut m = mac();
+        for _ in 0..100 {
+            m.enqueue(frame(1)).unwrap();
+            m.record_owned_slot(true);
+            let _ = m.transmit_result(true);
+        }
+        assert!(m.available_pps() < 0.2, "{}", m.available_pps());
+    }
+
+    #[test]
+    fn loss_estimator_wired_per_neighbor() {
+        let mut m = mac();
+        // Neighbor 1 lossy, neighbor 2 clean.
+        for _ in 0..50 {
+            let mut f = frame(1);
+            f.max_attempts = 1;
+            m.enqueue(f).unwrap();
+            m.record_owned_slot(true);
+            let _ = m.transmit_result(false);
+            m.enqueue(frame(2)).unwrap();
+            m.record_owned_slot(true);
+            let _ = m.transmit_result(true);
+        }
+        assert!(m.loss_rate(NodeId(1)) > 0.8);
+        assert!(m.loss_rate(NodeId(2)) < 0.1);
+        assert_eq!(m.loss_rate(NodeId(9)), 0.1, "prior for unknown link");
+    }
+
+    #[test]
+    fn head_manipulation() {
+        let mut m = mac();
+        m.enqueue(frame(1)).unwrap();
+        m.enqueue(frame(2)).unwrap();
+        assert_eq!(m.head().unwrap().dst, NodeId(1));
+        m.head_mut().unwrap().max_attempts = 4;
+        let dropped = m.drop_head().unwrap();
+        assert_eq!(dropped.max_attempts, 4);
+        assert_eq!(m.head().unwrap().dst, NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "transmit_result on empty queue")]
+    fn transmit_on_empty_panics() {
+        let mut m = mac();
+        m.transmit_result(true);
+    }
+}

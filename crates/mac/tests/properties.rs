@@ -1,0 +1,126 @@
+//! Property-based tests of the TDMA MAC invariants.
+
+use jtp_mac::{Frame, FrameKind, MacConfig, NodeMac, SlotOutcome, TdmaSchedule};
+use jtp_sim::{NodeId, SimDuration};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every frame of every TDMA frame period is owned by exactly one
+    /// node, and every node owns exactly one slot per frame.
+    #[test]
+    fn schedule_is_a_permutation(n in 1u32..40, seed in any::<u64>(), frame in 0u64..1000) {
+        let mut s = TdmaSchedule::new(n, SimDuration::from_millis(25), seed);
+        let mut owners: Vec<NodeId> =
+            (0..n as u64).map(|i| s.owner(frame * n as u64 + i)).collect();
+        owners.sort();
+        prop_assert_eq!(owners, (0..n).map(NodeId).collect::<Vec<_>>());
+    }
+
+    /// The ARQ never exceeds min(frame budget, MAC cap) attempts, and the
+    /// frame is always either delivered or dropped by then.
+    #[test]
+    fn arq_attempt_bound(
+        budget in 1u32..12,
+        cap in 1u32..8,
+        outcomes in proptest::collection::vec(any::<bool>(), 1..20),
+    ) {
+        let cfg = MacConfig {
+            max_attempts_cap: cap,
+            ..Default::default()
+        };
+        let mut mac: NodeMac<u8> = NodeMac::new(cfg, 5.0);
+        let mut frame = Frame::new(NodeId(0), NodeId(1), FrameKind::Data, 828, 0);
+        frame.max_attempts = budget;
+        mac.enqueue(frame).unwrap();
+        let allowed = budget.min(cap).max(1);
+        let mut attempts = 0;
+        for &ok in &outcomes {
+            if mac.head().is_none() {
+                break;
+            }
+            mac.record_owned_slot(true);
+            attempts += 1;
+            match mac.transmit_result(ok) {
+                SlotOutcome::Delivered(f) => {
+                    prop_assert!(f.attempts <= allowed);
+                    prop_assert!(ok);
+                    break;
+                }
+                SlotOutcome::Exhausted(f) => {
+                    prop_assert_eq!(f.attempts, allowed);
+                    break;
+                }
+                SlotOutcome::Retrying => {
+                    prop_assert!(attempts < allowed);
+                }
+                SlotOutcome::Idle => prop_assert!(false, "unexpected idle"),
+            }
+        }
+        prop_assert!(attempts <= allowed as usize as u32);
+    }
+
+    /// Queue accounting: enqueued = delivered + dropped + still queued,
+    /// and the queue never exceeds its capacity.
+    #[test]
+    fn queue_conservation(
+        capacity in 1usize..20,
+        ops in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..200),
+    ) {
+        let cfg = MacConfig {
+            queue_capacity: capacity,
+            max_attempts_cap: 2,
+            ..Default::default()
+        };
+        let mut mac: NodeMac<u8> = NodeMac::new(cfg, 5.0);
+        let mut delivered = 0u64;
+        let mut exhausted = 0u64;
+        for (enq, ok) in ops {
+            if enq {
+                let _ = mac.enqueue(Frame::new(NodeId(0), NodeId(1), FrameKind::Data, 100, 0));
+            } else if mac.head().is_some() {
+                mac.record_owned_slot(true);
+                match mac.transmit_result(ok) {
+                    SlotOutcome::Delivered(_) => delivered += 1,
+                    SlotOutcome::Exhausted(_) => exhausted += 1,
+                    _ => {}
+                }
+            } else {
+                mac.record_owned_slot(false);
+            }
+            prop_assert!(mac.queue_len() <= capacity);
+        }
+        let st = mac.stats();
+        prop_assert_eq!(st.delivered, delivered);
+        prop_assert_eq!(st.arq_drops, exhausted);
+        prop_assert_eq!(
+            st.enqueued,
+            delivered + exhausted + mac.queue_len() as u64
+        );
+        prop_assert_eq!(st.owned_slots, st.idle_slots + st.attempts);
+    }
+
+    /// The loss estimate is always a probability and the available rate
+    /// never exceeds capacity.
+    #[test]
+    fn estimates_stay_in_range(
+        outcomes in proptest::collection::vec(any::<bool>(), 1..300),
+        capacity in 0.5f64..50.0,
+    ) {
+        let mut mac: NodeMac<u8> = NodeMac::new(MacConfig::default(), capacity);
+        for &ok in &outcomes {
+            let mut f = Frame::new(NodeId(0), NodeId(1), FrameKind::Data, 100, 0);
+            f.max_attempts = 1;
+            let _ = mac.enqueue(f);
+            if mac.head().is_some() {
+                mac.record_owned_slot(true);
+                let _ = mac.transmit_result(ok);
+            }
+            let loss = mac.loss_rate(NodeId(1));
+            prop_assert!((0.0..=1.0).contains(&loss));
+            prop_assert!(mac.available_pps() <= capacity + 1e-9);
+            prop_assert!(mac.avg_attempts(NodeId(1)) >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Experiment configuration: topology, transport, workload and substrate
+//! parameters, with a builder mirroring the paper's scenario descriptions.
+
+use jtp::JtpConfig;
+use jtp_baselines::atp::AtpConfig;
+use jtp_baselines::tcp::TcpConfig;
+use jtp_mac::MacConfig;
+use jtp_phys::gilbert::GilbertConfig;
+use jtp_phys::{PathLoss, RadioEnergyModel};
+use jtp_sim::{NodeId, SimDuration};
+
+/// Which transport protocol a flow (and the whole run) uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportKind {
+    /// JTP with in-network caching (the paper's protocol).
+    Jtp,
+    /// JTP with caching disabled (the paper's JNC comparison).
+    Jnc,
+    /// Rate-based TCP-SACK.
+    Tcp,
+    /// ATP-like explicit-rate transport.
+    Atp,
+}
+
+/// Node placement.
+#[derive(Clone, Debug)]
+pub enum TopologyKind {
+    /// `n` nodes in a chain, neighbours `spacing_m` apart (§6.1.1).
+    Linear {
+        /// Node count.
+        n: usize,
+        /// Inter-node spacing in metres.
+        spacing_m: f64,
+    },
+    /// `n` nodes uniform in a square field sized for connectivity with
+    /// high probability (§6.1.2); resampled until connected.
+    Random {
+        /// Node count.
+        n: usize,
+        /// Field side in metres.
+        field_side_m: f64,
+    },
+}
+
+impl TopologyKind {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            TopologyKind::Linear { n, .. } | TopologyKind::Random { n, .. } => *n,
+        }
+    }
+}
+
+/// Random-waypoint mobility parameters (None = static network).
+#[derive(Clone, Copy, Debug)]
+pub struct MobilityConfig {
+    /// Movement speed (paper: 0.1 / 1 / 5 m/s).
+    pub speed_mps: f64,
+    /// Mean leg length (paper: 47 m).
+    pub mean_leg_m: f64,
+    /// Mean pause (paper: 100 s).
+    pub mean_pause_s: f64,
+    /// Position/topology re-evaluation period.
+    pub update_period: SimDuration,
+}
+
+impl MobilityConfig {
+    /// The paper's §6.1.2 parameterisation at the given speed.
+    pub fn paper(speed_mps: f64) -> Self {
+        MobilityConfig {
+            speed_mps,
+            mean_leg_m: 47.0,
+            mean_pause_s: 100.0,
+            update_period: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// One flow of the workload.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// When the transfer starts.
+    pub start: SimDuration,
+    /// Packets to transfer (800-byte payloads by default).
+    pub packets: u32,
+    /// End-to-end loss tolerance (0.0 = full reliability; only JTP uses
+    /// values other than 0).
+    pub loss_tolerance: f64,
+    /// Initial sending rate override (pps). None = protocol default.
+    /// Short-lived bursts that arrive "hot" are modelled by setting this
+    /// above the default 1 pps.
+    pub initial_rate_pps: Option<f64>,
+}
+
+impl FlowSpec {
+    /// A full-reliability flow with protocol-default initial rate.
+    pub fn new(src: NodeId, dst: NodeId, start: SimDuration, packets: u32) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            start,
+            packets,
+            loss_tolerance: 0.0,
+            initial_rate_pps: None,
+        }
+    }
+}
+
+/// Full experiment description.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Placement of nodes.
+    pub topology: TopologyKind,
+    /// Protocol under test.
+    pub transport: TransportKind,
+    /// Flows; empty means "one bulk flow end-to-end" filled at build time.
+    pub flows: Vec<FlowSpec>,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+    /// TDMA slot length.
+    pub slot: SimDuration,
+    /// MAC parameters.
+    pub mac: MacConfig,
+    /// JTP parameters (used by Jtp/Jnc runs).
+    pub jtp: JtpConfig,
+    /// TCP parameters (Tcp runs).
+    pub tcp: TcpConfig,
+    /// ATP parameters (Atp runs).
+    pub atp: AtpConfig,
+    /// Distance → loss model.
+    pub pathloss: PathLoss,
+    /// Good/bad channel process.
+    pub gilbert: GilbertConfig,
+    /// Radio energy parameters.
+    pub energy: RadioEnergyModel,
+    /// Mobility (None = static).
+    pub mobility: Option<MobilityConfig>,
+    /// Link-state view refresh interval.
+    pub routing_refresh: SimDuration,
+    /// Periodic delayed-ACK flush for TCP receivers.
+    pub tcp_ack_flush: SimDuration,
+}
+
+impl ExperimentConfig {
+    fn base(topology: TopologyKind) -> Self {
+        ExperimentConfig {
+            topology,
+            transport: TransportKind::Jtp,
+            flows: Vec::new(),
+            duration: SimDuration::from_secs(1000),
+            seed: 1,
+            slot: SimDuration::from_millis(25),
+            mac: MacConfig::default(),
+            jtp: JtpConfig::default(),
+            tcp: TcpConfig::default(),
+            atp: AtpConfig::default(),
+            pathloss: PathLoss::javelen_default(),
+            gilbert: GilbertConfig::paper_default(),
+            energy: RadioEnergyModel::javelen_default(),
+            mobility: None,
+            routing_refresh: SimDuration::from_secs(5),
+            tcp_ack_flush: SimDuration::from_millis(500),
+        }
+    }
+
+    /// A linear chain of `n` nodes, 55 m spacing (full-quality links,
+    /// single-hop neighbours only).
+    pub fn linear(n: usize) -> Self {
+        assert!(n >= 2, "need at least source and destination");
+        Self::base(TopologyKind::Linear { n, spacing_m: 55.0 })
+    }
+
+    /// `n` nodes uniform in a square field sized for connectivity
+    /// (side = 60·√n metres, mean degree ≈ 8 at 100 m range).
+    pub fn random(n: usize) -> Self {
+        assert!(n >= 2);
+        let side = 60.0 * (n as f64).sqrt();
+        Self::base(TopologyKind::Random {
+            n,
+            field_side_m: side,
+        })
+    }
+
+    /// Select the transport protocol. `Jnc` also disables JTP caching.
+    pub fn transport(mut self, t: TransportKind) -> Self {
+        self.transport = t;
+        if t == TransportKind::Jnc {
+            self.jtp.caching_enabled = false;
+        }
+        self
+    }
+
+    /// Set the simulated duration in seconds.
+    pub fn duration_s(mut self, s: f64) -> Self {
+        self.duration = SimDuration::from_secs_f64(s);
+        self
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Add a flow.
+    pub fn flow(mut self, spec: FlowSpec) -> Self {
+        self.flows.push(spec);
+        self
+    }
+
+    /// Enable random-waypoint mobility at the paper's parameters.
+    pub fn mobile(mut self, speed_mps: f64) -> Self {
+        self.mobility = Some(MobilityConfig::paper(speed_mps));
+        self
+    }
+
+    /// Convenience: one bulk transfer of `packets` packets from node 0 to
+    /// the last node, starting at `start_s`, with loss tolerance `lt`.
+    pub fn bulk_flow(self, packets: u32, start_s: f64, lt: f64) -> Self {
+        let n = self.topology.node_count();
+        let spec = FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(n as u32 - 1),
+            start: SimDuration::from_secs_f64(start_s),
+            packets,
+            loss_tolerance: lt,
+            initial_rate_pps: None,
+        };
+        self.flow(spec)
+    }
+
+    /// Validate cross-field consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.topology.node_count();
+        if n < 2 {
+            return Err("need at least 2 nodes".into());
+        }
+        self.jtp.validate()?;
+        self.pathloss.validate()?;
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.src.index() >= n || f.dst.index() >= n {
+                return Err(format!("flow {i} endpoints outside topology"));
+            }
+            if f.src == f.dst {
+                return Err(format!("flow {i} has identical endpoints"));
+            }
+            if !(0.0..=1.0).contains(&f.loss_tolerance) {
+                return Err(format!("flow {i} loss tolerance outside [0,1]"));
+            }
+            if self.transport == TransportKind::Tcp || self.transport == TransportKind::Atp {
+                if f.loss_tolerance != 0.0 {
+                    return Err(format!(
+                        "flow {i}: {:?} only supports full reliability",
+                        self.transport
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_config() {
+        let cfg = ExperimentConfig::linear(5)
+            .transport(TransportKind::Jtp)
+            .duration_s(500.0)
+            .seed(7)
+            .bulk_flow(100, 10.0, 0.1);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.topology.node_count(), 5);
+        assert_eq!(cfg.flows.len(), 1);
+        assert_eq!(cfg.flows[0].dst, NodeId(4));
+    }
+
+    #[test]
+    fn jnc_disables_caching() {
+        let cfg = ExperimentConfig::linear(3).transport(TransportKind::Jnc);
+        assert!(!cfg.jtp.caching_enabled);
+    }
+
+    #[test]
+    fn tcp_rejects_loss_tolerance() {
+        let cfg = ExperimentConfig::linear(3)
+            .transport(TransportKind::Tcp)
+            .bulk_flow(10, 0.0, 0.2);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn flow_endpoint_bounds_checked() {
+        let cfg = ExperimentConfig::linear(3).flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(9),
+            start: SimDuration::ZERO,
+            packets: 1,
+            loss_tolerance: 0.0,
+            initial_rate_pps: None,
+        });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn random_field_scales_with_n() {
+        let small = ExperimentConfig::random(4);
+        let large = ExperimentConfig::random(25);
+        let (TopologyKind::Random { field_side_m: s, .. },
+             TopologyKind::Random { field_side_m: l, .. }) =
+            (small.topology.clone(), large.topology.clone())
+        else {
+            panic!()
+        };
+        assert!(l > s);
+    }
+}

@@ -1,0 +1,812 @@
+//! The assembled network: nodes (MAC + iJTP + energy meter), channel,
+//! routing, flows and the event loop gluing them together.
+//!
+//! One [`Network`] is one experiment run. The event loop follows the
+//! paper's system structure:
+//!
+//! * a TDMA slot event fires every slot; the pseudo-random schedule names
+//!   the owner, which transmits the head of its MAC queue (after the
+//!   iJTP PreXmit hook — Algorithm 1 — has charged energy, set the attempt
+//!   budget and stamped the available rate),
+//! * delivered frames either terminate at their endpoint (eJTP / TCP /
+//!   ATP state machines) or pass through the iJTP PostRcv hook
+//!   (Algorithm 2 — caching and SNACK-triggered local recovery) and are
+//!   forwarded along the link-state route,
+//! * sender wakeups pace data out at the receiver-assigned rate; receiver
+//!   timers emit regular feedback; mobility ticks move nodes and refresh
+//!   (staleness permitting) the routing views.
+
+use crate::config::{ExperimentConfig, MobilityConfig, TransportKind};
+use crate::metrics::{FlowMetrics, Metrics};
+use crate::payload::{Payload, TransportPacket};
+use crate::topology::{adjacency_from_positions, field_for, place_nodes};
+use crate::trace::{MonitorSample, TraceConfig, TraceLog};
+use jtp::{IjtpModule, JtpReceiver, JtpSender, LinkInfo, PreXmitVerdict};
+use jtp_baselines::atp::{AtpReceiver, AtpSender};
+use jtp_baselines::tcp::{TcpReceiver, TcpSender};
+use jtp_mac::{Frame, FrameKind, NodeMac, SlotOutcome, TdmaSchedule};
+use jtp_phys::energy::EnergyCategory;
+use jtp_phys::gilbert::{GilbertConfig, GilbertElliott};
+use jtp_phys::{EnergyMeter, MobilityModel, PathLoss, Point, RadioEnergyModel, RandomWaypoint};
+use jtp_routing::{Adjacency, LinkState};
+use jtp_sim::{
+    EventQueue, FlowId, NodeId, SimDuration, SimRng, SimTime, Simulation,
+};
+use std::collections::HashMap;
+
+/// Simulation events.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// TDMA slot boundary (global slot index).
+    Slot(u64),
+    /// A flow's transfer begins.
+    FlowStart(FlowId),
+    /// Pacing / sender timers.
+    SenderWakeup(FlowId),
+    /// Regular feedback timer (JTP/ATP) or delayed-ACK flush (TCP).
+    ReceiverTimer(FlowId),
+    /// Positions move; topology and routing views refresh.
+    MobilityTick,
+}
+
+/// Transport endpoints of a flow.
+enum Endpoints {
+    Jtp(Box<JtpSender>, Box<JtpReceiver>),
+    Tcp(Box<TcpSender>, Box<TcpReceiver>),
+    Atp(Box<AtpSender>, Box<AtpReceiver>),
+}
+
+struct Flow {
+    id: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    start: SimTime,
+    offered_packets: u32,
+    endpoints: Endpoints,
+    started: bool,
+    completed_at: Option<SimTime>,
+}
+
+enum Mobility {
+    Static,
+    Waypoint(RandomWaypoint),
+}
+
+struct Node {
+    mac: NodeMac<TransportPacket>,
+    ijtp: IjtpModule,
+    energy: EnergyMeter,
+    mobility: Mobility,
+}
+
+/// One experiment run: build with [`Network::new`], drive with
+/// [`jtp_sim::run_until`], harvest with [`Network::metrics`].
+pub struct Network {
+    transport: TransportKind,
+    nodes: Vec<Node>,
+    positions: Vec<Point>,
+    flows: Vec<Flow>,
+    schedule: TdmaSchedule,
+    routing: LinkState,
+    truth: Adjacency,
+    channels: HashMap<(u32, u32), GilbertElliott>,
+    attempt_rng: SimRng,
+    pathloss: PathLoss,
+    gilbert_cfg: GilbertConfig,
+    energy_model: RadioEnergyModel,
+    seed: u64,
+    mobility_cfg: Option<MobilityConfig>,
+    tcp_ack_flush: SimDuration,
+    end: SimTime,
+    trace_cfg: TraceConfig,
+    /// Collected time-series traces (see [`TraceConfig`]).
+    pub trace: TraceLog,
+    no_route_drops: u64,
+}
+
+impl Network {
+    /// Build a network and its event queue from a validated configuration.
+    pub fn new(cfg: &ExperimentConfig, trace_cfg: TraceConfig) -> (Network, EventQueue<Event>) {
+        cfg.validate().expect("invalid experiment configuration");
+        let n = cfg.topology.node_count();
+        let positions = place_nodes(&cfg.topology, &cfg.pathloss, cfg.seed);
+        let truth = adjacency_from_positions(&positions, &cfg.pathloss);
+        let routing = LinkState::new(&truth, cfg.routing_refresh);
+        let schedule = TdmaSchedule::new(n as u32, cfg.slot, cfg.seed);
+        let capacity = schedule.per_node_capacity_pps();
+        let field = field_for(&cfg.topology);
+
+        let nodes: Vec<Node> = (0..n)
+            .map(|i| {
+                let cache = if cfg.transport == TransportKind::Jtp && cfg.jtp.caching_enabled {
+                    cfg.jtp.cache_capacity
+                } else {
+                    0
+                };
+                let mobility = match &cfg.mobility {
+                    Some(m) => Mobility::Waypoint(RandomWaypoint::new(
+                        field,
+                        positions[i],
+                        m.speed_mps,
+                        m.mean_leg_m,
+                        m.mean_pause_s,
+                        cfg.seed,
+                        i as u64,
+                    )),
+                    None => Mobility::Static,
+                };
+                let mut ijtp = IjtpModule::with_cache_policy(
+                    cache,
+                    cfg.mac.max_attempts_cap,
+                    cfg.jtp.cache_policy,
+                );
+                ijtp.set_allocation(cfg.jtp.allocation);
+                Node {
+                    mac: NodeMac::new(cfg.mac, capacity),
+                    ijtp,
+                    energy: EnergyMeter::new(),
+                    mobility,
+                }
+            })
+            .collect();
+
+        let mut jtp_cfg = cfg.jtp.clone();
+        // Give the receiver-side controller the true capacity ceiling (the
+        // paper: "the eJTP destination also limits the sending rate by its
+        // delivery rate"), leaving headroom for rate probing.
+        jtp_cfg.max_rate_pps = jtp_cfg.max_rate_pps.min(capacity * 2.0);
+        // The congestion-avoidance margin δ scales with the slot capacity:
+        // JTP "aggressively seeks to avoid any congestion-based packet
+        // loss" by keeping the path's available rate strictly positive.
+        jtp_cfg.delta_avail_pps = jtp_cfg.delta_avail_pps.max(0.10 * capacity);
+        let mut tcp_cfg = cfg.tcp.clone();
+        tcp_cfg.max_rate_pps = tcp_cfg.max_rate_pps.min(capacity * 2.0);
+        let mut atp_cfg = cfg.atp.clone();
+        atp_cfg.max_rate_pps = atp_cfg.max_rate_pps.min(capacity * 2.0);
+
+        let flows: Vec<Flow> = cfg
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let id = FlowId(i as u16);
+                let endpoints = match cfg.transport {
+                    TransportKind::Jtp | TransportKind::Jnc => {
+                        let mut fc = jtp_cfg.clone();
+                        if let Some(r) = spec.initial_rate_pps {
+                            fc.initial_rate_pps = r.clamp(fc.min_rate_pps, fc.max_rate_pps);
+                        }
+                        Endpoints::Jtp(
+                            Box::new(JtpSender::new(
+                                id,
+                                spec.packets,
+                                spec.loss_tolerance,
+                                fc.clone(),
+                            )),
+                            Box::new(JtpReceiver::new(id, spec.loss_tolerance, fc)),
+                        )
+                    }
+                    TransportKind::Tcp => Endpoints::Tcp(
+                        Box::new(TcpSender::new(id, spec.packets, tcp_cfg.clone())),
+                        Box::new(TcpReceiver::new(id, tcp_cfg.clone())),
+                    ),
+                    TransportKind::Atp => Endpoints::Atp(
+                        Box::new(AtpSender::new(id, spec.packets, atp_cfg.clone())),
+                        Box::new(AtpReceiver::new(id, atp_cfg.clone())),
+                    ),
+                };
+                Flow {
+                    id,
+                    src: spec.src,
+                    dst: spec.dst,
+                    start: SimTime::ZERO + spec.start,
+                    offered_packets: spec.packets,
+                    endpoints,
+                    started: false,
+                    completed_at: None,
+                }
+            })
+            .collect();
+
+        let end = SimTime::ZERO + cfg.duration;
+        let mut queue = EventQueue::new();
+        queue.schedule_at(SimTime::ZERO, Event::Slot(0));
+        for f in &flows {
+            queue.schedule_at(f.start.min(end), Event::FlowStart(f.id));
+        }
+        if let Some(m) = &cfg.mobility {
+            queue.schedule_at(SimTime::ZERO + m.update_period, Event::MobilityTick);
+        }
+
+        let net = Network {
+            transport: cfg.transport,
+            nodes,
+            positions,
+            flows,
+            schedule,
+            routing,
+            truth,
+            channels: HashMap::new(),
+            attempt_rng: SimRng::derive(cfg.seed, "channel-attempts"),
+            pathloss: cfg.pathloss,
+            gilbert_cfg: cfg.gilbert,
+            energy_model: cfg.energy,
+            seed: cfg.seed,
+            mobility_cfg: cfg.mobility,
+            tcp_ack_flush: cfg.tcp_ack_flush,
+            end,
+            trace_cfg,
+            trace: TraceLog::default(),
+            no_route_drops: 0,
+        };
+        (net, queue)
+    }
+
+    /// The configured end of the run.
+    pub fn horizon(&self) -> SimTime {
+        self.end
+    }
+
+    // ------------------------------------------------------------------
+    // Forwarding
+    // ------------------------------------------------------------------
+
+    /// Route `tp` one hop from `from` and enqueue it at `from`'s MAC.
+    fn forward_from(&mut self, from: NodeId, tp: TransportPacket) {
+        let Some(next) = self.routing.next_hop(from, tp.dst_end) else {
+            self.no_route_drops += 1;
+            return;
+        };
+        let bytes = tp.payload.wire_bytes();
+        let kind = tp.payload.kind();
+        let mut frame = Frame::new(from, next, kind, bytes, tp);
+        // Non-JTP-data frames use the MAC's full budget; JTP data budgets
+        // are set per packet by iJTP at first transmission.
+        frame.max_attempts = self.nodes[from.index()].mac.max_attempts_cap();
+        let _ = self.nodes[from.index()].mac.enqueue(frame); // overflow counted inside
+    }
+
+    // ------------------------------------------------------------------
+    // TDMA slot
+    // ------------------------------------------------------------------
+
+    fn handle_slot(&mut self, now: SimTime, slot: u64, q: &mut EventQueue<Event>) {
+        let owner = self.schedule.owner(slot);
+        match self.prepare_head(owner, now) {
+            None => {
+                self.nodes[owner.index()].mac.record_owned_slot(false);
+            }
+            Some((dst, bytes, kind)) => {
+                self.nodes[owner.index()].mac.record_owned_slot(true);
+                let success = self.sample_channel(owner, dst, now);
+                let tx_j = self.energy_model.tx_energy_j(bytes);
+                let (cat_tx, cat_rx) = match kind {
+                    FrameKind::Data => (EnergyCategory::DataTx, EnergyCategory::DataRx),
+                    FrameKind::Ack => (EnergyCategory::AckTx, EnergyCategory::AckRx),
+                };
+                self.nodes[owner.index()].energy.charge(cat_tx, tx_j);
+                if success {
+                    let rx_j = self.energy_model.rx_energy_j(bytes);
+                    self.nodes[dst.index()].energy.charge(cat_rx, rx_j);
+                }
+                match self.nodes[owner.index()].mac.transmit_result(success) {
+                    SlotOutcome::Delivered(frame) => self.deliver(now, frame, q),
+                    SlotOutcome::Exhausted(_) | SlotOutcome::Retrying => {}
+                    SlotOutcome::Idle => unreachable!("prepared head implies non-idle"),
+                }
+            }
+        }
+        // Stop rescheduling slots once every flow has finished: the queue
+        // drains and the run ends early with identical metrics.
+        let all_done =
+            !self.flows.is_empty() && self.flows.iter().all(|f| f.completed_at.is_some());
+        let next = self.schedule.slot_start(slot + 1);
+        if !all_done && next <= self.end {
+            q.schedule_at(next, Event::Slot(slot + 1));
+        }
+    }
+
+    /// Run the pre-transmission hooks on the owner's queue head, dropping
+    /// hook-rejected frames, until a transmittable frame remains. Returns
+    /// `(next_hop, wire_bytes, kind)`.
+    fn prepare_head(&mut self, owner: NodeId, now: SimTime) -> Option<(NodeId, usize, FrameKind)> {
+        loop {
+            let (dst, dst_end, first, bytes, is_jtp_data, is_atp_data) = {
+                let head = self.nodes[owner.index()].mac.head()?;
+                (
+                    head.dst,
+                    head.payload.dst_end,
+                    head.is_first_attempt(),
+                    head.bytes,
+                    matches!(head.payload.payload, Payload::JtpData(_)),
+                    matches!(head.payload.payload, Payload::AtpData(_)),
+                )
+            };
+            if is_jtp_data {
+                // Gather link state before mutably borrowing the node.
+                let remaining = match self.routing.remaining_hops(owner, dst_end) {
+                    Some(h) => h.max(1),
+                    None => {
+                        // The local view lost the route: drop (counted).
+                        self.nodes[owner.index()].mac.drop_head();
+                        self.no_route_drops += 1;
+                        continue;
+                    }
+                };
+                let mac = &self.nodes[owner.index()].mac;
+                let link = LinkInfo {
+                    loss_rate: mac.loss_rate(dst),
+                    avail_rate_pps: mac.available_pps(),
+                    avg_attempts: mac.avg_attempts(dst),
+                    tx_energy_nj: (self.energy_model.tx_energy_j(bytes) * 1e9).round() as u32,
+                    remaining_hops: remaining,
+                };
+                let node = &mut self.nodes[owner.index()];
+                let head = node.mac.head_mut().expect("head probed above");
+                let Payload::JtpData(ref mut data) = head.payload.payload else {
+                    unreachable!("probed as JTP data")
+                };
+                match node.ijtp.pre_xmit_data(data, &link, first) {
+                    PreXmitVerdict::DropEnergyExhausted => {
+                        node.mac.drop_head();
+                        continue;
+                    }
+                    PreXmitVerdict::Forward { max_attempts } => {
+                        if first {
+                            head.max_attempts = max_attempts;
+                            if self.trace_cfg.attempts_at == Some(owner) {
+                                self.trace.attempts.push((now, max_attempts));
+                            }
+                        }
+                    }
+                }
+            } else if is_atp_data {
+                // ATP's explicit-rate stamping by intermediate nodes.
+                let mac = &self.nodes[owner.index()].mac;
+                let eff = (mac.available_pps() / mac.avg_attempts(dst).max(1.0)) as f32;
+                let head = self.nodes[owner.index()].mac.head_mut().expect("head");
+                if let Payload::AtpData(ref mut d) = head.payload.payload {
+                    if eff < d.stamped_rate {
+                        d.stamped_rate = eff;
+                    }
+                }
+            }
+            let head = self.nodes[owner.index()].mac.head().expect("head survives hooks");
+            return Some((head.dst, head.bytes, head.kind));
+        }
+    }
+
+    /// Sample the channel for one transmission attempt.
+    fn sample_channel(&mut self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+        let d = self.positions[from.index()].distance(self.positions[to.index()]);
+        if !self.pathloss.in_range(d) {
+            return false;
+        }
+        let baseline = self.pathloss.loss_at(d);
+        // Fading is shared per undirected link (symmetric channel).
+        let key = (from.0.min(to.0), from.0.max(to.0));
+        let n = self.nodes.len() as u64;
+        let (cfg, seed) = (self.gilbert_cfg, self.seed);
+        let ge = self
+            .channels
+            .entry(key)
+            .or_insert_with(|| GilbertElliott::new(cfg, seed, key.0 as u64 * n + key.1 as u64));
+        let loss = ge.loss_prob(now, baseline);
+        !self.attempt_rng.chance(loss)
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery
+    // ------------------------------------------------------------------
+
+    fn deliver(&mut self, now: SimTime, frame: Frame<TransportPacket>, q: &mut EventQueue<Event>) {
+        let here = frame.dst;
+        let tp = frame.payload;
+        if tp.dst_end == here {
+            self.consume(now, here, tp, q);
+        } else {
+            self.relay(now, here, tp);
+        }
+    }
+
+    /// Hop processing at an intermediate node (Algorithm 2), then forward.
+    fn relay(&mut self, now: SimTime, here: NodeId, mut tp: TransportPacket) {
+        let _ = now;
+        match &mut tp.payload {
+            Payload::JtpData(d) => {
+                self.nodes[here.index()].ijtp.post_rcv_data(d);
+            }
+            Payload::JtpAck(a) => {
+                let recovered = self.nodes[here.index()].ijtp.post_rcv_ack(a);
+                if !recovered.is_empty() {
+                    // Data flows toward the ACK's origin (the receiver).
+                    let data_dst = tp.src_end;
+                    let data_src = tp.dst_end;
+                    for pkt in recovered {
+                        self.forward_from(
+                            here,
+                            TransportPacket {
+                                src_end: data_src,
+                                dst_end: data_dst,
+                                payload: Payload::JtpData(pkt),
+                            },
+                        );
+                    }
+                }
+            }
+            // TCP and ATP are end-to-end only: intermediate nodes forward.
+            _ => {}
+        }
+        self.forward_from(here, tp);
+    }
+
+    /// Endpoint processing.
+    fn consume(
+        &mut self,
+        now: SimTime,
+        here: NodeId,
+        tp: TransportPacket,
+        q: &mut EventQueue<Event>,
+    ) {
+        let fid = tp.payload.flow();
+        let fi = fid.index();
+        debug_assert!(fi < self.flows.len(), "unknown flow {fid}");
+        match tp.payload {
+            Payload::JtpData(d) => {
+                let (fresh, early, monitor) = {
+                    let Endpoints::Jtp(_, rx) = &mut self.flows[fi].endpoints else {
+                        return;
+                    };
+                    let before = rx.stats().delivered_packets;
+                    let early = rx.on_data(now, &d);
+                    let fresh = rx.stats().delivered_packets > before;
+                    let monitor = rx.rate_monitor_state();
+                    (fresh, early, monitor)
+                };
+                if fresh && self.trace_cfg.receptions {
+                    self.trace.receptions.push((now, fid));
+                }
+                if self.trace_cfg.monitor_of == Some(fid) {
+                    if let Some((lcl, mean, ucl)) = monitor {
+                        self.trace.monitor.push(MonitorSample {
+                            at: now,
+                            reported: d.rate_pps as f64,
+                            mean,
+                            lcl,
+                            ucl,
+                        });
+                    }
+                }
+                if let Some(ack) = early {
+                    let back_to = self.flows[fi].src;
+                    self.forward_from(
+                        here,
+                        TransportPacket {
+                            src_end: here,
+                            dst_end: back_to,
+                            payload: Payload::JtpAck(ack),
+                        },
+                    );
+                }
+            }
+            Payload::JtpAck(a) => {
+                let Endpoints::Jtp(tx, _) = &mut self.flows[fi].endpoints else {
+                    return;
+                };
+                tx.on_ack(now, &a);
+                if tx.is_complete() && self.flows[fi].completed_at.is_none() {
+                    self.flows[fi].completed_at = Some(now);
+                }
+                q.schedule_at(now, Event::SenderWakeup(fid));
+            }
+            Payload::TcpData(d) => {
+                let (fresh, ack) = {
+                    let Endpoints::Tcp(_, rx) = &mut self.flows[fi].endpoints else {
+                        return;
+                    };
+                    let before = rx.stats().delivered_packets;
+                    let ack = rx.on_data(now, &d);
+                    (rx.stats().delivered_packets > before, ack)
+                };
+                if fresh && self.trace_cfg.receptions {
+                    self.trace.receptions.push((now, fid));
+                }
+                if let Some(ack) = ack {
+                    let back_to = self.flows[fi].src;
+                    self.forward_from(
+                        here,
+                        TransportPacket {
+                            src_end: here,
+                            dst_end: back_to,
+                            payload: Payload::TcpAck(ack),
+                        },
+                    );
+                }
+            }
+            Payload::TcpAck(a) => {
+                let Endpoints::Tcp(tx, _) = &mut self.flows[fi].endpoints else {
+                    return;
+                };
+                tx.on_ack(now, &a);
+                if tx.is_complete() && self.flows[fi].completed_at.is_none() {
+                    self.flows[fi].completed_at = Some(now);
+                }
+                q.schedule_at(now, Event::SenderWakeup(fid));
+            }
+            Payload::AtpData(d) => {
+                let fresh = {
+                    let Endpoints::Atp(_, rx) = &mut self.flows[fi].endpoints else {
+                        return;
+                    };
+                    let before = rx.stats().delivered_packets;
+                    rx.on_data(now, &d);
+                    rx.stats().delivered_packets > before
+                };
+                if fresh && self.trace_cfg.receptions {
+                    self.trace.receptions.push((now, fid));
+                }
+            }
+            Payload::AtpFeedback(fb) => {
+                let Endpoints::Atp(tx, _) = &mut self.flows[fi].endpoints else {
+                    return;
+                };
+                tx.on_feedback(now, &fb);
+                if tx.is_complete() && self.flows[fi].completed_at.is_none() {
+                    self.flows[fi].completed_at = Some(now);
+                }
+                q.schedule_at(now, Event::SenderWakeup(fid));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn handle_flow_start(&mut self, now: SimTime, fid: FlowId, q: &mut EventQueue<Event>) {
+        let f = &mut self.flows[fid.index()];
+        f.started = true;
+        q.schedule_at(now, Event::SenderWakeup(fid));
+        q.schedule_at(now, Event::ReceiverTimer(fid));
+    }
+
+    fn handle_sender_wakeup(&mut self, now: SimTime, fid: FlowId, q: &mut EventQueue<Event>) {
+        let fi = fid.index();
+        if !self.flows[fi].started || self.flows[fi].completed_at.is_some() {
+            return;
+        }
+        let (src, dst) = (self.flows[fi].src, self.flows[fi].dst);
+        let mut outgoing: Vec<Payload> = Vec::new();
+        let next_wakeup: Option<SimTime> = match &mut self.flows[fi].endpoints {
+            Endpoints::Jtp(tx, _) => {
+                tx.on_feedback_timeout(now);
+                while let Some(p) = tx.poll_send(now) {
+                    outgoing.push(Payload::JtpData(p));
+                }
+                Some(tx.next_wakeup())
+            }
+            Endpoints::Tcp(tx, _) => {
+                tx.on_timer(now);
+                while let Some(p) = tx.poll_send(now) {
+                    outgoing.push(Payload::TcpData(p));
+                }
+                tx.next_wakeup()
+            }
+            Endpoints::Atp(tx, _) => {
+                tx.on_timer(now);
+                while let Some(p) = tx.poll_send(now) {
+                    outgoing.push(Payload::AtpData(p));
+                }
+                Some(tx.next_wakeup())
+            }
+        };
+        for p in outgoing {
+            self.forward_from(
+                src,
+                TransportPacket {
+                    src_end: src,
+                    dst_end: dst,
+                    payload: p,
+                },
+            );
+        }
+        if let Some(at) = next_wakeup {
+            let at = at.max(now + SimDuration::from_millis(1));
+            if at <= self.end {
+                q.schedule_at(at, Event::SenderWakeup(fid));
+            }
+        }
+    }
+
+    fn handle_receiver_timer(&mut self, now: SimTime, fid: FlowId, q: &mut EventQueue<Event>) {
+        let fi = fid.index();
+        if !self.flows[fi].started || self.flows[fi].completed_at.is_some() {
+            return;
+        }
+        let (src, dst) = (self.flows[fi].src, self.flows[fi].dst);
+        let mut feedback: Option<Payload> = None;
+        let next_at: SimTime = match &mut self.flows[fi].endpoints {
+            Endpoints::Jtp(_, rx) => {
+                if now >= rx.next_feedback_at() {
+                    feedback = Some(Payload::JtpAck(rx.poll_feedback(now)));
+                }
+                rx.next_feedback_at()
+            }
+            Endpoints::Tcp(_, rx) => {
+                if let Some(ack) = rx.flush_ack() {
+                    feedback = Some(Payload::TcpAck(ack));
+                }
+                now + self.tcp_ack_flush
+            }
+            Endpoints::Atp(_, rx) => {
+                if now >= rx.next_feedback_at() {
+                    feedback = Some(Payload::AtpFeedback(rx.poll_feedback(now)));
+                }
+                rx.next_feedback_at()
+            }
+        };
+        if let Some(p) = feedback {
+            // Feedback travels receiver -> sender.
+            self.forward_from(
+                dst,
+                TransportPacket {
+                    src_end: dst,
+                    dst_end: src,
+                    payload: p,
+                },
+            );
+        }
+        let at = next_at.max(now + SimDuration::from_millis(1));
+        if at <= self.end {
+            q.schedule_at(at, Event::ReceiverTimer(fid));
+        }
+    }
+
+    fn handle_mobility_tick(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
+        let Some(mcfg) = self.mobility_cfg else {
+            return;
+        };
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if let Mobility::Waypoint(w) = &mut node.mobility {
+                self.positions[i] = w.position_at(now);
+            }
+        }
+        let truth = adjacency_from_positions(&self.positions, &self.pathloss);
+        self.truth = truth;
+        self.routing.refresh_due_views(now, &self.truth);
+        let at = now + mcfg.update_period;
+        if at <= self.end {
+            q.schedule_at(at, Event::MobilityTick);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Harvest
+    // ------------------------------------------------------------------
+
+    /// Collect run metrics. Call after the event loop finishes.
+    pub fn metrics(&self, now: SimTime) -> Metrics {
+        let mut per_node = Vec::with_capacity(self.nodes.len());
+        let mut total = EnergyMeter::new();
+        for node in &self.nodes {
+            per_node.push(node.energy.total_j());
+            total.merge(&node.energy);
+        }
+        let mut queue_drops = 0;
+        let mut queue_drops_data = 0;
+        let mut arq_drops = 0;
+        let mut mac_attempts = 0;
+        let mut energy_budget_drops = 0;
+        let mut local_recoveries = 0;
+        for node in &self.nodes {
+            let s = node.mac.stats();
+            queue_drops += s.queue_drops;
+            queue_drops_data += s.queue_drops_data;
+            arq_drops += s.arq_drops;
+            mac_attempts += s.attempts;
+            let i = node.ijtp.stats();
+            energy_budget_drops += i.energy_drops;
+            local_recoveries += i.local_retransmissions;
+        }
+        let mut flows = Vec::with_capacity(self.flows.len());
+        let mut delivered_packets = 0;
+        let mut delivered_bytes = 0;
+        let mut source_retransmissions = 0;
+        let mut feedbacks_sent = 0;
+        for f in &self.flows {
+            let end_time = f.completed_at.unwrap_or(now);
+            let active = end_time.since(f.start).as_secs_f64();
+            let fm = match &f.endpoints {
+                Endpoints::Jtp(tx, rx) => {
+                    let (ts, rs) = (tx.stats(), rx.stats());
+                    FlowMetrics {
+                        flow: f.id.0,
+                        delivered_packets: rs.delivered_packets,
+                        delivered_bytes: rs.delivered_bytes,
+                        offered_packets: f.offered_packets,
+                        source_retransmissions: ts.source_retransmissions,
+                        locally_recovered: ts.locally_recovered,
+                        feedbacks_sent: rs.feedbacks_sent,
+                        active_time_s: active,
+                        completed: f.completed_at.is_some(),
+                    }
+                }
+                Endpoints::Tcp(tx, rx) => {
+                    let (ts, rs) = (tx.stats(), rx.stats());
+                    FlowMetrics {
+                        flow: f.id.0,
+                        delivered_packets: rs.delivered_packets,
+                        delivered_bytes: rs.delivered_bytes,
+                        offered_packets: f.offered_packets,
+                        source_retransmissions: ts.retransmissions,
+                        locally_recovered: 0,
+                        feedbacks_sent: rs.acks_sent,
+                        active_time_s: active,
+                        completed: f.completed_at.is_some(),
+                    }
+                }
+                Endpoints::Atp(tx, rx) => {
+                    let (ts, rs) = (tx.stats(), rx.stats());
+                    FlowMetrics {
+                        flow: f.id.0,
+                        delivered_packets: rs.delivered_packets,
+                        delivered_bytes: rs.delivered_bytes,
+                        offered_packets: f.offered_packets,
+                        source_retransmissions: ts.retransmissions,
+                        locally_recovered: 0,
+                        feedbacks_sent: rs.feedbacks_sent,
+                        active_time_s: active,
+                        completed: f.completed_at.is_some(),
+                    }
+                }
+            };
+            delivered_packets += fm.delivered_packets;
+            delivered_bytes += fm.delivered_bytes;
+            source_retransmissions += fm.source_retransmissions;
+            feedbacks_sent += fm.feedbacks_sent;
+            flows.push(fm);
+        }
+        Metrics {
+            energy_total_j: total.total_j(),
+            per_node_energy_j: per_node,
+            energy_ack_j: total.ack_j(),
+            delivered_packets,
+            delivered_bytes,
+            source_retransmissions,
+            local_recoveries,
+            queue_drops,
+            queue_drops_data,
+            arq_drops,
+            energy_budget_drops,
+            no_route_drops: self.no_route_drops,
+            mac_attempts,
+            feedbacks_sent,
+            flows,
+            duration_s: now.as_secs_f64(),
+        }
+    }
+
+    /// Which transport this run exercises.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+
+    /// Current node positions (test/diagnostic).
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+}
+
+impl Simulation for Network {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::Slot(s) => self.handle_slot(now, s, queue),
+            Event::FlowStart(f) => self.handle_flow_start(now, f, queue),
+            Event::SenderWakeup(f) => self.handle_sender_wakeup(now, f, queue),
+            Event::ReceiverTimer(f) => self.handle_receiver_timer(now, f, queue),
+            Event::MobilityTick => self.handle_mobility_tick(now, queue),
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Experiment execution: single runs, traced runs and multi-seed batches
+//! with 95 % confidence intervals (the paper averages 10–20 independent
+//! runs per point).
+
+use crate::config::ExperimentConfig;
+use crate::metrics::Metrics;
+use crate::network::Network;
+use crate::trace::{TraceConfig, TraceLog};
+use jtp_sim::stats::ci95_halfwidth;
+use jtp_sim::{run_until, SimTime};
+
+/// Run one experiment to completion and return its metrics.
+pub fn run_experiment(cfg: &ExperimentConfig) -> Metrics {
+    run_traced(cfg, TraceConfig::default()).0
+}
+
+/// Run one experiment with tracing enabled.
+pub fn run_traced(cfg: &ExperimentConfig, trace: TraceConfig) -> (Metrics, TraceLog) {
+    let (mut net, mut queue) = Network::new(cfg, trace);
+    let horizon = net.horizon();
+    run_until(&mut net, &mut queue, horizon);
+    let now = queue.now().min(horizon);
+    let m = net.metrics(now);
+    (m, net.trace)
+}
+
+/// A batch summary of one scalar metric across independent seeds.
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// 95 % confidence half-width.
+    pub ci95: f64,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+impl Summary {
+    /// Summarise a sample set.
+    pub fn of(samples: &[f64]) -> Summary {
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        };
+        Summary {
+            mean,
+            ci95: ci95_halfwidth(samples),
+            runs: samples.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.ci95)
+    }
+}
+
+/// Run `runs` independent replicas (seeds `base_seed..base_seed+runs`),
+/// in parallel across threads. Determinism: each replica depends only on
+/// its own seed, so the batch result is independent of thread scheduling.
+pub fn run_many(cfg: &ExperimentConfig, runs: usize) -> Vec<Metrics> {
+    assert!(runs >= 1);
+    let mut out: Vec<Option<Metrics>> = vec![None; runs];
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(runs);
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, chunk) in out.chunks_mut(runs.div_ceil(threads)).enumerate() {
+            let cfg = cfg.clone();
+            scope.spawn(move |_| {
+                let per = chunk.len();
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let run_idx = chunk_idx * per + i;
+                    let mut c = cfg.clone();
+                    c.seed = cfg.seed.wrapping_add(run_idx as u64);
+                    *slot = Some(run_experiment(&c));
+                }
+            });
+        }
+    })
+    .expect("replica thread panicked");
+    out.into_iter().map(|m| m.expect("all replicas ran")).collect()
+}
+
+/// Convenience: batch-run and summarise energy-per-bit and goodput, the
+/// paper's two headline metrics.
+pub fn summarize_runs(metrics: &[Metrics]) -> (Summary, Summary) {
+    let epb: Vec<f64> = metrics
+        .iter()
+        .map(|m| m.energy_per_bit_uj())
+        .filter(|v| v.is_finite())
+        .collect();
+    let gp: Vec<f64> = metrics.iter().map(|m| m.avg_goodput_kbps()).collect();
+    (Summary::of(&epb), Summary::of(&gp))
+}
+
+/// Format a simulated end time for logs.
+pub fn fmt_time(t: SimTime) -> String {
+    format!("{:.1}s", t.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExperimentConfig, TransportKind};
+
+    #[test]
+    fn summary_of_samples() {
+        let s = Summary::of(&[2.0, 4.0, 6.0]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!(s.ci95 > 0.0);
+        assert_eq!(s.runs, 3);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.runs, 0);
+        assert!(format!("{s}").contains('±'));
+    }
+
+    #[test]
+    fn run_many_uses_distinct_seeds_and_is_deterministic() {
+        let cfg = ExperimentConfig::linear(3)
+            .transport(TransportKind::Jtp)
+            .duration_s(200.0)
+            .seed(55)
+            .bulk_flow(20, 2.0, 0.0);
+        let a = run_many(&cfg, 3);
+        let b = run_many(&cfg, 3);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mac_attempts, y.mac_attempts, "batch not reproducible");
+        }
+        // Replica 0 must equal a direct run with the same seed.
+        let direct = run_experiment(&cfg);
+        assert_eq!(a[0].mac_attempts, direct.mac_attempts);
+        // Different replicas see different channel realisations.
+        assert!(
+            a.iter().any(|m| m.mac_attempts != a[0].mac_attempts)
+                || a[0].delivered_packets == 0,
+            "all replicas identical — seeds not varied"
+        );
+    }
+
+    #[test]
+    fn summarize_runs_filters_infinite_energy() {
+        let cfg = ExperimentConfig::linear(3)
+            .transport(TransportKind::Jtp)
+            .duration_s(150.0)
+            .seed(56)
+            .bulk_flow(10, 2.0, 0.0);
+        let ms = run_many(&cfg, 2);
+        let (epb, gp) = summarize_runs(&ms);
+        assert!(epb.mean.is_finite());
+        assert!(gp.mean >= 0.0);
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree() {
+        let cfg = ExperimentConfig::linear(4)
+            .transport(TransportKind::Jtp)
+            .duration_s(300.0)
+            .seed(57)
+            .bulk_flow(30, 2.0, 0.0);
+        let plain = run_experiment(&cfg);
+        let (traced, log) = run_traced(
+            &cfg,
+            crate::trace::TraceConfig {
+                receptions: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(plain.mac_attempts, traced.mac_attempts, "tracing must not perturb");
+        assert_eq!(log.receptions.len() as u64, traced.delivered_packets);
+    }
+}

@@ -1,0 +1,112 @@
+//! Node placement and ground-truth connectivity.
+
+use crate::config::TopologyKind;
+use jtp_phys::{Field, PathLoss, Point};
+use jtp_routing::Adjacency;
+use jtp_sim::{NodeId, SimRng};
+
+/// Place nodes according to the topology kind. Random placements are
+/// resampled (deterministically from the seed) until the implied
+/// connectivity graph is connected — the paper sizes fields so the network
+/// "is connected with high probability", we make it a certainty.
+pub fn place_nodes(kind: &TopologyKind, pathloss: &PathLoss, seed: u64) -> Vec<Point> {
+    match kind {
+        TopologyKind::Linear { n, spacing_m } => (0..*n)
+            .map(|i| Point::new(i as f64 * spacing_m, 0.0))
+            .collect(),
+        TopologyKind::Random { n, field_side_m } => {
+            let field = Field::square(*field_side_m);
+            let mut rng = SimRng::derive(seed, "placement");
+            for _attempt in 0..1000 {
+                let pts: Vec<Point> = (0..*n).map(|_| field.random_point(&mut rng)).collect();
+                if adjacency_from_positions(&pts, pathloss).is_connected() {
+                    return pts;
+                }
+            }
+            panic!(
+                "could not find a connected placement of {n} nodes in a \
+                 {field_side_m} m field after 1000 attempts — enlarge the \
+                 range or shrink the field"
+            );
+        }
+    }
+}
+
+/// Ground-truth adjacency: an edge wherever two radios are in range.
+pub fn adjacency_from_positions(positions: &[Point], pathloss: &PathLoss) -> Adjacency {
+    let n = positions.len();
+    let mut adj = Adjacency::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = positions[i].distance(positions[j]);
+            if pathloss.in_range(d) {
+                adj.set_edge(NodeId(i as u32), NodeId(j as u32), true);
+            }
+        }
+    }
+    adj
+}
+
+/// The deployment field implied by a topology (for mobility bounds).
+pub fn field_for(kind: &TopologyKind) -> Field {
+    match kind {
+        TopologyKind::Linear { n, spacing_m } => {
+            Field::new(((*n - 1).max(1)) as f64 * spacing_m + 1.0, 50.0)
+        }
+        TopologyKind::Random { field_side_m, .. } => Field::square(*field_side_m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TopologyKind;
+
+    fn pl() -> PathLoss {
+        PathLoss::javelen_default()
+    }
+
+    #[test]
+    fn linear_placement_is_a_chain() {
+        let kind = TopologyKind::Linear { n: 5, spacing_m: 55.0 };
+        let pts = place_nodes(&kind, &pl(), 1);
+        let adj = adjacency_from_positions(&pts, &pl());
+        // Chain: node i connects to i±1 only (110 m to i±2 is out of range).
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                let expect = i.abs_diff(j) == 1;
+                assert_eq!(adj.has_edge(NodeId(i), NodeId(j)), expect, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn random_placement_is_connected_and_deterministic() {
+        let kind = TopologyKind::Random { n: 15, field_side_m: 60.0 * 15f64.sqrt() };
+        let a = place_nodes(&kind, &pl(), 9);
+        let b = place_nodes(&kind, &pl(), 9);
+        assert_eq!(a.len(), 15);
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!(p, q, "same seed, same placement");
+        }
+        assert!(adjacency_from_positions(&a, &pl()).is_connected());
+        let c = place_nodes(&kind, &pl(), 10);
+        assert!(a.iter().zip(&c).any(|(p, q)| p != q), "seeds differ");
+    }
+
+    #[test]
+    fn adjacency_respects_range() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(99.0, 0.0), Point::new(250.0, 0.0)];
+        let adj = adjacency_from_positions(&pts, &pl());
+        assert!(adj.has_edge(NodeId(0), NodeId(1)));
+        assert!(!adj.has_edge(NodeId(0), NodeId(2)));
+        assert!(!adj.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn field_covers_linear_span() {
+        let kind = TopologyKind::Linear { n: 8, spacing_m: 55.0 };
+        let f = field_for(&kind);
+        assert!(f.width >= 7.0 * 55.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Failure-injection tests: the assembled system under hostile conditions.
+
+use jtp_netsim::{run_experiment, ExperimentConfig, FlowSpec, TransportKind};
+use jtp_phys::gilbert::GilbertConfig;
+use jtp_sim::{NodeId, SimDuration};
+
+fn spec(src: u32, dst: u32, packets: u32, lt: f64) -> FlowSpec {
+    FlowSpec {
+        src: NodeId(src),
+        dst: NodeId(dst),
+        start: SimDuration::from_secs(5),
+        packets,
+        loss_tolerance: lt,
+        initial_rate_pps: None,
+    }
+}
+
+#[test]
+fn starved_energy_budget_drops_packets_but_never_wedges() {
+    let mut cfg = ExperimentConfig::linear(6)
+        .transport(TransportKind::Jtp)
+        .duration_s(1200.0)
+        .seed(1)
+        .flow(spec(0, 5, 100, 0.0));
+    // One transmission of an 828-B packet costs ~0.25 mJ = 250_000 nJ;
+    // a 6-hop path needs >= 5 transmissions. Budget two hops' worth:
+    // every packet dies mid-path until the energy-budget controller
+    // raises the budget from measured energy-used samples.
+    cfg.jtp.initial_energy_budget_nj = 500_000;
+    let m = run_experiment(&cfg);
+    assert!(
+        m.energy_budget_drops > 0,
+        "tight budgets must cause mid-path energy drops"
+    );
+    // The receiver monitors energy-used and feeds back β·eUCL, so the
+    // budget grows and data eventually flows.
+    assert!(
+        m.delivered_packets > 0,
+        "energy-budget controller never recovered: {m:?}"
+    );
+}
+
+#[test]
+fn permanently_partitioned_network_reports_no_route() {
+    // Two nodes out of range of each other: the flow can never start
+    // moving, and the simulation must terminate cleanly regardless.
+    let mut cfg = ExperimentConfig::linear(2)
+        .transport(TransportKind::Jtp)
+        .duration_s(300.0)
+        .seed(2)
+        .flow(spec(0, 1, 10, 0.0));
+    if let jtp_netsim::TopologyKind::Linear { spacing_m, .. } = &mut cfg.topology {
+        *spacing_m = 500.0; // far beyond the 100 m radio range
+    }
+    let m = run_experiment(&cfg);
+    assert_eq!(m.delivered_packets, 0);
+    assert!(m.no_route_drops > 0, "routing should report missing routes");
+    assert_eq!(m.energy_total_j, 0.0, "nothing transmitted, nothing spent");
+}
+
+#[test]
+fn continuous_deep_fade_still_delivers_with_full_reliability() {
+    // Worst channel we model: 50% of time in fades of 90% loss.
+    let mut cfg = ExperimentConfig::linear(4)
+        .transport(TransportKind::Jtp)
+        .duration_s(4000.0)
+        .seed(3)
+        .flow(spec(0, 3, 50, 0.0));
+    cfg.gilbert = GilbertConfig {
+        bad_fraction: 0.5,
+        bad_loss_floor: 0.9,
+        ..GilbertConfig::paper_default()
+    };
+    let m = run_experiment(&cfg);
+    assert_eq!(
+        m.flows[0].delivered_packets, 50,
+        "full reliability must survive fades: {:?}",
+        m.flows[0]
+    );
+    // Recovery machinery must have been exercised.
+    assert!(m.source_retransmissions + m.local_recoveries > 0);
+}
+
+#[test]
+fn tiny_queues_under_many_flows_do_not_deadlock() {
+    let mut cfg = ExperimentConfig::linear(6)
+        .transport(TransportKind::Jtp)
+        .duration_s(1500.0)
+        .seed(4);
+    cfg.mac.queue_capacity = 2;
+    for i in 0..4u32 {
+        cfg = cfg.flow(FlowSpec {
+            src: NodeId(i % 3),
+            dst: NodeId(5 - (i % 2)),
+            start: SimDuration::from_secs(5 + i as u64 * 3),
+            packets: 60,
+            loss_tolerance: 0.0,
+            initial_rate_pps: None,
+        });
+    }
+    let m = run_experiment(&cfg);
+    assert!(m.queue_drops > 0, "2-slot queues must overflow");
+    for f in &m.flows {
+        assert!(
+            f.delivered_packets >= 30,
+            "flow {} starved under queue pressure: {f:?}",
+            f.flow
+        );
+    }
+}
+
+#[test]
+fn single_packet_cache_still_helps_a_little() {
+    let mut with_tiny = ExperimentConfig::linear(6)
+        .transport(TransportKind::Jtp)
+        .duration_s(2500.0)
+        .seed(5)
+        .flow(spec(0, 5, 150, 0.0));
+    with_tiny.jtp.cache_capacity = 1;
+    with_tiny.gilbert = GilbertConfig {
+        bad_fraction: 0.3,
+        bad_loss_floor: 0.85,
+        ..GilbertConfig::paper_default()
+    };
+    let m = run_experiment(&with_tiny);
+    assert!(m.flows[0].delivered_packets >= 140);
+    // With capacity 1, hits are rare but the system must stay correct.
+    assert!(m.local_recoveries <= m.source_retransmissions + m.local_recoveries);
+}
+
+#[test]
+fn flows_starting_at_simulation_end_are_harmless() {
+    let cfg = ExperimentConfig::linear(3)
+        .transport(TransportKind::Jtp)
+        .duration_s(100.0)
+        .seed(6)
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(2),
+            start: SimDuration::from_secs(99),
+            packets: 50,
+            loss_tolerance: 0.0,
+            initial_rate_pps: None,
+        });
+    let m = run_experiment(&cfg);
+    assert!(!m.flows[0].completed);
+    assert!(m.delivered_packets <= 2);
+}
+
+#[test]
+fn bidirectional_flows_between_same_pair_coexist() {
+    let cfg = ExperimentConfig::linear(5)
+        .transport(TransportKind::Jtp)
+        .duration_s(2500.0)
+        .seed(7)
+        .flow(spec(0, 4, 120, 0.0))
+        .flow(spec(4, 0, 120, 0.0));
+    let m = run_experiment(&cfg);
+    for f in &m.flows {
+        assert!(f.completed, "flow {} incomplete: {f:?}", f.flow);
+    }
+}
+
+#[test]
+fn tcp_survives_deep_fades_eventually() {
+    let mut cfg = ExperimentConfig::linear(4)
+        .transport(TransportKind::Tcp)
+        .duration_s(4000.0)
+        .seed(8)
+        .flow(spec(0, 3, 40, 0.0));
+    cfg.gilbert = GilbertConfig {
+        bad_fraction: 0.4,
+        bad_loss_floor: 0.85,
+        ..GilbertConfig::paper_default()
+    };
+    let m = run_experiment(&cfg);
+    assert!(
+        m.flows[0].delivered_packets >= 35,
+        "TCP should crawl through via RTO: {:?}",
+        m.flows[0]
+    );
+}
+
+#[test]
+fn atp_survives_feedback_starvation() {
+    // Short simulation where only a couple of constant-rate feedbacks fit:
+    // the rate-halving timeout path must keep the sender alive.
+    let cfg = ExperimentConfig::linear(4)
+        .transport(TransportKind::Atp)
+        .duration_s(1000.0)
+        .seed(9)
+        .flow(spec(0, 3, 60, 0.0));
+    let m = run_experiment(&cfg);
+    assert!(m.flows[0].delivered_packets >= 50, "{:?}", m.flows[0]);
+}

@@ -1,0 +1,128 @@
+//! 2-D geometry: node positions and the deployment field.
+
+/// A position in the 2-D deployment field, in metres.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point {
+    /// East-west coordinate (m).
+    pub x: f64,
+    /// North-south coordinate (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct from coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// The point at parameter `t ∈ [0,1]` on the segment `self → other`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+}
+
+/// A rectangular deployment field `[0, width] × [0, height]` (metres).
+#[derive(Clone, Copy, Debug)]
+pub struct Field {
+    /// Width in metres.
+    pub width: f64,
+    /// Height in metres.
+    pub height: f64,
+}
+
+impl Field {
+    /// Construct a field; both dimensions must be positive.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "field must have positive area");
+        Field { width, height }
+    }
+
+    /// A square field of the given side.
+    pub fn square(side: f64) -> Self {
+        Self::new(side, side)
+    }
+
+    /// Clamp a point into the field.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point {
+            x: p.x.clamp(0.0, self.width),
+            y: p.y.clamp(0.0, self.height),
+        }
+    }
+
+    /// True if the point lies inside (or on the border of) the field.
+    pub fn contains(&self, p: Point) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Uniformly random point inside the field.
+    pub fn random_point(&self, rng: &mut jtp_sim::SimRng) -> Point {
+        Point {
+            x: rng.uniform(0.0, self.width),
+            y: rng.uniform(0.0, self.height),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jtp_sim::SimRng;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-3.0, 7.0);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let m = a.lerp(b, 0.5);
+        assert!((m.x - 5.0).abs() < 1e-12 && (m.y - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_clamp_and_contains() {
+        let f = Field::square(100.0);
+        assert!(f.contains(Point::new(50.0, 50.0)));
+        assert!(!f.contains(Point::new(-1.0, 50.0)));
+        let c = f.clamp(Point::new(150.0, -20.0));
+        assert_eq!(c, Point::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn random_points_inside() {
+        let f = Field::new(30.0, 60.0);
+        let mut rng = SimRng::new(1);
+        for _ in 0..500 {
+            assert!(f.contains(f.random_point(&mut rng)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive area")]
+    fn zero_field_rejected() {
+        Field::new(0.0, 10.0);
+    }
+}

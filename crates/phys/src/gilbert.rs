@@ -1,0 +1,255 @@
+//! Two-state Gilbert-Elliott channel process.
+//!
+//! §6.1.1 of the paper: *"To capture the varying quality of wireless links,
+//! the value of the average pathloss of each link alternates between a good
+//! state (low loss) and a bad state (high loss). Each link is in bad state
+//! approximately 10 % of the time. The average duration of the bad period is
+//! 3 seconds."*
+//!
+//! Dwell times in each state are exponential. With mean bad dwell `T_b` and
+//! bad-state fraction `f`, the mean good dwell is `T_b · (1−f)/f` (27 s for
+//! the defaults). The process is advanced lazily: each query at time `now`
+//! replays any state flips that occurred since the last query, using a
+//! dedicated RNG substream so the channel evolution of one link never
+//! perturbs another.
+
+use jtp_sim::{SimDuration, SimRng, SimTime};
+
+/// Channel state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChannelState {
+    /// Low-loss state.
+    Good,
+    /// High-loss state (deep fade / interference burst).
+    Bad,
+}
+
+/// Configuration of the two-state process.
+#[derive(Clone, Copy, Debug)]
+pub struct GilbertConfig {
+    /// Long-run fraction of time spent in the bad state.
+    pub bad_fraction: f64,
+    /// Mean dwell time of the bad state.
+    pub mean_bad_duration: SimDuration,
+    /// Multiplier applied to the baseline loss probability in the bad state
+    /// (capped at loss 1.0).
+    pub bad_loss_multiplier: f64,
+    /// Absolute minimum loss probability in the bad state, so that even
+    /// short links suffer during fades.
+    pub bad_loss_floor: f64,
+}
+
+impl GilbertConfig {
+    /// The paper's §6.1.1 parameterisation: 10 % bad, 3 s mean bad dwell.
+    pub fn paper_default() -> Self {
+        GilbertConfig {
+            bad_fraction: 0.10,
+            mean_bad_duration: SimDuration::from_secs(3),
+            bad_loss_multiplier: 8.0,
+            bad_loss_floor: 0.5,
+        }
+    }
+
+    /// A stable, always-good channel (used for the Table 2 testbed surrogate
+    /// where "links are more stable and their quality is much better").
+    pub fn stable() -> Self {
+        GilbertConfig {
+            bad_fraction: 0.0,
+            mean_bad_duration: SimDuration::from_secs(3),
+            bad_loss_multiplier: 1.0,
+            bad_loss_floor: 0.0,
+        }
+    }
+
+    /// Mean good-state dwell implied by the bad fraction.
+    pub fn mean_good_duration(&self) -> SimDuration {
+        if self.bad_fraction <= 0.0 {
+            return SimDuration::MAX;
+        }
+        let ratio = (1.0 - self.bad_fraction) / self.bad_fraction;
+        SimDuration::from_secs_f64(self.mean_bad_duration.as_secs_f64() * ratio)
+    }
+}
+
+/// One link's lazily-advanced Gilbert-Elliott process.
+#[derive(Clone, Debug)]
+pub struct GilbertElliott {
+    cfg: GilbertConfig,
+    state: ChannelState,
+    next_flip: SimTime,
+    rng: SimRng,
+}
+
+impl GilbertElliott {
+    /// Create the process for one directed link. `seed`/`link_id` select the
+    /// RNG substream.
+    pub fn new(cfg: GilbertConfig, seed: u64, link_id: u64) -> Self {
+        let mut rng = SimRng::derive_indexed(seed, "gilbert", link_id);
+        // Start in steady state: Bad with probability bad_fraction.
+        let start_bad = cfg.bad_fraction > 0.0 && rng.chance(cfg.bad_fraction);
+        let state = if start_bad {
+            ChannelState::Bad
+        } else {
+            ChannelState::Good
+        };
+        let mut ge = GilbertElliott {
+            cfg,
+            state,
+            next_flip: SimTime::ZERO,
+            rng,
+        };
+        ge.next_flip = SimTime::ZERO + ge.sample_dwell();
+        ge
+    }
+
+    fn sample_dwell(&mut self) -> SimDuration {
+        let mean = match self.state {
+            ChannelState::Good => self.cfg.mean_good_duration(),
+            ChannelState::Bad => self.cfg.mean_bad_duration,
+        };
+        if mean == SimDuration::MAX {
+            return SimDuration::MAX;
+        }
+        SimDuration::from_secs_f64(self.rng.exponential(mean.as_secs_f64()))
+    }
+
+    /// Advance the process to `now` and return the current state.
+    pub fn state_at(&mut self, now: SimTime) -> ChannelState {
+        while self.next_flip <= now {
+            self.state = match self.state {
+                ChannelState::Good => ChannelState::Bad,
+                ChannelState::Bad => ChannelState::Good,
+            };
+            let dwell = self.sample_dwell();
+            if dwell == SimDuration::MAX {
+                self.next_flip = SimTime::MAX;
+            } else {
+                self.next_flip = self.next_flip.saturating_add(dwell);
+            }
+        }
+        self.state
+    }
+
+    /// Effective per-attempt loss probability at `now`, given the link's
+    /// distance-based baseline loss.
+    pub fn loss_prob(&mut self, now: SimTime, baseline: f64) -> f64 {
+        match self.state_at(now) {
+            ChannelState::Good => baseline,
+            ChannelState::Bad => (baseline * self.cfg.bad_loss_multiplier)
+                .max(self.cfg.bad_loss_floor)
+                .min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_good_duration_from_fraction() {
+        let cfg = GilbertConfig::paper_default();
+        // 10% bad, 3 s bad dwell => 27 s good dwell.
+        assert!((cfg.mean_good_duration().as_secs_f64() - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stable_channel_never_goes_bad() {
+        let mut ge = GilbertElliott::new(GilbertConfig::stable(), 1, 0);
+        for s in 0..1000 {
+            assert_eq!(
+                ge.state_at(SimTime::from_secs_f64(s as f64 * 10.0)),
+                ChannelState::Good
+            );
+        }
+    }
+
+    #[test]
+    fn long_run_bad_fraction_near_ten_percent() {
+        let cfg = GilbertConfig::paper_default();
+        let mut bad_time = 0.0;
+        let total = 40_000.0; // simulated seconds, sampled each 100 ms
+        // Average over several independent links to tighten the estimate.
+        for link in 0..10 {
+            let mut ge = GilbertElliott::new(cfg, 42, link);
+            let mut t = 0.0;
+            while t < total {
+                if ge.state_at(SimTime::from_secs_f64(t)) == ChannelState::Bad {
+                    bad_time += 0.1;
+                }
+                t += 0.1;
+            }
+        }
+        let fraction = bad_time / (total * 10.0);
+        assert!(
+            (fraction - 0.10).abs() < 0.02,
+            "bad fraction = {fraction}, expected ~0.10"
+        );
+    }
+
+    #[test]
+    fn bad_state_raises_loss() {
+        let cfg = GilbertConfig::paper_default();
+        let mut ge = GilbertElliott::new(cfg, 7, 3);
+        // Find a time in each state.
+        let mut saw_good = None;
+        let mut saw_bad = None;
+        let mut t = 0.0;
+        while (saw_good.is_none() || saw_bad.is_none()) && t < 10_000.0 {
+            match ge.state_at(SimTime::from_secs_f64(t)) {
+                ChannelState::Good => saw_good = Some(t),
+                ChannelState::Bad => saw_bad = Some(t),
+            }
+            t += 0.5;
+        }
+        let (tg, tb) = (saw_good.unwrap(), saw_bad.unwrap());
+        // Query a fresh process in time order to compare losses.
+        let mut ge2 = GilbertElliott::new(cfg, 7, 3);
+        let (first, second) = if tg < tb { (tg, tb) } else { (tb, tg) };
+        let l1 = ge2.loss_prob(SimTime::from_secs_f64(first), 0.05);
+        let l2 = ge2.loss_prob(SimTime::from_secs_f64(second), 0.05);
+        let (good_loss, bad_loss) = if tg < tb { (l1, l2) } else { (l2, l1) };
+        assert_eq!(good_loss, 0.05);
+        assert!(bad_loss >= 0.5, "bad loss {bad_loss} should hit the floor");
+    }
+
+    #[test]
+    fn loss_never_exceeds_one() {
+        let cfg = GilbertConfig {
+            bad_loss_multiplier: 100.0,
+            ..GilbertConfig::paper_default()
+        };
+        let mut ge = GilbertElliott::new(cfg, 9, 0);
+        for s in 0..2000 {
+            let l = ge.loss_prob(SimTime::from_secs_f64(s as f64), 0.3);
+            assert!((0.0..=1.0).contains(&l));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_link() {
+        let cfg = GilbertConfig::paper_default();
+        let mut a = GilbertElliott::new(cfg, 5, 2);
+        let mut b = GilbertElliott::new(cfg, 5, 2);
+        for s in 0..500 {
+            let t = SimTime::from_secs_f64(s as f64 * 0.7);
+            assert_eq!(a.state_at(t), b.state_at(t));
+        }
+    }
+
+    #[test]
+    fn different_links_evolve_differently() {
+        let cfg = GilbertConfig::paper_default();
+        let mut a = GilbertElliott::new(cfg, 5, 0);
+        let mut b = GilbertElliott::new(cfg, 5, 1);
+        let mut differs = false;
+        for s in 0..2000 {
+            let t = SimTime::from_secs_f64(s as f64 * 0.5);
+            if a.state_at(t) != b.state_at(t) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "independent links should diverge");
+    }
+}

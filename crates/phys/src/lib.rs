@@ -1,0 +1,33 @@
+//! # jtp-phys — physical-layer models
+//!
+//! The models that stand in for the JAVeLEN radios and the OPNET channel in
+//! the paper's evaluation:
+//!
+//! * [`geom`] — 2-D positions and fields,
+//! * [`pathloss`] — distance → per-attempt frame loss probability,
+//! * [`gilbert`] — the two-state good/bad channel process the paper uses for
+//!   linear-topology experiments ("the value of the average pathloss of each
+//!   link alternates between a good state and a bad state. Each link is in
+//!   bad state approximately 10 % of the time. The average duration of the
+//!   bad period is 3 seconds", §6.1.1),
+//! * [`energy`] — the link-layer energy monitor ("computes the energy spent
+//!   for the transmission of each transport-layer packet based on the
+//!   transmission power, the radio's datarate and the packet's length",
+//!   §6.1) and per-node accumulators,
+//! * [`mobility`] — random-waypoint mobility (random direction, mean leg
+//!   47 m, mean pause 100 s; speeds 0.1 / 1 / 5 m/s, §6.1.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod geom;
+pub mod gilbert;
+pub mod mobility;
+pub mod pathloss;
+
+pub use energy::{EnergyMeter, RadioEnergyModel};
+pub use geom::{Field, Point};
+pub use gilbert::GilbertElliott;
+pub use mobility::{MobilityModel, RandomWaypoint, Stationary};
+pub use pathloss::PathLoss;

@@ -1,0 +1,282 @@
+//! Node mobility models.
+//!
+//! §6.1.2 of the paper: *"We used the random way point mobility model in
+//! which each node chooses a random direction and moves in that direction
+//! for an average distance of 47 m. There is an average pause of 100 s
+//! between movements for each node."* Speeds evaluated: 0.1, 1 and 5 m/s.
+//!
+//! Models are advanced lazily like the channel process: querying a position
+//! at time `now` replays all completed legs/pauses since the last query
+//! from the node's dedicated RNG substream.
+
+use crate::geom::{Field, Point};
+use jtp_sim::{SimRng, SimTime};
+
+/// A mobility model answers "where is this node at time t?" for
+/// non-decreasing queries of `t`.
+pub trait MobilityModel {
+    /// Position at time `now`. Implementations may assume `now` never
+    /// decreases between calls.
+    fn position_at(&mut self, now: SimTime) -> Point;
+
+    /// True if the node can ever move (lets assemblies skip topology
+    /// refresh work for fully static networks).
+    fn is_mobile(&self) -> bool;
+}
+
+/// A node that never moves.
+#[derive(Clone, Copy, Debug)]
+pub struct Stationary {
+    /// The fixed position.
+    pub position: Point,
+}
+
+impl Stationary {
+    /// Place a stationary node.
+    pub fn new(position: Point) -> Self {
+        Stationary { position }
+    }
+}
+
+impl MobilityModel for Stationary {
+    fn position_at(&mut self, _now: SimTime) -> Point {
+        self.position
+    }
+    fn is_mobile(&self) -> bool {
+        false
+    }
+}
+
+/// Phase of the random-waypoint process.
+#[derive(Clone, Copy, Debug)]
+enum Phase {
+    /// Paused at a point until the stored time.
+    Paused { until: SimTime },
+    /// Moving from `from` towards `to`, departing at `start` and arriving at
+    /// `arrive`.
+    Moving {
+        from: Point,
+        to: Point,
+        start: SimTime,
+        arrive: SimTime,
+    },
+}
+
+/// Random-waypoint mobility with the paper's leg/pause structure.
+#[derive(Clone, Debug)]
+pub struct RandomWaypoint {
+    field: Field,
+    speed_mps: f64,
+    mean_leg_m: f64,
+    mean_pause_s: f64,
+    position: Point,
+    phase: Phase,
+    rng: SimRng,
+}
+
+impl RandomWaypoint {
+    /// Create a mobile node starting at `start`.
+    ///
+    /// * `speed_mps` — constant movement speed (paper: 0.1 / 1 / 5 m/s),
+    /// * `mean_leg_m` — exponential mean of per-leg distance (paper: 47 m),
+    /// * `mean_pause_s` — exponential mean pause between legs (paper:
+    ///   100 s).
+    pub fn new(
+        field: Field,
+        start: Point,
+        speed_mps: f64,
+        mean_leg_m: f64,
+        mean_pause_s: f64,
+        seed: u64,
+        node_id: u64,
+    ) -> Self {
+        assert!(speed_mps > 0.0, "speed must be positive");
+        assert!(mean_leg_m > 0.0, "mean leg must be positive");
+        let mut rng = SimRng::derive_indexed(seed, "waypoint", node_id);
+        let first_pause = rng.exponential(mean_pause_s.max(f64::MIN_POSITIVE));
+        RandomWaypoint {
+            field,
+            speed_mps,
+            mean_leg_m,
+            mean_pause_s,
+            position: field.clamp(start),
+            phase: Phase::Paused {
+                until: SimTime::from_secs_f64(first_pause),
+            },
+            rng,
+        }
+    }
+
+    /// The paper's parameterisation: mean leg 47 m, mean pause 100 s.
+    pub fn paper_default(
+        field: Field,
+        start: Point,
+        speed_mps: f64,
+        seed: u64,
+        node_id: u64,
+    ) -> Self {
+        Self::new(field, start, speed_mps, 47.0, 100.0, seed, node_id)
+    }
+
+    fn start_new_leg(&mut self, at: SimTime) {
+        let dist = self.rng.exponential(self.mean_leg_m);
+        let dir = self.rng.uniform(0.0, std::f64::consts::TAU);
+        let target = self.field.clamp(Point::new(
+            self.position.x + dist * dir.cos(),
+            self.position.y + dist * dir.sin(),
+        ));
+        let actual = self.position.distance(target);
+        let travel_s = actual / self.speed_mps;
+        self.phase = Phase::Moving {
+            from: self.position,
+            to: target,
+            start: at,
+            arrive: at + jtp_sim::SimDuration::from_secs_f64(travel_s),
+        };
+    }
+
+    fn start_pause(&mut self, at: SimTime) {
+        let pause = self.rng.exponential(self.mean_pause_s.max(f64::MIN_POSITIVE));
+        self.phase = Phase::Paused {
+            until: at + jtp_sim::SimDuration::from_secs_f64(pause),
+        };
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn position_at(&mut self, now: SimTime) -> Point {
+        loop {
+            match self.phase {
+                Phase::Paused { until } => {
+                    if now < until {
+                        return self.position;
+                    }
+                    self.start_new_leg(until);
+                }
+                Phase::Moving {
+                    from,
+                    to,
+                    start,
+                    arrive,
+                } => {
+                    if now >= arrive {
+                        self.position = to;
+                        self.start_pause(arrive);
+                        continue;
+                    }
+                    let span = arrive.since(start).as_secs_f64();
+                    let t = if span <= 0.0 {
+                        1.0
+                    } else {
+                        now.since(start).as_secs_f64() / span
+                    };
+                    self.position = from.lerp(to, t);
+                    return self.position;
+                }
+            }
+        }
+    }
+
+    fn is_mobile(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Field {
+        Field::square(200.0)
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut s = Stationary::new(Point::new(5.0, 6.0));
+        assert!(!s.is_mobile());
+        for t in 0..100 {
+            assert_eq!(
+                s.position_at(SimTime::from_secs_f64(t as f64 * 13.0)),
+                Point::new(5.0, 6.0)
+            );
+        }
+    }
+
+    #[test]
+    fn waypoint_stays_in_field() {
+        let mut m =
+            RandomWaypoint::paper_default(field(), Point::new(100.0, 100.0), 5.0, 3, 0);
+        for t in 0..5000 {
+            let p = m.position_at(SimTime::from_secs_f64(t as f64));
+            assert!(field().contains(p), "escaped the field at t={t}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn waypoint_actually_moves() {
+        let mut m =
+            RandomWaypoint::paper_default(field(), Point::new(100.0, 100.0), 1.0, 4, 1);
+        let start = m.position_at(SimTime::ZERO);
+        let later = m.position_at(SimTime::from_secs_f64(4000.0));
+        // With pauses of mean 100 s and legs of mean 47 m, the node has
+        // almost surely moved over 4000 s.
+        assert!(start.distance(later) > 0.0);
+    }
+
+    #[test]
+    fn speed_is_respected_during_motion() {
+        let mut m =
+            RandomWaypoint::paper_default(field(), Point::new(100.0, 100.0), 2.0, 5, 2);
+        // Sample densely; displacement per second can never exceed speed.
+        let mut prev = m.position_at(SimTime::ZERO);
+        for t in 1..3000 {
+            let now = SimTime::from_secs_f64(t as f64 * 0.5);
+            let p = m.position_at(now);
+            let d = prev.distance(p);
+            // Tolerance covers microsecond rounding of leg arrival times.
+            assert!(d <= 2.0 * 0.5 + 1e-4, "moved {d} m in 0.5 s at t={t}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a =
+            RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 7);
+        let mut b =
+            RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 7);
+        for t in 0..500 {
+            let now = SimTime::from_secs_f64(t as f64 * 3.3);
+            assert_eq!(a.position_at(now), b.position_at(now));
+        }
+    }
+
+    #[test]
+    fn different_nodes_wander_differently() {
+        let mut a =
+            RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 0);
+        let mut b =
+            RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 1);
+        let t = SimTime::from_secs_f64(2000.0);
+        assert_ne!(a.position_at(t), b.position_at(t));
+    }
+
+    #[test]
+    fn slow_nodes_cover_less_ground() {
+        let origin = Point::new(100.0, 100.0);
+        // Expected displacement over a fixed horizon grows with speed.
+        let mut total_slow = 0.0;
+        let mut total_fast = 0.0;
+        for node in 0..20 {
+            let mut slow = RandomWaypoint::paper_default(field(), origin, 0.1, 13, node);
+            let mut fast = RandomWaypoint::paper_default(field(), origin, 5.0, 13, node);
+            let t = SimTime::from_secs_f64(500.0);
+            total_slow += origin.distance(slow.position_at(t));
+            total_fast += origin.distance(fast.position_at(t));
+        }
+        assert!(
+            total_fast > total_slow,
+            "fast {total_fast} <= slow {total_slow}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Distance → per-attempt frame-loss probability.
+//!
+//! The paper controls loss directly ("the value of the average pathloss of
+//! each link alternates between a good state and a bad state"), so our model
+//! maps geometry to a *baseline* loss probability which the
+//! [Gilbert-Elliott](crate::gilbert) process then modulates:
+//!
+//! * within `full_quality_range` the baseline loss is `base_loss`,
+//! * between `full_quality_range` and `max_range` loss degrades smoothly
+//!   (quadratic in normalized excess distance) up to `edge_loss`,
+//! * beyond `max_range` frames are never received (loss = 1), which also
+//!   defines connectivity for topology generation and neighbour discovery.
+
+/// Distance-based loss model shared by all links.
+#[derive(Clone, Copy, Debug)]
+pub struct PathLoss {
+    /// Distance (m) up to which the link shows only the base loss.
+    pub full_quality_range: f64,
+    /// Maximum communication range (m); loss is 1 beyond it.
+    pub max_range: f64,
+    /// Per-attempt loss probability within full quality range.
+    pub base_loss: f64,
+    /// Per-attempt loss probability right at `max_range`.
+    pub edge_loss: f64,
+}
+
+impl PathLoss {
+    /// A model tuned for the paper's scenarios: ~47 m legs, fields sized for
+    /// connectivity. Good quality to 60 m, usable to 100 m.
+    pub fn javelen_default() -> Self {
+        PathLoss {
+            full_quality_range: 60.0,
+            max_range: 100.0,
+            base_loss: 0.05,
+            edge_loss: 0.6,
+        }
+    }
+
+    /// Validate parameters (ranges ordered, probabilities in `[0,1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.full_quality_range > 0.0 && self.max_range >= self.full_quality_range) {
+            return Err(format!(
+                "ranges must satisfy 0 < full ({}) <= max ({})",
+                self.full_quality_range, self.max_range
+            ));
+        }
+        for (name, p) in [("base_loss", self.base_loss), ("edge_loss", self.edge_loss)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} outside [0,1]"));
+            }
+        }
+        if self.edge_loss < self.base_loss {
+            return Err("edge_loss must be >= base_loss".into());
+        }
+        Ok(())
+    }
+
+    /// Per-attempt loss probability at the given distance (m).
+    pub fn loss_at(&self, distance: f64) -> f64 {
+        if distance <= self.full_quality_range {
+            self.base_loss
+        } else if distance >= self.max_range {
+            1.0
+        } else {
+            // Quadratic ramp: gentle right after full-quality range,
+            // steep near the edge — matching the cliff-like behaviour of
+            // real low-power radios.
+            let t = (distance - self.full_quality_range)
+                / (self.max_range - self.full_quality_range);
+            self.base_loss + (self.edge_loss - self.base_loss) * t * t
+        }
+    }
+
+    /// True when two radios at this distance can communicate at all.
+    pub fn in_range(&self, distance: f64) -> bool {
+        distance < self.max_range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        PathLoss::javelen_default().validate().unwrap();
+    }
+
+    #[test]
+    fn loss_regions() {
+        let pl = PathLoss::javelen_default();
+        assert_eq!(pl.loss_at(0.0), pl.base_loss);
+        assert_eq!(pl.loss_at(60.0), pl.base_loss);
+        assert_eq!(pl.loss_at(100.0), 1.0);
+        assert_eq!(pl.loss_at(500.0), 1.0);
+        let mid = pl.loss_at(80.0);
+        assert!(mid > pl.base_loss && mid < pl.edge_loss);
+    }
+
+    #[test]
+    fn loss_is_monotone_in_distance() {
+        let pl = PathLoss::javelen_default();
+        let mut prev = 0.0;
+        for d in 0..120 {
+            let l = pl.loss_at(d as f64);
+            assert!(l >= prev - 1e-12, "loss decreased at d={d}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn in_range_matches_max_range() {
+        let pl = PathLoss::javelen_default();
+        assert!(pl.in_range(99.9));
+        assert!(!pl.in_range(100.0));
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut pl = PathLoss::javelen_default();
+        pl.base_loss = 1.5;
+        assert!(pl.validate().is_err());
+        let mut pl = PathLoss::javelen_default();
+        pl.max_range = 10.0;
+        assert!(pl.validate().is_err());
+        let mut pl = PathLoss::javelen_default();
+        pl.edge_loss = 0.0;
+        assert!(pl.validate().is_err());
+    }
+}

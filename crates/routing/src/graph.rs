@@ -1,0 +1,164 @@
+//! Undirected connectivity graphs and shortest-path distances.
+
+use jtp_sim::NodeId;
+
+/// Symmetric adjacency over `n` nodes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Adjacency {
+    n: usize,
+    edges: Vec<bool>, // row-major n×n
+}
+
+/// Distance marker for unreachable pairs.
+pub const UNREACHABLE: u16 = u16::MAX;
+
+impl Adjacency {
+    /// An edgeless graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Adjacency {
+            n,
+            edges: vec![false; n * n],
+        }
+    }
+
+    /// A linear chain 0—1—…—(n−1), the paper's linear topologies.
+    pub fn linear(n: usize) -> Self {
+        let mut a = Adjacency::new(n);
+        for i in 1..n {
+            a.set_edge(NodeId(i as u32 - 1), NodeId(i as u32), true);
+        }
+        a
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn idx(&self, a: NodeId, b: NodeId) -> usize {
+        a.index() * self.n + b.index()
+    }
+
+    /// Add or remove the undirected edge `{a, b}`.
+    pub fn set_edge(&mut self, a: NodeId, b: NodeId, present: bool) {
+        assert!(a.index() < self.n && b.index() < self.n);
+        assert_ne!(a, b, "self loops are meaningless");
+        let (i, j) = (self.idx(a, b), self.idx(b, a));
+        self.edges[i] = present;
+        self.edges[j] = present;
+    }
+
+    /// Edge presence.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.edges[self.idx(a, b)]
+    }
+
+    /// Neighbours of `a` in ascending id order.
+    pub fn neighbors(&self, a: NodeId) -> Vec<NodeId> {
+        (0..self.n as u32)
+            .map(NodeId)
+            .filter(|&b| self.has_edge(a, b))
+            .collect()
+    }
+
+    /// BFS hop distances from `src` to every node (`UNREACHABLE` when
+    /// disconnected).
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<u16> {
+        let mut dist = vec![UNREACHABLE; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.index()] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            for v in self.neighbors(u) {
+                if dist[v.index()] == UNREACHABLE {
+                    dist[v.index()] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs hop distances (row = source).
+    pub fn all_pairs_distances(&self) -> Vec<Vec<u16>> {
+        (0..self.n as u32)
+            .map(|i| self.bfs_distances(NodeId(i)))
+            .collect()
+    }
+
+    /// True when every node can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        self.bfs_distances(NodeId(0))
+            .iter()
+            .all(|&d| d != UNREACHABLE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_structure() {
+        let a = Adjacency::linear(5);
+        assert!(a.has_edge(NodeId(0), NodeId(1)));
+        assert!(a.has_edge(NodeId(3), NodeId(4)));
+        assert!(!a.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(a.neighbors(NodeId(2)), vec![NodeId(1), NodeId(3)]);
+        assert!(a.is_connected());
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let mut a = Adjacency::new(3);
+        a.set_edge(NodeId(0), NodeId(2), true);
+        assert!(a.has_edge(NodeId(2), NodeId(0)));
+        a.set_edge(NodeId(2), NodeId(0), false);
+        assert!(!a.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn bfs_distances_on_chain() {
+        let a = Adjacency::linear(6);
+        let d = a.bfs_distances(NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        let d2 = a.bfs_distances(NodeId(3));
+        assert_eq!(d2, vec![3, 2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut a = Adjacency::new(4);
+        a.set_edge(NodeId(0), NodeId(1), true);
+        a.set_edge(NodeId(2), NodeId(3), true);
+        assert!(!a.is_connected());
+        let d = a.bfs_distances(NodeId(0));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn all_pairs_matches_single_source() {
+        let a = Adjacency::linear(5);
+        let apsp = a.all_pairs_distances();
+        for i in 0..5u32 {
+            assert_eq!(apsp[i as usize], a.bfs_distances(NodeId(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn rejects_self_loop() {
+        let mut a = Adjacency::new(2);
+        a.set_edge(NodeId(1), NodeId(1), true);
+    }
+}

@@ -1,0 +1,34 @@
+//! # jtp-routing — link-state routing with possibly stale views
+//!
+//! The JAVeLEN substrate uses an energy-conserving link-state protocol
+//! (Santivanez et al., reference 29 of the paper) that gives each node *"a local,
+//! possibly inaccurate, view of the network's topology"*. JTP consumes
+//! exactly three things from it:
+//!
+//! 1. the **next hop** toward a destination,
+//! 2. the **remaining path length** `H_i` (drives the per-hop reliability
+//!    allocation, eq. 4),
+//! 3. approximately **symmetric routes**, so ACKs traverse the caches the
+//!    data populated.
+//!
+//! We reproduce that surface: a ground-truth [`Adjacency`] maintained by
+//! the assembly layer, and per-node [`LinkState`] views refreshed every
+//! `refresh_interval` — between refreshes a view is *stale*, which under
+//! mobility yields exactly the inconsistent topological views the paper's
+//! hop-by-hop tolerance update is designed to survive.
+//!
+//! Next hops minimise `(distance_to_destination, node_id)` — a
+//! deterministic tie-break. Forward and reverse paths always have equal
+//! length and *usually* coincide (always, on chains and trees); where
+//! equal-cost alternatives diverge, JTP's caching degrades gracefully —
+//! the design is explicitly opportunistic ("would seize any chance for
+//! locally recovering lost packets", §1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod linkstate;
+
+pub use graph::Adjacency;
+pub use linkstate::{LinkState, RoutingStats};

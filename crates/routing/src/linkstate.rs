@@ -1,0 +1,243 @@
+//! Per-node topology views and next-hop selection.
+
+use crate::graph::{Adjacency, UNREACHABLE};
+use jtp_sim::{NodeId, SimDuration, SimTime};
+
+/// One node's snapshot of the topology, plus its shortest-path distances.
+#[derive(Clone, Debug)]
+struct View {
+    adj: Adjacency,
+    dist: Vec<Vec<u16>>,
+    refreshed_at: SimTime,
+}
+
+/// Routing diagnostics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoutingStats {
+    /// View refreshes performed across all nodes.
+    pub refreshes: u64,
+    /// next_hop queries that found no route in the local view.
+    pub no_route: u64,
+}
+
+/// Link-state routing: one possibly stale snapshot (`View`) per node, refreshed
+/// from ground truth every `refresh_interval`.
+#[derive(Clone, Debug)]
+pub struct LinkState {
+    views: Vec<View>,
+    refresh_interval: SimDuration,
+    stats: RoutingStats,
+}
+
+impl LinkState {
+    /// Create with all views initialised from `initial` at t=0 (the
+    /// network boots with converged routing, like the paper's warm-up).
+    pub fn new(initial: &Adjacency, refresh_interval: SimDuration) -> Self {
+        let n = initial.len();
+        let dist = initial.all_pairs_distances();
+        let views = (0..n)
+            .map(|_| View {
+                adj: initial.clone(),
+                dist: dist.clone(),
+                refreshed_at: SimTime::ZERO,
+            })
+            .collect();
+        LinkState {
+            views,
+            refresh_interval,
+            stats: RoutingStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when managing zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Refresh every view whose snapshot is older than the refresh
+    /// interval. Call whenever ground truth may have changed (the assembly
+    /// calls this on mobility updates); cheap when nothing is due.
+    pub fn refresh_due_views(&mut self, now: SimTime, ground_truth: &Adjacency) {
+        for view in &mut self.views {
+            if now.since(view.refreshed_at) >= self.refresh_interval
+                && view.adj != *ground_truth
+            {
+                view.adj = ground_truth.clone();
+                view.dist = ground_truth.all_pairs_distances();
+                view.refreshed_at = now;
+                self.stats.refreshes += 1;
+            } else if now.since(view.refreshed_at) >= self.refresh_interval {
+                // Snapshot still accurate: just restart the staleness clock.
+                view.refreshed_at = now;
+            }
+        }
+    }
+
+    /// Force one node's view up to date (e.g. a node hears a broken-link
+    /// advertisement immediately).
+    pub fn force_refresh(&mut self, node: NodeId, now: SimTime, ground_truth: &Adjacency) {
+        let view = &mut self.views[node.index()];
+        view.adj = ground_truth.clone();
+        view.dist = ground_truth.all_pairs_distances();
+        view.refreshed_at = now;
+        self.stats.refreshes += 1;
+    }
+
+    /// Next hop from `from` toward `dst` according to **`from`'s own
+    /// view**: the neighbour minimising `(distance-to-dst, id)`.
+    pub fn next_hop(&mut self, from: NodeId, dst: NodeId) -> Option<NodeId> {
+        if from == dst {
+            return None;
+        }
+        let view = &self.views[from.index()];
+        let mut best: Option<(u16, NodeId)> = None;
+        for v in view.adj.neighbors(from) {
+            let d = view.dist[v.index()][dst.index()];
+            if d == UNREACHABLE {
+                continue;
+            }
+            if best.map_or(true, |(bd, bid)| (d, v) < (bd, bid)) {
+                best = Some((d, v));
+            }
+        }
+        if best.is_none() {
+            self.stats.no_route += 1;
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// Remaining hop count from `from` to `dst` in `from`'s view (the
+    /// `H_i` of eq. 4). None if the view has no route.
+    pub fn remaining_hops(&self, from: NodeId, dst: NodeId) -> Option<u32> {
+        if from == dst {
+            return Some(0);
+        }
+        let d = self.views[from.index()].dist[from.index()][dst.index()];
+        (d != UNREACHABLE).then_some(d as u32)
+    }
+
+    /// Walk the per-hop next-hop decisions from `src` to `dst`; returns
+    /// the node sequence, or None if the walk fails or loops (possible
+    /// with inconsistent views).
+    pub fn trace_path(&mut self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![src];
+        let mut cur = src;
+        let limit = self.len() * 2;
+        while cur != dst {
+            if path.len() > limit {
+                return None; // inconsistent views looped the packet
+            }
+            cur = self.next_hop(cur, dst)?;
+            path.push(cur);
+        }
+        Some(path)
+    }
+
+    /// Diagnostics.
+    pub fn stats(&self) -> RoutingStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(n: usize) -> LinkState {
+        LinkState::new(&Adjacency::linear(n), SimDuration::from_secs(5))
+    }
+
+    #[test]
+    fn chain_routing() {
+        let mut r = ls(5);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(4)), Some(NodeId(1)));
+        assert_eq!(r.next_hop(NodeId(3), NodeId(4)), Some(NodeId(4)));
+        assert_eq!(r.next_hop(NodeId(4), NodeId(0)), Some(NodeId(3)));
+        assert_eq!(r.remaining_hops(NodeId(0), NodeId(4)), Some(4));
+        assert_eq!(r.remaining_hops(NodeId(4), NodeId(4)), Some(0));
+    }
+
+    #[test]
+    fn paths_are_symmetric_on_consistent_views() {
+        let mut a = Adjacency::new(6);
+        // A small mesh with redundant routes.
+        for (u, v) in [(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (1, 4)] {
+            a.set_edge(NodeId(u), NodeId(v), true);
+        }
+        let mut r = LinkState::new(&a, SimDuration::from_secs(5));
+        let fwd = r.trace_path(NodeId(0), NodeId(5)).unwrap();
+        let mut rev = r.trace_path(NodeId(5), NodeId(0)).unwrap();
+        rev.reverse();
+        assert_eq!(fwd, rev, "deterministic tie-break => symmetric routes");
+    }
+
+    #[test]
+    fn stale_view_ignores_topology_change_until_refresh() {
+        let mut r = ls(3);
+        let mut truth = Adjacency::linear(3);
+        truth.set_edge(NodeId(1), NodeId(2), false); // link breaks
+        // Immediately after the break, views are stale: still routes via 1.
+        r.refresh_due_views(SimTime::from_secs_f64(1.0), &truth);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(2)), Some(NodeId(1)));
+        // After the refresh interval the view updates: no route.
+        r.refresh_due_views(SimTime::from_secs_f64(6.0), &truth);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(2)), None);
+        assert!(r.stats().no_route > 0);
+    }
+
+    #[test]
+    fn force_refresh_is_immediate_and_local() {
+        let mut r = ls(3);
+        let mut truth = Adjacency::linear(3);
+        truth.set_edge(NodeId(1), NodeId(2), false);
+        r.force_refresh(NodeId(0), SimTime::from_secs_f64(0.1), &truth);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(2)), None, "refreshed view");
+        assert_eq!(
+            r.next_hop(NodeId(1), NodeId(2)),
+            Some(NodeId(2)),
+            "other views untouched"
+        );
+    }
+
+    #[test]
+    fn next_hop_to_self_is_none() {
+        let mut r = ls(3);
+        assert_eq!(r.next_hop(NodeId(1), NodeId(1)), None);
+    }
+
+    #[test]
+    fn trace_detects_disconnection() {
+        let mut truth = Adjacency::new(4);
+        truth.set_edge(NodeId(0), NodeId(1), true);
+        truth.set_edge(NodeId(2), NodeId(3), true);
+        let mut r = LinkState::new(&truth, SimDuration::from_secs(5));
+        assert!(r.trace_path(NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn refresh_counts_only_real_changes() {
+        let mut r = ls(4);
+        let truth = Adjacency::linear(4);
+        r.refresh_due_views(SimTime::from_secs_f64(10.0), &truth);
+        assert_eq!(r.stats().refreshes, 0, "no change, no refresh work");
+        let mut changed = Adjacency::linear(4);
+        changed.set_edge(NodeId(0), NodeId(2), true);
+        r.refresh_due_views(SimTime::from_secs_f64(20.0), &changed);
+        assert_eq!(r.stats().refreshes, 4, "all views pick up the change");
+    }
+
+    #[test]
+    fn shortcut_is_used_after_refresh() {
+        let mut r = ls(4); // 0-1-2-3
+        let mut truth = Adjacency::linear(4);
+        truth.set_edge(NodeId(0), NodeId(3), true); // direct shortcut
+        r.refresh_due_views(SimTime::from_secs_f64(6.0), &truth);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(3)));
+        assert_eq!(r.remaining_hops(NodeId(0), NodeId(3)), Some(1));
+    }
+}

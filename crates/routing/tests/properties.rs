@@ -1,0 +1,117 @@
+//! Property-based tests of the link-state routing invariants.
+
+use jtp_routing::{Adjacency, LinkState};
+use jtp_sim::{NodeId, SimDuration, SimRng};
+use proptest::prelude::*;
+
+/// Build a random connected graph over `n` nodes from a seed: a random
+/// spanning chain plus extra random edges.
+fn random_connected(n: usize, seed: u64, extra_edges: usize) -> Adjacency {
+    let mut rng = SimRng::new(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut order);
+    let mut adj = Adjacency::new(n);
+    for w in order.windows(2) {
+        adj.set_edge(NodeId(w[0]), NodeId(w[1]), true);
+    }
+    for _ in 0..extra_edges {
+        let a = rng.below(n) as u32;
+        let b = rng.below(n) as u32;
+        if a != b {
+            adj.set_edge(NodeId(a), NodeId(b), true);
+        }
+    }
+    adj
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// On a connected graph with consistent views, every pair routes, the
+    /// hop-by-hop walk terminates, and its length equals the BFS distance.
+    #[test]
+    fn routes_follow_shortest_paths(
+        n in 2usize..15,
+        seed in any::<u64>(),
+        extra in 0usize..10,
+    ) {
+        let adj = random_connected(n, seed, extra);
+        let mut ls = LinkState::new(&adj, SimDuration::from_secs(5));
+        let dist = adj.all_pairs_distances();
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                if s == d {
+                    continue;
+                }
+                let path = ls.trace_path(NodeId(s), NodeId(d));
+                prop_assert!(path.is_some(), "no route {s}->{d}");
+                let path = path.unwrap();
+                prop_assert_eq!(
+                    path.len() - 1,
+                    dist[s as usize][d as usize] as usize,
+                    "path not shortest"
+                );
+                prop_assert_eq!(path[0], NodeId(s));
+                prop_assert_eq!(*path.last().unwrap(), NodeId(d));
+                // Consecutive path nodes are adjacent.
+                for w in path.windows(2) {
+                    prop_assert!(adj.has_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    /// Forward and reverse walks always have equal length; on chains
+    /// (no equal-cost alternatives) they coincide exactly — the symmetric
+    /// routes JTP's caching exploits. On dense graphs equal-cost
+    /// tie-breaking may pick different shortest paths per direction,
+    /// which the opportunistic cache design tolerates.
+    #[test]
+    fn reverse_routes_have_equal_length(
+        n in 2usize..12,
+        seed in any::<u64>(),
+        extra in 0usize..8,
+    ) {
+        let adj = random_connected(n, seed, extra);
+        let mut ls = LinkState::new(&adj, SimDuration::from_secs(5));
+        for s in 0..n as u32 {
+            for d in (s + 1)..n as u32 {
+                let fwd = ls.trace_path(NodeId(s), NodeId(d)).unwrap();
+                let rev = ls.trace_path(NodeId(d), NodeId(s)).unwrap();
+                prop_assert_eq!(fwd.len(), rev.len(), "{}->{} length asymmetry", s, d);
+            }
+        }
+    }
+
+    /// On chain topologies routes are exactly palindromic.
+    #[test]
+    fn chain_routes_are_exactly_symmetric(n in 2usize..20) {
+        let adj = Adjacency::linear(n);
+        let mut ls = LinkState::new(&adj, SimDuration::from_secs(5));
+        for s in 0..n as u32 {
+            for d in (s + 1)..n as u32 {
+                let fwd = ls.trace_path(NodeId(s), NodeId(d)).unwrap();
+                let mut rev = ls.trace_path(NodeId(d), NodeId(s)).unwrap();
+                rev.reverse();
+                prop_assert_eq!(fwd, rev);
+            }
+        }
+    }
+
+    /// remaining_hops agrees with the traced path length and decreases by
+    /// exactly one along the route.
+    #[test]
+    fn remaining_hops_decrease_monotonically(
+        n in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let adj = random_connected(n, seed, 4);
+        let mut ls = LinkState::new(&adj, SimDuration::from_secs(5));
+        let dst = NodeId(n as u32 - 1);
+        let path = ls.trace_path(NodeId(0), dst).unwrap();
+        for (i, node) in path.iter().enumerate() {
+            let remaining = ls.remaining_hops(*node, dst).unwrap();
+            prop_assert_eq!(remaining as usize, path.len() - 1 - i);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The future-event list.
+//!
+//! A binary heap keyed by `(SimTime, sequence)`. The sequence number makes
+//! ordering of *simultaneous* events deterministic (FIFO in scheduling
+//! order), which in turn makes whole simulations reproducible from a seed.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event handle that can be used to cancel a scheduled event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    cancelled: bool,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Monotonic future-event list with deterministic tie-breaking and O(log n)
+/// scheduling/popping.
+///
+/// Cancellation is *lazy*: [`EventQueue::cancel`] marks the id and the entry
+/// is discarded when it reaches the top of the heap, so cancel is O(1)
+/// amortised.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: std::collections::HashSet<u64>,
+    pending: std::collections::HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            pending: std::collections::HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far (a cheap progress measure).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of pending (not yet popped, possibly cancelled) entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time — scheduling into the
+    /// past is always a logic error in a discrete-event simulation.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {:?} < {:?}",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            cancelled: false,
+            event,
+        });
+        EventId(seq)
+    }
+
+    /// Schedule `event` after `delay` relative to now.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, event: E) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, event)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the id was
+    /// still pending (i.e. not yet delivered or already cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.pending.remove(&id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pop the next non-cancelled event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if entry.cancelled || self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            self.pending.remove(&entry.seq);
+            self.now = entry.time;
+            self.popped += 1;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled entries from the top first so the answer is exact.
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.seq);
+            } else {
+                return Some(top.time);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), "c");
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), 1);
+        q.pop();
+        q.schedule_in(SimDuration::from_millis(5), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(t, SimTime::from_millis(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_millis(1), "a");
+        let b = q.schedule_at(SimTime::from_millis(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, "b");
+        assert!(q.pop().is_none());
+        assert!(!q.cancel(b), "cancelling a delivered event reports false");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_millis(1), "a");
+        q.schedule_at(SimTime::from_millis(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(9)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared identifier newtypes.
+//!
+//! Defined here (the crate everything depends on) so that the MAC, routing,
+//! transport and assembly crates agree on node/flow identity without
+//! depending on each other.
+
+use std::fmt;
+
+/// Identifies a node in the network. Dense small integers — usable as a
+/// `Vec` index via [`NodeId::index`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a transport connection (flow) end-to-end.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u16);
+
+impl FlowId {
+    /// The id as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_and_index() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NodeId(3).index(), 3);
+        assert_eq!(FlowId(7).to_string(), "f7");
+        assert_eq!(FlowId(7).index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(NodeId(1));
+        s.insert(NodeId(1));
+        assert_eq!(s.len(), 1);
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

@@ -1,0 +1,227 @@
+//! Seedable randomness with independent substreams.
+//!
+//! Every stochastic component (channel states, workload arrivals, mobility,
+//! TDMA schedule shuffling…) draws from its own [`SimRng`] derived from the
+//! master experiment seed with a distinct stream label. This means, e.g.,
+//! changing how many random numbers the channel consumes does not perturb
+//! the workload arrival pattern — essential for paired comparisons such as
+//! "all the protocols run under the same conditions in the same run" (§6.1.2
+//! of the paper).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random stream.
+///
+/// Thin wrapper around `SmallRng` adding the substream-derivation scheme and
+/// the handful of distributions the simulator needs (Bernoulli, exponential,
+/// uniform range, Fisher–Yates shuffle).
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+/// SplitMix64 step — used to whiten seed material when deriving substreams.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create the master stream for an experiment.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        // Whiten: SmallRng seeded with small integers can correlate.
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut s).to_le_bytes());
+        }
+        SimRng {
+            inner: SmallRng::from_seed(key),
+        }
+    }
+
+    /// Derive an independent substream identified by `label`.
+    ///
+    /// Deriving is a pure function of `(seed, label)` — it does not consume
+    /// state from `self` — so substreams can be created in any order.
+    pub fn derive(seed: u64, label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        SimRng::new(seed ^ h)
+    }
+
+    /// Derive a numbered substream (e.g. one per node).
+    pub fn derive_indexed(seed: u64, label: &str, index: u64) -> Self {
+        let mut s = seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mixed = splitmix64(&mut s);
+        Self::derive(mixed, label)
+    }
+
+    /// Bernoulli trial: returns `true` with probability `p` (clamped to
+    /// [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Uniform in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element (None on empty slice).
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.below(slice.len())])
+        }
+    }
+
+    /// Raw f64 in [0,1). Exposed for distributions built by callers.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Raw u64. Exposed for hashing/schedule derivation by callers.
+    pub fn u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.u64() == b.u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_is_order_independent_and_label_sensitive() {
+        let mut c1 = SimRng::derive(7, "channel");
+        let mut w1 = SimRng::derive(7, "workload");
+        let mut w2 = SimRng::derive(7, "workload");
+        let mut c2 = SimRng::derive(7, "channel");
+        assert_eq!(c1.u64(), c2.u64());
+        assert_eq!(w1.u64(), w2.u64());
+        let mut c = SimRng::derive(7, "channel");
+        let mut w = SimRng::derive(7, "workload");
+        assert_ne!(c.u64(), w.u64());
+    }
+
+    #[test]
+    fn derive_indexed_separates_nodes() {
+        let mut a = SimRng::derive_indexed(9, "mob", 0);
+        let mut b = SimRng::derive_indexed(9, "mob", 1);
+        assert_ne!(a.u64(), b.u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_statistics() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.chance(0.3)).count() as f64;
+        let p = hits / n as f64;
+        assert!((p - 0.3).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::new(5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = SimRng::new(6);
+        for _ in 0..1000 {
+            let x = r.uniform(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+        assert_eq!(r.uniform(4.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn choose_handles_empty() {
+        let mut r = SimRng::new(10);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        assert_eq!(*r.choose(&[42]).unwrap(), 42);
+    }
+}

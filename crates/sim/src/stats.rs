@@ -1,0 +1,373 @@
+//! Statistical building blocks.
+//!
+//! * [`Ewma`] — exponentially weighted moving average, the filter family the
+//!   paper's flip-flop path monitor (§5.1) is built from,
+//! * [`MeanRange`] — EWMA of mean plus EWMA of the successive-difference
+//!   range |x_i − x_{i−1}|, the exact pair of statistics in eq. (7),
+//! * [`Welford`] — numerically stable online mean/variance for the
+//!   experiment harness,
+//! * [`ci95_halfwidth`] — 95 % confidence half-width across independent
+//!   runs (the paper's error bars, §6.1.1),
+//! * [`RateMeter`] — windowed packets-per-second estimation used for
+//!   short-/long-term reception-rate plots (Fig. 5).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Exponentially weighted moving average with weight `alpha` on new samples:
+/// `x̄ ← (1−α)·x̄ + α·x`.
+#[derive(Clone, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create with the given weight on new samples, `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Change the smoothing weight (used by the flip-flop filter when
+    /// switching between the stable and agile configurations).
+    pub fn set_alpha(&mut self, alpha: f64) {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        self.alpha = alpha;
+    }
+
+    /// Current weight.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Feed a sample; the first sample initialises the average (paper: "x̄ =
+    /// x₀ initially").
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => (1.0 - self.alpha) * prev + self.alpha * x,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Force the average to a specific value (agile catch-up).
+    pub fn reset_to(&mut self, x: f64) {
+        self.value = Some(x);
+    }
+
+    /// Current average, if at least one sample has been seen.
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current average or the provided default.
+    pub fn get_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+}
+
+/// The (x̄, R̄) statistic pair of the paper's eq. (7):
+///
+/// ```text
+/// x̄ = (1−α)·x̄ + α·x_i            (x̄ = x₀ initially)
+/// R̄ = (1−β)·R̄ + β·|x_i − x_{i−1}| (R̄ = x₀/2 initially)
+/// ```
+///
+/// `R̄` estimates the deviation around `x̄`; the `d₂ = 1.128` constant in the
+/// control limits of eq. (8) is the standard conversion from mean moving
+/// range to standard deviation for subgroup size 2 (statistical quality
+/// control, Montgomery).
+#[derive(Clone, Debug)]
+pub struct MeanRange {
+    mean: Ewma,
+    range: Ewma,
+    last_sample: Option<f64>,
+}
+
+/// d₂ constant for moving ranges of subgroups of size two.
+pub const D2_SUBGROUP2: f64 = 1.128;
+
+impl MeanRange {
+    /// Create with mean weight `alpha` and range weight `beta`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        MeanRange {
+            mean: Ewma::new(alpha),
+            range: Ewma::new(beta),
+            last_sample: None,
+        }
+    }
+
+    /// Feed a sample, updating both statistics.
+    pub fn update(&mut self, x: f64) {
+        self.mean.update(x);
+        match self.last_sample {
+            None => {
+                // Paper: R̄ initialised to x₀ / 2.
+                self.range.reset_to(x.abs() / 2.0);
+            }
+            Some(prev) => {
+                self.range.update((x - prev).abs());
+            }
+        }
+        self.last_sample = Some(x);
+    }
+
+    /// Update only the mean (used when a sample is declared an outlier: it
+    /// must not contaminate the deviation estimate, §5.1 "R̄ … is calculated
+    /// only from samples within the control limits").
+    pub fn update_mean_only(&mut self, x: f64) {
+        self.mean.update(x);
+        self.last_sample = Some(x);
+    }
+
+    /// Switch smoothing weights (stable ↔ agile filter).
+    pub fn set_weights(&mut self, alpha: f64, beta: f64) {
+        self.mean.set_alpha(alpha);
+        self.range.set_alpha(beta);
+    }
+
+    /// Estimated mean x̄.
+    pub fn mean(&self) -> Option<f64> {
+        self.mean.get()
+    }
+
+    /// Estimated moving range R̄.
+    pub fn range(&self) -> Option<f64> {
+        self.range.get()
+    }
+
+    /// Upper control limit `x̄ + 3·R̄/d₂` (eq. 8). None before first sample.
+    pub fn ucl(&self) -> Option<f64> {
+        Some(self.mean.get()? + 3.0 * self.range.get_or(0.0) / D2_SUBGROUP2)
+    }
+
+    /// Lower control limit `x̄ − 3·R̄/d₂` (eq. 8). None before first sample.
+    pub fn lcl(&self) -> Option<f64> {
+        Some(self.mean.get()? - 3.0 * self.range.get_or(0.0) / D2_SUBGROUP2)
+    }
+
+    /// True if `x` lies strictly outside the control limits.
+    pub fn is_outlier(&self, x: f64) -> bool {
+        match (self.lcl(), self.ucl()) {
+            (Some(l), Some(u)) => x < l || x > u,
+            _ => false,
+        }
+    }
+}
+
+/// Welford's online algorithm for mean and variance.
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Half-width of the 95 % confidence interval of the mean of `samples`,
+/// using Student-t critical values (two-sided, ν = n−1). Returns 0 for
+/// fewer than two samples.
+pub fn ci95_halfwidth(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut w = Welford::new();
+    for &s in samples {
+        w.push(s);
+    }
+    // Two-sided 97.5 % t critical values for ν = 1..30, then normal approx.
+    const T: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    let nu = n - 1;
+    let t = if nu <= 30 { T[nu - 1] } else { 1.96 };
+    t * w.stddev() / (n as f64).sqrt()
+}
+
+/// Windowed event-rate meter: counts events and reports events/second over a
+/// sliding window. Drives the "short-term / long-term average of the
+/// reception rate" plots (Fig. 5) and the instantaneous-throughput plots
+/// (Fig. 8).
+#[derive(Clone, Debug)]
+pub struct RateMeter {
+    window: SimDuration,
+    events: std::collections::VecDeque<SimTime>,
+}
+
+impl RateMeter {
+    /// Create with the given averaging window.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "rate window must be positive");
+        RateMeter {
+            window,
+            events: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Record an event at `now`.
+    pub fn record(&mut self, now: SimTime) {
+        self.events.push_back(now);
+        self.evict(now);
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let cutoff = now.since(SimTime::ZERO).saturating_sub(self.window);
+        while let Some(&front) = self.events.front() {
+            if front.since(SimTime::ZERO) < cutoff {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Events per second over the window ending at `now`.
+    pub fn rate(&mut self, now: SimTime) -> f64 {
+        self.evict(now);
+        self.events.len() as f64 / self.window.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_first_sample_initialises() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.get(), None);
+        assert_eq!(e.update(10.0), 10.0);
+        let v = e.update(20.0);
+        assert!((v - 11.0).abs() < 1e-12); // 0.9*10 + 0.1*20
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.update(5.0);
+        }
+        assert!((e.get().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1]")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn mean_range_initialisation_matches_paper() {
+        let mut mr = MeanRange::new(0.1, 0.1);
+        mr.update(8.0);
+        assert_eq!(mr.mean(), Some(8.0));
+        assert_eq!(mr.range(), Some(4.0)); // x0 / 2
+    }
+
+    #[test]
+    fn mean_range_control_limits() {
+        let mut mr = MeanRange::new(0.5, 0.5);
+        mr.update(10.0); // mean 10, range 5
+        let ucl = mr.ucl().unwrap();
+        let lcl = mr.lcl().unwrap();
+        assert!((ucl - (10.0 + 3.0 * 5.0 / 1.128)).abs() < 1e-12);
+        assert!((lcl - (10.0 - 3.0 * 5.0 / 1.128)).abs() < 1e-12);
+        assert!(mr.is_outlier(ucl + 1.0));
+        assert!(mr.is_outlier(lcl - 1.0));
+        assert!(!mr.is_outlier(10.0));
+    }
+
+    #[test]
+    fn outlier_update_does_not_touch_range() {
+        let mut mr = MeanRange::new(0.5, 0.5);
+        mr.update(10.0);
+        let r_before = mr.range().unwrap();
+        mr.update_mean_only(1000.0);
+        assert_eq!(mr.range().unwrap(), r_before);
+        assert!(mr.mean().unwrap() > 10.0);
+    }
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic dataset is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_zero_for_tiny_samples() {
+        assert_eq!(ci95_halfwidth(&[]), 0.0);
+        assert_eq!(ci95_halfwidth(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn ci95_reasonable_for_constant_data() {
+        assert_eq!(ci95_halfwidth(&[5.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn ci95_scales_with_spread() {
+        let narrow = ci95_halfwidth(&[1.0, 1.1, 0.9, 1.05, 0.95]);
+        let wide = ci95_halfwidth(&[1.0, 2.0, 0.0, 1.5, 0.5]);
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn rate_meter_windows() {
+        let mut m = RateMeter::new(SimDuration::from_secs(10));
+        for i in 0..10 {
+            m.record(SimTime::from_secs_f64(i as f64));
+        }
+        // 10 events in a 10 s window => 1 event/s.
+        assert!((m.rate(SimTime::from_secs_f64(9.0)) - 1.0).abs() < 1e-9);
+        // 100 s later everything has left the window.
+        assert_eq!(m.rate(SimTime::from_secs_f64(109.0)), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the discrete-event engine.
+
+use jtp_sim::stats::{ci95_halfwidth, Ewma, MeanRange, Welford};
+use jtp_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events always pop in nondecreasing time order with FIFO ties.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO tie-break violated");
+                }
+            }
+            prop_assert_eq!(t, SimTime::from_micros(times[idx]));
+            last = Some((t, idx));
+        }
+        prop_assert_eq!(q.len(), 0);
+    }
+
+    /// Cancelled events are never delivered; everything else is.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule_at(SimTime::from_micros(t), i))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+                cancelled.insert(i);
+            }
+        }
+        let mut delivered = std::collections::HashSet::new();
+        while let Some((_, i)) = q.pop() {
+            delivered.insert(i);
+        }
+        for i in 0..times.len() {
+            prop_assert_eq!(delivered.contains(&i), !cancelled.contains(&i));
+        }
+    }
+
+    /// Derived RNG substreams are reproducible and label-distinct.
+    #[test]
+    fn rng_substreams(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let mut a = SimRng::derive(seed, &label);
+        let mut b = SimRng::derive(seed, &label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.u64(), b.u64());
+        }
+        let mut c = SimRng::derive(seed, &format!("{label}x"));
+        let mut a2 = SimRng::derive(seed, &label);
+        let same = (0..16).filter(|_| a2.u64() == c.u64()).count();
+        prop_assert!(same < 16, "distinct labels produced identical streams");
+    }
+
+    /// EWMA output always lies within the observed sample range.
+    #[test]
+    fn ewma_bounded_by_samples(
+        alpha in 0.01f64..1.0,
+        samples in proptest::collection::vec(-1e6f64..1e6, 1..100),
+    ) {
+        let mut e = Ewma::new(alpha);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &s in &samples {
+            lo = lo.min(s);
+            hi = hi.max(s);
+            let v = e.update(s);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9,
+                "EWMA {} escaped [{}, {}]", v, lo, hi);
+        }
+    }
+
+    /// Control limits always bracket the mean and widen with range weight.
+    #[test]
+    fn control_limits_bracket(
+        samples in proptest::collection::vec(0.0f64..1e3, 2..100),
+    ) {
+        let mut mr = MeanRange::new(0.2, 0.2);
+        for &s in &samples {
+            mr.update(s);
+            let (m, u, l) = (mr.mean().unwrap(), mr.ucl().unwrap(), mr.lcl().unwrap());
+            prop_assert!(l <= m && m <= u);
+        }
+    }
+
+    /// Welford matches the two-pass mean to floating-point accuracy.
+    #[test]
+    fn welford_matches_two_pass(samples in proptest::collection::vec(-1e3f64..1e3, 2..200)) {
+        let mut w = Welford::new();
+        for &s in &samples {
+            w.push(s);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-6);
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        prop_assert!((w.variance() - var).abs() < 1e-6 * var.max(1.0));
+    }
+
+    /// CI half-width is nonnegative and zero for constant data.
+    #[test]
+    fn ci_nonnegative(samples in proptest::collection::vec(-100.0f64..100.0, 0..50)) {
+        prop_assert!(ci95_halfwidth(&samples) >= 0.0);
+    }
+
+    /// Exponential sampling is positive with roughly the right mean.
+    #[test]
+    fn exponential_positive(seed in any::<u64>(), mean in 0.1f64..100.0) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            let x = rng.exponential(mean);
+            prop_assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    /// Duration arithmetic is consistent.
+    #[test]
+    fn time_arithmetic(a in 0u64..1u64 << 40, b in 0u64..1u64 << 20) {
+        let t = SimTime::from_micros(a);
+        let d = SimDuration::from_micros(b);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).since(t), d);
+        prop_assert_eq!(t.since(t + d), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,53 @@
+//! A mobile ad-hoc network: 15 nodes under random-waypoint mobility.
+//!
+//! Shows JTP surviving route changes: link-state views go stale, packets
+//! are dropped on broken links, caches recover what they can, and the
+//! energy/goodput cost of mobility is visible as speed grows.
+//!
+//! ```sh
+//! cargo run --release --example mobile_network
+//! ```
+
+use javelen::netsim::{run_experiment, ExperimentConfig, FlowSpec, TransportKind};
+use javelen::sim::{NodeId, SimDuration};
+
+fn main() {
+    println!("15-node random network, 3 cross flows, random-waypoint mobility");
+    println!();
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "speed", "delivered", "goodput", "uJ/bit", "srcRtx", "cacheHit"
+    );
+
+    for &speed in &[0.1, 1.0, 5.0] {
+        let mut cfg = ExperimentConfig::random(15)
+            .transport(TransportKind::Jtp)
+            .duration_s(2500.0)
+            .seed(99)
+            .mobile(speed);
+        for (i, (s, d)) in [(0u32, 14u32), (3, 11), (7, 2)].iter().enumerate() {
+            cfg = cfg.flow(FlowSpec {
+                src: NodeId(*s),
+                dst: NodeId(*d),
+                start: SimDuration::from_secs(100 + 50 * i as u64),
+                packets: 300,
+                loss_tolerance: 0.0,
+                initial_rate_pps: None,
+            });
+        }
+        let m = run_experiment(&cfg);
+        println!(
+            "{:>8}m/s {:>10} {:>10.3}kbps {:>12.4} {:>10} {:>10}",
+            speed,
+            m.delivered_packets,
+            m.avg_goodput_kbps(),
+            m.energy_per_bit_uj(),
+            m.source_retransmissions,
+            m.local_recoveries
+        );
+    }
+
+    println!();
+    println!("note: even under mobility the caches keep recovering packets");
+    println!("locally — the paper's Fig 11(c) observation.");
+}

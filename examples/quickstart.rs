@@ -1,0 +1,40 @@
+//! Quickstart: run one JTP bulk transfer over a lossy 5-node chain and
+//! read the headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use javelen::netsim::{run_experiment, ExperimentConfig, TransportKind};
+
+fn main() {
+    // A 5-node linear network (nodes 55 m apart), one bulk transfer of
+    // 200 packets x 800 B from node 0 to node 4, full reliability.
+    let cfg = ExperimentConfig::linear(5)
+        .transport(TransportKind::Jtp)
+        .duration_s(2000.0)
+        .seed(42)
+        .bulk_flow(200, 5.0, 0.0);
+
+    let m = run_experiment(&cfg);
+    let flow = &m.flows[0];
+
+    println!("JTP quickstart — 5-node chain, 200-packet transfer");
+    println!("---------------------------------------------------");
+    println!("completed:              {}", flow.completed);
+    println!("packets delivered:      {}", flow.delivered_packets);
+    println!("goodput:                {:.3} kbps", flow.goodput_kbps());
+    println!("energy (system):        {:.3} mJ", m.energy_total_j * 1e3);
+    println!("energy per bit:         {:.4} uJ/bit", m.energy_per_bit_uj());
+    println!("MAC attempts:           {}", m.mac_attempts);
+    println!("source retransmissions: {}", m.source_retransmissions);
+    println!("cache recoveries:       {}", m.local_recoveries);
+    println!("feedback packets:       {}", m.feedbacks_sent);
+    println!();
+    println!("per-node energy (mJ):");
+    for (i, e) in m.per_node_energy_j.iter().enumerate() {
+        println!("  node {i}: {:.3}", e * 1e3);
+    }
+
+    assert!(flow.completed, "the transfer should finish within 2000 s");
+}

@@ -1,0 +1,44 @@
+//! # JAVeLEN / JTP — facade crate
+//!
+//! This crate re-exports the full reproduction of *"An Energy-conscious
+//! Transport Protocol for Multi-hop Wireless Networks"* (Riga, Matta, Medina,
+//! Partridge, Redi — CoNEXT 2007 / BUCS-2007-014):
+//!
+//! * [`jtp`] — the JTP transport protocol itself (the paper's contribution):
+//!   adjustable per-packet reliability, in-network caching with SNACK-driven
+//!   local recovery, flip-flop path monitoring, PI²/MD rate control and
+//!   energy-budget management.
+//! * [`sim`] — the deterministic discrete-event engine everything runs on.
+//! * [`phys`] — channel, energy and mobility models.
+//! * [`mac`] — the JAVeLEN-like TDMA MAC.
+//! * [`routing`] — link-state routing with possibly stale views.
+//! * [`baselines`] — rate-based TCP-SACK and ATP-like comparison protocols.
+//! * [`netsim`] — node/network assembly, topologies, workloads, metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use javelen::netsim::{ExperimentConfig, TransportKind, run_experiment};
+//!
+//! // One JTP bulk flow (40 packets, full reliability) over a 5-node
+//! // linear topology.
+//! let cfg = ExperimentConfig::linear(5)
+//!     .transport(TransportKind::Jtp)
+//!     .duration_s(300.0)
+//!     .seed(7)
+//!     .bulk_flow(40, 5.0, 0.0);
+//! let m = run_experiment(&cfg);
+//! assert!(m.delivered_packets > 0);
+//! println!("energy per delivered bit: {:.3} uJ/bit", m.energy_per_bit_uj());
+//! ```
+//!
+//! See `examples/` for larger scenarios and `crates/bench` for the binaries
+//! that regenerate every figure and table of the paper.
+
+pub use jtp;
+pub use jtp_baselines as baselines;
+pub use jtp_mac as mac;
+pub use jtp_netsim as netsim;
+pub use jtp_phys as phys;
+pub use jtp_routing as routing;
+pub use jtp_sim as sim;
