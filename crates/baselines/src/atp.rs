@@ -351,8 +351,7 @@ impl AtpReceiver {
         };
         self.delivered_since_feedback = 0;
         let residual = self.rate_estimate.get_or(self.cfg.max_rate_pps);
-        let advertised =
-            ((achieved + residual) * self.cfg.utilization).min(self.cfg.max_rate_pps);
+        let advertised = ((achieved + residual) * self.cfg.utilization).min(self.cfg.max_rate_pps);
         AtpFeedback {
             flow: self.flow,
             cum_ack: self.prefix,
@@ -473,7 +472,7 @@ mod tests {
         let mut s = AtpSender::new(FlowId(1), 5, cfg());
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(2);
+            t += SimDuration::from_secs(2);
         }
         let fb = AtpFeedback {
             flow: FlowId(1),
@@ -511,7 +510,7 @@ mod tests {
         let mut s = AtpSender::new(FlowId(1), 2, cfg());
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(2);
+            t += SimDuration::from_secs(2);
         }
         let fb = AtpFeedback {
             flow: FlowId(1),

@@ -304,8 +304,7 @@ impl TcpSender {
                 .keys()
                 .copied()
                 .filter(|s| {
-                    !self.sacked.contains(s)
-                        && self.sacked.range((s + 1)..).count() >= DUPTHRESH
+                    !self.sacked.contains(s) && self.sacked.range((s + 1)..).count() >= DUPTHRESH
                 })
                 .collect();
             for s in lost {
@@ -527,7 +526,7 @@ mod tests {
         let mut s = sender(5);
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(2);
+            t += SimDuration::from_secs(2);
         }
         // ACK: cum 1 (seq 0 delivered), SACK 2..=4 => seq 1 lost.
         let ack = TcpAck {
@@ -548,7 +547,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         for _ in 0..20 {
             while s.poll_send(t).is_none() {
-                t = t + SimDuration::from_millis(10);
+                t += SimDuration::from_millis(10);
             }
         }
         let r_before = {
@@ -557,7 +556,11 @@ mod tests {
                 flow: FlowId(1),
                 cum_ack: 5,
                 sack: vec![],
-                echo: t.since(SimTime::ZERO).is_zero().then(|| t).unwrap_or(SimTime::ZERO),
+                echo: if t.since(SimTime::ZERO).is_zero() {
+                    t
+                } else {
+                    SimTime::ZERO
+                },
             };
             s.on_ack(t, &ack);
             s.rate()
@@ -597,7 +600,7 @@ mod tests {
         let mut s = sender(2);
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(2);
+            t += SimDuration::from_secs(2);
         }
         let ack = TcpAck {
             flow: FlowId(1),

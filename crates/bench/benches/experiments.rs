@@ -23,9 +23,7 @@ fn bench_protocols(c: &mut Criterion) {
         (TransportKind::Tcp, "tcp"),
         (TransportKind::Atp, "atp"),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run_experiment(&small(kind))))
-        });
+        g.bench_function(name, |b| b.iter(|| black_box(run_experiment(&small(kind)))));
     }
     g.finish();
 }

@@ -41,7 +41,7 @@ fn base(args: &Args) -> ExperimentConfig {
 fn measure(cfg: &ExperimentConfig, runs: usize, name: &str) -> Row {
     let ms = run_many(cfg, runs);
     let n = ms.len() as f64;
-    let avg = |f: &dyn Fn(&Metrics) -> f64| ms.iter().map(|m| f(m)).sum::<f64>() / n;
+    let avg = |f: &dyn Fn(&Metrics) -> f64| ms.iter().map(f).sum::<f64>() / n;
     Row {
         variant: name.to_string(),
         energy_uj_per_bit: avg(&|m| m.energy_per_bit_uj()),
@@ -100,7 +100,11 @@ fn main() {
 
     // Cache eviction policy (the paper's named future work, §4). Small
     // caches make the policy matter.
-    for policy in [jtp::CachePolicy::Lru, jtp::CachePolicy::Fifo, jtp::CachePolicy::Random] {
+    for policy in [
+        jtp::CachePolicy::Lru,
+        jtp::CachePolicy::Fifo,
+        jtp::CachePolicy::Random,
+    ] {
         let mut cfg = base(&args);
         cfg.jtp.cache_capacity = 8;
         cfg.jtp.cache_policy = policy;
@@ -140,7 +144,14 @@ fn main() {
         .collect();
     print_table(
         "Ablations: JTP mechanisms and parameters (7-node chain, deep fades)",
-        &["variant", "uJ/bit", "goodput", "srcRtx", "cacheHits", "qDrops"],
+        &[
+            "variant",
+            "uJ/bit",
+            "goodput",
+            "srcRtx",
+            "cacheHits",
+            "qDrops",
+        ],
         &table,
     );
 
@@ -148,7 +159,11 @@ fn main() {
     let jnc = &rows[1];
     println!(
         "\nshape check: removing caching raises source rtx: {}",
-        if jnc.source_rtx > baseline.source_rtx { "PASS" } else { "FAIL" }
+        if jnc.source_rtx > baseline.source_rtx {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     // Back-off and variable feedback exist for fairness/congestion under
     // contention, not solo-flow energy; the energy-relevant mechanism on

@@ -5,9 +5,7 @@
 //! uniform per-attempt loss `p`, and prints the predicted-vs-measured gain
 //! factor `1/(1−pⁿ)^{H−1}`.
 
-use jtp::analysis::{
-    caching_gain, expected_tx_with_caching, expected_tx_without_caching,
-};
+use jtp::analysis::{caching_gain, expected_tx_with_caching, expected_tx_without_caching};
 use jtp_bench::{maybe_write_json, print_table, Args};
 use jtp_netsim::{run_many, ExperimentConfig, TransportKind};
 use jtp_phys::gilbert::GilbertConfig;
@@ -90,7 +88,15 @@ fn main() {
         .collect();
     print_table(
         "Eqs 5/6: node transmissions per delivered packet",
-        &["H", "p", "eq5(jtp)", "meas(jtp)", "eq6(jnc)", "meas(jnc)", "gain"],
+        &[
+            "H",
+            "p",
+            "eq5(jtp)",
+            "meas(jtp)",
+            "eq6(jnc)",
+            "meas(jnc)",
+            "gain",
+        ],
         &rows,
     );
 

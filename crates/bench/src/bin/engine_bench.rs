@@ -1,0 +1,399 @@
+//! Engine throughput benchmark — the perf trajectory artifact.
+//!
+//! Measures the three layers of the event-engine overhaul and writes
+//! `BENCH_engine.json` (see README "Benchmarks"):
+//!
+//! 1. **queue_ops** — pure event-queue operation throughput: the seed's
+//!    `BinaryHeap + 2×HashSet` design (replicated below verbatim) vs the
+//!    slab-indexed 4-ary-heap queue, on a hold-model workload with a
+//!    cancel/reschedule mix.
+//! 2. **slot_engine** — whole-simulator throughput (simulated seconds per
+//!    wall second) on a fig5-scale scenario: naive slot-per-event engine
+//!    vs idle-slot skipping. Results are byte-identical (tested in
+//!    `engine_equivalence.rs`); only the wall clock differs.
+//! 3. **batch** — a multi-seed fig5-scale batch: the seed's serial naive
+//!    loop vs the overhauled engine with the parallel runner.
+//!
+//! Run: `cargo run --release -p jtp-bench --bin engine_bench -- --quick
+//! --json BENCH_engine.json`
+
+use jtp_bench::Args;
+use jtp_netsim::{run_experiment, ExperimentConfig, FlowSpec, TransportKind};
+use jtp_sim::{EventQueue, NodeId, SimDuration, SimTime};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Verbatim replica of the seed's event queue (pre-overhaul) so the
+/// before/after comparison stays runnable forever.
+mod baseline {
+    use jtp_sim::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, HashSet};
+
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    pub struct EventId(u64);
+
+    struct Entry<E> {
+        time: SimTime,
+        seq: u64,
+        #[allow(dead_code)] // the seed carried (and never set) this flag
+        cancelled: bool,
+        event: E,
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .time
+                .cmp(&self.time)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    pub struct BaselineQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        cancelled: HashSet<u64>,
+        pending: HashSet<u64>,
+        next_seq: u64,
+        now: SimTime,
+        popped: u64,
+    }
+
+    impl<E> BaselineQueue<E> {
+        pub fn new() -> Self {
+            BaselineQueue {
+                heap: BinaryHeap::new(),
+                cancelled: HashSet::new(),
+                pending: HashSet::new(),
+                next_seq: 0,
+                now: SimTime::ZERO,
+                popped: 0,
+            }
+        }
+
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+            assert!(at >= self.now);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.pending.insert(seq);
+            self.heap.push(Entry {
+                time: at,
+                seq,
+                cancelled: false,
+                event,
+            });
+            EventId(seq)
+        }
+
+        pub fn cancel(&mut self, id: EventId) -> bool {
+            if !self.pending.remove(&id.0) {
+                return false;
+            }
+            self.cancelled.insert(id.0)
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            while let Some(entry) = self.heap.pop() {
+                if self.cancelled.remove(&entry.seq) {
+                    continue;
+                }
+                self.pending.remove(&entry.seq);
+                self.now = entry.time;
+                self.popped += 1;
+                return Some((entry.time, entry.event));
+            }
+            None
+        }
+    }
+}
+
+/// Hold-model workload: keep `fill` events pending; each step pops the
+/// earliest and schedules a replacement; every third step also schedules
+/// and immediately cancels a timer (the reschedule pattern the skipping
+/// engine leans on). Identical op sequence for both queues.
+struct Hold {
+    state: u64,
+}
+
+impl Hold {
+    fn new() -> Self {
+        Hold { state: 0x9E37_79B9 }
+    }
+
+    fn next_offset(&mut self) -> u64 {
+        // xorshift64* — cheap, identical sequence for both queues.
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        (self.state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) % 100_000
+    }
+}
+
+fn bench_baseline_queue(fill: usize, steps: u64) -> f64 {
+    let mut q = baseline::BaselineQueue::new();
+    let mut rng = Hold::new();
+    for i in 0..fill {
+        q.schedule_at(SimTime::from_micros(rng.next_offset()), i as u64);
+    }
+    let start = Instant::now();
+    for step in 0..steps {
+        let (t, _) = q.pop().expect("hold model never drains");
+        let at = SimTime::from_micros(t.as_micros() + rng.next_offset());
+        q.schedule_at(at, step);
+        if step % 3 == 0 {
+            let id = q.schedule_at(at, u64::MAX);
+            q.cancel(id);
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    std::hint::black_box(q.now());
+    steps as f64 / wall
+}
+
+fn bench_indexed_queue(fill: usize, steps: u64) -> f64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = Hold::new();
+    for i in 0..fill {
+        q.schedule_at(SimTime::from_micros(rng.next_offset()), i as u64);
+    }
+    let start = Instant::now();
+    for step in 0..steps {
+        let (t, _) = q.pop().expect("hold model never drains");
+        let at = SimTime::from_micros(t.as_micros() + rng.next_offset());
+        q.schedule_at(at, step);
+        if step % 3 == 0 {
+            let id = q.schedule_at(at, u64::MAX);
+            q.cancel(id);
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    std::hint::black_box(q.now());
+    steps as f64 / wall
+}
+
+/// Fig. 5-scale scenario: 8-node chain, two long-lived competing flows.
+fn fig5_scenario(seed: u64, duration_s: f64, skipping: bool) -> ExperimentConfig {
+    let n = 8;
+    let mut cfg = ExperimentConfig::linear(n)
+        .transport(TransportKind::Jtp)
+        .duration_s(duration_s)
+        .seed(seed)
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(n as u32 - 1),
+            start: SimDuration::from_secs(50),
+            packets: u32::MAX / 2,
+            loss_tolerance: 1.0,
+            initial_rate_pps: None,
+        })
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(n as u32 - 1),
+            start: SimDuration::from_secs(50),
+            packets: u32::MAX / 2,
+            loss_tolerance: 0.0,
+            initial_rate_pps: None,
+        });
+    cfg.idle_slot_skipping = skipping;
+    cfg
+}
+
+fn time_runs(cfgs: &[ExperimentConfig]) -> f64 {
+    let start = Instant::now();
+    for cfg in cfgs {
+        std::hint::black_box(run_experiment(cfg));
+    }
+    start.elapsed().as_secs_f64()
+}
+
+#[derive(Serialize)]
+struct QueueOps {
+    pending: usize,
+    baseline_events_per_sec: f64,
+    indexed_events_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SlotEngine {
+    scenario: String,
+    simulated_s: f64,
+    legacy_wall_s: f64,
+    overhauled_wall_s: f64,
+    legacy_sim_s_per_wall_s: f64,
+    overhauled_sim_s_per_wall_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Batch {
+    scenario: String,
+    seeds: usize,
+    threads: usize,
+    legacy_serial_wall_s: f64,
+    overhauled_parallel_wall_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    quick: bool,
+    queue_workload: String,
+    queue_ops: Vec<QueueOps>,
+    slot_engine: Vec<SlotEngine>,
+    batch: Batch,
+}
+
+/// Configure a scenario as the pre-overhaul engine (slot-per-event loop,
+/// uncoalesced wakeup chains) or the overhauled one.
+fn engine_mode(cfg: &mut ExperimentConfig, overhauled: bool) {
+    cfg.idle_slot_skipping = overhauled;
+    cfg.wakeup_coalescing = overhauled;
+}
+
+/// Fig. 9-style scenario: 25-node random field, sparse long-lived load —
+/// the workload class behind the paper's random-topology figures.
+fn fig9_scenario(seed: u64, duration_s: f64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::random(25)
+        .transport(TransportKind::Jtp)
+        .duration_s(duration_s)
+        .seed(seed);
+    for (i, (s, d)) in [(0u32, 14u32), (8, 20)].iter().enumerate() {
+        cfg = cfg.flow(FlowSpec {
+            src: NodeId(*s),
+            dst: NodeId(*d),
+            start: SimDuration::from_secs(10 + i as u64 * 5),
+            packets: u32::MAX / 2,
+            loss_tolerance: 1.0,
+            initial_rate_pps: None,
+        });
+    }
+    cfg
+}
+
+fn bench_slot_engine(
+    name: &str,
+    mut mk: impl FnMut(u64, f64) -> ExperimentConfig,
+    sim_s: f64,
+) -> SlotEngine {
+    let mut legacy = mk(500, sim_s);
+    engine_mode(&mut legacy, false);
+    let mut fast = mk(500, sim_s);
+    engine_mode(&mut fast, true);
+    // Warm (allocator, caches), then measure.
+    time_runs(std::slice::from_ref(&fast));
+    let legacy_wall = time_runs(std::slice::from_ref(&legacy));
+    let fast_wall = time_runs(std::slice::from_ref(&fast));
+    let out = SlotEngine {
+        scenario: name.to_string(),
+        simulated_s: sim_s,
+        legacy_wall_s: legacy_wall,
+        overhauled_wall_s: fast_wall,
+        legacy_sim_s_per_wall_s: sim_s / legacy_wall,
+        overhauled_sim_s_per_wall_s: sim_s / fast_wall,
+        speedup: legacy_wall / fast_wall,
+    };
+    println!(
+        "engine {name:<28}: legacy {legacy_wall:>8.3}s | overhauled {fast_wall:>8.3}s | speedup {:.2}x",
+        out.speedup
+    );
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+
+    // 1. Pure queue-op throughput at simulation-realistic and stress
+    //    pending-set sizes.
+    let steps: u64 = args.pick(4_000_000, 800_000);
+    let mut queue_ops = Vec::new();
+    for fill in [48usize, 4096] {
+        bench_baseline_queue(fill, steps / 10); // warm
+        bench_indexed_queue(fill, steps / 10);
+        let base_eps = bench_baseline_queue(fill, steps);
+        let idx_eps = bench_indexed_queue(fill, steps);
+        let row = QueueOps {
+            pending: fill,
+            baseline_events_per_sec: base_eps,
+            indexed_events_per_sec: idx_eps,
+            speedup: idx_eps / base_eps,
+        };
+        println!(
+            "queue ops (fill {fill:>4})          : baseline {base_eps:>12.0} ev/s | indexed {idx_eps:>12.0} ev/s | speedup {:.2}x",
+            row.speedup
+        );
+        queue_ops.push(row);
+    }
+
+    // 2. Whole-engine throughput: pre-overhaul engine (slot-per-event,
+    //    uncoalesced wakeups) vs the overhauled engine. Results of the two
+    //    engines are deterministic per mode; idle-slot skipping itself is
+    //    byte-identical (see tests/engine_equivalence.rs).
+    let sim_s = args.pick(5000.0, 1500.0);
+    let slot_engine = vec![
+        bench_slot_engine("fig9: random25 sparse load", fig9_scenario, sim_s),
+        bench_slot_engine(
+            "fig5: linear8 saturated",
+            |seed, d| fig5_scenario(seed, d, true),
+            args.pick(2500.0, 800.0),
+        ),
+    ];
+
+    // 3. Multi-seed batch at fig5 scale: legacy engine run serially (the
+    //    pre-overhaul harness) vs the overhauled engine through the
+    //    work-stealing parallel runner.
+    let seeds: usize = args.pick(12, 4);
+    let batch_sim_s = args.pick(2500.0, 800.0);
+    let legacy: Vec<ExperimentConfig> = (0..seeds)
+        .map(|i| {
+            let mut c = fig5_scenario(500 + i as u64, batch_sim_s, false);
+            engine_mode(&mut c, false);
+            c
+        })
+        .collect();
+    let legacy_wall = time_runs(&legacy);
+    let mut batch_cfg = fig5_scenario(500, batch_sim_s, true);
+    engine_mode(&mut batch_cfg, true);
+    let start = Instant::now();
+    let ms = jtp_netsim::run_many(&batch_cfg, seeds);
+    let parallel_wall = start.elapsed().as_secs_f64();
+    assert_eq!(ms.len(), seeds);
+    let batch = Batch {
+        scenario: "fig5 multi-seed batch (2 competing flows, linear8)".into(),
+        seeds,
+        threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        legacy_serial_wall_s: legacy_wall,
+        overhauled_parallel_wall_s: parallel_wall,
+        speedup: legacy_wall / parallel_wall,
+    };
+    println!(
+        "batch ({seeds} seeds)              : legacy serial {legacy_wall:>8.3}s | overhauled {parallel_wall:>8.3}s | speedup {:.2}x",
+        batch.speedup
+    );
+
+    let report = Report {
+        quick: args.quick,
+        queue_workload: "hold model: pop + schedule(now+U[0,100ms]) per step, extra schedule+cancel every 3rd step".into(),
+        queue_ops,
+        slot_engine,
+        batch,
+    };
+    jtp_bench::maybe_write_json(&args, &report);
+}

@@ -34,7 +34,14 @@ fn main() {
 
     let mut points = Vec::new();
     for &n in &sizes {
-        let flows = random_flows(n, 5, packets, 900.0_f64.min(duration / 4.0), 1000.0_f64.min(duration / 3.0), 1000 + n as u64);
+        let flows = random_flows(
+            n,
+            5,
+            packets,
+            900.0_f64.min(duration / 4.0),
+            1000.0_f64.min(duration / 3.0),
+            1000 + n as u64,
+        );
         for (kind, name) in protocols {
             let cfg = with_flows(
                 ExperimentConfig::random(n)
@@ -83,8 +90,7 @@ fn main() {
                 .unwrap()
         };
         let (j, a, t) = (get("jtp"), get("atp"), get("tcp"));
-        if j.energy_uj_per_bit > a.energy_uj_per_bit || j.energy_uj_per_bit > t.energy_uj_per_bit
-        {
+        if j.energy_uj_per_bit > a.energy_uj_per_bit || j.energy_uj_per_bit > t.energy_uj_per_bit {
             pass_energy = false;
         }
         if j.goodput_kbps < a.goodput_kbps && j.goodput_kbps < t.goodput_kbps {

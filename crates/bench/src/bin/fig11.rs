@@ -52,7 +52,13 @@ fn main() {
             let delivered: f64 = ms.iter().map(|m| m.delivered_packets as f64).sum();
             let rtx: f64 = ms.iter().map(|m| m.source_retransmissions as f64).sum();
             let hits: f64 = ms.iter().map(|m| m.local_recoveries as f64).sum();
-            let per_kpkt = |x: f64| if delivered > 0.0 { x / delivered * 1000.0 } else { 0.0 };
+            let per_kpkt = |x: f64| {
+                if delivered > 0.0 {
+                    x / delivered * 1000.0
+                } else {
+                    0.0
+                }
+            };
             points.push(Point {
                 speed_mps: speed,
                 protocol: name.into(),

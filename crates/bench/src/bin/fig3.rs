@@ -41,8 +41,7 @@ fn main() {
                 .seed(300)
                 .bulk_flow(packets, 10.0, lt);
             let ms = run_many(&cfg, runs);
-            let energy: f64 =
-                ms.iter().map(|m| m.energy_total_j).sum::<f64>() / ms.len() as f64;
+            let energy: f64 = ms.iter().map(|m| m.energy_total_j).sum::<f64>() / ms.len() as f64;
             let delivered: f64 = ms
                 .iter()
                 .map(|m| m.delivered_bytes as f64 / 1000.0)
@@ -75,7 +74,14 @@ fn main() {
         .collect();
     print_table(
         "Fig 3(a,b): energy & data delivered per reliability level",
-        &["netSize", "level", "energy(J)", "delivered(kB)", "offered(kB)", "fraction"],
+        &[
+            "netSize",
+            "level",
+            "energy(J)",
+            "delivered(kB)",
+            "offered(kB)",
+            "fraction",
+        ],
         &rows,
     );
     println!("requirement lines: jtp10 >= 0.90, jtp20 >= 0.80 of offered data");
@@ -128,7 +134,11 @@ fn main() {
     };
     println!(
         "\nshape check: energy(jtp0) >= energy(jtp20) at max size: {}",
-        if verdict_energy_ordering { "PASS" } else { "FAIL" }
+        if verdict_energy_ordering {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     maybe_write_json(&args, &points);
 }

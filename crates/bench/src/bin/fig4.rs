@@ -112,15 +112,19 @@ fn main() {
 
     // Shape checks: gains grow with path length; JNC source (node 1) works
     // harder than JTP's.
-    let monotone_tail = points.len() < 2
-        || points.last().unwrap().gain >= points.first().unwrap().gain * 0.9;
+    let monotone_tail =
+        points.len() < 2 || points.last().unwrap().gain >= points.first().unwrap().gain * 0.9;
     println!(
         "\nshape check: caching gain grows (last >= ~first): {}",
         if monotone_tail { "PASS" } else { "FAIL" }
     );
     println!(
         "shape check: JNC source energy > JTP source energy: {}",
-        if jnc_nodes[0] > jtp_nodes[0] { "PASS" } else { "FAIL" }
+        if jnc_nodes[0] > jtp_nodes[0] {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     maybe_write_json(&args, &points);
 }

@@ -27,7 +27,10 @@ struct Variant {
     recoveries: u64,
 }
 
-fn run_one(args: &Args, backoff: bool, seed: u64) -> (Variant, Vec<(f64, f64)>, Vec<(f64, f64)>) {
+/// A (time, rate) reception-rate series.
+type Series = Vec<(f64, f64)>;
+
+fn run_one(args: &Args, backoff: bool, seed: u64) -> (Variant, Series, Series) {
     let n = 8;
     let duration = args.pick(2500.0, 800.0);
     let mut cfg = ExperimentConfig::linear(n)
@@ -92,7 +95,11 @@ fn run_one(args: &Args, backoff: bool, seed: u64) -> (Variant, Vec<(f64, f64)>, 
         backoff,
         flow1_mean_pps: steady(&long(0)),
         flow2_mean_pps: f2_long,
-        flow2_spike_ratio: if f2_long > 0.0 { f2_peak / f2_long } else { 0.0 },
+        flow2_spike_ratio: if f2_long > 0.0 {
+            f2_peak / f2_long
+        } else {
+            0.0
+        },
         recoveries: m.local_recoveries,
     };
     (v, short(0), s2)
@@ -104,7 +111,7 @@ fn main() {
 
     let mut with: Vec<Variant> = Vec::new();
     let mut without: Vec<Variant> = Vec::new();
-    let mut sample_series: Option<(Vec<(f64, f64)>, Vec<(f64, f64)>)> = None;
+    let mut sample_series: Option<(Series, Series)> = None;
     for &seed in &seeds {
         let (v, s1, s2) = run_one(&args, true, seed);
         with.push(v);
@@ -151,7 +158,11 @@ fn main() {
 
     println!(
         "\nshape check: caches were exercised in both variants: {}",
-        if rec_w > 0 && rec_wo > 0 { "PASS" } else { "FAIL" }
+        if rec_w > 0 && rec_wo > 0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     println!(
         "shape check: back-off leaves the competing flow >= capacity: {}",
@@ -159,7 +170,11 @@ fn main() {
     );
     println!(
         "shape check: back-off tames flow2 spikes (peak/mean smaller): {}",
-        if spike_w <= spike_wo + 0.10 { "PASS" } else { "FAIL" }
+        if spike_w <= spike_wo + 0.10 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     maybe_write_json(&args, &vec![with, without]);
 }

@@ -91,7 +91,11 @@ fn main() {
         cfg.jtp.variable_feedback = false;
         cfg.jtp.constant_feedback_period = SimDuration::from_secs_f64(period);
         let ms = run_many(&cfg, runs);
-        points.push(summarise(&ms, format!("constant 1/{period}s"), 1.0 / period));
+        points.push(summarise(
+            &ms,
+            format!("constant 1/{period}s"),
+            1.0 / period,
+        ));
     }
     // Variable-rate feedback (JTP's default).
     let ms = run_many(&base(), runs);
@@ -115,7 +119,13 @@ fn main() {
         .collect();
     print_table(
         "Fig 7: energy and queue drops vs feedback rate",
-        &["feedback", "rate(pps)", "energy(mJ)", "ackEnergy(mJ)", "queueDrops"],
+        &[
+            "feedback",
+            "rate(pps)",
+            "energy(mJ)",
+            "ackEnergy(mJ)",
+            "queueDrops",
+        ],
         &rows,
     );
 
@@ -123,7 +133,11 @@ fn main() {
     let fastest = &points[periods.len() - 1];
     println!(
         "\nshape check: high feedback rate costs more ACK energy than variable: {}",
-        if fastest.ack_energy_mj_mean > variable.ack_energy_mj_mean { "PASS" } else { "FAIL" }
+        if fastest.ack_energy_mj_mean > variable.ack_energy_mj_mean {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     // The paper's headline for Fig. 7: variable-rate feedback achieves
     // both low energy and few drops — i.e. it sits on the sweep's Pareto
@@ -136,7 +150,11 @@ fn main() {
     let energy_ok = variable.ack_energy_mj_mean < fastest.ack_energy_mj_mean;
     println!(
         "shape check: variable feedback on the energy/drops Pareto front: {}",
-        if drops_ok && energy_ok { "PASS" } else { "FAIL" }
+        if drops_ok && energy_ok {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     maybe_write_json(&args, &points);
 }

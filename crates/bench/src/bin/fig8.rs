@@ -110,16 +110,26 @@ fn main() {
         flow2_rate_during: in_window(&r2, t_start2 + 50.0, t_end2),
         monitor_samples: trace.monitor.len(),
     };
-    println!("\nflow1 rate before/during/after flow2: {:.2} / {:.2} / {:.2} pps",
-        out.flow1_rate_before, out.flow1_rate_during, out.flow1_rate_after);
+    println!(
+        "\nflow1 rate before/during/after flow2: {:.2} / {:.2} / {:.2} pps",
+        out.flow1_rate_before, out.flow1_rate_during, out.flow1_rate_after
+    );
     println!("flow2 rate while active: {:.2} pps", out.flow2_rate_during);
     println!(
         "\nshape check: flow1 backs off while flow2 is active: {}",
-        if out.flow1_rate_during < out.flow1_rate_before { "PASS" } else { "FAIL" }
+        if out.flow1_rate_during < out.flow1_rate_before {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     println!(
         "shape check: flow1 recovers after flow2 leaves: {}",
-        if out.flow1_rate_after > out.flow1_rate_during { "PASS" } else { "FAIL" }
+        if out.flow1_rate_after > out.flow1_rate_during {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     println!(
         "shape check: rates roughly fair while sharing (within 3x): {}",

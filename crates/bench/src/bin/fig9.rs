@@ -128,8 +128,7 @@ fn main() {
     );
     println!(
         "shape check: JTP lowest energy/bit: {}",
-        if j.energy_uj_per_bit <= a.energy_uj_per_bit
-            && j.energy_uj_per_bit <= t.energy_uj_per_bit
+        if j.energy_uj_per_bit <= a.energy_uj_per_bit && j.energy_uj_per_bit <= t.energy_uj_per_bit
         {
             "PASS"
         } else {

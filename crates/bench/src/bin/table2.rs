@@ -86,7 +86,11 @@ fn main() {
             protocol: name.into(),
             energy_uj_per_bit: epb.mean,
             goodput_kbps: gp.mean,
-            source_rtx: ms.iter().map(|m| m.source_retransmissions as f64).sum::<f64>() / nruns,
+            source_rtx: ms
+                .iter()
+                .map(|m| m.source_retransmissions as f64)
+                .sum::<f64>()
+                / nruns,
             queue_drops: ms.iter().map(|m| m.queue_drops as f64).sum::<f64>() / nruns,
         });
     }
@@ -105,7 +109,13 @@ fn main() {
         .collect();
     print_table(
         "Table 2: JAVeLEN testbed surrogate (14 nodes, stable links)",
-        &["protocol", "energy(uJ/bit)", "goodput(kbps)", "srcRtx", "qDrops"],
+        &[
+            "protocol",
+            "energy(uJ/bit)",
+            "goodput(kbps)",
+            "srcRtx",
+            "qDrops",
+        ],
         &rows,
     );
     println!("\npaper (absolute, real radios): JTP 5.4 uJ/bit / 0.63 kbps,");
@@ -114,9 +124,7 @@ fn main() {
     let (j, a, t) = (&rows_out[0], &rows_out[1], &rows_out[2]);
     println!(
         "\nshape check: JTP lowest energy per bit: {}",
-        if j.energy_uj_per_bit < a.energy_uj_per_bit
-            && j.energy_uj_per_bit < t.energy_uj_per_bit
-        {
+        if j.energy_uj_per_bit < a.energy_uj_per_bit && j.energy_uj_per_bit < t.energy_uj_per_bit {
             "PASS"
         } else {
             "FAIL"

@@ -83,7 +83,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&hdr));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for r in rows {
         println!("{}", fmt_row(r));
     }

@@ -1,0 +1,241 @@
+//! Minimal, std-only stand-in for the `bytes` crate.
+//!
+//! The build environment is fully offline, so the workspace vendors the
+//! small API subset the JTP codecs use: big-endian `get_*`/`put_*` cursors
+//! over byte buffers. Semantics (network byte order, consuming reads)
+//! match the real crate for the covered surface.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// An immutable, cheaply-cloneable byte buffer.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Bytes(std::sync::Arc<Vec<u8>>);
+
+impl Bytes {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(std::sync::Arc::new(v))
+    }
+}
+
+/// A growable byte buffer with big-endian append operations.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Reserve capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(std::sync::Arc::new(self.buf))
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Big-endian append operations (the subset of `bytes::BufMut` we use).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append `count` copies of `byte`.
+    fn put_bytes(&mut self, byte: u8, count: usize);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a u16, network byte order.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a u32, network byte order.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a u64, network byte order.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append an f32, network byte order.
+    fn put_f32(&mut self, v: f32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, byte: u8, count: usize) {
+        self.buf.resize(self.buf.len() + count, byte);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, byte: u8, count: usize) {
+        self.resize(self.len() + count, byte);
+    }
+}
+
+/// Big-endian consuming reads (the subset of `bytes::Buf` we use).
+///
+/// Implemented for `&[u8]`: each read advances the slice.
+///
+/// # Panics
+/// Like the real crate, reads panic when the buffer is too short; callers
+/// length-check before decoding.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Consume and return `n` leading bytes as an array.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
+    /// Read a u16, network byte order.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_array())
+    }
+
+    /// Read a u32, network byte order.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_array())
+    }
+
+    /// Read a u64, network byte order.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array())
+    }
+
+    /// Read an f32, network byte order.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes(self.take_array())
+    }
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let (head, rest) = self.split_at(N);
+        let mut out = [0u8; N];
+        out.copy_from_slice(head);
+        *self = rest;
+        out
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16(0x0102);
+        b.put_u32(0xA1B2C3D4);
+        b.put_u64(42);
+        b.put_f32(1.5);
+        b.put_bytes(0, 3);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 1 + 2 + 4 + 8 + 4 + 3);
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0xA1B2C3D4);
+        assert_eq!(r.get_u64(), 42);
+        assert_eq!(r.get_f32(), 1.5);
+        assert_eq!(r.remaining(), 3);
+        r.advance(3);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn byte_order_is_network_order() {
+        let mut b = BytesMut::new();
+        b.put_u16(0x0102);
+        assert_eq!(&b[..], &[0x01, 0x02]);
+    }
+}

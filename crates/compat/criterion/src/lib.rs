@@ -1,0 +1,167 @@
+//! Minimal, std-only stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a plain
+//! wall-clock harness: a short warm-up, then timed batches, reporting the
+//! best (lowest-noise) ns/iter to stdout. Statistical rigor is traded for
+//! zero dependencies; trends remain comparable run to run.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level bench registry/driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Apply `--bench <filter>`-style CLI filtering (substring match on
+    /// bench names; `--bench`/`--exact` flags from `cargo bench` are
+    /// ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.filter = args.into_iter().find(|a| !a.starts_with("--"));
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        if self.enabled(&name) {
+            let mut b = Bencher::default();
+            f(&mut b);
+            b.report(&name);
+        }
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (`group/name` reporting).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        self.c.bench_function(full, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the payload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Best observed mean ns/iter across batches.
+    best_ns_per_iter: Option<f64>,
+    /// Total iterations executed.
+    iters: u64,
+}
+
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_millis(1200);
+
+impl Bencher {
+    /// Time `f`, called repeatedly in growing batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Batch size targeting ~50 ms per sample, at least 1 iteration.
+        let batch = ((0.05 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let run_start = Instant::now();
+        let mut best = f64::INFINITY;
+        while run_start.elapsed() < MEASURE {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+            self.iters += batch;
+        }
+        self.best_ns_per_iter = Some(best);
+    }
+
+    fn report(&self, name: &str) {
+        match self.best_ns_per_iter {
+            Some(ns) => {
+                let per_sec = 1e9 / ns.max(1e-9);
+                println!(
+                    "bench: {name:<44} {ns:>14.1} ns/iter ({per_sec:>14.0} iters/s, {} iters)",
+                    self.iters
+                );
+            }
+            None => println!("bench: {name:<44} (no measurement)"),
+        }
+    }
+}
+
+/// Define a bench group function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` from bench group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

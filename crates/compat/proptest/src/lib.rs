@@ -1,0 +1,423 @@
+//! Minimal, std-only stand-in for `proptest`.
+//!
+//! The build environment is fully offline, so the workspace vendors the
+//! subset its property tests use: the `proptest!` macro, `prop_assert*`,
+//! numeric-range / `any::<T>()` / tuple / `prop_map` / `collection::vec`
+//! strategies, and simple `[class]{lo,hi}` string patterns.
+//!
+//! Differences from the real crate: values are generated from a fixed
+//! deterministic seed schedule (per test name × case index), and failures
+//! are reported by panic **without shrinking** — the failing case index is
+//! printed so a failure reproduces exactly on re-run.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic generator state (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed a generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform usize in [0, n). `n` must be positive.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                // Landing exactly on `hi` has probability ~2^-53; nudge a
+                // small fraction of draws onto the endpoint so inclusive
+                // bounds are actually exercised.
+                if rng.below(64) == 0 {
+                    return hi;
+                }
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Full-type-range generation, proptest's `any::<T>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Types [`any`] can generate.
+pub trait Arbitrary {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// `&str` patterns act as string strategies: supports sequences of
+/// literal characters and `[a-z0-9_]`-style classes, each optionally
+/// followed by `{lo,hi}` / `{n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            let alphabet: Vec<char> = if c == '[' {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {self:?}"));
+                    match c {
+                        ']' => break,
+                        '-' => {
+                            let lo = prev
+                                .take()
+                                .unwrap_or_else(|| panic!("bad range in pattern {self:?}"));
+                            let hi = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("bad range in pattern {self:?}"));
+                            set.pop();
+                            for x in lo..=hi {
+                                set.push(x);
+                            }
+                        }
+                        c => {
+                            set.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                set
+            } else {
+                vec![c]
+            };
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat in {self:?}")),
+                        b.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat in {self:?}")),
+                    ),
+                    None => {
+                        let n: usize = spec
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat in {self:?}"));
+                        (n, n)
+                    }
+                }
+            } else {
+                (1usize, 1usize)
+            };
+            let count = lo + rng.below(hi - lo + 1);
+            for _ in 0..count {
+                out.push(alphabet[rng.below(alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// `Vec` strategy with a length range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generate `Vec`s whose length lies in `len` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.below(self.len.end - self.len.start);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Test-loop driver used by the expansion of [`proptest!`].
+pub fn run_cases<F: FnMut(&mut TestRng)>(cases: u32, name: &str, mut body: F) {
+    // Stable per-test seed: FNV-1a of the test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    for case in 0..cases {
+        let mut rng = TestRng::new(h ^ (case as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("proptest stand-in: property {name:?} failed at case {case}/{cases} (deterministic; re-run reproduces)");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assert within a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Bind `pat in strategy` arguments, then run the body.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __bind_args {
+    ($rng:ident, ($($pat:pat_param in $strat:expr),+ $(,)?), $body:block) => {
+        {
+            $(let $pat = $crate::Strategy::generate(&($strat), $rng);)+
+            $body
+        }
+    };
+}
+
+/// Define property tests: a block of `#[test] fn name(pat in strategy, ...)`
+/// items, optionally preceded by `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@impl ($cfg); $($rest)*}
+    };
+    (@impl ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($args:tt)* ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(cfg.cases, stringify!($name), |__proptest_rng| {
+                    $crate::__bind_args!{__proptest_rng, ($($args)*), $body}
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@impl ($crate::ProptestConfig::default()); $($rest)*}
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, y in 0.5f64..=1.0, mut v in crate::collection::vec(any::<u8>(), 1..5)) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.5..=1.0).contains(&y));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            v.push(0);
+        }
+
+        #[test]
+        fn tuples_and_map(t in (0u16..4, any::<bool>()).prop_map(|(a, b)| (a + 1, b))) {
+            prop_assert!((1..=4).contains(&t.0));
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-z]{1,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let strat = crate::collection::vec(any::<u64>(), 1..10);
+        let mut a = crate::TestRng::new(1);
+        let mut b = crate::TestRng::new(1);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

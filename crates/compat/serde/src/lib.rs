@@ -1,0 +1,291 @@
+//! Minimal, std-only stand-in for `serde`'s serialize half.
+//!
+//! The build environment is fully offline, so the workspace vendors the
+//! subset it uses: `#[derive(Serialize)]` on plain structs (and unit-only
+//! enums) plus JSON emission through `serde_json::to_string_pretty`.
+//! Instead of serde's visitor architecture, [`Serialize`] writes directly
+//! into a [`JsonWriter`]; the derive macro (re-exported from
+//! `serde_derive`) generates the field-by-field calls.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// Types that can write themselves as a JSON value.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut JsonWriter);
+}
+
+/// Incremental JSON emitter with optional pretty-printing.
+#[derive(Debug)]
+pub struct JsonWriter {
+    buf: String,
+    pretty: bool,
+    depth: usize,
+    /// Whether a value has already been written at each nesting level
+    /// (controls comma placement).
+    has_item: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A writer producing compact JSON.
+    pub fn compact() -> Self {
+        JsonWriter {
+            buf: String::new(),
+            pretty: false,
+            depth: 0,
+            has_item: vec![false],
+        }
+    }
+
+    /// A writer producing 2-space-indented JSON.
+    pub fn pretty() -> Self {
+        JsonWriter {
+            buf: String::new(),
+            pretty: true,
+            depth: 0,
+            has_item: vec![false],
+        }
+    }
+
+    /// Consume the writer, returning the JSON text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.buf.push('\n');
+            for _ in 0..self.depth {
+                self.buf.push_str("  ");
+            }
+        }
+    }
+
+    /// Mark the start of an element/field, emitting the separator.
+    fn elem_prefix(&mut self) {
+        if *self.has_item.last().expect("level") {
+            self.buf.push(',');
+        }
+        *self.has_item.last_mut().expect("level") = true;
+        if self.depth > 0 {
+            self.newline_indent();
+        }
+    }
+
+    /// Begin a JSON object.
+    pub fn begin_object(&mut self) {
+        self.buf.push('{');
+        self.depth += 1;
+        self.has_item.push(false);
+    }
+
+    /// End a JSON object.
+    pub fn end_object(&mut self) {
+        let had = self.has_item.pop().expect("unbalanced end_object");
+        self.depth -= 1;
+        if had {
+            self.newline_indent();
+        }
+        self.buf.push('}');
+    }
+
+    /// Begin a JSON array.
+    pub fn begin_array(&mut self) {
+        self.buf.push('[');
+        self.depth += 1;
+        self.has_item.push(false);
+    }
+
+    /// End a JSON array.
+    pub fn end_array(&mut self) {
+        let had = self.has_item.pop().expect("unbalanced end_array");
+        self.depth -= 1;
+        if had {
+            self.newline_indent();
+        }
+        self.buf.push(']');
+    }
+
+    /// Write one named object field.
+    pub fn field(&mut self, name: &str, value: &dyn Serialize) {
+        self.elem_prefix();
+        self.write_escaped(name);
+        self.buf.push(':');
+        if self.pretty {
+            self.buf.push(' ');
+        }
+        value.serialize_json(self);
+    }
+
+    /// Write one array element.
+    pub fn element(&mut self, value: &dyn Serialize) {
+        self.elem_prefix();
+        value.serialize_json(self);
+    }
+
+    /// Write a raw scalar token (already valid JSON).
+    pub fn raw(&mut self, token: &str) {
+        self.buf.push_str(token);
+    }
+
+    /// Write an escaped JSON string.
+    pub fn write_escaped(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut JsonWriter) {
+                out.raw(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut JsonWriter) {
+                // JSON has no NaN/Infinity; emit null like lenient emitters.
+                if self.is_finite() {
+                    let s = self.to_string();
+                    out.raw(&s);
+                } else {
+                    out.raw("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut JsonWriter) {
+        out.raw(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut JsonWriter) {
+        out.write_escaped(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut JsonWriter) {
+        out.write_escaped(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut JsonWriter) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut JsonWriter) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.raw("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut JsonWriter) {
+        out.begin_array();
+        for v in self {
+            out.element(v);
+        }
+        out.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut JsonWriter) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut JsonWriter) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut JsonWriter) {
+                out.begin_array();
+                $(out.element(&self.$idx);)+
+                out.end_array();
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        let mut w = JsonWriter::compact();
+        w.begin_array();
+        w.element(&1u32);
+        w.element(&2.5f64);
+        w.element(&true);
+        w.element(&"a\"b");
+        w.element(&Option::<u32>::None);
+        w.element(&f64::INFINITY);
+        w.end_array();
+        assert_eq!(w.finish(), r#"[1,2.5,true,"a\"b",null,null]"#);
+    }
+
+    #[test]
+    fn nested_containers() {
+        let mut w = JsonWriter::compact();
+        (vec![(1u32, 2u32)], "x").serialize_json(&mut w);
+        assert_eq!(w.finish(), r#"[[[1,2]],"x"]"#);
+    }
+
+    #[test]
+    fn pretty_objects_indent() {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field("a", &1u32);
+        w.field("b", &vec![1u32, 2]);
+        w.end_object();
+        let s = w.finish();
+        assert!(s.contains("\n  \"a\": 1,"));
+        assert!(s.ends_with('}'));
+    }
+}

@@ -1,0 +1,159 @@
+//! `#[derive(Serialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no syn/quote). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields (no generics),
+//! * enums whose variants are all unit variants (serialized as strings).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (JSON emission) for a struct or unit enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`), doc comments and visibility.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                let k = id.to_string();
+                i += 1;
+                break k;
+            }
+            Some(_) => i += 1,
+            None => return Err("expected `struct` or `enum`".into()),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive(Serialize) stand-in: `{name}` is generic, which is unsupported"
+            ));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "`{name}`: expected a braced body (tuple structs unsupported)"
+            ))
+        }
+    };
+
+    if kind == "struct" {
+        let fields = named_fields(body)?;
+        let mut calls = String::new();
+        for f in &fields {
+            calls.push_str(&format!("out.field({f:?}, &self.{f});\n"));
+        }
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::serde::JsonWriter) {{\n\
+             out.begin_object();\n{calls}out.end_object();\n}}\n}}"
+        ))
+    } else {
+        let variants = unit_variants(&name, body)?;
+        let mut arms = String::new();
+        for v in &variants {
+            arms.push_str(&format!("{name}::{v} => out.write_escaped({v:?}),\n"));
+        }
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::serde::JsonWriter) {{\n\
+             match self {{\n{arms}}}\n}}\n}}"
+        ))
+    }
+}
+
+/// Field names of a named-field struct body, honouring nested generics.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut expecting_name = true;
+    let mut angle_depth = 0usize;
+    let mut toks = body.into_iter().peekable();
+    while let Some(t) = toks.next() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                // Field attribute: skip the bracket group too.
+                toks.next();
+            }
+            TokenTree::Ident(id) if expecting_name && id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                fields.push(id.to_string());
+                expecting_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                expecting_name = true;
+            }
+            _ => {}
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn unit_variants(name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut expecting_name = true;
+    let mut toks = body.into_iter().peekable();
+    while let Some(t) = toks.next() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                toks.next();
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                variants.push(id.to_string());
+                expecting_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => expecting_name = true,
+            TokenTree::Group(_) => {
+                return Err(format!(
+                    "derive(Serialize) stand-in: enum `{name}` has non-unit variants, which is unsupported"
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(variants)
+}

@@ -1,0 +1,46 @@
+//! Minimal, std-only stand-in for `serde_json`: serialization to compact
+//! and pretty JSON text, backed by the vendored `serde` stand-in.
+
+#![forbid(unsafe_code)]
+
+use serde::{JsonWriter, Serialize};
+
+/// Serialization error (the vendored emitter is infallible, but the type
+/// keeps call sites source-compatible with the real crate).
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::compact();
+    value.serialize_json(&mut w);
+    Ok(w.finish())
+}
+
+/// Serialize `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::pretty();
+    value.serialize_json(&mut w);
+    Ok(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compact_and_pretty_agree_modulo_whitespace() {
+        let v = vec![(1u32, "a"), (2, "b")];
+        let c = super::to_string(&v).unwrap();
+        let p = super::to_string_pretty(&v).unwrap();
+        assert_eq!(c, r#"[[1,"a"],[2,"b"]]"#);
+        let squashed: String = p.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(squashed, c);
+    }
+}

@@ -133,8 +133,10 @@ impl JtpConfig {
                 self.beta_energy
             ));
         }
-        if !(self.stable_alpha > 0.0 && self.stable_alpha <= 1.0)
-            || !(self.agile_alpha > 0.0 && self.agile_alpha <= 1.0)
+        if !(0.0 < self.stable_alpha
+            && self.stable_alpha <= 1.0
+            && 0.0 < self.agile_alpha
+            && self.agile_alpha <= 1.0)
         {
             return Err("filter weights must be in (0,1]".into());
         }

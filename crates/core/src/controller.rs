@@ -89,7 +89,10 @@ impl EnergyBudgetController {
     /// `beta > 1` expresses packet importance; `fallback_nj` is used before
     /// the energy monitor has samples.
     pub fn new(beta: f64, fallback_nj: u32) -> Self {
-        assert!(beta > 1.0, "beta must exceed 1 so outliers remain detectable");
+        assert!(
+            beta > 1.0,
+            "beta must exceed 1 so outliers remain detectable"
+        );
         EnergyBudgetController { beta, fallback_nj }
     }
 

@@ -140,8 +140,8 @@ impl IjtpModule {
             // Update the tolerance for the remainder of the path using the
             // success probability these attempts actually achieve, so any
             // over-achievement is not re-spent downstream.
-            let q_achieved = reliability::achieved_success(link.loss_rate, max_attempts)
-                .max(q_target.min(1.0));
+            let q_achieved =
+                reliability::achieved_success(link.loss_rate, max_attempts).max(q_target.min(1.0));
             packet.loss_tolerance = reliability::update_loss_tolerance(
                 packet.loss_tolerance,
                 q_achieved.max(f64::MIN_POSITIVE),
@@ -333,7 +333,10 @@ mod tests {
         let mut ack = AckPacket {
             flow: FlowId(1),
             cum_ack: 7,
-            snack: vec![crate::packet::SeqRange::single(7), crate::packet::SeqRange::single(9)],
+            snack: vec![
+                crate::packet::SeqRange::single(7),
+                crate::packet::SeqRange::single(9),
+            ],
             locally_recovered: vec![],
             rate_pps: 2.0,
             energy_budget_nj: 1_000_000,

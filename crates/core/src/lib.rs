@@ -49,10 +49,10 @@ pub mod sender;
 
 pub use cache::{CachePolicy, PacketCache};
 pub use config::JtpConfig;
-pub use reliability::AllocationStrategy;
 pub use controller::{EnergyBudgetController, RateController};
 pub use ijtp::{IjtpModule, LinkInfo, PreXmitVerdict};
 pub use monitor::FlipFlopMonitor;
 pub use packet::{AckPacket, DataPacket, SeqRange};
 pub use receiver::JtpReceiver;
+pub use reliability::AllocationStrategy;
 pub use sender::JtpSender;

@@ -56,7 +56,12 @@ impl FlipFlopMonitor {
     ///   `stable_beta`),
     /// * `outlier_trigger` — consecutive outliers indicating persistent
     ///   change (the paper: "a certain number of consecutive outliers").
-    pub fn new(stable_alpha: f64, stable_beta: f64, agile_alpha: f64, outlier_trigger: u32) -> Self {
+    pub fn new(
+        stable_alpha: f64,
+        stable_beta: f64,
+        agile_alpha: f64,
+        outlier_trigger: u32,
+    ) -> Self {
         assert!(outlier_trigger >= 1);
         FlipFlopMonitor {
             filter: MeanRange::new(stable_alpha, stable_beta),
@@ -93,7 +98,10 @@ impl FlipFlopMonitor {
             // excursion lasts — sustained overload must produce sustained
             // feedback ("whenever the system load increases, it sends a
             // timely feedback forcing the sender to back off", §5.1).
-            if self.consecutive_outliers % self.outlier_trigger == 0 {
+            if self
+                .consecutive_outliers
+                .is_multiple_of(self.outlier_trigger)
+            {
                 trigger = true;
                 self.enter_agile();
             }

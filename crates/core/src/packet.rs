@@ -95,7 +95,10 @@ pub struct SeqRange {
 impl SeqRange {
     /// A single-sequence range.
     pub fn single(seq: u32) -> Self {
-        SeqRange { start: seq, end: seq }
+        SeqRange {
+            start: seq,
+            end: seq,
+        }
     }
 
     /// Number of sequence numbers covered.
@@ -318,10 +321,16 @@ impl AckPacket {
                 continue;
             }
             if r.start < seq {
-                new_snack.push(SeqRange { start: r.start, end: seq - 1 });
+                new_snack.push(SeqRange {
+                    start: r.start,
+                    end: seq - 1,
+                });
             }
             if r.end > seq {
-                new_snack.push(SeqRange { start: seq + 1, end: r.end });
+                new_snack.push(SeqRange {
+                    start: seq + 1,
+                    end: r.end,
+                });
             }
         }
         self.snack = new_snack;
@@ -348,10 +357,7 @@ impl AckPacket {
         buf.put_u32(self.energy_budget_nj);
         buf.put_u64(self.timeout.as_micros());
         let n_snack = self.snack.len().min(MAX_ACK_RANGES);
-        let n_rec = self
-            .locally_recovered
-            .len()
-            .min(MAX_ACK_RANGES - n_snack);
+        let n_rec = self.locally_recovered.len().min(MAX_ACK_RANGES - n_snack);
         buf.put_u8(n_snack as u8);
         buf.put_u8(n_rec as u8);
         buf.put_bytes(0, 2); // reserved/padding to the 28-byte fixed part
@@ -450,7 +456,13 @@ mod tests {
         AckPacket {
             flow: FlowId(3),
             cum_ack: 100,
-            snack: vec![SeqRange { start: 101, end: 103 }, SeqRange::single(110)],
+            snack: vec![
+                SeqRange {
+                    start: 101,
+                    end: 103,
+                },
+                SeqRange::single(110),
+            ],
             locally_recovered: vec![SeqRange::single(105)],
             rate_pps: 3.25,
             energy_budget_nj: 7_000_000,
@@ -570,12 +582,8 @@ mod tests {
     #[test]
     fn ack_encoding_truncates_over_budget() {
         let mut a = sample_ack();
-        a.snack = (0..50u32)
-            .map(|i| SeqRange::single(i * 10))
-            .collect();
-        a.locally_recovered = (0..50u32)
-            .map(|i| SeqRange::single(i * 10 + 5))
-            .collect();
+        a.snack = (0..50u32).map(|i| SeqRange::single(i * 10)).collect();
+        a.locally_recovered = (0..50u32).map(|i| SeqRange::single(i * 10 + 5)).collect();
         let bytes = a.to_bytes();
         assert_eq!(bytes.len(), ACK_PACKET_BYTES);
         let b = AckPacket::decode(&bytes).unwrap();

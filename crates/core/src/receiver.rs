@@ -259,20 +259,14 @@ impl JtpReceiver {
         // `min_increase_interval` apart so feedback frequency does not
         // change the controller's ramp aggressiveness.
         let new_rate = match self.rate_monitor.mean() {
-            Some(avail) if avail <= self.cfg.delta_avail_pps => {
-                self.rate_controller.update(avail)
-            }
-            Some(avail)
-                if now.since(self.last_increase) >= self.cfg.min_increase_interval =>
-            {
+            Some(avail) if avail <= self.cfg.delta_avail_pps => self.rate_controller.update(avail),
+            Some(avail) if now.since(self.last_increase) >= self.cfg.min_increase_interval => {
                 self.last_increase = now;
                 self.rate_controller.update(avail)
             }
             _ => self.rate_controller.rate(),
         };
-        let budget = self
-            .energy_controller
-            .budget_nj(self.energy_monitor.ucl());
+        let budget = self.energy_controller.budget_nj(self.energy_monitor.ucl());
         let mut snack_seqs = self.select_snack();
         // Pace repeat requests: a sequence SNACKed last round is given one
         // round for the recovery to arrive before being requested again.
@@ -446,7 +440,11 @@ mod tests {
         r.poll_feedback(SimTime::from_secs_f64(20.0)); // forgives 1..=4
         let before = r.stats().delivered_packets;
         r.on_data(SimTime::from_secs_f64(21.0), &pkt(3, 3.0, 1000));
-        assert_eq!(r.stats().delivered_packets, before, "forgiven => not delivered");
+        assert_eq!(
+            r.stats().delivered_packets,
+            before,
+            "forgiven => not delivered"
+        );
     }
 
     #[test]
@@ -454,12 +452,16 @@ mod tests {
         let mut r = rx(0.0);
         r.on_data(SimTime::ZERO, &pkt(0, 3.0, 1000));
         r.poll_feedback(SimTime::from_secs_f64(10.0)); // confirm_below = 1
-        // Packets 1..=3 sent; 2 lost; 3 arrives just before feedback.
+                                                       // Packets 1..=3 sent; 2 lost; 3 arrives just before feedback.
         r.on_data(SimTime::from_secs_f64(11.0), &pkt(1, 3.0, 1000));
         r.on_data(SimTime::from_secs_f64(12.0), &pkt(3, 3.0, 1000));
         let ack = r.poll_feedback(SimTime::from_secs_f64(20.0));
         // Gap {2} is above confirm_below=1: could still be in flight.
-        assert!(ack.snack.is_empty(), "in-flight gap SNACKed: {:?}", ack.snack);
+        assert!(
+            ack.snack.is_empty(),
+            "in-flight gap SNACKed: {:?}",
+            ack.snack
+        );
         // Next round: 2 still missing below the new confirm point => loss.
         let ack = r.poll_feedback(SimTime::from_secs_f64(30.0));
         assert_eq!(ack.snack_seqs(), vec![2]);

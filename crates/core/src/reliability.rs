@@ -265,7 +265,10 @@ mod tests {
         let q_eq = equal.q_target(lt, hops, 0.5);
         assert!(q_lossy < q_eq, "lossy link should get a lower target");
         assert!(q_clean > q_eq, "clean link should get a higher target");
-        assert!((q_ref - q_eq).abs() < 1e-12, "at reference loss: equal share");
+        assert!(
+            (q_ref - q_eq).abs() < 1e-12,
+            "at reference loss: equal share"
+        );
     }
 
     #[test]

@@ -210,8 +210,8 @@ impl JtpSender {
 
         // Receiver-assigned transmission parameters.
         if ack.rate_pps.is_finite() && ack.rate_pps > 0.0 {
-            self.rate_pps = (ack.rate_pps as f64)
-                .clamp(self.cfg.min_rate_pps, self.cfg.max_rate_pps);
+            self.rate_pps =
+                (ack.rate_pps as f64).clamp(self.cfg.min_rate_pps, self.cfg.max_rate_pps);
         }
         if ack.energy_budget_nj > 0 {
             self.energy_budget_nj = ack.energy_budget_nj;
@@ -219,8 +219,8 @@ impl JtpSender {
         if !ack.timeout.is_zero() {
             self.feedback_period = ack.timeout;
         }
-        self.feedback_deadline = now
-            + SimDuration::from_secs_f64(self.feedback_period.as_secs_f64() * FEEDBACK_GRACE);
+        self.feedback_deadline =
+            now + SimDuration::from_secs_f64(self.feedback_period.as_secs_f64() * FEEDBACK_GRACE);
 
         // Cumulative ACK frees retained copies (end-to-end reliability is
         // the source's responsibility until here).
@@ -281,8 +281,8 @@ impl JtpSender {
                             .unwrap_or(self.cfg.packet_payload_bytes as u64)
                     })
                     .sum();
-                let pkt_bytes =
-                    (self.cfg.packet_payload_bytes as usize + crate::packet::DATA_HEADER_BYTES) as f64;
+                let pkt_bytes = (self.cfg.packet_payload_bytes as usize
+                    + crate::packet::DATA_HEADER_BYTES) as f64;
                 let packets_equiv = bytes as f64 / pkt_bytes;
                 // Cap the back-off at one feedback period: the compensation
                 // belongs to this epoch. Without the cap, a low-rate sender
@@ -309,8 +309,8 @@ impl JtpSender {
         }
         self.rate_pps = (self.rate_pps * self.cfg.k_d).max(self.cfg.min_rate_pps);
         self.stats.timeout_backoffs += 1;
-        self.feedback_deadline = now
-            + SimDuration::from_secs_f64(self.feedback_period.as_secs_f64() * FEEDBACK_GRACE);
+        self.feedback_deadline =
+            now + SimDuration::from_secs_f64(self.feedback_period.as_secs_f64() * FEEDBACK_GRACE);
     }
 
     /// Number of packets sent but not yet cumulatively acknowledged.
@@ -371,7 +371,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         while let Some(p) = s.poll_send(t) {
             seqs.push(p.seq);
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
         assert_eq!(s.stats().fresh_sent, 5);
@@ -382,7 +382,7 @@ mod tests {
         let mut s = sender(5);
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         assert_eq!(s.unacked_count(), 5);
         s.on_ack(t, &ack(3));
@@ -398,7 +398,7 @@ mod tests {
         let mut s = sender(5);
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         let mut a = ack(2);
         a.snack = vec![SeqRange::single(3)];
@@ -414,7 +414,7 @@ mod tests {
         let mut s = sender(5);
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         let mut a = ack(2);
         a.snack = vec![];
@@ -440,7 +440,7 @@ mod tests {
         );
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         let mut a = ack(2);
         a.locally_recovered = vec![SeqRange::single(3)];
@@ -490,7 +490,7 @@ mod tests {
         let mut s = sender(5);
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         s.on_ack(t, &ack(5)); // everything delivered
         let mut a = ack(5);
@@ -505,7 +505,7 @@ mod tests {
         let mut s = sender(5);
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         let mut a = ack(0);
         a.snack = vec![SeqRange::single(2)];
@@ -517,7 +517,7 @@ mod tests {
             if p.seq == 2 {
                 rtx += 1;
             }
-            t2 = t2 + SimDuration::from_secs(1);
+            t2 += SimDuration::from_secs(1);
         }
         assert_eq!(rtx, 1);
     }
@@ -527,7 +527,7 @@ mod tests {
         let mut s = sender(2);
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         s.on_ack(t, &ack(2));
         assert!(s.is_complete());
@@ -539,7 +539,7 @@ mod tests {
         let mut s = sender(5);
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         // The ack helper advertises a 1 mJ receiver-chosen budget; idle
         // feedback with zero progress (nothing delivered, nothing
@@ -567,7 +567,7 @@ mod tests {
         let mut s = sender(3);
         let mut t = SimTime::ZERO;
         while s.poll_send(t).is_some() {
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         // Receiver saw 0..=1 but never 2 (the tail): cum=2, empty snack.
         s.on_ack(t, &ack(2));
@@ -583,7 +583,7 @@ mod tests {
         let mut s = sender(1);
         let mut t = SimTime::ZERO;
         assert!(s.poll_send(t).is_some());
-        t = t + SimDuration::from_secs(1);
+        t += SimDuration::from_secs(1);
         assert!(s.poll_send(t).is_none());
         s.extend_transfer(1);
         assert_eq!(s.poll_send(t).unwrap().seq, 1);

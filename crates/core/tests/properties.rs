@@ -40,7 +40,7 @@ fn arb_ranges(max_len: usize) -> impl Strategy<Value = Vec<SeqRange>> {
         // Build non-overlapping ascending ranges.
         let mut seqs: Vec<u32> = pairs
             .into_iter()
-            .flat_map(|(s, l)| (s..=s.saturating_add(l)))
+            .flat_map(|(s, l)| s..=s.saturating_add(l))
             .collect();
         seqs.sort_unstable();
         seqs.dedup();
@@ -259,7 +259,7 @@ proptest! {
                 }
                 last_emit = Some(t);
             }
-            t = t + SimDuration::from_micros(gap_us / 3 + 1);
+            t += SimDuration::from_micros(gap_us / 3 + 1);
         }
     }
 }

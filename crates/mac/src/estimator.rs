@@ -120,7 +120,11 @@ mod tests {
         for i in 0..1000 {
             e.record_attempt(i % 5 != 0); // 20% loss
         }
-        assert!((e.loss_rate() - 0.2).abs() < 0.1, "loss = {}", e.loss_rate());
+        assert!(
+            (e.loss_rate() - 0.2).abs() < 0.1,
+            "loss = {}",
+            e.loss_rate()
+        );
     }
 
     #[test]
@@ -157,6 +161,10 @@ mod tests {
         for i in 0..1000 {
             a.record_slot(i % 2 == 0); // 50% idle
         }
-        assert!((a.available_pps() - 2.0).abs() < 0.4, "{}", a.available_pps());
+        assert!(
+            (a.available_pps() - 2.0).abs() < 0.4,
+            "{}",
+            a.available_pps()
+        );
     }
 }

@@ -153,7 +153,10 @@ impl<P> NodeMac<P> {
     /// Panics if the queue is empty — callers must only invoke this after
     /// a non-idle [`NodeMac::record_owned_slot`].
     pub fn transmit_result(&mut self, success: bool) -> SlotOutcome<P> {
-        let head = self.queue.front_mut().expect("transmit_result on empty queue");
+        let head = self
+            .queue
+            .front_mut()
+            .expect("transmit_result on empty queue");
         head.attempts += 1;
         self.stats.attempts += 1;
         let dst = head.dst;

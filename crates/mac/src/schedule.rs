@@ -77,6 +77,35 @@ impl TdmaSchedule {
         let within = (slot_index % self.n_nodes as u64) as usize;
         self.frame_permutation(frame)[within]
     }
+
+    /// The first slot strictly after time `after` owned by a node marked in
+    /// `owner_set` (indexed by node id). `None` when the set is empty.
+    ///
+    /// This is the idle-slot-skipping query: since every node owns exactly
+    /// one slot per frame, the scan inspects at most two frames (O(n)), and
+    /// the event loop can jump over arbitrarily long idle stretches in one
+    /// step instead of firing an event per slot.
+    pub fn next_owned_slot(&mut self, after: SimTime, owner_set: &[bool]) -> Option<u64> {
+        debug_assert_eq!(owner_set.len(), self.n_nodes as usize);
+        if !owner_set.iter().any(|&b| b) {
+            return None;
+        }
+        // First slot whose start lies strictly after `after`.
+        let mut slot = after.as_micros() / self.slot.as_micros() + 1;
+        loop {
+            // Every node appears once per frame, so a non-empty owner set
+            // is matched within `n_nodes` consecutive slots.
+            let frame = slot / self.n_nodes as u64;
+            let within = (slot % self.n_nodes as u64) as usize;
+            let perm = self.frame_permutation(frame);
+            for (off, owner) in perm[within..].iter().enumerate() {
+                if owner_set[owner.index()] {
+                    return Some(slot + off as u64);
+                }
+            }
+            slot += (self.n_nodes as usize - within) as u64;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +175,42 @@ mod tests {
         for i in 0..5u64 {
             assert_eq!(s.owner(i), NodeId(0));
         }
+    }
+
+    #[test]
+    fn next_owned_slot_matches_linear_scan() {
+        let mut a = sched(8);
+        let mut b = sched(8);
+        let mut owned = vec![false; 8];
+        owned[2] = true;
+        owned[5] = true;
+        for start_slot in 0..40u64 {
+            // Reference: scan slots one by one.
+            let after = a.slot_start(start_slot);
+            let expect = (start_slot + 1..)
+                .find(|&s| owned[a.owner(s).index()])
+                .unwrap();
+            assert_eq!(b.next_owned_slot(after, &owned), Some(expect));
+        }
+    }
+
+    #[test]
+    fn next_owned_slot_is_strictly_after() {
+        let mut s = sched(4);
+        let all = vec![true; 4];
+        // From exactly a slot boundary, the same slot must not be returned.
+        for slot in 0..20u64 {
+            let next = s.next_owned_slot(s.slot_start(slot), &all).unwrap();
+            assert_eq!(next, slot + 1, "every slot owned => next slot");
+        }
+        // Mid-slot queries also move to the next boundary.
+        let mid = SimTime::from_micros(s.slot_start(3).as_micros() + 1);
+        assert_eq!(s.next_owned_slot(mid, &all), Some(4));
+    }
+
+    #[test]
+    fn next_owned_slot_empty_set_is_none() {
+        let mut s = sched(4);
+        assert_eq!(s.next_owned_slot(SimTime::ZERO, &[false; 4]), None);
     }
 }

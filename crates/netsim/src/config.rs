@@ -145,6 +145,19 @@ pub struct ExperimentConfig {
     pub routing_refresh: SimDuration,
     /// Periodic delayed-ACK flush for TCP receivers.
     pub tcp_ack_flush: SimDuration,
+    /// Skip TDMA slots owned by nodes with empty MAC queues, jumping the
+    /// event clock straight to the next busy slot. Observationally
+    /// identical to firing every slot (idle-slot statistics are replayed
+    /// exactly), but collapses idle stretches from O(slots) events to
+    /// O(1). Disable only to cross-check the engine against the naive
+    /// per-slot loop.
+    pub idle_slot_skipping: bool,
+    /// Keep at most one pending sender wakeup per flow (an earlier request
+    /// cancels a later one). The pre-overhaul engine spawned a fresh
+    /// wakeup chain per ACK arrival that never died — O(acks²) no-op
+    /// timer events per flow. Disable only to benchmark against that
+    /// behaviour.
+    pub wakeup_coalescing: bool,
 }
 
 impl ExperimentConfig {
@@ -166,6 +179,8 @@ impl ExperimentConfig {
             mobility: None,
             routing_refresh: SimDuration::from_secs(5),
             tcp_ack_flush: SimDuration::from_millis(500),
+            idle_slot_skipping: true,
+            wakeup_coalescing: true,
         }
     }
 
@@ -253,13 +268,13 @@ impl ExperimentConfig {
             if !(0.0..=1.0).contains(&f.loss_tolerance) {
                 return Err(format!("flow {i} loss tolerance outside [0,1]"));
             }
-            if self.transport == TransportKind::Tcp || self.transport == TransportKind::Atp {
-                if f.loss_tolerance != 0.0 {
-                    return Err(format!(
-                        "flow {i}: {:?} only supports full reliability",
-                        self.transport
-                    ));
-                }
+            if (self.transport == TransportKind::Tcp || self.transport == TransportKind::Atp)
+                && f.loss_tolerance != 0.0
+            {
+                return Err(format!(
+                    "flow {i}: {:?} only supports full reliability",
+                    self.transport
+                ));
             }
         }
         Ok(())
@@ -314,9 +329,14 @@ mod tests {
     fn random_field_scales_with_n() {
         let small = ExperimentConfig::random(4);
         let large = ExperimentConfig::random(25);
-        let (TopologyKind::Random { field_side_m: s, .. },
-             TopologyKind::Random { field_side_m: l, .. }) =
-            (small.topology.clone(), large.topology.clone())
+        let (
+            TopologyKind::Random {
+                field_side_m: s, ..
+            },
+            TopologyKind::Random {
+                field_side_m: l, ..
+            },
+        ) = (small.topology.clone(), large.topology.clone())
         else {
             panic!()
         };

@@ -39,5 +39,5 @@ pub mod trace;
 pub use config::{ExperimentConfig, FlowSpec, MobilityConfig, TopologyKind, TransportKind};
 pub use metrics::{FlowMetrics, Metrics};
 pub use network::{Event, Network};
-pub use runner::{run_experiment, run_many, run_traced, summarize_runs, Summary};
+pub use runner::{run_experiment, run_many, run_many_on, run_traced, summarize_runs, Summary};
 pub use trace::{TraceConfig, TraceLog};

@@ -4,10 +4,15 @@
 //! One [`Network`] is one experiment run. The event loop follows the
 //! paper's system structure:
 //!
-//! * a TDMA slot event fires every slot; the pseudo-random schedule names
-//!   the owner, which transmits the head of its MAC queue (after the
-//!   iJTP PreXmit hook — Algorithm 1 — has charged energy, set the attempt
-//!   budget and stamped the available rate),
+//! * a TDMA slot event fires for every slot owned by a **backlogged**
+//!   node; the pseudo-random schedule names the owner, which transmits the
+//!   head of its MAC queue (after the iJTP PreXmit hook — Algorithm 1 —
+//!   has charged energy, set the attempt budget and stamped the available
+//!   rate). Slots owned by idle nodes are *skipped*: the engine jumps
+//!   straight to the next busy slot and replays the skipped owners'
+//!   idle-slot statistics exactly, so results are byte-identical to the
+//!   naive slot-per-event loop at a fraction of the event count
+//!   (`ExperimentConfig::idle_slot_skipping` toggles this),
 //! * delivered frames either terminate at their endpoint (eJTP / TCP /
 //!   ATP state machines) or pass through the iJTP PostRcv hook
 //!   (Algorithm 2 — caching and SNACK-triggered local recovery) and are
@@ -15,6 +20,13 @@
 //! * sender wakeups pace data out at the receiver-assigned rate; receiver
 //!   timers emit regular feedback; mobility ticks move nodes and refresh
 //!   (staleness permitting) the routing views.
+//!
+//! Hot-path notes: per-link Gilbert-Elliott fading processes live in a
+//! flat `Vec` indexed by a dense triangular pair index (no per-frame
+//! hashing), and slot events are scheduled in event class 0 so a slot
+//! boundary always precedes same-instant timers regardless of *when* the
+//! slot event was (re)scheduled — the invariant the skipping engine's
+//! equivalence proof rests on.
 
 use crate::config::{ExperimentConfig, MobilityConfig, TransportKind};
 use crate::metrics::{FlowMetrics, Metrics};
@@ -29,10 +41,11 @@ use jtp_phys::energy::EnergyCategory;
 use jtp_phys::gilbert::{GilbertConfig, GilbertElliott};
 use jtp_phys::{EnergyMeter, MobilityModel, PathLoss, Point, RadioEnergyModel, RandomWaypoint};
 use jtp_routing::{Adjacency, LinkState};
-use jtp_sim::{
-    EventQueue, FlowId, NodeId, SimDuration, SimRng, SimTime, Simulation,
-};
-use std::collections::HashMap;
+use jtp_sim::{EventId, EventQueue, FlowId, NodeId, SimDuration, SimRng, SimTime, Simulation};
+
+/// Event class of TDMA slot boundaries: delivered before same-instant
+/// timer events (classes are ordered before FIFO sequence at ties).
+const SLOT_CLASS: u8 = 0;
 
 /// Simulation events.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +78,11 @@ struct Flow {
     endpoints: Endpoints,
     started: bool,
     completed_at: Option<SimTime>,
+    /// The single pending sender wakeup, if any: (handle, fire time).
+    /// Wakeups are deduplicated — an ACK arrival used to spawn an extra
+    /// parallel wakeup chain that never died, giving O(acks²) no-op timer
+    /// events per flow; now an earlier request cancels the later one.
+    wakeup: Option<(EventId, SimTime)>,
 }
 
 enum Mobility {
@@ -89,7 +107,10 @@ pub struct Network {
     schedule: TdmaSchedule,
     routing: LinkState,
     truth: Adjacency,
-    channels: HashMap<(u32, u32), GilbertElliott>,
+    /// Per-undirected-link fading processes, indexed by [`Network::pair_index`].
+    /// Lazily initialised so RNG substream consumption matches link first-use
+    /// order exactly (the former `HashMap` behaviour).
+    channels: Vec<Option<GilbertElliott>>,
     attempt_rng: SimRng,
     pathloss: PathLoss,
     gilbert_cfg: GilbertConfig,
@@ -102,6 +123,23 @@ pub struct Network {
     /// Collected time-series traces (see [`TraceConfig`]).
     pub trace: TraceLog,
     no_route_drops: u64,
+    // ---- idle-slot-skipping engine state ----
+    /// Whether slots owned by idle nodes are skipped (config).
+    skip_idle: bool,
+    /// Whether sender wakeups are deduplicated per flow (config).
+    coalesce_wakeups: bool,
+    /// `backlog[i]` ⇔ node i's MAC queue is non-empty.
+    backlog: Vec<bool>,
+    /// Count of `true` entries in `backlog`.
+    backlog_count: usize,
+    /// Set when `backlog` changed since the slot event was last synced.
+    backlog_dirty: bool,
+    /// Next slot index not yet accounted (fired or replayed as idle).
+    slot_cursor: u64,
+    /// The scheduled slot event, if any: (queue handle, slot index).
+    pending_slot: Option<(EventId, u64)>,
+    /// Flows with `completed_at` set (O(1) all-done check).
+    completed_flows: usize,
 }
 
 impl Network {
@@ -204,13 +242,21 @@ impl Network {
                     endpoints,
                     started: false,
                     completed_at: None,
+                    wakeup: None,
                 }
             })
             .collect();
 
         let end = SimTime::ZERO + cfg.duration;
         let mut queue = EventQueue::new();
-        queue.schedule_at(SimTime::ZERO, Event::Slot(0));
+        let skip_idle = cfg.idle_slot_skipping;
+        let coalesce_wakeups = cfg.wakeup_coalescing;
+        let mut pending_slot = None;
+        if !skip_idle {
+            // Naive engine: one event per slot from t=0 on.
+            let id = queue.schedule_at_class(SimTime::ZERO, SLOT_CLASS, Event::Slot(0));
+            pending_slot = Some((id, 0));
+        }
         for f in &flows {
             queue.schedule_at(f.start.min(end), Event::FlowStart(f.id));
         }
@@ -220,13 +266,21 @@ impl Network {
 
         let net = Network {
             transport: cfg.transport,
+            backlog: vec![false; n],
+            backlog_count: 0,
+            backlog_dirty: false,
+            slot_cursor: 0,
+            pending_slot,
+            completed_flows: 0,
+            skip_idle,
+            coalesce_wakeups,
             nodes,
             positions,
             flows,
             schedule,
             routing,
             truth,
-            channels: HashMap::new(),
+            channels: vec![None; n * (n.saturating_sub(1)) / 2],
             attempt_rng: SimRng::derive(cfg.seed, "channel-attempts"),
             pathloss: cfg.pathloss,
             gilbert_cfg: cfg.gilbert,
@@ -247,6 +301,96 @@ impl Network {
         self.end
     }
 
+    /// True once every flow has completed (false when there are no flows).
+    pub fn all_flows_completed(&self) -> bool {
+        !self.flows.is_empty() && self.completed_flows == self.flows.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Idle-slot-skipping engine
+    // ------------------------------------------------------------------
+
+    /// Record node `node`'s queue-empty status after a MAC mutation.
+    fn refresh_backlog(&mut self, node: NodeId) {
+        let has = self.nodes[node.index()].mac.queue_len() > 0;
+        if self.backlog[node.index()] != has {
+            self.backlog[node.index()] = has;
+            if has {
+                self.backlog_count += 1;
+            } else {
+                self.backlog_count -= 1;
+            }
+            self.backlog_dirty = true;
+        }
+    }
+
+    /// Replay slots `[slot_cursor, upto)` as idle: each was owned by a node
+    /// whose queue was empty when the slot passed (the scheduling invariant
+    /// guarantees this), so the only effect the naive loop would have had
+    /// is the owner's idle-slot accounting — applied here in slot order,
+    /// byte-identically.
+    fn replay_idle_slots(&mut self, upto: u64) {
+        while self.slot_cursor < upto {
+            let owner = self.schedule.owner(self.slot_cursor);
+            self.nodes[owner.index()].mac.record_owned_slot(false);
+            self.slot_cursor += 1;
+        }
+    }
+
+    /// Reconcile the scheduled slot event with the current backlog: keep it
+    /// iff it still targets the earliest busy-owned slot, else cancel and
+    /// reschedule. Runs after every handled event (cheap no-op unless the
+    /// backlog changed).
+    fn sync_slot_event(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
+        if !self.skip_idle {
+            return;
+        }
+        if self.all_flows_completed() {
+            // The naive loop stops rescheduling slots once all flows are
+            // done; mirror that so the pending-event sets (and thus the
+            // queue drain time) agree exactly.
+            if let Some((id, _)) = self.pending_slot.take() {
+                q.cancel(id);
+            }
+            return;
+        }
+        if !self.backlog_dirty {
+            return;
+        }
+        self.backlog_dirty = false;
+        let desired = if self.backlog_count == 0 {
+            None
+        } else {
+            self.schedule
+                .next_owned_slot(now, &self.backlog)
+                .filter(|&s| self.schedule.slot_start(s) <= self.end)
+        };
+        match (self.pending_slot, desired) {
+            (Some((_, cur)), Some(want)) if cur == want => {}
+            (prev, want) => {
+                if let Some((id, _)) = prev {
+                    q.cancel(id);
+                }
+                self.pending_slot = want.map(|s| {
+                    let at = self.schedule.slot_start(s);
+                    (q.schedule_at_class(at, SLOT_CLASS, Event::Slot(s)), s)
+                });
+            }
+        }
+    }
+
+    /// Account the idle tail after the event loop finishes: every slot the
+    /// naive loop would still have fired (start ≤ min(end, horizon), no
+    /// early all-done stop) is replayed as idle. No-op unless idle-slot
+    /// skipping is enabled.
+    pub fn finalize(&mut self, horizon: SimTime) {
+        if !self.skip_idle || self.all_flows_completed() {
+            return;
+        }
+        let last = self.schedule.slot_index_at(self.end.min(horizon));
+        self.replay_idle_slots(last + 1);
+    }
+
     // ------------------------------------------------------------------
     // Forwarding
     // ------------------------------------------------------------------
@@ -264,6 +408,7 @@ impl Network {
         // are set per packet by iJTP at first transmission.
         frame.max_attempts = self.nodes[from.index()].mac.max_attempts_cap();
         let _ = self.nodes[from.index()].mac.enqueue(frame); // overflow counted inside
+        self.refresh_backlog(from);
     }
 
     // ------------------------------------------------------------------
@@ -271,6 +416,14 @@ impl Network {
     // ------------------------------------------------------------------
 
     fn handle_slot(&mut self, now: SimTime, slot: u64, q: &mut EventQueue<Event>) {
+        if self.skip_idle {
+            // This event consumed the pending handle; catch up the skipped
+            // idle slots first so MAC statistics are read in replay order.
+            self.pending_slot = None;
+            self.replay_idle_slots(slot);
+            self.backlog_dirty = true;
+        }
+        self.slot_cursor = slot + 1;
         let owner = self.schedule.owner(slot);
         match self.prepare_head(owner, now) {
             None => {
@@ -296,13 +449,18 @@ impl Network {
                 }
             }
         }
-        // Stop rescheduling slots once every flow has finished: the queue
-        // drains and the run ends early with identical metrics.
-        let all_done =
-            !self.flows.is_empty() && self.flows.iter().all(|f| f.completed_at.is_some());
-        let next = self.schedule.slot_start(slot + 1);
-        if !all_done && next <= self.end {
-            q.schedule_at(next, Event::Slot(slot + 1));
+        self.refresh_backlog(owner);
+        if !self.skip_idle {
+            // Naive engine: fire every slot; stop once every flow has
+            // finished, so the queue drains and the run ends early with
+            // identical metrics.
+            let next = self.schedule.slot_start(slot + 1);
+            if !self.all_flows_completed() && next <= self.end {
+                let id = q.schedule_at_class(next, SLOT_CLASS, Event::Slot(slot + 1));
+                self.pending_slot = Some((id, slot + 1));
+            } else {
+                self.pending_slot = None;
+            }
         }
     }
 
@@ -371,9 +529,21 @@ impl Network {
                     }
                 }
             }
-            let head = self.nodes[owner.index()].mac.head().expect("head survives hooks");
+            let head = self.nodes[owner.index()]
+                .mac
+                .head()
+                .expect("head survives hooks");
             return Some((head.dst, head.bytes, head.kind));
         }
+    }
+
+    /// Dense index of the undirected pair `{a, b}` into the flat channel
+    /// table (upper-triangular, row-major).
+    fn pair_index(&self, lo: u32, hi: u32) -> usize {
+        let n = self.nodes.len();
+        let (lo, hi) = (lo as usize, hi as usize);
+        debug_assert!(lo < hi && hi < n);
+        lo * n - lo * (lo + 1) / 2 + (hi - lo - 1)
     }
 
     /// Sample the channel for one transmission attempt.
@@ -384,13 +554,12 @@ impl Network {
         }
         let baseline = self.pathloss.loss_at(d);
         // Fading is shared per undirected link (symmetric channel).
-        let key = (from.0.min(to.0), from.0.max(to.0));
+        let (lo, hi) = (from.0.min(to.0), from.0.max(to.0));
+        let idx = self.pair_index(lo, hi);
         let n = self.nodes.len() as u64;
         let (cfg, seed) = (self.gilbert_cfg, self.seed);
-        let ge = self
-            .channels
-            .entry(key)
-            .or_insert_with(|| GilbertElliott::new(cfg, seed, key.0 as u64 * n + key.1 as u64));
+        let ge = self.channels[idx]
+            .get_or_insert_with(|| GilbertElliott::new(cfg, seed, lo as u64 * n + hi as u64));
         let loss = ge.loss_prob(now, baseline);
         !self.attempt_rng.chance(loss)
     }
@@ -438,6 +607,14 @@ impl Network {
             _ => {}
         }
         self.forward_from(here, tp);
+    }
+
+    /// Mark a flow complete (first time only).
+    fn mark_completed(&mut self, fi: usize, now: SimTime) {
+        if self.flows[fi].completed_at.is_none() {
+            self.flows[fi].completed_at = Some(now);
+            self.completed_flows += 1;
+        }
     }
 
     /// Endpoint processing.
@@ -490,14 +667,17 @@ impl Network {
                 }
             }
             Payload::JtpAck(a) => {
-                let Endpoints::Jtp(tx, _) = &mut self.flows[fi].endpoints else {
-                    return;
+                let complete = {
+                    let Endpoints::Jtp(tx, _) = &mut self.flows[fi].endpoints else {
+                        return;
+                    };
+                    tx.on_ack(now, &a);
+                    tx.is_complete()
                 };
-                tx.on_ack(now, &a);
-                if tx.is_complete() && self.flows[fi].completed_at.is_none() {
-                    self.flows[fi].completed_at = Some(now);
+                if complete {
+                    self.mark_completed(fi, now);
                 }
-                q.schedule_at(now, Event::SenderWakeup(fid));
+                self.request_wakeup(fi, now, q);
             }
             Payload::TcpData(d) => {
                 let (fresh, ack) = {
@@ -524,14 +704,17 @@ impl Network {
                 }
             }
             Payload::TcpAck(a) => {
-                let Endpoints::Tcp(tx, _) = &mut self.flows[fi].endpoints else {
-                    return;
+                let complete = {
+                    let Endpoints::Tcp(tx, _) = &mut self.flows[fi].endpoints else {
+                        return;
+                    };
+                    tx.on_ack(now, &a);
+                    tx.is_complete()
                 };
-                tx.on_ack(now, &a);
-                if tx.is_complete() && self.flows[fi].completed_at.is_none() {
-                    self.flows[fi].completed_at = Some(now);
+                if complete {
+                    self.mark_completed(fi, now);
                 }
-                q.schedule_at(now, Event::SenderWakeup(fid));
+                self.request_wakeup(fi, now, q);
             }
             Payload::AtpData(d) => {
                 let fresh = {
@@ -547,14 +730,17 @@ impl Network {
                 }
             }
             Payload::AtpFeedback(fb) => {
-                let Endpoints::Atp(tx, _) = &mut self.flows[fi].endpoints else {
-                    return;
+                let complete = {
+                    let Endpoints::Atp(tx, _) = &mut self.flows[fi].endpoints else {
+                        return;
+                    };
+                    tx.on_feedback(now, &fb);
+                    tx.is_complete()
                 };
-                tx.on_feedback(now, &fb);
-                if tx.is_complete() && self.flows[fi].completed_at.is_none() {
-                    self.flows[fi].completed_at = Some(now);
+                if complete {
+                    self.mark_completed(fi, now);
                 }
-                q.schedule_at(now, Event::SenderWakeup(fid));
+                self.request_wakeup(fi, now, q);
             }
         }
     }
@@ -563,15 +749,39 @@ impl Network {
     // Timers
     // ------------------------------------------------------------------
 
+    /// Request a sender wakeup at `at`, keeping at most one pending wakeup
+    /// per flow: a pending earlier (or equal) wakeup covers this request —
+    /// its handler recomputes the next need when it fires — and a pending
+    /// later one is cancelled in favour of the earlier time.
+    fn request_wakeup(&mut self, fi: usize, at: SimTime, q: &mut EventQueue<Event>) {
+        if !self.coalesce_wakeups {
+            // Legacy behaviour (pre-overhaul): unconditionally spawn a new
+            // wakeup chain. Kept for before/after benchmarking.
+            let fid = self.flows[fi].id;
+            q.schedule_at(at, Event::SenderWakeup(fid));
+            return;
+        }
+        if let Some((id, t)) = self.flows[fi].wakeup {
+            if t <= at {
+                return;
+            }
+            q.cancel(id);
+        }
+        let fid = self.flows[fi].id;
+        let id = q.schedule_at(at, Event::SenderWakeup(fid));
+        self.flows[fi].wakeup = Some((id, at));
+    }
+
     fn handle_flow_start(&mut self, now: SimTime, fid: FlowId, q: &mut EventQueue<Event>) {
-        let f = &mut self.flows[fid.index()];
-        f.started = true;
-        q.schedule_at(now, Event::SenderWakeup(fid));
+        self.flows[fid.index()].started = true;
+        self.request_wakeup(fid.index(), now, q);
         q.schedule_at(now, Event::ReceiverTimer(fid));
     }
 
     fn handle_sender_wakeup(&mut self, now: SimTime, fid: FlowId, q: &mut EventQueue<Event>) {
         let fi = fid.index();
+        // This event is the flow's one pending wakeup.
+        self.flows[fi].wakeup = None;
         if !self.flows[fi].started || self.flows[fi].completed_at.is_some() {
             return;
         }
@@ -613,7 +823,7 @@ impl Network {
         if let Some(at) = next_wakeup {
             let at = at.max(now + SimDuration::from_millis(1));
             if at <= self.end {
-                q.schedule_at(at, Event::SenderWakeup(fid));
+                self.request_wakeup(fi, at, q);
             }
         }
     }
@@ -684,7 +894,8 @@ impl Network {
     // Harvest
     // ------------------------------------------------------------------
 
-    /// Collect run metrics. Call after the event loop finishes.
+    /// Collect run metrics. Call after the event loop finishes (and, when
+    /// idle-slot skipping is on, after [`Network::finalize`]).
     pub fn metrics(&self, now: SimTime) -> Metrics {
         let mut per_node = Vec::with_capacity(self.nodes.len());
         let mut total = EnergyMeter::new();
@@ -808,5 +1019,8 @@ impl Simulation for Network {
             Event::ReceiverTimer(f) => self.handle_receiver_timer(now, f, queue),
             Event::MobilityTick => self.handle_mobility_tick(now, queue),
         }
+        // Any handler may have enqueued or drained MAC traffic; keep the
+        // skipping engine's slot event aimed at the earliest busy slot.
+        self.sync_slot_event(now, queue);
     }
 }

@@ -1,6 +1,11 @@
 //! Experiment execution: single runs, traced runs and multi-seed batches
 //! with 95 % confidence intervals (the paper averages 10–20 independent
 //! runs per point).
+//!
+//! Batches run replicas in parallel with scoped OS threads over a shared
+//! work counter, so any number of seeds saturates every core without an
+//! external thread-pool dependency. Determinism: each replica depends only
+//! on its own seed, so batch results are independent of thread scheduling.
 
 use crate::config::ExperimentConfig;
 use crate::metrics::Metrics;
@@ -8,6 +13,8 @@ use crate::network::Network;
 use crate::trace::{TraceConfig, TraceLog};
 use jtp_sim::stats::ci95_halfwidth;
 use jtp_sim::{run_until, SimTime};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Run one experiment to completion and return its metrics.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Metrics {
@@ -19,7 +26,17 @@ pub fn run_traced(cfg: &ExperimentConfig, trace: TraceConfig) -> (Metrics, Trace
     let (mut net, mut queue) = Network::new(cfg, trace);
     let horizon = net.horizon();
     run_until(&mut net, &mut queue, horizon);
-    let now = queue.now().min(horizon);
+    // Account any TDMA slots the idle-skipping engine elided at the tail.
+    net.finalize(horizon);
+    // Deterministic harvest time: if every flow completed, the drain time
+    // of the queue (identical with idle-slot skipping on or off, since
+    // only no-op events remain pending at completion); otherwise the
+    // configured horizon — incomplete flows were active to the end.
+    let now = if net.all_flows_completed() {
+        queue.now().min(horizon)
+    } else {
+        horizon
+    };
     let m = net.metrics(now);
     (m, net.trace)
 }
@@ -57,32 +74,55 @@ impl std::fmt::Display for Summary {
     }
 }
 
-/// Run `runs` independent replicas (seeds `base_seed..base_seed+runs`),
-/// in parallel across threads. Determinism: each replica depends only on
-/// its own seed, so the batch result is independent of thread scheduling.
+/// Run `runs` independent replicas (seeds `base_seed..base_seed+runs`) in
+/// parallel across all available cores, work-stealing style: threads pull
+/// the next replica index from a shared atomic counter, so uneven replica
+/// durations don't leave cores idle the way fixed chunking does.
 pub fn run_many(cfg: &ExperimentConfig, runs: usize) -> Vec<Metrics> {
-    assert!(runs >= 1);
-    let mut out: Vec<Option<Metrics>> = vec![None; runs];
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(4)
-        .min(runs);
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, chunk) in out.chunks_mut(runs.div_ceil(threads)).enumerate() {
-            let cfg = cfg.clone();
-            scope.spawn(move |_| {
-                let per = chunk.len();
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    let run_idx = chunk_idx * per + i;
-                    let mut c = cfg.clone();
-                    c.seed = cfg.seed.wrapping_add(run_idx as u64);
-                    *slot = Some(run_experiment(&c));
+        .unwrap_or(4);
+    run_many_on(cfg, runs, threads)
+}
+
+/// [`run_many`] with an explicit thread count (1 = fully sequential).
+/// Results are identical for any thread count; exposed so the parallel
+/// path stays testable on single-core machines.
+pub fn run_many_on(cfg: &ExperimentConfig, runs: usize, threads: usize) -> Vec<Metrics> {
+    assert!(runs >= 1 && threads >= 1);
+    let threads = threads.min(runs);
+    if threads == 1 {
+        return (0..runs)
+            .map(|i| {
+                let mut c = cfg.clone();
+                c.seed = cfg.seed.wrapping_add(i as u64);
+                run_experiment(&c)
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let out: Vec<Mutex<Option<Metrics>>> = (0..runs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= runs {
+                    break;
                 }
+                let mut c = cfg.clone();
+                c.seed = cfg.seed.wrapping_add(i as u64);
+                let m = run_experiment(&c);
+                *out[i].lock().expect("replica slot") = Some(m);
             });
         }
-    })
-    .expect("replica thread panicked");
-    out.into_iter().map(|m| m.expect("all replicas ran")).collect()
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("all replicas ran")
+        })
+        .collect()
 }
 
 /// Convenience: batch-run and summarise energy-per-bit and goodput, the
@@ -137,10 +177,28 @@ mod tests {
         assert_eq!(a[0].mac_attempts, direct.mac_attempts);
         // Different replicas see different channel realisations.
         assert!(
-            a.iter().any(|m| m.mac_attempts != a[0].mac_attempts)
-                || a[0].delivered_packets == 0,
+            a.iter().any(|m| m.mac_attempts != a[0].mac_attempts) || a[0].delivered_packets == 0,
             "all replicas identical — seeds not varied"
         );
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        // Force the scoped-thread work-stealing path even on single-core
+        // machines; replicas must be identical to the sequential path.
+        let cfg = ExperimentConfig::linear(3)
+            .transport(TransportKind::Jtp)
+            .duration_s(150.0)
+            .seed(60)
+            .bulk_flow(15, 2.0, 0.0);
+        let seq = run_many_on(&cfg, 4, 1);
+        let par = run_many_on(&cfg, 4, 3);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.mac_attempts, b.mac_attempts);
+            assert_eq!(a.delivered_packets, b.delivered_packets);
+            assert_eq!(a.energy_total_j.to_bits(), b.energy_total_j.to_bits());
+        }
     }
 
     #[test]
@@ -171,7 +229,10 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(plain.mac_attempts, traced.mac_attempts, "tracing must not perturb");
+        assert_eq!(
+            plain.mac_attempts, traced.mac_attempts,
+            "tracing must not perturb"
+        );
         assert_eq!(log.receptions.len() as u64, traced.delivered_packets);
     }
 }

@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn linear_placement_is_a_chain() {
-        let kind = TopologyKind::Linear { n: 5, spacing_m: 55.0 };
+        let kind = TopologyKind::Linear {
+            n: 5,
+            spacing_m: 55.0,
+        };
         let pts = place_nodes(&kind, &pl(), 1);
         let adj = adjacency_from_positions(&pts, &pl());
         // Chain: node i connects to i±1 only (110 m to i±2 is out of range).
@@ -82,7 +85,10 @@ mod tests {
 
     #[test]
     fn random_placement_is_connected_and_deterministic() {
-        let kind = TopologyKind::Random { n: 15, field_side_m: 60.0 * 15f64.sqrt() };
+        let kind = TopologyKind::Random {
+            n: 15,
+            field_side_m: 60.0 * 15f64.sqrt(),
+        };
         let a = place_nodes(&kind, &pl(), 9);
         let b = place_nodes(&kind, &pl(), 9);
         assert_eq!(a.len(), 15);
@@ -96,7 +102,11 @@ mod tests {
 
     #[test]
     fn adjacency_respects_range() {
-        let pts = vec![Point::new(0.0, 0.0), Point::new(99.0, 0.0), Point::new(250.0, 0.0)];
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(99.0, 0.0),
+            Point::new(250.0, 0.0),
+        ];
         let adj = adjacency_from_positions(&pts, &pl());
         assert!(adj.has_edge(NodeId(0), NodeId(1)));
         assert!(!adj.has_edge(NodeId(0), NodeId(2)));
@@ -105,7 +115,10 @@ mod tests {
 
     #[test]
     fn field_covers_linear_span() {
-        let kind = TopologyKind::Linear { n: 8, spacing_m: 55.0 };
+        let kind = TopologyKind::Linear {
+            n: 8,
+            spacing_m: 55.0,
+        };
         let f = field_for(&kind);
         assert!(f.width >= 7.0 * 55.0);
     }

@@ -69,7 +69,7 @@ impl TraceLog {
             let lo = t - window;
             let count = times.iter().filter(|&&x| x > lo && x <= t).count();
             out.push((t.as_secs_f64(), count as f64 / window.as_secs_f64()));
-            t = t + step;
+            t += step;
         }
         out
     }

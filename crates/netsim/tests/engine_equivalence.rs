@@ -1,0 +1,213 @@
+//! Idle-slot skipping must be *observationally invisible*: for any
+//! configuration and seed, a run with `idle_slot_skipping` on produces
+//! byte-identical [`Metrics`] to the naive slot-per-event engine.
+//!
+//! The skipping engine replays every skipped slot's idle-slot accounting
+//! (counters + the EWMA available-rate estimate) in slot order before the
+//! next MAC read, schedules slot events in class 0 so slot/timer ties
+//! resolve identically in both modes, and mirrors the naive engine's
+//! early-stop once all flows complete — these tests pin all of that down
+//! across transports, loads, mobility and partial transfers.
+
+use jtp_netsim::{
+    run_experiment, run_traced, ExperimentConfig, FlowSpec, Metrics, TraceConfig, TransportKind,
+};
+use jtp_phys::gilbert::GilbertConfig;
+use jtp_sim::{NodeId, SimDuration};
+
+/// Byte-exact comparison via the (total) JSON encoding of every field.
+fn assert_identical(a: &Metrics, b: &Metrics, what: &str) {
+    let ja = serde_json::to_string(a).unwrap();
+    let jb = serde_json::to_string(b).unwrap();
+    assert_eq!(ja, jb, "{what}: skipping changed observable metrics");
+}
+
+fn run_both(mut cfg: ExperimentConfig) -> (Metrics, Metrics) {
+    cfg.idle_slot_skipping = true;
+    let fast = run_experiment(&cfg);
+    cfg.idle_slot_skipping = false;
+    let naive = run_experiment(&cfg);
+    (fast, naive)
+}
+
+/// Fig. 5-style scenario: two long-lived competing flows (one UDP-like,
+/// one fully reliable) on an 8-node chain with deep fades — the workload
+/// whose averages every caching figure is built from.
+#[test]
+fn fig5_style_run_is_byte_identical() {
+    let n = 8;
+    let mut cfg = ExperimentConfig::linear(n)
+        .transport(TransportKind::Jtp)
+        .duration_s(800.0)
+        .seed(500)
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(n as u32 - 1),
+            start: SimDuration::from_secs(50),
+            packets: u32::MAX / 2, // long-lived
+            loss_tolerance: 1.0,
+            initial_rate_pps: None,
+        })
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(n as u32 - 1),
+            start: SimDuration::from_secs(50),
+            packets: u32::MAX / 2,
+            loss_tolerance: 0.0,
+            initial_rate_pps: None,
+        });
+    cfg.gilbert = GilbertConfig {
+        bad_fraction: 0.25,
+        bad_loss_floor: 0.85,
+        ..GilbertConfig::paper_default()
+    };
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "fig5-style");
+    assert!(fast.delivered_packets > 0, "scenario must exercise traffic");
+}
+
+/// Completed bulk transfers (early all-done stop) across every transport.
+#[test]
+fn completed_transfers_identical_across_transports() {
+    for (kind, name) in [
+        (TransportKind::Jtp, "jtp"),
+        (TransportKind::Jnc, "jnc"),
+        (TransportKind::Tcp, "tcp"),
+        (TransportKind::Atp, "atp"),
+    ] {
+        let cfg = ExperimentConfig::linear(5)
+            .transport(kind)
+            .duration_s(600.0)
+            .seed(901)
+            .bulk_flow(40, 5.0, 0.0);
+        let (fast, naive) = run_both(cfg);
+        assert_identical(&fast, &naive, name);
+        assert!(fast.flows[0].completed, "{name}: transfer should finish");
+    }
+}
+
+/// Transfers cut off by the horizon (no early stop; the idle tail after
+/// the last event must be replayed by `finalize`).
+#[test]
+fn horizon_truncated_run_identical() {
+    let mut cfg = ExperimentConfig::linear(6)
+        .transport(TransportKind::Jtp)
+        .duration_s(120.0)
+        .seed(77)
+        .bulk_flow(5000, 1.0, 0.0); // cannot finish in 120 s
+    cfg.gilbert = GilbertConfig::paper_default();
+    let (fast, naive) = run_both(cfg);
+    assert!(!fast.flows[0].completed, "transfer must be cut off");
+    assert_identical(&fast, &naive, "horizon-truncated");
+}
+
+/// Mobility: topology changes mid-run exercise rescheduling around
+/// MobilityTick events and the incremental routing refresh.
+#[test]
+fn mobile_run_identical() {
+    let cfg = ExperimentConfig::random(12)
+        .transport(TransportKind::Jtp)
+        .duration_s(400.0)
+        .seed(42)
+        .mobile(1.0)
+        .bulk_flow(60, 5.0, 0.0);
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "mobile");
+}
+
+/// Loss-tolerant flows + random topology + several staggered flows: ties
+/// between slot boundaries and timers are common here.
+#[test]
+fn multi_flow_random_topology_identical() {
+    let mut cfg = ExperimentConfig::random(15)
+        .transport(TransportKind::Jtp)
+        .duration_s(500.0)
+        .seed(7);
+    for (i, (s, d, lt)) in [(0u32, 14u32, 0.0), (3, 11, 0.2), (8, 2, 0.5)]
+        .into_iter()
+        .enumerate()
+    {
+        cfg = cfg.flow(FlowSpec {
+            src: NodeId(s),
+            dst: NodeId(d),
+            start: SimDuration::from_secs(5 + 3 * i as u64),
+            packets: 50,
+            loss_tolerance: lt,
+            initial_rate_pps: None,
+        });
+    }
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "multi-flow random");
+}
+
+/// Zero flows: the naive engine spins an event per slot for the whole
+/// run; the skipping engine should schedule (almost) nothing yet report
+/// identical metrics.
+#[test]
+fn empty_workload_identical() {
+    let cfg = ExperimentConfig::linear(4)
+        .transport(TransportKind::Jtp)
+        .duration_s(300.0)
+        .seed(1);
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "empty workload");
+}
+
+/// Idle-slot skipping must stay byte-identical under the legacy
+/// (uncoalesced) wakeup-chain mode too — the two optimisations are
+/// orthogonal.
+#[test]
+fn skipping_identical_with_legacy_wakeup_chains() {
+    let mut cfg = ExperimentConfig::linear(6)
+        .transport(TransportKind::Jtp)
+        .duration_s(400.0)
+        .seed(21)
+        .bulk_flow(60, 3.0, 0.0);
+    cfg.wakeup_coalescing = false;
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "legacy wakeup chains");
+}
+
+/// Wakeup coalescing keeps one pending wakeup per flow; the event count
+/// collapses but delivery results stay plausible (coalescing changes
+/// handler *timing*, so metrics are not expected to be byte-identical —
+/// this pins the intended effect instead).
+#[test]
+fn coalescing_delivers_same_transfer() {
+    let base = ExperimentConfig::linear(5)
+        .transport(TransportKind::Jtp)
+        .duration_s(600.0)
+        .seed(13)
+        .bulk_flow(50, 2.0, 0.0);
+    let mut on = base.clone();
+    on.wakeup_coalescing = true;
+    let mut off = base.clone();
+    off.wakeup_coalescing = false;
+    let m_on = run_experiment(&on);
+    let m_off = run_experiment(&off);
+    assert_eq!(m_on.delivered_packets, 50);
+    assert_eq!(m_off.delivered_packets, 50);
+    assert!(m_on.flows[0].completed && m_off.flows[0].completed);
+}
+
+/// Traces must also be unaffected (receptions drive the fig-5 series).
+#[test]
+fn traces_identical_under_skipping() {
+    let mut cfg = ExperimentConfig::linear(6)
+        .transport(TransportKind::Jtp)
+        .duration_s(400.0)
+        .seed(55)
+        .bulk_flow(80, 2.0, 0.0);
+    let trace_cfg = TraceConfig {
+        receptions: true,
+        attempts_at: Some(NodeId(1)),
+        ..Default::default()
+    };
+    cfg.idle_slot_skipping = true;
+    let (m_fast, t_fast) = run_traced(&cfg, trace_cfg);
+    cfg.idle_slot_skipping = false;
+    let (m_naive, t_naive) = run_traced(&cfg, trace_cfg);
+    assert_identical(&m_fast, &m_naive, "traced");
+    assert_eq!(t_fast.receptions, t_naive.receptions);
+    assert_eq!(t_fast.attempts, t_naive.attempts);
+}

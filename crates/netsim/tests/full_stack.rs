@@ -54,7 +54,10 @@ fn loss_tolerant_flow_meets_but_may_not_exceed_requirement() {
     let f = &m.flows[0];
     assert!(f.completed, "tolerant flow should complete: {f:?}");
     let ratio = f.delivered_packets as f64 / 200.0;
-    assert!(ratio >= 0.80 - 1e-9, "application requirement violated: {ratio}");
+    assert!(
+        ratio >= 0.80 - 1e-9,
+        "application requirement violated: {ratio}"
+    );
 }
 
 #[test]
@@ -144,11 +147,7 @@ fn two_competing_flows_both_progress() {
         });
     let m = run_experiment(&cfg);
     for f in &m.flows {
-        assert!(
-            f.delivered_packets > 50,
-            "flow {} starved: {f:?}",
-            f.flow
-        );
+        assert!(f.delivered_packets > 50, "flow {} starved: {f:?}", f.flow);
     }
 }
 

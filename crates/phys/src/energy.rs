@@ -173,7 +173,10 @@ mod tests {
         // The §2 observation that motivates minimising acknowledgments.
         let m = RadioEnergyModel::javelen_default();
         let ratio = m.tx_energy_j(52) / m.tx_energy_j(828);
-        assert!(ratio > 0.4, "52-B ACK should cost >40% of a data packet, got {ratio}");
+        assert!(
+            ratio > 0.4,
+            "52-B ACK should cost >40% of a data packet, got {ratio}"
+        );
     }
 
     #[test]

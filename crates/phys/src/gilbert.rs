@@ -169,7 +169,7 @@ mod tests {
         let cfg = GilbertConfig::paper_default();
         let mut bad_time = 0.0;
         let total = 40_000.0; // simulated seconds, sampled each 100 ms
-        // Average over several independent links to tighten the estimate.
+                              // Average over several independent links to tighten the estimate.
         for link in 0..10 {
             let mut ge = GilbertElliott::new(cfg, 42, link);
             let mut t = 0.0;

@@ -136,7 +136,9 @@ impl RandomWaypoint {
     }
 
     fn start_pause(&mut self, at: SimTime) {
-        let pause = self.rng.exponential(self.mean_pause_s.max(f64::MIN_POSITIVE));
+        let pause = self
+            .rng
+            .exponential(self.mean_pause_s.max(f64::MIN_POSITIVE));
         self.phase = Phase::Paused {
             until: at + jtp_sim::SimDuration::from_secs_f64(pause),
         };
@@ -204,8 +206,7 @@ mod tests {
 
     #[test]
     fn waypoint_stays_in_field() {
-        let mut m =
-            RandomWaypoint::paper_default(field(), Point::new(100.0, 100.0), 5.0, 3, 0);
+        let mut m = RandomWaypoint::paper_default(field(), Point::new(100.0, 100.0), 5.0, 3, 0);
         for t in 0..5000 {
             let p = m.position_at(SimTime::from_secs_f64(t as f64));
             assert!(field().contains(p), "escaped the field at t={t}: {p:?}");
@@ -214,8 +215,7 @@ mod tests {
 
     #[test]
     fn waypoint_actually_moves() {
-        let mut m =
-            RandomWaypoint::paper_default(field(), Point::new(100.0, 100.0), 1.0, 4, 1);
+        let mut m = RandomWaypoint::paper_default(field(), Point::new(100.0, 100.0), 1.0, 4, 1);
         let start = m.position_at(SimTime::ZERO);
         let later = m.position_at(SimTime::from_secs_f64(4000.0));
         // With pauses of mean 100 s and legs of mean 47 m, the node has
@@ -225,8 +225,7 @@ mod tests {
 
     #[test]
     fn speed_is_respected_during_motion() {
-        let mut m =
-            RandomWaypoint::paper_default(field(), Point::new(100.0, 100.0), 2.0, 5, 2);
+        let mut m = RandomWaypoint::paper_default(field(), Point::new(100.0, 100.0), 2.0, 5, 2);
         // Sample densely; displacement per second can never exceed speed.
         let mut prev = m.position_at(SimTime::ZERO);
         for t in 1..3000 {
@@ -241,10 +240,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let mut a =
-            RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 7);
-        let mut b =
-            RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 7);
+        let mut a = RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 7);
+        let mut b = RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 7);
         for t in 0..500 {
             let now = SimTime::from_secs_f64(t as f64 * 3.3);
             assert_eq!(a.position_at(now), b.position_at(now));
@@ -253,10 +250,8 @@ mod tests {
 
     #[test]
     fn different_nodes_wander_differently() {
-        let mut a =
-            RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 0);
-        let mut b =
-            RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 1);
+        let mut a = RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 0);
+        let mut b = RandomWaypoint::paper_default(field(), Point::new(50.0, 50.0), 1.0, 11, 1);
         let t = SimTime::from_secs_f64(2000.0);
         assert_ne!(a.position_at(t), b.position_at(t));
     }

@@ -65,8 +65,8 @@ impl PathLoss {
             // Quadratic ramp: gentle right after full-quality range,
             // steep near the edge — matching the cliff-like behaviour of
             // real low-power radios.
-            let t = (distance - self.full_quality_range)
-                / (self.max_range - self.full_quality_range);
+            let t =
+                (distance - self.full_quality_range) / (self.max_range - self.full_quality_range);
             self.base_loss + (self.edge_loss - self.base_loss) * t * t
         }
     }

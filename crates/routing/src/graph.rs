@@ -1,12 +1,25 @@
 //! Undirected connectivity graphs and shortest-path distances.
+//!
+//! `Adjacency` maintains both an O(1) edge matrix and per-node sorted
+//! neighbour lists, so the hot next-hop path iterates a slice instead of
+//! allocating, and BFS runs over compact lists.
 
 use jtp_sim::NodeId;
 
 /// Symmetric adjacency over `n` nodes.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Eq, Debug)]
 pub struct Adjacency {
     n: usize,
     edges: Vec<bool>, // row-major n×n
+    /// Neighbours of each node in ascending id order (kept in sync with
+    /// `edges`; derived state, excluded from equality).
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl PartialEq for Adjacency {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.edges == other.edges
+    }
 }
 
 /// Distance marker for unreachable pairs.
@@ -18,6 +31,7 @@ impl Adjacency {
         Adjacency {
             n,
             edges: vec![false; n * n],
+            neighbors: vec![Vec::new(); n],
         }
     }
 
@@ -44,6 +58,17 @@ impl Adjacency {
         a.index() * self.n + b.index()
     }
 
+    fn neighbor_list_set(&mut self, a: NodeId, b: NodeId, present: bool) {
+        let list = &mut self.neighbors[a.index()];
+        match list.binary_search(&b) {
+            Ok(pos) if !present => {
+                list.remove(pos);
+            }
+            Err(pos) if present => list.insert(pos, b),
+            _ => {}
+        }
+    }
+
     /// Add or remove the undirected edge `{a, b}`.
     pub fn set_edge(&mut self, a: NodeId, b: NodeId, present: bool) {
         assert!(a.index() < self.n && b.index() < self.n);
@@ -51,6 +76,8 @@ impl Adjacency {
         let (i, j) = (self.idx(a, b), self.idx(b, a));
         self.edges[i] = present;
         self.edges[j] = present;
+        self.neighbor_list_set(a, b, present);
+        self.neighbor_list_set(b, a, present);
     }
 
     /// Edge presence.
@@ -59,30 +86,51 @@ impl Adjacency {
     }
 
     /// Neighbours of `a` in ascending id order.
-    pub fn neighbors(&self, a: NodeId) -> Vec<NodeId> {
-        (0..self.n as u32)
-            .map(NodeId)
-            .filter(|&b| self.has_edge(a, b))
-            .collect()
+    pub fn neighbors(&self, a: NodeId) -> &[NodeId] {
+        &self.neighbors[a.index()]
+    }
+
+    /// Edges present in exactly one of `self` (old) and `newer`, as
+    /// `(a, b, present_in_newer)` with `a < b`.
+    pub fn diff_edges(&self, newer: &Adjacency) -> Vec<(NodeId, NodeId, bool)> {
+        assert_eq!(self.n, newer.n, "diff over different node counts");
+        let mut out = Vec::new();
+        for i in 0..self.n as u32 {
+            for j in (i + 1)..self.n as u32 {
+                let (a, b) = (NodeId(i), NodeId(j));
+                let now = newer.has_edge(a, b);
+                if self.has_edge(a, b) != now {
+                    out.push((a, b, now));
+                }
+            }
+        }
+        out
     }
 
     /// BFS hop distances from `src` to every node (`UNREACHABLE` when
     /// disconnected).
     pub fn bfs_distances(&self, src: NodeId) -> Vec<u16> {
         let mut dist = vec![UNREACHABLE; self.n];
+        self.bfs_distances_into(src, &mut dist);
+        dist
+    }
+
+    /// BFS into a caller-provided row (avoids re-allocating per source).
+    pub fn bfs_distances_into(&self, src: NodeId, dist: &mut Vec<u16>) {
+        dist.clear();
+        dist.resize(self.n, UNREACHABLE);
         let mut queue = std::collections::VecDeque::new();
         dist[src.index()] = 0;
         queue.push_back(src);
         while let Some(u) = queue.pop_front() {
             let du = dist[u.index()];
-            for v in self.neighbors(u) {
+            for &v in self.neighbors(u) {
                 if dist[v.index()] == UNREACHABLE {
                     dist[v.index()] = du + 1;
                     queue.push_back(v);
                 }
             }
         }
-        dist
     }
 
     /// All-pairs hop distances (row = source).
@@ -124,6 +172,36 @@ mod tests {
         assert!(a.has_edge(NodeId(2), NodeId(0)));
         a.set_edge(NodeId(2), NodeId(0), false);
         assert!(!a.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn neighbor_lists_stay_sorted_and_deduplicated() {
+        let mut a = Adjacency::new(5);
+        a.set_edge(NodeId(2), NodeId(4), true);
+        a.set_edge(NodeId(2), NodeId(0), true);
+        a.set_edge(NodeId(2), NodeId(3), true);
+        a.set_edge(NodeId(2), NodeId(3), true); // repeat: no duplicate
+        assert_eq!(
+            a.neighbors(NodeId(2)),
+            vec![NodeId(0), NodeId(3), NodeId(4)]
+        );
+        a.set_edge(NodeId(2), NodeId(3), false);
+        assert_eq!(a.neighbors(NodeId(2)), vec![NodeId(0), NodeId(4)]);
+    }
+
+    #[test]
+    fn diff_edges_reports_changes() {
+        let old = Adjacency::linear(4);
+        let mut new = Adjacency::linear(4);
+        new.set_edge(NodeId(0), NodeId(3), true); // added
+        new.set_edge(NodeId(1), NodeId(2), false); // removed
+        let mut diff = old.diff_edges(&new);
+        diff.sort();
+        assert_eq!(
+            diff,
+            vec![(NodeId(0), NodeId(3), true), (NodeId(1), NodeId(2), false)]
+        );
+        assert!(new.diff_edges(&new).is_empty());
     }
 
     #[test]

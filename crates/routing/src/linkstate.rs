@@ -1,13 +1,29 @@
 //! Per-node topology views and next-hop selection.
+//!
+//! Performance notes (mobility ticks used to dominate mobile runs):
+//!
+//! * all views refreshing to the same ground truth **share** one
+//!   `Arc`-owned snapshot and one all-pairs distance table instead of
+//!   recomputing BFS-per-source per view (n× less work, n× less memory);
+//! * the shared distance table is maintained **incrementally**: when the
+//!   ground truth changes, BFS is re-run only from sources whose
+//!   distances can actually differ, using exact criteria on the changed
+//!   edges (an added edge `{u,v}` is a shortcut for source `s` iff
+//!   `|d(s,u) − d(s,v)| ≥ 2`; a removed edge can only hurt `s` iff it was
+//!   tight, `|d(s,u) − d(s,v)| = 1`). Unaffected rows are reused as-is,
+//!   which keeps results bit-identical to a full recompute.
 
 use crate::graph::{Adjacency, UNREACHABLE};
 use jtp_sim::{NodeId, SimDuration, SimTime};
+use std::sync::Arc;
+
+type DistTable = Arc<Vec<Vec<u16>>>;
 
 /// One node's snapshot of the topology, plus its shortest-path distances.
 #[derive(Clone, Debug)]
 struct View {
-    adj: Adjacency,
-    dist: Vec<Vec<u16>>,
+    adj: Arc<Adjacency>,
+    dist: DistTable,
     refreshed_at: SimTime,
 }
 
@@ -18,6 +34,18 @@ pub struct RoutingStats {
     pub refreshes: u64,
     /// next_hop queries that found no route in the local view.
     pub no_route: u64,
+    /// BFS source recomputations skipped by the incremental distance
+    /// update (each is one avoided O(V+E) traversal).
+    pub bfs_skipped: u64,
+    /// BFS source recomputations performed.
+    pub bfs_run: u64,
+}
+
+/// The current ground truth and its distances, shared by fresh views.
+#[derive(Clone, Debug)]
+struct TruthCache {
+    adj: Arc<Adjacency>,
+    dist: DistTable,
 }
 
 /// Link-state routing: one possibly stale snapshot (`View`) per node, refreshed
@@ -27,6 +55,7 @@ pub struct LinkState {
     views: Vec<View>,
     refresh_interval: SimDuration,
     stats: RoutingStats,
+    cache: TruthCache,
 }
 
 impl LinkState {
@@ -34,11 +63,12 @@ impl LinkState {
     /// network boots with converged routing, like the paper's warm-up).
     pub fn new(initial: &Adjacency, refresh_interval: SimDuration) -> Self {
         let n = initial.len();
-        let dist = initial.all_pairs_distances();
+        let adj = Arc::new(initial.clone());
+        let dist: DistTable = Arc::new(initial.all_pairs_distances());
         let views = (0..n)
             .map(|_| View {
-                adj: initial.clone(),
-                dist: dist.clone(),
+                adj: Arc::clone(&adj),
+                dist: Arc::clone(&dist),
                 refreshed_at: SimTime::ZERO,
             })
             .collect();
@@ -46,6 +76,7 @@ impl LinkState {
             views,
             refresh_interval,
             stats: RoutingStats::default(),
+            cache: TruthCache { adj, dist },
         }
     }
 
@@ -59,31 +90,81 @@ impl LinkState {
         self.views.is_empty()
     }
 
+    /// Bring the shared truth cache up to date with `ground_truth`,
+    /// re-running BFS only from affected sources.
+    fn ensure_cache(&mut self, ground_truth: &Adjacency) {
+        if *self.cache.adj == *ground_truth {
+            return;
+        }
+        let changed = self.cache.adj.diff_edges(ground_truth);
+        let old = &self.cache.dist;
+        let n = ground_truth.len();
+        let mut rows: Vec<Vec<u16>> = Vec::with_capacity(n);
+        for s in 0..n {
+            let row = &old[s];
+            let affected = changed.iter().any(|&(u, v, present)| {
+                let (du, dv) = (row[u.index()], row[v.index()]);
+                if present {
+                    // Added edge: a shortcut for s iff the endpoints sat
+                    // ≥ 2 levels apart (∞ on one side counts).
+                    match (du == UNREACHABLE, dv == UNREACHABLE) {
+                        (true, true) => false,
+                        (true, false) | (false, true) => true,
+                        (false, false) => du.abs_diff(dv) >= 2,
+                    }
+                } else {
+                    // Removed edge: can only matter if it was tight
+                    // (adjacent endpoints differ by exactly 1 level).
+                    du != UNREACHABLE && dv != UNREACHABLE && du.abs_diff(dv) == 1
+                }
+            });
+            if affected {
+                self.stats.bfs_run += 1;
+                rows.push(ground_truth.bfs_distances(NodeId(s as u32)));
+            } else {
+                self.stats.bfs_skipped += 1;
+                rows.push(row.clone());
+            }
+        }
+        self.cache = TruthCache {
+            adj: Arc::new(ground_truth.clone()),
+            dist: Arc::new(rows),
+        };
+    }
+
     /// Refresh every view whose snapshot is older than the refresh
     /// interval. Call whenever ground truth may have changed (the assembly
     /// calls this on mobility updates); cheap when nothing is due.
     pub fn refresh_due_views(&mut self, now: SimTime, ground_truth: &Adjacency) {
+        let any_due_and_stale = self
+            .views
+            .iter()
+            .any(|v| now.since(v.refreshed_at) >= self.refresh_interval && *v.adj != *ground_truth);
+        if any_due_and_stale {
+            self.ensure_cache(ground_truth);
+        }
         for view in &mut self.views {
-            if now.since(view.refreshed_at) >= self.refresh_interval
-                && view.adj != *ground_truth
-            {
-                view.adj = ground_truth.clone();
-                view.dist = ground_truth.all_pairs_distances();
-                view.refreshed_at = now;
-                self.stats.refreshes += 1;
-            } else if now.since(view.refreshed_at) >= self.refresh_interval {
-                // Snapshot still accurate: just restart the staleness clock.
-                view.refreshed_at = now;
+            if now.since(view.refreshed_at) < self.refresh_interval {
+                continue;
             }
+            if *view.adj != *ground_truth {
+                view.adj = Arc::clone(&self.cache.adj);
+                view.dist = Arc::clone(&self.cache.dist);
+                self.stats.refreshes += 1;
+            }
+            // Due views — updated or already accurate — restart the
+            // staleness clock.
+            view.refreshed_at = now;
         }
     }
 
     /// Force one node's view up to date (e.g. a node hears a broken-link
     /// advertisement immediately).
     pub fn force_refresh(&mut self, node: NodeId, now: SimTime, ground_truth: &Adjacency) {
+        self.ensure_cache(ground_truth);
         let view = &mut self.views[node.index()];
-        view.adj = ground_truth.clone();
-        view.dist = ground_truth.all_pairs_distances();
+        view.adj = Arc::clone(&self.cache.adj);
+        view.dist = Arc::clone(&self.cache.dist);
         view.refreshed_at = now;
         self.stats.refreshes += 1;
     }
@@ -96,12 +177,12 @@ impl LinkState {
         }
         let view = &self.views[from.index()];
         let mut best: Option<(u16, NodeId)> = None;
-        for v in view.adj.neighbors(from) {
+        for &v in view.adj.neighbors(from) {
             let d = view.dist[v.index()][dst.index()];
             if d == UNREACHABLE {
                 continue;
             }
-            if best.map_or(true, |(bd, bid)| (d, v) < (bd, bid)) {
+            if best.is_none_or(|(bd, bid)| (d, v) < (bd, bid)) {
                 best = Some((d, v));
             }
         }
@@ -181,7 +262,7 @@ mod tests {
         let mut r = ls(3);
         let mut truth = Adjacency::linear(3);
         truth.set_edge(NodeId(1), NodeId(2), false); // link breaks
-        // Immediately after the break, views are stale: still routes via 1.
+                                                     // Immediately after the break, views are stale: still routes via 1.
         r.refresh_due_views(SimTime::from_secs_f64(1.0), &truth);
         assert_eq!(r.next_hop(NodeId(0), NodeId(2)), Some(NodeId(1)));
         // After the refresh interval the view updates: no route.
@@ -239,5 +320,46 @@ mod tests {
         r.refresh_due_views(SimTime::from_secs_f64(6.0), &truth);
         assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(3)));
         assert_eq!(r.remaining_hops(NodeId(0), NodeId(3)), Some(1));
+    }
+
+    #[test]
+    fn incremental_update_matches_full_recompute() {
+        // Evolve a graph through adds and removes; after every refresh the
+        // shared distance table must equal a from-scratch recompute.
+        let n = 9;
+        let mut truth = Adjacency::linear(n);
+        let mut r = LinkState::new(&truth, SimDuration::from_secs(1));
+        let edits: Vec<(u32, u32, bool)> = vec![
+            (0, 5, true),
+            (3, 4, false),
+            (2, 7, true),
+            (0, 5, false),
+            (1, 8, true),
+            (6, 7, false),
+            (3, 4, true),
+            (0, 1, false),
+        ];
+        for (step, (u, v, present)) in edits.into_iter().enumerate() {
+            truth.set_edge(NodeId(u), NodeId(v), present);
+            let now = SimTime::from_secs_f64(2.0 * (step as f64 + 1.0));
+            r.refresh_due_views(now, &truth);
+            let expect = truth.all_pairs_distances();
+            assert_eq!(*r.cache.dist, expect, "divergence after edit {step}");
+        }
+        let s = r.stats();
+        assert!(s.bfs_skipped > 0, "incremental path never skipped a BFS");
+        assert!(s.bfs_run > 0, "affected sources must recompute");
+    }
+
+    #[test]
+    fn fresh_views_share_one_distance_table() {
+        let mut r = ls(6);
+        let mut truth = Adjacency::linear(6);
+        truth.set_edge(NodeId(0), NodeId(5), true);
+        r.refresh_due_views(SimTime::from_secs_f64(10.0), &truth);
+        for w in r.views.windows(2) {
+            assert!(Arc::ptr_eq(&w[0].dist, &w[1].dist), "views must share");
+            assert!(Arc::ptr_eq(&w[0].adj, &w[1].adj));
+        }
     }
 }

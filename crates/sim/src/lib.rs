@@ -32,7 +32,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{run_until, Simulation};
-pub use event::EventQueue;
+pub use event::{EventId, EventQueue};
 pub use ident::{FlowId, NodeId};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

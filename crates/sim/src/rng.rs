@@ -7,21 +7,23 @@
 //! the workload arrival pattern — essential for paired comparisons such as
 //! "all the protocols run under the same conditions in the same run" (§6.1.2
 //! of the paper).
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is xoshiro256++ implemented in-crate (the build is fully
+//! offline, so no `rand` dependency): fast, 256-bit state, and — critically
+//! for reproduction — byte-identical streams on every platform.
 
 /// A deterministic random stream.
 ///
-/// Thin wrapper around `SmallRng` adding the substream-derivation scheme and
-/// the handful of distributions the simulator needs (Bernoulli, exponential,
-/// uniform range, Fisher–Yates shuffle).
+/// xoshiro256++ core plus the substream-derivation scheme and the handful
+/// of distributions the simulator needs (Bernoulli, exponential, uniform
+/// range, Fisher–Yates shuffle).
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
-/// SplitMix64 step — used to whiten seed material when deriving substreams.
+/// SplitMix64 step — used to whiten seed material when deriving substreams
+/// and to expand a 64-bit seed into the 256-bit generator state.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -33,15 +35,16 @@ fn splitmix64(state: &mut u64) -> u64 {
 impl SimRng {
     /// Create the master stream for an experiment.
     pub fn new(seed: u64) -> Self {
+        // Whiten: xoshiro seeded with small/correlated integers needs
+        // independent state words; SplitMix64 is the reference expander.
         let mut s = seed;
-        // Whiten: SmallRng seeded with small integers can correlate.
-        let mut key = [0u8; 32];
-        for chunk in key.chunks_mut(8) {
-            chunk.copy_from_slice(&splitmix64(&mut s).to_le_bytes());
-        }
-        SimRng {
-            inner: SmallRng::from_seed(key),
-        }
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        SimRng { s: state }
     }
 
     /// Derive an independent substream identified by `label`.
@@ -73,7 +76,7 @@ impl SimRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen::<f64>() < p
+        self.f64() < p
     }
 
     /// Uniform in `[lo, hi)`. Returns `lo` when the range is empty.
@@ -81,7 +84,13 @@ impl SimRng {
         if hi <= lo {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let x = lo + self.f64() * (hi - lo);
+        // Guard against rounding up to the excluded endpoint.
+        if x >= hi {
+            lo
+        } else {
+            x
+        }
     }
 
     /// Uniform integer in `[0, n)`.
@@ -90,20 +99,27 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        // Multiply-shift bounded generation (Lemire); bias is < 2^-64·n,
+        // far below anything observable at simulation scales.
+        ((self.u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Exponentially distributed value with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive");
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u = loop {
+            let x = self.f64();
+            if x > 0.0 {
+                break x;
+            }
+        };
         -mean * u.ln()
     }
 
     /// In-place Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             slice.swap(i, j);
         }
     }
@@ -119,12 +135,24 @@ impl SimRng {
 
     /// Raw f64 in [0,1). Exposed for distributions built by callers.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen()
+        (self.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Raw u64. Exposed for hashing/schedule derivation by callers.
+    /// Raw u64 (the xoshiro256++ output function). Exposed for
+    /// hashing/schedule derivation by callers.
     pub fn u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 }
 
@@ -204,6 +232,18 @@ mod tests {
             assert!((2.0..5.0).contains(&x));
         }
         assert_eq!(r.uniform(4.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn below_is_uniform_enough() {
+        let mut r = SimRng::new(12);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[r.below(7)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c}");
+        }
     }
 
     #[test]

@@ -3,6 +3,40 @@
 use jtp_sim::stats::{ci95_halfwidth, Ewma, MeanRange, Welford};
 use jtp_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Executable specification of the queue semantics the seed engine had:
+/// a totally ordered map keyed by `(time, class, seq)` with exact
+/// cancellation. The slab/heap implementation must be observationally
+/// identical to this model.
+#[derive(Default)]
+struct ModelQueue {
+    entries: BTreeMap<(u64, u8, u64), usize>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl ModelQueue {
+    /// Returns a model handle (the internal key).
+    fn schedule(&mut self, at: u64, class: u8, tag: usize) -> (u64, u8, u64) {
+        assert!(at >= self.now);
+        let key = (at, class, self.next_seq);
+        self.next_seq += 1;
+        self.entries.insert(key, tag);
+        key
+    }
+
+    fn cancel(&mut self, key: (u64, u8, u64)) -> bool {
+        self.entries.remove(&key).is_some()
+    }
+
+    fn pop(&mut self) -> Option<(u64, usize)> {
+        let (&key, &tag) = self.entries.iter().next()?;
+        self.entries.remove(&key);
+        self.now = key.0;
+        Some((key.0, tag))
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -26,6 +60,69 @@ proptest! {
             last = Some((t, idx));
         }
         prop_assert_eq!(q.len(), 0);
+    }
+
+    /// The slab/heap queue is observationally identical to the ordered-map
+    /// model under arbitrary interleavings of schedule / cancel / pop,
+    /// including event classes: same delivery times, same payloads, same
+    /// clock, same cancel return values.
+    #[test]
+    fn queue_matches_reference_model(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u64..5000, any::<bool>()),
+            1..400,
+        ),
+    ) {
+        let mut q = EventQueue::new();
+        let mut model = ModelQueue::default();
+        // Parallel vectors of live handles (same insertion order).
+        let mut q_ids = Vec::new();
+        let mut m_keys = Vec::new();
+        let mut tag = 0usize;
+        for (op, t, flag) in ops {
+            match op {
+                // schedule at now + offset, class from `flag`
+                0..=3 => {
+                    let class = if flag { 0 } else { 128 };
+                    let at = model.now + t;
+                    let sim_at = SimTime::from_micros(at);
+                    q_ids.push(q.schedule_at_class(sim_at, class, tag));
+                    m_keys.push(model.schedule(at, class, tag));
+                    tag += 1;
+                }
+                // cancel a pseudo-random previously issued handle
+                4..=5 if !q_ids.is_empty() => {
+                    let pick = (t as usize) % q_ids.len();
+                    let a = q.cancel(q_ids[pick]);
+                    let b = model.cancel(m_keys[pick]);
+                    prop_assert_eq!(a, b, "cancel outcome diverged");
+                }
+                // pop
+                _ => {
+                    let got = q.pop();
+                    let want = model.pop();
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some((qt, qtag)), Some((mt, mtag))) => {
+                            prop_assert_eq!(qt, SimTime::from_micros(mt));
+                            prop_assert_eq!(qtag, mtag, "payload order diverged");
+                            prop_assert_eq!(q.now(), SimTime::from_micros(model.now));
+                        }
+                        (g, w) => prop_assert!(false, "pop diverged: {:?} vs {:?}", g.map(|x| x.1), w.map(|x| x.1)),
+                    }
+                    prop_assert_eq!(q.peek_time(), model.entries.keys().next().map(|k| SimTime::from_micros(k.0)));
+                }
+            }
+        }
+        // Drain both and compare the tail.
+        loop {
+            let got = q.pop();
+            let want = model.pop();
+            prop_assert_eq!(got.map(|(t, e)| (t.as_micros(), e)), want);
+            if want.is_none() {
+                break;
+            }
+        }
     }
 
     /// Cancelled events are never delivered; everything else is.

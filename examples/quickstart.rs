@@ -25,7 +25,10 @@ fn main() {
     println!("packets delivered:      {}", flow.delivered_packets);
     println!("goodput:                {:.3} kbps", flow.goodput_kbps());
     println!("energy (system):        {:.3} mJ", m.energy_total_j * 1e3);
-    println!("energy per bit:         {:.4} uJ/bit", m.energy_per_bit_uj());
+    println!(
+        "energy per bit:         {:.4} uJ/bit",
+        m.energy_per_bit_uj()
+    );
     println!("MAC attempts:           {}", m.mac_attempts);
     println!("source retransmissions: {}", m.source_retransmissions);
     println!("cache recoveries:       {}", m.local_recoveries);
