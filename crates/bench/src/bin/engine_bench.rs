@@ -13,13 +13,19 @@
 //!    `engine_equivalence.rs`); only the wall clock differs.
 //! 3. **batch** — a multi-seed fig5-scale batch: the seed's serial naive
 //!    loop vs the overhauled engine with the parallel runner.
+//! 4. **next_hop** — the per-packet forwarding decision: the historical
+//!    neighbour scan over the shared distance table (replicated below)
+//!    vs the flat per-view next-hop table (PR 2), which turns every
+//!    query into one array load. Routes are identical; only the cost per
+//!    forwarded packet changes.
 //!
 //! Run: `cargo run --release -p jtp-bench --bin engine_bench -- --quick
 //! --json BENCH_engine.json`
 
 use jtp_bench::Args;
 use jtp_netsim::{run_experiment, ExperimentConfig, FlowSpec, TransportKind};
-use jtp_sim::{EventQueue, NodeId, SimDuration, SimTime};
+use jtp_routing::{Adjacency, LinkState, UNREACHABLE};
+use jtp_sim::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -241,6 +247,111 @@ struct SlotEngine {
 }
 
 #[derive(Serialize)]
+struct NextHopBench {
+    nodes: usize,
+    extra_edges: usize,
+    queries: u64,
+    scan_queries_per_sec: f64,
+    cached_queries_per_sec: f64,
+    speedup: f64,
+}
+
+/// Replica of the pre-PR-2 `next_hop`: scan the source's neighbours for
+/// the one minimising `(distance-to-dst, id)` over the shared APSP table.
+fn scan_next_hop(adj: &Adjacency, dist: &[Vec<u16>], from: NodeId, dst: NodeId) -> Option<NodeId> {
+    if from == dst {
+        return None;
+    }
+    let mut best: Option<(u16, NodeId)> = None;
+    for &v in adj.neighbors(from) {
+        let d = dist[v.index()][dst.index()];
+        if d == UNREACHABLE {
+            continue;
+        }
+        if best.is_none_or(|(bd, bid)| (d, v) < (bd, bid)) {
+            best = Some((d, v));
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+/// Next-hop decision throughput: historical neighbour scan vs the flat
+/// per-view hop table, over an identical pseudo-random query stream on a
+/// random connected graph.
+fn bench_next_hop(nodes: usize, extra_edges: usize, queries: u64) -> NextHopBench {
+    // Random connected graph: a shuffled spanning chain plus extra edges.
+    let mut rng = SimRng::derive(2024, "nexthop-bench");
+    let mut order: Vec<u32> = (0..nodes as u32).collect();
+    rng.shuffle(&mut order);
+    let mut adj = Adjacency::new(nodes);
+    for w in order.windows(2) {
+        adj.set_edge(NodeId(w[0]), NodeId(w[1]), true);
+    }
+    let mut added = 0;
+    while added < extra_edges {
+        let a = rng.below(nodes) as u32;
+        let b = rng.below(nodes) as u32;
+        if a != b && !adj.has_edge(NodeId(a), NodeId(b)) {
+            adj.set_edge(NodeId(a), NodeId(b), true);
+            added += 1;
+        }
+    }
+    let dist = adj.all_pairs_distances();
+    let ls = LinkState::new(&adj, SimDuration::from_secs(5));
+
+    // Correctness cross-check on the full pair grid before timing.
+    for s in 0..nodes as u32 {
+        for d in 0..nodes as u32 {
+            assert_eq!(
+                ls.next_hop(NodeId(s), NodeId(d)),
+                scan_next_hop(&adj, &dist, NodeId(s), NodeId(d)),
+                "cache and scan disagree for {s}->{d}"
+            );
+        }
+    }
+
+    let mut stream = Hold::new();
+    let mut pairs = Vec::with_capacity(4096);
+    for _ in 0..4096 {
+        let s = (stream.next_offset() % nodes as u64) as u32;
+        let d = (stream.next_offset() % nodes as u64) as u32;
+        pairs.push((NodeId(s), NodeId(d)));
+    }
+
+    let time_qps = |f: &dyn Fn(NodeId, NodeId) -> Option<NodeId>| {
+        let mut sink = 0u64;
+        // Warm.
+        for &(s, d) in &pairs {
+            sink ^= f(s, d).map_or(0, |v| v.0 as u64);
+        }
+        let start = Instant::now();
+        for i in 0..queries {
+            let (s, d) = pairs[(i % pairs.len() as u64) as usize];
+            sink ^= f(s, d).map_or(0, |v| v.0 as u64);
+        }
+        let wall = start.elapsed().as_secs_f64();
+        std::hint::black_box(sink);
+        queries as f64 / wall
+    };
+    let scan_qps = time_qps(&|s, d| scan_next_hop(&adj, &dist, s, d));
+    let cached_qps = time_qps(&|s, d| ls.next_hop(s, d));
+
+    let out = NextHopBench {
+        nodes,
+        extra_edges,
+        queries,
+        scan_queries_per_sec: scan_qps,
+        cached_queries_per_sec: cached_qps,
+        speedup: cached_qps / scan_qps,
+    };
+    println!(
+        "next-hop (n={nodes:>3})            : scan {scan_qps:>12.0} q/s | cached {cached_qps:>12.0} q/s | speedup {:.2}x",
+        out.speedup
+    );
+    out
+}
+
+#[derive(Serialize)]
 struct Batch {
     scenario: String,
     seeds: usize,
@@ -257,6 +368,7 @@ struct Report {
     queue_ops: Vec<QueueOps>,
     slot_engine: Vec<SlotEngine>,
     batch: Batch,
+    next_hop: Vec<NextHopBench>,
 }
 
 /// Configure a scenario as the pre-overhaul engine (slot-per-event loop,
@@ -388,12 +500,21 @@ fn main() {
         batch.speedup
     );
 
+    // 4. Per-packet next-hop decision: neighbour scan vs flat hop table,
+    //    at the random-field scale (25) and a larger mesh (100).
+    let nh_queries: u64 = args.pick(20_000_000, 2_000_000);
+    let next_hop = vec![
+        bench_next_hop(25, 30, nh_queries),
+        bench_next_hop(100, 150, nh_queries),
+    ];
+
     let report = Report {
         quick: args.quick,
         queue_workload: "hold model: pop + schedule(now+U[0,100ms]) per step, extra schedule+cancel every 3rd step".into(),
         queue_ops,
         slot_engine,
         batch,
+        next_hop,
     };
     jtp_bench::maybe_write_json(&args, &report);
 }

@@ -1,0 +1,113 @@
+//! Scenario matrix: sweep the canonical scenario catalog across
+//! transports (JTP / TCP / ATP), batch-averaged over independent seeds.
+//!
+//! This is the scenario engine's headline artifact: one row per
+//! (scenario, transport) cell with delivery ratio, mean goodput,
+//! energy-per-bit and the recovery/drop counters that explain them —
+//! the paper's two-metric comparison extended to workloads and substrate
+//! dynamics the paper never ran (churn, partitions, link flapping, grids
+//! and clustered fields).
+//!
+//! Run: `cargo run --release -p jtp-bench --bin scenario_matrix -- --quick
+//! --json BENCH_scenarios.json`
+
+use jtp_bench::Args;
+use jtp_netsim::{run_many, summarize_runs, Scenario, TransportKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    scenario: String,
+    transport: String,
+    seeds: usize,
+    flows: usize,
+    delivery_ratio_mean: f64,
+    goodput_kbps_mean: f64,
+    goodput_kbps_ci95: f64,
+    energy_per_bit_uj_mean: f64,
+    energy_per_bit_uj_ci95: f64,
+    source_retransmissions: f64,
+    local_recoveries: f64,
+    churn_drops: f64,
+    no_route_drops: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    quick: bool,
+    cells: Vec<Cell>,
+}
+
+fn mean_u64(xs: impl Iterator<Item = u64>, n: usize) -> f64 {
+    xs.sum::<u64>() as f64 / n.max(1) as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let seeds = args.pick(8, 2);
+    let transports = [
+        (TransportKind::Jtp, "JTP"),
+        (TransportKind::Tcp, "TCP"),
+        (TransportKind::Atp, "ATP"),
+    ];
+    let mut cells = Vec::new();
+    let mut rows = Vec::new();
+    for sc in Scenario::catalog() {
+        for (t, tname) in transports {
+            let cfg = sc.build(t);
+            let ms = run_many(&cfg, seeds);
+            let (epb, gp) = summarize_runs(&ms);
+            let dr = ms.iter().map(|m| m.delivery_ratio()).sum::<f64>() / ms.len() as f64;
+            let cell = Cell {
+                scenario: sc.name.clone(),
+                transport: tname.into(),
+                seeds,
+                flows: cfg.flows.len(),
+                delivery_ratio_mean: dr,
+                goodput_kbps_mean: gp.mean,
+                goodput_kbps_ci95: gp.ci95,
+                energy_per_bit_uj_mean: epb.mean,
+                energy_per_bit_uj_ci95: epb.ci95,
+                source_retransmissions: mean_u64(
+                    ms.iter().map(|m| m.source_retransmissions),
+                    ms.len(),
+                ),
+                local_recoveries: mean_u64(ms.iter().map(|m| m.local_recoveries), ms.len()),
+                churn_drops: mean_u64(ms.iter().map(|m| m.churn_drops), ms.len()),
+                no_route_drops: mean_u64(ms.iter().map(|m| m.no_route_drops), ms.len()),
+            };
+            rows.push(vec![
+                cell.scenario.clone(),
+                cell.transport.clone(),
+                format!("{}", cell.flows),
+                format!("{:.3}", cell.delivery_ratio_mean),
+                format!("{:.2}", cell.goodput_kbps_mean),
+                format!("{:.3}", cell.energy_per_bit_uj_mean),
+                format!("{:.1}", cell.source_retransmissions),
+                format!("{:.1}", cell.local_recoveries),
+                format!("{:.1}", cell.churn_drops + cell.no_route_drops),
+            ]);
+            cells.push(cell);
+        }
+    }
+    jtp_bench::print_table(
+        &format!("Scenario matrix ({seeds} seeds per cell)"),
+        &[
+            "scenario",
+            "transport",
+            "flows",
+            "delivery",
+            "goodput kbps",
+            "µJ/bit",
+            "src rtx",
+            "cache rec",
+            "churn+noroute",
+        ],
+        &rows,
+    );
+    let report = Report {
+        quick: args.quick,
+        cells,
+    };
+    jtp_bench::maybe_write_json(&args, &report);
+}

@@ -133,6 +133,15 @@ impl<P> NodeMac<P> {
         self.queue.pop_front()
     }
 
+    /// Discard every queued frame (a node crash / power-down loses its
+    /// transmit queue). Returns the number of frames lost; the caller
+    /// accounts them — they are not MAC congestion drops.
+    pub fn flush(&mut self) -> u64 {
+        let lost = self.queue.len() as u64;
+        self.queue.clear();
+        lost
+    }
+
     /// Record that an owned slot began. Call exactly once per owned slot,
     /// before any transmission; `will_transmit` says whether the queue has
     /// a frame to send. Maintains the idle-slot statistics that drive the

@@ -40,6 +40,32 @@ pub enum TopologyKind {
         /// Field side in metres.
         field_side_m: f64,
     },
+    /// `cols × rows` nodes on a regular lattice, `spacing_m` apart. With
+    /// the default 80 m spacing and the 100 m radio range the lattice is
+    /// 4-connected (diagonals are out of range), giving the multipath-rich
+    /// mesh the scenario engine's cross-traffic patterns want.
+    Grid {
+        /// Columns (node id = `row * cols + col`).
+        cols: usize,
+        /// Rows.
+        rows: usize,
+        /// Lattice spacing in metres.
+        spacing_m: f64,
+    },
+    /// `clusters × per_cluster` nodes in dense clusters whose centres sit
+    /// on a coarse lattice: intra-cluster links are short and strong,
+    /// inter-cluster connectivity funnels through the few nodes near the
+    /// cluster edges. Resampled (deterministically) until connected.
+    Clustered {
+        /// Number of clusters (centres on a near-square lattice).
+        clusters: usize,
+        /// Nodes per cluster.
+        per_cluster: usize,
+        /// Maximum node distance from its cluster centre, in metres.
+        spread_m: f64,
+        /// Distance between adjacent cluster centres, in metres.
+        cluster_spacing_m: f64,
+    },
 }
 
 impl TopologyKind {
@@ -47,6 +73,57 @@ impl TopologyKind {
     pub fn node_count(&self) -> usize {
         match self {
             TopologyKind::Linear { n, .. } | TopologyKind::Random { n, .. } => *n,
+            TopologyKind::Grid { cols, rows, .. } => cols * rows,
+            TopologyKind::Clustered {
+                clusters,
+                per_cluster,
+                ..
+            } => clusters * per_cluster,
+        }
+    }
+}
+
+/// One scheduled change to the network substrate (node churn, link
+/// blackouts, partitions). Actions take effect instantaneously at their
+/// scheduled time and are advertised to routing as a flooded link-state
+/// update; data already in flight keeps failing at the channel until the
+/// views converge — exactly the transient the recovery machinery must
+/// absorb.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DynamicsAction {
+    /// The node crashes: its MAC queue is lost, it stops transmitting and
+    /// receiving, and its links vanish from the advertised topology.
+    NodeDown(NodeId),
+    /// The node recovers with an empty queue.
+    NodeUp(NodeId),
+    /// The undirected link is blacked out (jammed / obstructed) even if
+    /// the radios are in range.
+    LinkDown(NodeId, NodeId),
+    /// The blackout lifts.
+    LinkUp(NodeId, NodeId),
+    /// Every link between the listed group and the rest of the network
+    /// blacks out — a clean network partition. At most one partition is
+    /// active at a time.
+    PartitionStart(Vec<NodeId>),
+    /// The partition heals.
+    PartitionEnd,
+}
+
+/// A dynamics action with its activation time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynamicsEvent {
+    /// When the action takes effect.
+    pub at: SimDuration,
+    /// What happens.
+    pub action: DynamicsAction,
+}
+
+impl DynamicsEvent {
+    /// Convenience constructor from seconds.
+    pub fn at_s(at_s: f64, action: DynamicsAction) -> Self {
+        DynamicsEvent {
+            at: SimDuration::from_secs_f64(at_s),
+            action,
         }
     }
 }
@@ -141,6 +218,9 @@ pub struct ExperimentConfig {
     pub energy: RadioEnergyModel,
     /// Mobility (None = static).
     pub mobility: Option<MobilityConfig>,
+    /// Scheduled substrate dynamics: node churn, link blackouts,
+    /// partitions. Empty = a static, always-healthy substrate.
+    pub dynamics: Vec<DynamicsEvent>,
     /// Link-state view refresh interval.
     pub routing_refresh: SimDuration,
     /// Periodic delayed-ACK flush for TCP receivers.
@@ -177,11 +257,19 @@ impl ExperimentConfig {
             gilbert: GilbertConfig::paper_default(),
             energy: RadioEnergyModel::javelen_default(),
             mobility: None,
+            dynamics: Vec::new(),
             routing_refresh: SimDuration::from_secs(5),
             tcp_ack_flush: SimDuration::from_millis(500),
             idle_slot_skipping: true,
             wakeup_coalescing: true,
         }
+    }
+
+    /// A config over an explicit topology, with paper-default substrate
+    /// parameters (the entry point the scenario engine lowers through).
+    pub fn with_topology(topology: TopologyKind) -> Self {
+        assert!(topology.node_count() >= 2);
+        Self::base(topology)
     }
 
     /// A linear chain of `n` nodes, 55 m spacing (full-quality links,
@@ -199,6 +287,30 @@ impl ExperimentConfig {
         Self::base(TopologyKind::Random {
             n,
             field_side_m: side,
+        })
+    }
+
+    /// A `cols × rows` lattice, 80 m spacing (4-connected at the 100 m
+    /// radio range).
+    pub fn grid(cols: usize, rows: usize) -> Self {
+        assert!(cols * rows >= 2, "need at least source and destination");
+        Self::base(TopologyKind::Grid {
+            cols,
+            rows,
+            spacing_m: 80.0,
+        })
+    }
+
+    /// `clusters` dense clusters of `per_cluster` nodes: 25 m spread
+    /// around centres 90 m apart, so clusters interconnect only through
+    /// their rims.
+    pub fn clustered(clusters: usize, per_cluster: usize) -> Self {
+        assert!(clusters * per_cluster >= 2);
+        Self::base(TopologyKind::Clustered {
+            clusters,
+            per_cluster,
+            spread_m: 25.0,
+            cluster_spacing_m: 90.0,
         })
     }
 
@@ -235,6 +347,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Schedule a substrate dynamics event.
+    pub fn dynamic(mut self, ev: DynamicsEvent) -> Self {
+        self.dynamics.push(ev);
+        self
+    }
+
     /// Convenience: one bulk transfer of `packets` packets from node 0 to
     /// the last node, starting at `start_s`, with loss tolerance `lt`.
     pub fn bulk_flow(self, packets: u32, start_s: f64, lt: f64) -> Self {
@@ -258,6 +376,24 @@ impl ExperimentConfig {
         }
         self.jtp.validate()?;
         self.pathloss.validate()?;
+        if let TopologyKind::Clustered {
+            spread_m,
+            cluster_spacing_m,
+            ..
+        } = &self.topology
+        {
+            // Discs must stay inside the implied deployment field (whose
+            // cells are cluster_spacing wide, centres at cell midpoints):
+            // otherwise mobility clamping would silently move nodes off
+            // the connectivity-checked placement.
+            if *spread_m <= 0.0 || *spread_m > cluster_spacing_m / 2.0 {
+                return Err(format!(
+                    "clustered topology: spread ({spread_m} m) must be in \
+                     (0, cluster_spacing/2 = {} m]",
+                    cluster_spacing_m / 2.0
+                ));
+            }
+        }
         for (i, f) in self.flows.iter().enumerate() {
             if f.src.index() >= n || f.dst.index() >= n {
                 return Err(format!("flow {i} endpoints outside topology"));
@@ -275,6 +411,34 @@ impl ExperimentConfig {
                     "flow {i}: {:?} only supports full reliability",
                     self.transport
                 ));
+            }
+        }
+        for (i, ev) in self.dynamics.iter().enumerate() {
+            match &ev.action {
+                DynamicsAction::NodeDown(v) | DynamicsAction::NodeUp(v) => {
+                    if v.index() >= n {
+                        return Err(format!("dynamics {i}: node {v} outside topology"));
+                    }
+                }
+                DynamicsAction::LinkDown(a, b) | DynamicsAction::LinkUp(a, b) => {
+                    if a.index() >= n || b.index() >= n {
+                        return Err(format!("dynamics {i}: link endpoint outside topology"));
+                    }
+                    if a == b {
+                        return Err(format!("dynamics {i}: link endpoints identical"));
+                    }
+                }
+                DynamicsAction::PartitionStart(group) => {
+                    if group.is_empty() || group.len() >= n {
+                        return Err(format!(
+                            "dynamics {i}: partition group must be a non-empty proper subset"
+                        ));
+                    }
+                    if group.iter().any(|v| v.index() >= n) {
+                        return Err(format!("dynamics {i}: partition member outside topology"));
+                    }
+                }
+                DynamicsAction::PartitionEnd => {}
             }
         }
         Ok(())
@@ -323,6 +487,48 @@ mod tests {
             initial_rate_pps: None,
         });
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn grid_and_clustered_node_counts() {
+        assert_eq!(ExperimentConfig::grid(4, 3).topology.node_count(), 12);
+        assert_eq!(ExperimentConfig::clustered(3, 5).topology.node_count(), 15);
+    }
+
+    #[test]
+    fn clustered_spread_must_fit_the_cell() {
+        let mut cfg = ExperimentConfig::clustered(3, 4);
+        cfg.validate().unwrap();
+        if let TopologyKind::Clustered { spread_m, .. } = &mut cfg.topology {
+            *spread_m = 60.0; // > 90/2: discs would spill out of the field
+        }
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn dynamics_validation_catches_bad_specs() {
+        let ok = ExperimentConfig::linear(4)
+            .dynamic(DynamicsEvent::at_s(
+                10.0,
+                DynamicsAction::NodeDown(NodeId(2)),
+            ))
+            .dynamic(DynamicsEvent::at_s(20.0, DynamicsAction::NodeUp(NodeId(2))));
+        ok.validate().unwrap();
+        let bad_node = ExperimentConfig::linear(4).dynamic(DynamicsEvent::at_s(
+            1.0,
+            DynamicsAction::NodeDown(NodeId(9)),
+        ));
+        assert!(bad_node.validate().is_err());
+        let bad_link = ExperimentConfig::linear(4).dynamic(DynamicsEvent::at_s(
+            1.0,
+            DynamicsAction::LinkDown(NodeId(1), NodeId(1)),
+        ));
+        assert!(bad_link.validate().is_err());
+        let bad_partition = ExperimentConfig::linear(4).dynamic(DynamicsEvent::at_s(
+            1.0,
+            DynamicsAction::PartitionStart(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]),
+        ));
+        assert!(bad_partition.validate().is_err());
     }
 
     #[test]

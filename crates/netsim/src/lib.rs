@@ -7,8 +7,10 @@
 //! * [`topology`] — node placement and ground-truth connectivity,
 //! * [`network`] — the assembled simulation (nodes = MAC + iJTP + energy
 //!   meter; TDMA slots; routing; per-protocol endpoints),
-//! * [`runner`] — single runs, traced runs and parallel multi-seed batches
-//!   with confidence intervals,
+//! * [`scenario`] — the declarative scenario engine: traffic patterns ×
+//!   substrate dynamics × topologies, lowered onto [`ExperimentConfig`],
+//! * [`runner`] — single runs, traced runs, parallel multi-seed batches
+//!   with confidence intervals, and golden-trace digests,
 //! * [`metrics`] — energy-per-bit, goodput and mechanism counters,
 //! * [`trace`] — time-series instrumentation for the paper's trace
 //!   figures.
@@ -33,11 +35,19 @@ pub mod metrics;
 pub mod network;
 pub mod payload;
 pub mod runner;
+pub mod scenario;
 pub mod topology;
 pub mod trace;
 
-pub use config::{ExperimentConfig, FlowSpec, MobilityConfig, TopologyKind, TransportKind};
+pub use config::{
+    DynamicsAction, DynamicsEvent, ExperimentConfig, FlowSpec, MobilityConfig, TopologyKind,
+    TransportKind,
+};
 pub use metrics::{FlowMetrics, Metrics};
 pub use network::{Event, Network};
-pub use runner::{run_experiment, run_many, run_many_on, run_traced, summarize_runs, Summary};
+pub use runner::{
+    run_digest, run_experiment, run_many, run_many_on, run_traced, summarize_runs, GoldenDigest,
+    Summary,
+};
+pub use scenario::{DynamicsSpec, Scenario, TrafficPattern};
 pub use trace::{TraceConfig, TraceLog};

@@ -19,7 +19,12 @@
 //!   forwarded along the link-state route,
 //! * sender wakeups pace data out at the receiver-assigned rate; receiver
 //!   timers emit regular feedback; mobility ticks move nodes and refresh
-//!   (staleness permitting) the routing views.
+//!   (staleness permitting) the routing views,
+//! * scheduled **dynamics** events crash/heal nodes, black out links and
+//!   open/heal partitions: the effective ground truth is the geometric
+//!   connectivity masked by the substrate state, and each action floods a
+//!   routing refresh while in-flight traffic fails at the channel —
+//!   identically in the skipping and naive engines.
 //!
 //! Hot-path notes: per-link Gilbert-Elliott fading processes live in a
 //! flat `Vec` indexed by a dense triangular pair index (no per-frame
@@ -28,7 +33,9 @@
 //! slot event was (re)scheduled — the invariant the skipping engine's
 //! equivalence proof rests on.
 
-use crate::config::{ExperimentConfig, MobilityConfig, TransportKind};
+use crate::config::{
+    DynamicsAction, DynamicsEvent, ExperimentConfig, MobilityConfig, TransportKind,
+};
 use crate::metrics::{FlowMetrics, Metrics};
 use crate::payload::{Payload, TransportPacket};
 use crate::topology::{adjacency_from_positions, field_for, place_nodes};
@@ -60,6 +67,9 @@ pub enum Event {
     ReceiverTimer(FlowId),
     /// Positions move; topology and routing views refresh.
     MobilityTick,
+    /// A scheduled substrate dynamics action fires (index into
+    /// [`ExperimentConfig::dynamics`]).
+    Dynamics(u32),
 }
 
 /// Transport endpoints of a flow.
@@ -123,6 +133,20 @@ pub struct Network {
     /// Collected time-series traces (see [`TraceConfig`]).
     pub trace: TraceLog,
     no_route_drops: u64,
+    // ---- substrate dynamics state ----
+    /// The scheduled dynamics timeline (from the config).
+    dynamics: Vec<DynamicsEvent>,
+    /// `node_up[i]` ⇔ node i is powered (failed nodes neither transmit
+    /// nor receive and their links vanish from the advertised topology).
+    node_up: Vec<bool>,
+    /// Blacked-out undirected links, indexed like [`Network::pair_index`].
+    blocked_links: Vec<bool>,
+    /// Active partition: side membership per node (cross-side links are
+    /// severed). At most one partition at a time.
+    partition: Option<Vec<bool>>,
+    /// Frames lost to node crashes (flushed queues + sends from a dead
+    /// node), distinct from congestion/ARQ/no-route drops.
+    churn_drops: u64,
     // ---- idle-slot-skipping engine state ----
     /// Whether slots owned by idle nodes are skipped (config).
     skip_idle: bool,
@@ -257,6 +281,14 @@ impl Network {
             let id = queue.schedule_at_class(SimTime::ZERO, SLOT_CLASS, Event::Slot(0));
             pending_slot = Some((id, 0));
         }
+        // Dynamics fire before same-instant flow starts (schedule order
+        // breaks FIFO ties), so a t=0 failure precedes a t=0 flow.
+        for (i, ev) in cfg.dynamics.iter().enumerate() {
+            let at = SimTime::ZERO + ev.at;
+            if at <= end {
+                queue.schedule_at(at, Event::Dynamics(i as u32));
+            }
+        }
         for f in &flows {
             queue.schedule_at(f.start.min(end), Event::FlowStart(f.id));
         }
@@ -292,6 +324,11 @@ impl Network {
             trace_cfg,
             trace: TraceLog::default(),
             no_route_drops: 0,
+            dynamics: cfg.dynamics.clone(),
+            node_up: vec![true; n],
+            blocked_links: vec![false; n * (n.saturating_sub(1)) / 2],
+            partition: None,
+            churn_drops: 0,
         };
         (net, queue)
     }
@@ -392,11 +429,91 @@ impl Network {
     }
 
     // ------------------------------------------------------------------
+    // Substrate dynamics
+    // ------------------------------------------------------------------
+
+    /// Recompute the effective ground truth: geometric connectivity minus
+    /// failed nodes, blacked-out links and the active partition cut.
+    fn rebuild_truth(&mut self) {
+        let n = self.positions.len();
+        let mut adj = jtp_routing::Adjacency::new(n);
+        for i in 0..n {
+            if !self.node_up[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !self.node_up[j] || self.blocked_links[self.pair_index(i as u32, j as u32)] {
+                    continue;
+                }
+                if let Some(side) = &self.partition {
+                    if side[i] != side[j] {
+                        continue;
+                    }
+                }
+                if self
+                    .pathloss
+                    .in_range(self.positions[i].distance(self.positions[j]))
+                {
+                    adj.set_edge(NodeId(i as u32), NodeId(j as u32), true);
+                }
+            }
+        }
+        self.truth = adj;
+    }
+
+    /// Apply one scheduled dynamics action, then advertise the new truth
+    /// to every routing view at once (the flooded link-state update a
+    /// failure detection triggers).
+    fn handle_dynamics(&mut self, now: SimTime, idx: u32) {
+        match self.dynamics[idx as usize].action.clone() {
+            DynamicsAction::NodeDown(v) => {
+                if self.node_up[v.index()] {
+                    self.node_up[v.index()] = false;
+                    // The crash loses the transmit queue; while down the
+                    // node enqueues nothing, so its slots stay idle (and
+                    // skippable) by construction.
+                    self.churn_drops += self.nodes[v.index()].mac.flush();
+                    self.refresh_backlog(v);
+                }
+            }
+            DynamicsAction::NodeUp(v) => {
+                self.node_up[v.index()] = true;
+            }
+            DynamicsAction::LinkDown(a, b) => {
+                let idx = self.pair_index(a.0.min(b.0), a.0.max(b.0));
+                self.blocked_links[idx] = true;
+            }
+            DynamicsAction::LinkUp(a, b) => {
+                let idx = self.pair_index(a.0.min(b.0), a.0.max(b.0));
+                self.blocked_links[idx] = false;
+            }
+            DynamicsAction::PartitionStart(group) => {
+                let mut side = vec![false; self.positions.len()];
+                for v in &group {
+                    side[v.index()] = true;
+                }
+                self.partition = Some(side);
+            }
+            DynamicsAction::PartitionEnd => {
+                self.partition = None;
+            }
+        }
+        self.rebuild_truth();
+        self.routing.force_refresh_all(now, &self.truth);
+    }
+
+    // ------------------------------------------------------------------
     // Forwarding
     // ------------------------------------------------------------------
 
     /// Route `tp` one hop from `from` and enqueue it at `from`'s MAC.
     fn forward_from(&mut self, from: NodeId, tp: TransportPacket) {
+        if !self.node_up[from.index()] {
+            // A dead node originates and forwards nothing; transport
+            // timers at a crashed endpoint spin harmlessly until it heals.
+            self.churn_drops += 1;
+            return;
+        }
         let Some(next) = self.routing.next_hop(from, tp.dst_end) else {
             self.no_route_drops += 1;
             return;
@@ -548,13 +665,27 @@ impl Network {
 
     /// Sample the channel for one transmission attempt.
     fn sample_channel(&mut self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+        // Substrate dynamics short-circuit the channel without touching
+        // any RNG substream: a dead endpoint, a blacked-out link or a
+        // partition cut can never deliver.
+        if !self.node_up[from.index()] || !self.node_up[to.index()] {
+            return false;
+        }
+        let (lo, hi) = (from.0.min(to.0), from.0.max(to.0));
+        if self.blocked_links[self.pair_index(lo, hi)] {
+            return false;
+        }
+        if let Some(side) = &self.partition {
+            if side[from.index()] != side[to.index()] {
+                return false;
+            }
+        }
         let d = self.positions[from.index()].distance(self.positions[to.index()]);
         if !self.pathloss.in_range(d) {
             return false;
         }
         let baseline = self.pathloss.loss_at(d);
         // Fading is shared per undirected link (symmetric channel).
-        let (lo, hi) = (from.0.min(to.0), from.0.max(to.0));
         let idx = self.pair_index(lo, hi);
         let n = self.nodes.len() as u64;
         let (cfg, seed) = (self.gilbert_cfg, self.seed);
@@ -881,8 +1012,7 @@ impl Network {
                 self.positions[i] = w.position_at(now);
             }
         }
-        let truth = adjacency_from_positions(&self.positions, &self.pathloss);
-        self.truth = truth;
+        self.rebuild_truth();
         self.routing.refresh_due_views(now, &self.truth);
         let at = now + mcfg.update_period;
         if at <= self.end {
@@ -990,6 +1120,7 @@ impl Network {
             arq_drops,
             energy_budget_drops,
             no_route_drops: self.no_route_drops,
+            churn_drops: self.churn_drops,
             mac_attempts,
             feedbacks_sent,
             flows,
@@ -1018,6 +1149,7 @@ impl Simulation for Network {
             Event::SenderWakeup(f) => self.handle_sender_wakeup(now, f, queue),
             Event::ReceiverTimer(f) => self.handle_receiver_timer(now, f, queue),
             Event::MobilityTick => self.handle_mobility_tick(now, queue),
+            Event::Dynamics(i) => self.handle_dynamics(now, i),
         }
         // Any handler may have enqueued or drained MAC traffic; keep the
         // skipping engine's slot event aimed at the earliest busy slot.

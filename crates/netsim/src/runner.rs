@@ -125,6 +125,68 @@ pub fn run_many_on(cfg: &ExperimentConfig, runs: usize, threads: usize) -> Vec<M
         .collect()
 }
 
+/// A compact, byte-stable fingerprint of one run: the headline metrics a
+/// human compares, plus two checksums that pin *everything* — the full
+/// metrics encoding and the trace event stream. Golden-trace regression
+/// tests commit one digest line per canonical scenario; any engine change
+/// that perturbs observable behaviour flips at least one field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GoldenDigest {
+    /// Distinct packets delivered.
+    pub delivered: u64,
+    /// Fraction of offered packets delivered.
+    pub delivery_ratio: f64,
+    /// Mean per-flow goodput (kbit/s).
+    pub goodput_kbps: f64,
+    /// Energy per delivered bit (µJ/bit).
+    pub energy_per_bit_uj: f64,
+    /// FNV-1a over the full JSON encoding of [`Metrics`] (every counter,
+    /// every per-node energy bit pattern).
+    pub metrics_fnv: u64,
+    /// [`TraceLog::checksum`] of the reception event stream.
+    pub trace_checksum: u64,
+}
+
+impl GoldenDigest {
+    /// One-line encoding (space-separated, fixed field order) used by the
+    /// committed golden file.
+    pub fn to_line(&self, name: &str) -> String {
+        format!(
+            "{name} delivered={} ratio={:.6} goodput={:.6} epb={:.6} metrics={:016x} trace={:016x}",
+            self.delivered,
+            self.delivery_ratio,
+            self.goodput_kbps,
+            self.energy_per_bit_uj,
+            self.metrics_fnv,
+            self.trace_checksum,
+        )
+    }
+}
+
+/// Run `cfg` with reception tracing and digest the outcome (see
+/// [`GoldenDigest`]).
+pub fn run_digest(cfg: &ExperimentConfig) -> GoldenDigest {
+    let (m, trace) = run_traced(
+        cfg,
+        TraceConfig {
+            receptions: true,
+            ..Default::default()
+        },
+    );
+    let json = serde_json::to_string(&m).expect("metrics serialise");
+    let mut fnv = crate::trace::Fnv64::default();
+    fnv.write(json.as_bytes());
+    let fnv = fnv.finish();
+    GoldenDigest {
+        delivered: m.delivered_packets,
+        delivery_ratio: m.delivery_ratio(),
+        goodput_kbps: m.avg_goodput_kbps(),
+        energy_per_bit_uj: m.energy_per_bit_uj(),
+        metrics_fnv: fnv,
+        trace_checksum: trace.checksum(),
+    }
+}
+
 /// Convenience: batch-run and summarise energy-per-bit and goodput, the
 /// paper's two headline metrics.
 pub fn summarize_runs(metrics: &[Metrics]) -> (Summary, Summary) {

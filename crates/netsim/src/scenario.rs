@@ -1,0 +1,710 @@
+//! Declarative scenario engine: traffic patterns × substrate dynamics ×
+//! topologies, lowered onto [`ExperimentConfig`].
+//!
+//! The paper's evaluation exercises a handful of fixed topologies and bulk
+//! flows; a [`Scenario`] composes richer workloads — constant-bit-rate
+//! streams, on-off bursts, many-to-one convergecast, bidirectional
+//! cross-traffic — with network dynamics — node failure/recovery churn,
+//! partitions via link blackouts, link flapping — over any
+//! [`TopologyKind`] (chains, random fields, grids, clusters), and lowers
+//! the whole description to a plain [`ExperimentConfig`] that every
+//! existing runner, trace and equivalence proof already understands.
+//!
+//! ```
+//! use jtp_netsim::scenario::{DynamicsSpec, Scenario, TrafficPattern};
+//! use jtp_netsim::{run_experiment, TopologyKind, TransportKind};
+//! use jtp_sim::NodeId;
+//!
+//! let sc = Scenario::new(
+//!     "demo-grid-churn",
+//!     TopologyKind::Grid { cols: 3, rows: 3, spacing_m: 80.0 },
+//! )
+//! .duration_s(400.0)
+//! .seed(7)
+//! .traffic(TrafficPattern::Cbr {
+//!     src: NodeId(0),
+//!     dst: NodeId(8),
+//!     rate_pps: 1.0,
+//!     start_s: 5.0,
+//!     duration_s: 60.0,
+//!     loss_tolerance: 0.0,
+//! })
+//! .dynamics(DynamicsSpec::NodeChurn {
+//!     node: NodeId(4),
+//!     fail_at_s: 20.0,
+//!     recover_at_s: 45.0,
+//! });
+//! let m = run_experiment(&sc.build(TransportKind::Jtp));
+//! assert!(m.delivered_packets > 0);
+//! ```
+
+use crate::config::{
+    DynamicsAction, DynamicsEvent, ExperimentConfig, FlowSpec, TopologyKind, TransportKind,
+};
+use jtp_sim::{NodeId, SimDuration};
+
+/// One declarative workload component. Patterns lower to one or more
+/// [`FlowSpec`]s; rates map onto the transport's initial sending rate (the
+/// receiver-driven controllers take over from there, so a "CBR" stream is
+/// an *offered* constant rate, shaped by the protocol under test).
+#[derive(Clone, Debug)]
+pub enum TrafficPattern {
+    /// A single bulk transfer (the paper's workload).
+    Bulk {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Packets to transfer.
+        packets: u32,
+        /// Start time (seconds).
+        start_s: f64,
+        /// End-to-end loss tolerance (JTP only; forced to 0 for TCP/ATP).
+        loss_tolerance: f64,
+    },
+    /// A constant-bit-rate stream: `rate_pps · duration_s` packets
+    /// offered at `rate_pps` from the first packet on.
+    Cbr {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Offered rate in packets per second.
+        rate_pps: f64,
+        /// Start time (seconds).
+        start_s: f64,
+        /// Stream length (seconds).
+        duration_s: f64,
+        /// End-to-end loss tolerance (JTP only; forced to 0 for TCP/ATP).
+        loss_tolerance: f64,
+    },
+    /// Periodic bursts: `cycles` bursts of `rate_pps · on_s` packets,
+    /// `on_s + off_s` apart, each arriving "hot" at `rate_pps`.
+    OnOff {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Burst rate in packets per second.
+        rate_pps: f64,
+        /// Burst length (seconds).
+        on_s: f64,
+        /// Silence between bursts (seconds).
+        off_s: f64,
+        /// First burst start (seconds).
+        start_s: f64,
+        /// Number of bursts.
+        cycles: u32,
+        /// End-to-end loss tolerance (JTP only; forced to 0 for TCP/ATP).
+        loss_tolerance: f64,
+    },
+    /// Many-to-one: every source sends `packets` to the common sink,
+    /// starts staggered by `stagger_s` (sensor-style convergecast).
+    Convergecast {
+        /// The common destination.
+        sink: NodeId,
+        /// Sending nodes.
+        sources: Vec<NodeId>,
+        /// Packets per source.
+        packets: u32,
+        /// First source's start time (seconds).
+        start_s: f64,
+        /// Start offset between consecutive sources (seconds).
+        stagger_s: f64,
+    },
+    /// Bidirectional cross-traffic: simultaneous equal transfers `a → b`
+    /// and `b → a` (data of each direction competes with the other's
+    /// feedback on every shared slot).
+    CrossTraffic {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Packets per direction.
+        packets: u32,
+        /// Start time of both directions (seconds).
+        start_s: f64,
+    },
+}
+
+impl TrafficPattern {
+    /// Append this pattern's flows. `force_reliable` clamps loss
+    /// tolerance to 0 (TCP/ATP support nothing else).
+    fn lower(&self, flows: &mut Vec<FlowSpec>, force_reliable: bool) {
+        let lt = |x: f64| if force_reliable { 0.0 } else { x };
+        let mut push = |src: NodeId, dst: NodeId, start_s: f64, packets: u32, tol: f64, rate| {
+            flows.push(FlowSpec {
+                src,
+                dst,
+                start: SimDuration::from_secs_f64(start_s),
+                packets: packets.max(1),
+                loss_tolerance: tol,
+                initial_rate_pps: rate,
+            });
+        };
+        match self {
+            TrafficPattern::Bulk {
+                src,
+                dst,
+                packets,
+                start_s,
+                loss_tolerance,
+            } => push(*src, *dst, *start_s, *packets, lt(*loss_tolerance), None),
+            TrafficPattern::Cbr {
+                src,
+                dst,
+                rate_pps,
+                start_s,
+                duration_s,
+                loss_tolerance,
+            } => push(
+                *src,
+                *dst,
+                *start_s,
+                (rate_pps * duration_s).round() as u32,
+                lt(*loss_tolerance),
+                Some(*rate_pps),
+            ),
+            TrafficPattern::OnOff {
+                src,
+                dst,
+                rate_pps,
+                on_s,
+                off_s,
+                start_s,
+                cycles,
+                loss_tolerance,
+            } => {
+                for i in 0..*cycles {
+                    push(
+                        *src,
+                        *dst,
+                        start_s + i as f64 * (on_s + off_s),
+                        (rate_pps * on_s).round() as u32,
+                        lt(*loss_tolerance),
+                        Some(*rate_pps),
+                    );
+                }
+            }
+            TrafficPattern::Convergecast {
+                sink,
+                sources,
+                packets,
+                start_s,
+                stagger_s,
+            } => {
+                for (i, src) in sources.iter().enumerate() {
+                    push(
+                        *src,
+                        *sink,
+                        start_s + i as f64 * stagger_s,
+                        *packets,
+                        0.0,
+                        None,
+                    );
+                }
+            }
+            TrafficPattern::CrossTraffic {
+                a,
+                b,
+                packets,
+                start_s,
+            } => {
+                push(*a, *b, *start_s, *packets, 0.0, None);
+                push(*b, *a, *start_s, *packets, 0.0, None);
+            }
+        }
+    }
+}
+
+/// One declarative substrate-dynamics component, lowered to scheduled
+/// [`DynamicsEvent`]s.
+#[derive(Clone, Debug)]
+pub enum DynamicsSpec {
+    /// The node crashes at `fail_at_s` (losing its queue) and recovers —
+    /// empty-handed — at `recover_at_s`.
+    NodeChurn {
+        /// The churning node.
+        node: NodeId,
+        /// Crash time (seconds).
+        fail_at_s: f64,
+        /// Recovery time (seconds).
+        recover_at_s: f64,
+    },
+    /// A clean partition: every link between `group` and the rest blacks
+    /// out during `[start_s, end_s)`.
+    Partition {
+        /// One side of the cut.
+        group: Vec<NodeId>,
+        /// Blackout start (seconds).
+        start_s: f64,
+        /// Blackout end (seconds).
+        end_s: f64,
+    },
+    /// The link `{a, b}` flaps: `cycles` blackouts of `down_s` seconds,
+    /// starting `period_s` apart from `first_down_s` on.
+    LinkFlap {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// First blackout start (seconds).
+        first_down_s: f64,
+        /// Blackout length (seconds).
+        down_s: f64,
+        /// Blackout spacing (seconds, must exceed `down_s`).
+        period_s: f64,
+        /// Number of blackouts.
+        cycles: u32,
+    },
+}
+
+impl DynamicsSpec {
+    /// Append this spec's scheduled events.
+    fn lower(&self, out: &mut Vec<DynamicsEvent>) {
+        match self {
+            DynamicsSpec::NodeChurn {
+                node,
+                fail_at_s,
+                recover_at_s,
+            } => {
+                assert!(fail_at_s < recover_at_s, "churn must fail before healing");
+                out.push(DynamicsEvent::at_s(
+                    *fail_at_s,
+                    DynamicsAction::NodeDown(*node),
+                ));
+                out.push(DynamicsEvent::at_s(
+                    *recover_at_s,
+                    DynamicsAction::NodeUp(*node),
+                ));
+            }
+            DynamicsSpec::Partition {
+                group,
+                start_s,
+                end_s,
+            } => {
+                assert!(start_s < end_s, "partition must start before healing");
+                out.push(DynamicsEvent::at_s(
+                    *start_s,
+                    DynamicsAction::PartitionStart(group.clone()),
+                ));
+                out.push(DynamicsEvent::at_s(*end_s, DynamicsAction::PartitionEnd));
+            }
+            DynamicsSpec::LinkFlap {
+                a,
+                b,
+                first_down_s,
+                down_s,
+                period_s,
+                cycles,
+            } => {
+                assert!(down_s < period_s, "flap duty cycle must leave up-time");
+                for i in 0..*cycles {
+                    let t = first_down_s + i as f64 * period_s;
+                    out.push(DynamicsEvent::at_s(t, DynamicsAction::LinkDown(*a, *b)));
+                    out.push(DynamicsEvent::at_s(
+                        t + down_s,
+                        DynamicsAction::LinkUp(*a, *b),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// A complete declarative scenario. Build one with [`Scenario::new`] and
+/// the chaining methods, then lower it with [`Scenario::build`] for any
+/// transport — the same scenario sweeps cleanly across JTP/TCP/ATP (loss
+/// tolerances collapse to full reliability where the transport demands
+/// it).
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Stable identifier (used by golden-trace digests and bench tables).
+    pub name: String,
+    /// Node placement.
+    pub topology: TopologyKind,
+    /// Workload components.
+    pub traffic: Vec<TrafficPattern>,
+    /// Substrate dynamics components.
+    pub dynamics: Vec<DynamicsSpec>,
+    /// Simulated duration (seconds).
+    pub duration_s: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Random-waypoint speed (None = static).
+    pub mobile_mps: Option<f64>,
+}
+
+impl Scenario {
+    /// A scenario skeleton: static topology, no traffic, 600 s, seed 1.
+    pub fn new(name: &str, topology: TopologyKind) -> Self {
+        Scenario {
+            name: name.to_string(),
+            topology,
+            traffic: Vec::new(),
+            dynamics: Vec::new(),
+            duration_s: 600.0,
+            seed: 1,
+            mobile_mps: None,
+        }
+    }
+
+    /// Add a traffic pattern.
+    pub fn traffic(mut self, t: TrafficPattern) -> Self {
+        self.traffic.push(t);
+        self
+    }
+
+    /// Add a dynamics component.
+    pub fn dynamics(mut self, d: DynamicsSpec) -> Self {
+        self.dynamics.push(d);
+        self
+    }
+
+    /// Set the simulated duration.
+    pub fn duration_s(mut self, s: f64) -> Self {
+        self.duration_s = s;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable random-waypoint mobility at the paper's parameters.
+    pub fn mobile(mut self, speed_mps: f64) -> Self {
+        self.mobile_mps = Some(speed_mps);
+        self
+    }
+
+    /// Lower onto a validated [`ExperimentConfig`] for `transport`.
+    pub fn build(&self, transport: TransportKind) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::with_topology(self.topology.clone())
+            .transport(transport)
+            .duration_s(self.duration_s)
+            .seed(self.seed);
+        if let Some(s) = self.mobile_mps {
+            cfg = cfg.mobile(s);
+        }
+        let force_reliable = transport == TransportKind::Tcp || transport == TransportKind::Atp;
+        for t in &self.traffic {
+            t.lower(&mut cfg.flows, force_reliable);
+        }
+        for d in &self.dynamics {
+            d.lower(&mut cfg.dynamics);
+        }
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("scenario {} lowers invalid: {e}", self.name));
+        cfg
+    }
+
+    /// The canonical scenario catalog: one entry per workload/dynamics/
+    /// topology family. The golden-trace regression tests pin each
+    /// entry's JTP metrics byte-for-byte, and `scenario_matrix` sweeps
+    /// the grid across transports.
+    pub fn catalog() -> Vec<Scenario> {
+        vec![
+            Scenario::new(
+                "chain-bulk",
+                TopologyKind::Linear {
+                    n: 6,
+                    spacing_m: 55.0,
+                },
+            )
+            .duration_s(700.0)
+            .seed(101)
+            .traffic(TrafficPattern::Bulk {
+                src: NodeId(0),
+                dst: NodeId(5),
+                packets: 120,
+                start_s: 5.0,
+                loss_tolerance: 0.0,
+            }),
+            Scenario::new(
+                "chain-flap",
+                TopologyKind::Linear {
+                    n: 7,
+                    spacing_m: 55.0,
+                },
+            )
+            .duration_s(900.0)
+            .seed(102)
+            .traffic(TrafficPattern::Bulk {
+                src: NodeId(0),
+                dst: NodeId(6),
+                packets: 90,
+                start_s: 5.0,
+                loss_tolerance: 0.0,
+            })
+            .dynamics(DynamicsSpec::LinkFlap {
+                a: NodeId(2),
+                b: NodeId(3),
+                first_down_s: 30.0,
+                down_s: 10.0,
+                period_s: 60.0,
+                cycles: 5,
+            }),
+            Scenario::new(
+                "grid-cross",
+                TopologyKind::Grid {
+                    cols: 4,
+                    rows: 4,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(900.0)
+            .seed(103)
+            .traffic(TrafficPattern::CrossTraffic {
+                a: NodeId(0),
+                b: NodeId(15),
+                packets: 70,
+                start_s: 5.0,
+            })
+            .traffic(TrafficPattern::Bulk {
+                src: NodeId(3),
+                dst: NodeId(12),
+                packets: 50,
+                start_s: 20.0,
+                loss_tolerance: 0.0,
+            }),
+            Scenario::new(
+                "grid-churn-cbr",
+                TopologyKind::Grid {
+                    cols: 4,
+                    rows: 4,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(700.0)
+            .seed(104)
+            .traffic(TrafficPattern::Cbr {
+                src: NodeId(0),
+                dst: NodeId(15),
+                rate_pps: 1.5,
+                start_s: 10.0,
+                duration_s: 120.0,
+                loss_tolerance: 0.0,
+            })
+            .dynamics(DynamicsSpec::NodeChurn {
+                node: NodeId(5),
+                fail_at_s: 40.0,
+                recover_at_s: 90.0,
+            })
+            .dynamics(DynamicsSpec::NodeChurn {
+                node: NodeId(10),
+                fail_at_s: 60.0,
+                recover_at_s: 120.0,
+            }),
+            Scenario::new(
+                "chain-onoff",
+                TopologyKind::Linear {
+                    n: 8,
+                    spacing_m: 55.0,
+                },
+            )
+            .duration_s(800.0)
+            .seed(105)
+            .traffic(TrafficPattern::OnOff {
+                src: NodeId(0),
+                dst: NodeId(7),
+                rate_pps: 3.0,
+                on_s: 20.0,
+                off_s: 40.0,
+                start_s: 10.0,
+                cycles: 4,
+                loss_tolerance: 0.0,
+            }),
+            Scenario::new(
+                "random-convergecast",
+                TopologyKind::Random {
+                    n: 16,
+                    field_side_m: 240.0,
+                },
+            )
+            .duration_s(900.0)
+            .seed(106)
+            .traffic(TrafficPattern::Convergecast {
+                sink: NodeId(0),
+                sources: vec![NodeId(3), NodeId(7), NodeId(11), NodeId(14), NodeId(15)],
+                packets: 35,
+                start_s: 5.0,
+                stagger_s: 4.0,
+            }),
+            Scenario::new(
+                "random-partition",
+                TopologyKind::Random {
+                    n: 14,
+                    field_side_m: 225.0,
+                },
+            )
+            .duration_s(900.0)
+            .seed(107)
+            .traffic(TrafficPattern::Bulk {
+                src: NodeId(0),
+                dst: NodeId(13),
+                packets: 90,
+                start_s: 5.0,
+                loss_tolerance: 0.0,
+            })
+            .dynamics(DynamicsSpec::Partition {
+                group: (0..7).map(NodeId).collect(),
+                start_s: 60.0,
+                end_s: 150.0,
+            }),
+            Scenario::new(
+                "clustered-onoff-cross",
+                TopologyKind::Clustered {
+                    clusters: 3,
+                    per_cluster: 4,
+                    spread_m: 25.0,
+                    cluster_spacing_m: 90.0,
+                },
+            )
+            .duration_s(900.0)
+            .seed(108)
+            .traffic(TrafficPattern::CrossTraffic {
+                a: NodeId(0),
+                b: NodeId(11),
+                packets: 50,
+                start_s: 5.0,
+            })
+            .traffic(TrafficPattern::OnOff {
+                src: NodeId(4),
+                dst: NodeId(8),
+                rate_pps: 2.0,
+                on_s: 15.0,
+                off_s: 45.0,
+                start_s: 30.0,
+                cycles: 3,
+                loss_tolerance: 0.0,
+            }),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_lowering_counts_packets() {
+        let mut flows = Vec::new();
+        TrafficPattern::Cbr {
+            src: NodeId(0),
+            dst: NodeId(1),
+            rate_pps: 2.5,
+            start_s: 3.0,
+            duration_s: 10.0,
+            loss_tolerance: 0.4,
+        }
+        .lower(&mut flows, false);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].packets, 25);
+        assert_eq!(flows[0].initial_rate_pps, Some(2.5));
+        assert_eq!(flows[0].loss_tolerance, 0.4);
+        // TCP/ATP lowering forces full reliability.
+        let mut reliable = Vec::new();
+        TrafficPattern::Cbr {
+            src: NodeId(0),
+            dst: NodeId(1),
+            rate_pps: 2.5,
+            start_s: 3.0,
+            duration_s: 10.0,
+            loss_tolerance: 0.4,
+        }
+        .lower(&mut reliable, true);
+        assert_eq!(reliable[0].loss_tolerance, 0.0);
+    }
+
+    #[test]
+    fn onoff_lowering_staggers_bursts() {
+        let mut flows = Vec::new();
+        TrafficPattern::OnOff {
+            src: NodeId(0),
+            dst: NodeId(3),
+            rate_pps: 4.0,
+            on_s: 10.0,
+            off_s: 20.0,
+            start_s: 5.0,
+            cycles: 3,
+            loss_tolerance: 0.0,
+        }
+        .lower(&mut flows, false);
+        assert_eq!(flows.len(), 3);
+        for (i, f) in flows.iter().enumerate() {
+            assert_eq!(f.packets, 40);
+            let start = f.start.as_secs_f64();
+            assert!((start - (5.0 + 30.0 * i as f64)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convergecast_and_cross_traffic_fan_out() {
+        let mut flows = Vec::new();
+        TrafficPattern::Convergecast {
+            sink: NodeId(0),
+            sources: vec![NodeId(1), NodeId(2), NodeId(3)],
+            packets: 10,
+            start_s: 1.0,
+            stagger_s: 2.0,
+        }
+        .lower(&mut flows, false);
+        assert_eq!(flows.len(), 3);
+        assert!(flows.iter().all(|f| f.dst == NodeId(0)));
+        let mut cross = Vec::new();
+        TrafficPattern::CrossTraffic {
+            a: NodeId(0),
+            b: NodeId(4),
+            packets: 9,
+            start_s: 2.0,
+        }
+        .lower(&mut cross, false);
+        assert_eq!(cross.len(), 2);
+        assert_eq!((cross[0].src, cross[0].dst), (NodeId(0), NodeId(4)));
+        assert_eq!((cross[1].src, cross[1].dst), (NodeId(4), NodeId(0)));
+    }
+
+    #[test]
+    fn link_flap_lowers_paired_events() {
+        let mut evs = Vec::new();
+        DynamicsSpec::LinkFlap {
+            a: NodeId(1),
+            b: NodeId(2),
+            first_down_s: 10.0,
+            down_s: 5.0,
+            period_s: 30.0,
+            cycles: 2,
+        }
+        .lower(&mut evs);
+        assert_eq!(evs.len(), 4);
+        assert_eq!(
+            evs[0].action,
+            DynamicsAction::LinkDown(NodeId(1), NodeId(2))
+        );
+        assert_eq!(evs[1].action, DynamicsAction::LinkUp(NodeId(1), NodeId(2)));
+        assert!((evs[2].at.as_secs_f64() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn catalog_lowers_valid_for_every_transport() {
+        let cat = Scenario::catalog();
+        assert!(cat.len() >= 8, "catalog shrank below the canonical eight");
+        let mut names: Vec<&str> = cat.iter().map(|s| s.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), cat.len(), "scenario names must be unique");
+        for sc in &cat {
+            for t in [
+                TransportKind::Jtp,
+                TransportKind::Jnc,
+                TransportKind::Tcp,
+                TransportKind::Atp,
+            ] {
+                let cfg = sc.build(t);
+                assert!(!cfg.flows.is_empty(), "{}: no traffic lowered", sc.name);
+            }
+        }
+    }
+}

@@ -29,7 +29,57 @@ pub fn place_nodes(kind: &TopologyKind, pathloss: &PathLoss, seed: u64) -> Vec<P
                  range or shrink the field"
             );
         }
+        TopologyKind::Grid {
+            cols,
+            rows,
+            spacing_m,
+        } => (0..rows * cols)
+            .map(|i| Point::new((i % cols) as f64 * spacing_m, (i / cols) as f64 * spacing_m))
+            .collect(),
+        TopologyKind::Clustered {
+            clusters,
+            per_cluster,
+            spread_m,
+            cluster_spacing_m,
+        } => {
+            let centers = cluster_centers(*clusters, *cluster_spacing_m);
+            let mut rng = SimRng::derive(seed, "placement-clustered");
+            for _attempt in 0..1000 {
+                let mut pts = Vec::with_capacity(clusters * per_cluster);
+                for c in &centers {
+                    for _ in 0..*per_cluster {
+                        // Uniform in the disc of radius `spread_m` around
+                        // the centre (rejection-free: r = R·√u).
+                        let r = spread_m * rng.f64().sqrt();
+                        let a = rng.uniform(0.0, std::f64::consts::TAU);
+                        pts.push(Point::new(c.x + r * a.cos(), c.y + r * a.sin()));
+                    }
+                }
+                if adjacency_from_positions(&pts, pathloss).is_connected() {
+                    return pts;
+                }
+            }
+            panic!(
+                "could not find a connected clustered placement \
+                 ({clusters}×{per_cluster}, spread {spread_m} m, spacing \
+                 {cluster_spacing_m} m) after 1000 attempts"
+            );
+        }
     }
+}
+
+/// Cluster centres on a near-square lattice, `spacing` apart, offset so
+/// every disc of nodes stays inside the positive quadrant.
+fn cluster_centers(clusters: usize, spacing: f64) -> Vec<Point> {
+    let cols = (clusters as f64).sqrt().ceil() as usize;
+    (0..clusters)
+        .map(|c| {
+            Point::new(
+                spacing * (0.5 + (c % cols) as f64),
+                spacing * (0.5 + (c / cols) as f64),
+            )
+        })
+        .collect()
 }
 
 /// Ground-truth adjacency: an edge wherever two radios are in range.
@@ -54,6 +104,26 @@ pub fn field_for(kind: &TopologyKind) -> Field {
             Field::new(((*n - 1).max(1)) as f64 * spacing_m + 1.0, 50.0)
         }
         TopologyKind::Random { field_side_m, .. } => Field::square(*field_side_m),
+        TopologyKind::Grid {
+            cols,
+            rows,
+            spacing_m,
+        } => Field::new(
+            (cols.saturating_sub(1)).max(1) as f64 * spacing_m + 1.0,
+            (rows.saturating_sub(1)).max(1) as f64 * spacing_m + 1.0,
+        ),
+        TopologyKind::Clustered {
+            clusters,
+            cluster_spacing_m,
+            ..
+        } => {
+            let cols = (*clusters as f64).sqrt().ceil() as usize;
+            let rows = clusters.div_ceil(cols);
+            Field::new(
+                cols as f64 * cluster_spacing_m,
+                rows as f64 * cluster_spacing_m,
+            )
+        }
     }
 }
 
@@ -111,6 +181,56 @@ mod tests {
         assert!(adj.has_edge(NodeId(0), NodeId(1)));
         assert!(!adj.has_edge(NodeId(0), NodeId(2)));
         assert!(!adj.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn grid_placement_is_four_connected_at_80m() {
+        let kind = TopologyKind::Grid {
+            cols: 4,
+            rows: 3,
+            spacing_m: 80.0,
+        };
+        let pts = place_nodes(&kind, &pl(), 1);
+        assert_eq!(pts.len(), 12);
+        let adj = adjacency_from_positions(&pts, &pl());
+        assert!(adj.is_connected());
+        // Lattice neighbours only: id = row*cols + col.
+        for i in 0..12u32 {
+            let (r, c) = (i / 4, i % 4);
+            for j in 0..12u32 {
+                let (r2, c2) = (j / 4, j % 4);
+                let lattice_adjacent = r.abs_diff(r2) + c.abs_diff(c2) == 1;
+                assert_eq!(adj.has_edge(NodeId(i), NodeId(j)), lattice_adjacent);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_placement_is_connected_deterministic_and_clustered() {
+        let kind = TopologyKind::Clustered {
+            clusters: 3,
+            per_cluster: 4,
+            spread_m: 25.0,
+            cluster_spacing_m: 90.0,
+        };
+        let a = place_nodes(&kind, &pl(), 5);
+        let b = place_nodes(&kind, &pl(), 5);
+        assert_eq!(a.len(), 12);
+        assert_eq!(a, b, "same seed, same placement");
+        assert!(adjacency_from_positions(&a, &pl()).is_connected());
+        let f = field_for(&kind);
+        for p in &a {
+            assert!(f.contains(*p), "node outside implied field: {p:?}");
+        }
+        // Nodes of one cluster sit within 2×spread of each other.
+        for c in 0..3 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    let d = a[c * 4 + i].distance(a[c * 4 + j]);
+                    assert!(d <= 50.0 + 1e-9, "intra-cluster distance {d}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,39 @@
 
 use jtp_sim::{FlowId, NodeId, SimDuration, SimTime};
 
+/// Streaming FNV-1a (64-bit) — the one hash behind both golden-digest
+/// checksums ([`TraceLog::checksum`] and the metrics FNV in
+/// `runner::run_digest`), so the algorithm and its constants live in
+/// exactly one audited place.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    /// Fold bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Fold one little-endian u64.
+    pub fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// What to record.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TraceConfig {
@@ -46,6 +79,33 @@ pub struct TraceLog {
 }
 
 impl TraceLog {
+    /// Order-sensitive FNV-1a checksum of the full event stream
+    /// (receptions, attempt budgets, monitor samples). Two runs with the
+    /// same checksum recorded the same events at the same times in the
+    /// same order — the backbone of the golden-trace regression layer.
+    pub fn checksum(&self) -> u64 {
+        let mut h = Fnv64::default();
+        h.write_u64(self.receptions.len() as u64);
+        for (t, f) in &self.receptions {
+            h.write_u64(t.as_micros());
+            h.write_u64(f.0 as u64);
+        }
+        h.write_u64(self.attempts.len() as u64);
+        for (t, a) in &self.attempts {
+            h.write_u64(t.as_micros());
+            h.write_u64(*a as u64);
+        }
+        h.write_u64(self.monitor.len() as u64);
+        for s in &self.monitor {
+            h.write_u64(s.at.as_micros());
+            h.write_u64(s.reported.to_bits());
+            h.write_u64(s.mean.to_bits());
+            h.write_u64(s.lcl.to_bits());
+            h.write_u64(s.ucl.to_bits());
+        }
+        h.finish()
+    }
+
     /// Windowed reception rate (packets/second) of `flow`, sampled every
     /// `step` over `[0, end]` with averaging window `window` — the
     /// post-processing behind Fig. 5 and Fig. 8 top plots.
@@ -101,6 +161,29 @@ mod tests {
             .find(|(t, _)| (*t - 5.0).abs() < 1e-9)
             .unwrap();
         assert!((mid.1 - 2.0).abs() < 0.51, "rate = {}", mid.1);
+    }
+
+    #[test]
+    fn checksum_is_order_and_content_sensitive() {
+        let mut a = TraceLog::default();
+        a.receptions.push((SimTime::from_millis(10), FlowId(0)));
+        a.receptions.push((SimTime::from_millis(20), FlowId(1)));
+        let mut b = TraceLog::default();
+        b.receptions.push((SimTime::from_millis(20), FlowId(1)));
+        b.receptions.push((SimTime::from_millis(10), FlowId(0)));
+        assert_ne!(a.checksum(), b.checksum(), "order must matter");
+        let mut c = TraceLog::default();
+        c.receptions.push((SimTime::from_millis(10), FlowId(0)));
+        c.receptions.push((SimTime::from_millis(20), FlowId(1)));
+        assert_eq!(a.checksum(), c.checksum(), "same stream, same checksum");
+        assert_ne!(
+            TraceLog::default().checksum(),
+            a.checksum(),
+            "content must matter"
+        );
+        let mut d = a.clone();
+        d.attempts.push((SimTime::from_millis(5), 3));
+        assert_ne!(a.checksum(), d.checksum(), "attempts feed the checksum");
     }
 
     #[test]

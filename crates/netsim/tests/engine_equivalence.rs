@@ -190,6 +190,56 @@ fn coalescing_delivers_same_transfer() {
     assert!(m_on.flows[0].completed && m_off.flows[0].completed);
 }
 
+/// Substrate dynamics — node churn, a partition window and a link flap,
+/// all in one run — must preserve byte-identical equivalence: dynamics
+/// events fire at the same instants in both engines, the crash's queue
+/// flush feeds the same backlog bookkeeping, and blacked-out channels
+/// consume no RNG in either mode.
+#[test]
+fn dynamics_run_identical() {
+    use jtp_netsim::{DynamicsAction, DynamicsEvent};
+    let cfg = ExperimentConfig::linear(7)
+        .transport(TransportKind::Jtp)
+        .duration_s(900.0)
+        .seed(321)
+        .bulk_flow(60, 5.0, 0.0)
+        .flow(FlowSpec {
+            src: NodeId(6),
+            dst: NodeId(0),
+            start: SimDuration::from_secs(10),
+            packets: 40,
+            loss_tolerance: 0.2,
+            initial_rate_pps: None,
+        })
+        .dynamic(DynamicsEvent::at_s(
+            40.0,
+            DynamicsAction::NodeDown(NodeId(3)),
+        ))
+        .dynamic(DynamicsEvent::at_s(
+            160.0,
+            DynamicsAction::NodeUp(NodeId(3)),
+        ))
+        .dynamic(DynamicsEvent::at_s(
+            220.0,
+            DynamicsAction::PartitionStart(vec![NodeId(0), NodeId(1), NodeId(2)]),
+        ))
+        .dynamic(DynamicsEvent::at_s(320.0, DynamicsAction::PartitionEnd))
+        .dynamic(DynamicsEvent::at_s(
+            400.0,
+            DynamicsAction::LinkDown(NodeId(4), NodeId(5)),
+        ))
+        .dynamic(DynamicsEvent::at_s(
+            430.0,
+            DynamicsAction::LinkUp(NodeId(4), NodeId(5)),
+        ));
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "dynamics");
+    assert!(
+        fast.churn_drops + fast.no_route_drops > 0,
+        "dynamics must actually bite for the equivalence to mean anything"
+    );
+}
+
 /// Traces must also be unaffected (receptions drive the fig-5 series).
 #[test]
 fn traces_identical_under_skipping() {

@@ -1,0 +1,77 @@
+//! Golden-trace regression tests: every canonical scenario's JTP run is
+//! pinned byte-for-byte by a committed [`GoldenDigest`] line (headline
+//! metrics + an FNV over the full metrics encoding + the trace-stream
+//! checksum). Any engine change that perturbs observable behaviour —
+//! event ordering, RNG consumption, a counter, a float — flips at least
+//! one digest and fails here, the same way `engine_equivalence.rs` pins
+//! idle-slot skipping.
+//!
+//! When a change is *intended* to alter results (new defaults, new
+//! physics), regenerate the committed file and review the diff:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p jtp-netsim --test golden_traces
+//! ```
+
+use jtp_netsim::{run_digest, Scenario, TransportKind};
+
+/// The committed digests, one line per catalog scenario.
+const GOLDEN: &str = include_str!("golden/digests.txt");
+
+fn current_lines() -> Vec<String> {
+    Scenario::catalog()
+        .iter()
+        .map(|sc| run_digest(&sc.build(TransportKind::Jtp)).to_line(&sc.name))
+        .collect()
+}
+
+#[test]
+fn catalog_digests_match_committed_golden_file() {
+    let lines = current_lines();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/digests.txt");
+        let mut body = String::from(
+            "# Golden digests of the canonical scenario catalog under JTP.\n\
+             # Regenerate: GOLDEN_REGEN=1 cargo test -p jtp-netsim --test golden_traces\n",
+        );
+        for l in &lines {
+            body.push_str(l);
+            body.push('\n');
+        }
+        std::fs::write(path, body).expect("write golden file");
+        println!("regenerated {path}");
+        return;
+    }
+    let committed: Vec<&str> = GOLDEN
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    assert_eq!(
+        committed.len(),
+        lines.len(),
+        "golden file covers {} scenarios, catalog has {} — regenerate \
+         with GOLDEN_REGEN=1 and review the diff",
+        committed.len(),
+        lines.len()
+    );
+    for (want, got) in committed.iter().zip(&lines) {
+        assert_eq!(
+            got, want,
+            "golden digest drift — if intended, regenerate with \
+             GOLDEN_REGEN=1 and review the diff"
+        );
+    }
+}
+
+/// The digest machinery itself must be a pure function of the run.
+#[test]
+fn digests_are_reproducible_within_a_process() {
+    let sc = &Scenario::catalog()[0];
+    let a = run_digest(&sc.build(TransportKind::Jtp));
+    let b = run_digest(&sc.build(TransportKind::Jtp));
+    assert_eq!(a, b);
+    // And sensitive to the seed (astronomically unlikely to collide).
+    let mut other = sc.build(TransportKind::Jtp);
+    other.seed ^= 0xdead_beef;
+    assert_ne!(run_digest(&other), a, "digest blind to the seed");
+}

@@ -1,0 +1,88 @@
+//! The parallel multi-seed runner must be a pure reshuffling of work:
+//! for any thread count, `run_many` returns **byte-identical** per-seed
+//! metrics to a plain sequential loop of `run_experiment` calls. PR 1
+//! asserted a couple of counters; this pins every field via the total
+//! JSON encoding, across transports and scenario dynamics.
+
+use jtp_netsim::scenario::{DynamicsSpec, Scenario, TrafficPattern};
+use jtp_netsim::{
+    run_experiment, run_many, run_many_on, ExperimentConfig, Metrics, TopologyKind, TransportKind,
+};
+use jtp_sim::NodeId;
+
+fn json(m: &Metrics) -> String {
+    serde_json::to_string(m).expect("metrics serialise")
+}
+
+/// Per-seed sequential baseline: exactly what `run_many` promises to
+/// parallelise.
+fn sequential_baseline(cfg: &ExperimentConfig, runs: usize) -> Vec<String> {
+    (0..runs)
+        .map(|i| {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(i as u64);
+            json(&run_experiment(&c))
+        })
+        .collect()
+}
+
+fn assert_batch_identical(cfg: &ExperimentConfig, runs: usize, what: &str) {
+    let baseline = sequential_baseline(cfg, runs);
+    for threads in [1usize, 2, 3, 8] {
+        let batch = run_many_on(cfg, runs, threads);
+        assert_eq!(batch.len(), runs, "{what}: wrong replica count");
+        for (i, m) in batch.iter().enumerate() {
+            assert_eq!(
+                json(m),
+                baseline[i],
+                "{what}: replica {i} diverged at {threads} threads"
+            );
+        }
+    }
+    // The auto-threaded entry point too.
+    for (i, m) in run_many(cfg, runs).iter().enumerate() {
+        assert_eq!(json(m), baseline[i], "{what}: run_many replica {i}");
+    }
+}
+
+#[test]
+fn batches_match_sequential_loops_across_transports() {
+    for (t, name) in [
+        (TransportKind::Jtp, "jtp"),
+        (TransportKind::Tcp, "tcp"),
+        (TransportKind::Atp, "atp"),
+    ] {
+        let cfg = ExperimentConfig::linear(4)
+            .transport(t)
+            .duration_s(250.0)
+            .seed(400)
+            .bulk_flow(25, 2.0, 0.0);
+        assert_batch_identical(&cfg, 5, name);
+    }
+}
+
+#[test]
+fn batches_match_sequential_loops_with_dynamics() {
+    let sc = Scenario::new(
+        "batch-dynamics",
+        TopologyKind::Grid {
+            cols: 3,
+            rows: 3,
+            spacing_m: 80.0,
+        },
+    )
+    .duration_s(300.0)
+    .seed(77)
+    .traffic(TrafficPattern::CrossTraffic {
+        a: NodeId(0),
+        b: NodeId(8),
+        packets: 20,
+        start_s: 5.0,
+    })
+    .dynamics(DynamicsSpec::NodeChurn {
+        node: NodeId(4),
+        fail_at_s: 40.0,
+        recover_at_s: 90.0,
+    });
+    assert_batch_identical(&sc.build(TransportKind::Jtp), 4, "grid churn batch");
+}

@@ -1,0 +1,234 @@
+//! Behavioural tests of the scenario engine: node churn, partitions and
+//! link flapping must perturb the run the way the physical story says —
+//! and the transports must recover whenever recovery is possible.
+
+use jtp_netsim::scenario::{DynamicsSpec, Scenario, TrafficPattern};
+use jtp_netsim::{
+    run_experiment, DynamicsAction, DynamicsEvent, ExperimentConfig, TopologyKind, TransportKind,
+};
+use jtp_sim::NodeId;
+
+/// A mid-chain relay crashes while a bulk transfer crosses it and heals
+/// later: the transfer must still complete (source retransmissions bridge
+/// the outage), and the crash must visibly cost something.
+#[test]
+fn relay_churn_heals_and_transfer_completes() {
+    let sc = Scenario::new(
+        "test-relay-churn",
+        TopologyKind::Linear {
+            n: 5,
+            spacing_m: 55.0,
+        },
+    )
+    .duration_s(2500.0)
+    .seed(11)
+    .traffic(TrafficPattern::Bulk {
+        src: NodeId(0),
+        dst: NodeId(4),
+        packets: 80,
+        start_s: 5.0,
+        loss_tolerance: 0.0,
+    })
+    .dynamics(DynamicsSpec::NodeChurn {
+        node: NodeId(2),
+        fail_at_s: 40.0,
+        recover_at_s: 200.0,
+    });
+    let m = run_experiment(&sc.build(TransportKind::Jtp));
+    assert!(m.flows[0].completed, "churn must not wedge the flow: {m:?}");
+    assert_eq!(m.flows[0].delivered_packets, 80);
+    assert!(
+        m.churn_drops + m.no_route_drops + m.arq_drops > 0,
+        "a 160 s relay outage under load must cost packets somewhere"
+    );
+}
+
+/// A chain severed by a *permanent* relay crash: nothing can be delivered
+/// after the routes converge, the run terminates cleanly, and the drops
+/// are attributed (no-route once views refresh).
+#[test]
+fn permanent_relay_crash_starves_the_flow() {
+    let cfg = ExperimentConfig::linear(4)
+        .transport(TransportKind::Jtp)
+        .duration_s(600.0)
+        .seed(12)
+        .bulk_flow(60, 30.0, 0.0)
+        .dynamic(DynamicsEvent::at_s(
+            5.0,
+            DynamicsAction::NodeDown(NodeId(1)),
+        ));
+    let m = run_experiment(&cfg);
+    assert_eq!(m.delivered_packets, 0, "no path may survive the cut");
+    assert!(!m.flows[0].completed);
+    assert!(m.no_route_drops > 0, "converged views must report no-route");
+}
+
+/// A crashed *source* cannot send, and its receiver's feedback has no
+/// route back; delivery resumes only after recovery.
+#[test]
+fn crashed_source_drops_then_recovers() {
+    let cfg = ExperimentConfig::linear(3)
+        .transport(TransportKind::Jtp)
+        .duration_s(2000.0)
+        .seed(13)
+        .bulk_flow(40, 5.0, 0.0)
+        .dynamic(DynamicsEvent::at_s(
+            20.0,
+            DynamicsAction::NodeDown(NodeId(0)),
+        ))
+        .dynamic(DynamicsEvent::at_s(
+            300.0,
+            DynamicsAction::NodeUp(NodeId(0)),
+        ));
+    let m = run_experiment(&cfg);
+    assert!(
+        m.no_route_drops > 0,
+        "feedback toward the dead source must be unroutable: {m:?}"
+    );
+    assert!(
+        m.flows[0].completed,
+        "the transfer must finish after the source heals: {:?}",
+        m.flows[0]
+    );
+}
+
+/// A partition blacks out the only cut edge of a chain for a window; the
+/// transfer stalls, then completes after the heal. The same partition
+/// made permanent starves the flow.
+#[test]
+fn partition_window_stalls_then_heals() {
+    let group: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let healed = Scenario::new(
+        "test-partition-heal",
+        TopologyKind::Linear {
+            n: 6,
+            spacing_m: 55.0,
+        },
+    )
+    .duration_s(2500.0)
+    .seed(14)
+    .traffic(TrafficPattern::Bulk {
+        src: NodeId(0),
+        dst: NodeId(5),
+        packets: 70,
+        start_s: 5.0,
+        loss_tolerance: 0.0,
+    })
+    .dynamics(DynamicsSpec::Partition {
+        group: group.clone(),
+        start_s: 30.0,
+        end_s: 250.0,
+    });
+    let m = run_experiment(&healed.build(TransportKind::Jtp));
+    assert!(m.flows[0].completed, "heal must unblock: {:?}", m.flows[0]);
+
+    let permanent = ExperimentConfig::linear(6)
+        .transport(TransportKind::Jtp)
+        .duration_s(600.0)
+        .seed(14)
+        .bulk_flow(70, 5.0, 0.0)
+        .dynamic(DynamicsEvent::at_s(
+            30.0,
+            DynamicsAction::PartitionStart(group),
+        ));
+    let m2 = run_experiment(&permanent);
+    assert!(!m2.flows[0].completed, "permanent cut must starve");
+    assert!(m2.delivered_packets < 70);
+    assert!(m2.no_route_drops > 0);
+}
+
+/// Link flapping on the only path: the transfer completes across flaps
+/// and the blackout windows measurably force recovery work relative to
+/// the same run without flapping.
+#[test]
+fn link_flapping_forces_recovery_work() {
+    let base = Scenario::new(
+        "test-flap",
+        TopologyKind::Linear {
+            n: 4,
+            spacing_m: 55.0,
+        },
+    )
+    .duration_s(3000.0)
+    .seed(15)
+    .traffic(TrafficPattern::Bulk {
+        src: NodeId(0),
+        dst: NodeId(3),
+        packets: 100,
+        start_s: 5.0,
+        loss_tolerance: 0.0,
+    });
+    let flapping = base.clone().dynamics(DynamicsSpec::LinkFlap {
+        a: NodeId(1),
+        b: NodeId(2),
+        first_down_s: 20.0,
+        down_s: 15.0,
+        period_s: 60.0,
+        cycles: 6,
+    });
+    let calm = run_experiment(&base.build(TransportKind::Jtp));
+    let flapped = run_experiment(&flapping.build(TransportKind::Jtp));
+    assert!(flapped.flows[0].completed, "{:?}", flapped.flows[0]);
+    let calm_work = calm.source_retransmissions + calm.local_recoveries + calm.arq_drops;
+    let flap_work = flapped.source_retransmissions + flapped.local_recoveries + flapped.arq_drops;
+    assert!(
+        flap_work > calm_work,
+        "flapping must force extra recovery (calm {calm_work}, flapped {flap_work})"
+    );
+}
+
+/// Every catalog scenario must actually run and deliver traffic under
+/// JTP — the invariant backing the golden digests (which would happily
+/// pin an all-zero run).
+#[test]
+fn catalog_scenarios_all_deliver_under_jtp() {
+    for sc in Scenario::catalog() {
+        let m = run_experiment(&sc.build(TransportKind::Jtp));
+        assert!(
+            m.delivered_packets > 0,
+            "catalog scenario {} delivered nothing",
+            sc.name
+        );
+        assert!(
+            m.delivery_ratio() > 0.5,
+            "catalog scenario {} delivered under half its offered load: {:.3}",
+            sc.name,
+            m.delivery_ratio()
+        );
+    }
+}
+
+/// TCP and ATP survive a healed mid-chain churn too (the dynamics layer
+/// is transport-agnostic).
+#[test]
+fn baseline_transports_survive_healed_churn() {
+    for (t, name) in [(TransportKind::Tcp, "tcp"), (TransportKind::Atp, "atp")] {
+        let sc = Scenario::new(
+            "test-baseline-churn",
+            TopologyKind::Linear {
+                n: 4,
+                spacing_m: 55.0,
+            },
+        )
+        .duration_s(3000.0)
+        .seed(16)
+        .traffic(TrafficPattern::Bulk {
+            src: NodeId(0),
+            dst: NodeId(3),
+            packets: 40,
+            start_s: 5.0,
+            loss_tolerance: 0.0,
+        })
+        .dynamics(DynamicsSpec::NodeChurn {
+            node: NodeId(1),
+            fail_at_s: 30.0,
+            recover_at_s: 120.0,
+        });
+        let m = run_experiment(&sc.build(t));
+        assert!(
+            m.flows[0].delivered_packets >= 35,
+            "{name} starved across churn: {:?}",
+            m.flows[0]
+        );
+    }
+}

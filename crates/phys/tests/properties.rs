@@ -1,0 +1,126 @@
+//! Property-based tests of the physical-layer stochastic models.
+//!
+//! * the Gilbert-Elliott process — constructed with the same
+//!   `(seed, link_id)` substream derivation the simulator's flat channel
+//!   table uses — must converge to its stationary distribution: the
+//!   empirical bad-state fraction approaches `bad_fraction`, and the
+//!   empirical per-attempt loss approaches the stationary mixture
+//!   `(1−f)·baseline + f·bad_loss`;
+//! * random-waypoint mobility must never leave the deployment field, for
+//!   any speed, field size, start point or seed.
+
+use jtp_phys::gilbert::{GilbertConfig, GilbertElliott};
+use jtp_phys::{Field, MobilityModel, Point, RandomWaypoint};
+use jtp_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Long-run empirical loss of the lazily-advanced process matches the
+    /// stationary mixture of the two states.
+    #[test]
+    fn gilbert_elliott_loss_converges_to_stationary_mixture(
+        seed in any::<u64>(),
+        f in 0.05f64..0.35,
+        mean_bad_s in 1.0f64..5.0,
+        baseline in 0.01f64..0.2,
+    ) {
+        let cfg = GilbertConfig {
+            bad_fraction: f,
+            mean_bad_duration: SimDuration::from_secs_f64(mean_bad_s),
+            ..GilbertConfig::paper_default()
+        };
+        let bad_loss = (baseline * cfg.bad_loss_multiplier)
+            .max(cfg.bad_loss_floor)
+            .min(1.0);
+        let expected = (1.0 - f) * baseline + f * bad_loss;
+        // Average over several links (the flat table's substream layout:
+        // link_id = lo·n + hi) to tighten the estimate; 30k s per link,
+        // sampled at 0.5 s, is ≳ 2000 bad dwells in the worst case.
+        let n = 12u64;
+        let (mut loss_sum, mut samples) = (0.0, 0u64);
+        for (lo, hi) in [(0u64, 1u64), (2, 5), (3, 11), (7, 8)] {
+            let mut ge = GilbertElliott::new(cfg, seed, lo * n + hi);
+            let mut t = 0.0;
+            while t < 30_000.0 {
+                loss_sum += ge.loss_prob(SimTime::from_secs_f64(t), baseline);
+                samples += 1;
+                t += 0.5;
+            }
+        }
+        let empirical = loss_sum / samples as f64;
+        // The dominant error is the bad-fraction estimate; scale the
+        // tolerance by the bad/good loss gap it multiplies.
+        let tol = 0.03 * (bad_loss - baseline) + 0.01;
+        prop_assert!(
+            (empirical - expected).abs() < tol,
+            "empirical loss {empirical:.4} vs stationary {expected:.4} (tol {tol:.4}, f={f:.3})"
+        );
+    }
+
+    /// Empirical bad-state dwell fraction converges to `bad_fraction`.
+    #[test]
+    fn gilbert_elliott_bad_fraction_converges(
+        seed in any::<u64>(),
+        f in 0.05f64..0.35,
+    ) {
+        let cfg = GilbertConfig {
+            bad_fraction: f,
+            ..GilbertConfig::paper_default()
+        };
+        let mut bad = 0u64;
+        let mut total = 0u64;
+        for link in 0..6u64 {
+            let mut ge = GilbertElliott::new(cfg, seed, link);
+            let mut t = 0.0;
+            while t < 30_000.0 {
+                if ge.loss_prob(SimTime::from_secs_f64(t), 0.0) > 0.0 {
+                    bad += 1;
+                }
+                total += 1;
+                t += 0.5;
+            }
+        }
+        let empirical = bad as f64 / total as f64;
+        prop_assert!(
+            (empirical - f).abs() < 0.035,
+            "bad fraction {empirical:.4}, expected {f:.4}"
+        );
+    }
+
+    /// Random-waypoint positions stay inside the field forever, for any
+    /// parameterisation (start points outside are clamped on entry).
+    #[test]
+    fn random_waypoint_never_escapes_the_field(
+        seed in any::<u64>(),
+        node in 0u64..64,
+        speed in 0.1f64..5.0,
+        width in 30.0f64..400.0,
+        height in 30.0f64..400.0,
+        sx in -50.0f64..450.0,
+        sy in -50.0f64..450.0,
+        mean_leg in 5.0f64..120.0,
+        mean_pause in 0.5f64..150.0,
+    ) {
+        let field = Field::new(width, height);
+        let mut m = RandomWaypoint::new(
+            field,
+            Point::new(sx, sy),
+            speed,
+            mean_leg,
+            mean_pause,
+            seed,
+            node,
+        );
+        let mut t = 0.0;
+        while t < 2_000.0 {
+            let p = m.position_at(SimTime::from_secs_f64(t));
+            prop_assert!(
+                field.contains(p),
+                "escaped {field:?} at t={t}: {p:?} (speed {speed}, leg {mean_leg})"
+            );
+            t += 3.7;
+        }
+    }
+}

@@ -30,5 +30,5 @@
 pub mod graph;
 pub mod linkstate;
 
-pub use graph::Adjacency;
+pub use graph::{Adjacency, UNREACHABLE};
 pub use linkstate::{LinkState, RoutingStats};

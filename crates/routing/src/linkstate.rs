@@ -1,6 +1,7 @@
 //! Per-node topology views and next-hop selection.
 //!
-//! Performance notes (mobility ticks used to dominate mobile runs):
+//! Performance notes (mobility ticks used to dominate mobile runs; the
+//! per-packet `next_hop` scan was the hottest remaining forwarding cost):
 //!
 //! * all views refreshing to the same ground truth **share** one
 //!   `Arc`-owned snapshot and one all-pairs distance table instead of
@@ -11,19 +12,32 @@
 //!   edges (an added edge `{u,v}` is a shortcut for source `s` iff
 //!   `|d(s,u) − d(s,v)| ≥ 2`; a removed edge can only hurt `s` iff it was
 //!   tight, `|d(s,u) − d(s,v)| = 1`). Unaffected rows are reused as-is,
-//!   which keeps results bit-identical to a full recompute.
+//!   which keeps results bit-identical to a full recompute;
+//! * each snapshot also carries a flat **next-hop table** (row-major
+//!   `src × dst`, encoded as `neighbour id + 1`, 0 = no route), built once
+//!   per topology change right after the incremental distance update and
+//!   shared across views through the same `Arc`. [`LinkState::next_hop`]
+//!   is therefore a single array load on an immutable `&self` — the
+//!   per-packet neighbour scan is gone, and its tie-break (minimise
+//!   `(distance, id)`) is baked into the table so routes are unchanged.
 
 use crate::graph::{Adjacency, UNREACHABLE};
 use jtp_sim::{NodeId, SimDuration, SimTime};
+use std::cell::Cell;
 use std::sync::Arc;
 
 type DistTable = Arc<Vec<Vec<u16>>>;
+/// Flat row-major `src × dst` next-hop table: `0` = no route, else
+/// `neighbour id + 1`.
+type HopTable = Arc<Vec<u32>>;
 
-/// One node's snapshot of the topology, plus its shortest-path distances.
+/// One node's snapshot of the topology, plus its shortest-path distances
+/// and the pre-resolved next-hop table derived from them.
 #[derive(Clone, Debug)]
 struct View {
     adj: Arc<Adjacency>,
     dist: DistTable,
+    hops: HopTable,
     refreshed_at: SimTime,
 }
 
@@ -41,11 +55,47 @@ pub struct RoutingStats {
     pub bfs_run: u64,
 }
 
-/// The current ground truth and its distances, shared by fresh views.
+/// The current ground truth, its distances and its next-hop table, shared
+/// by fresh views.
 #[derive(Clone, Debug)]
 struct TruthCache {
     adj: Arc<Adjacency>,
     dist: DistTable,
+    hops: HopTable,
+}
+
+/// Build the flat next-hop table for one topology snapshot: entry
+/// `[src·n + dst]` holds the neighbour of `src` minimising
+/// `(distance-to-dst, id)` encoded as `id + 1`, or 0 when no neighbour
+/// reaches `dst`. Neighbour lists are sorted ascending, so keeping the
+/// first strict minimum reproduces the historical `(d, v)` lexicographic
+/// tie-break exactly.
+fn build_hop_table(adj: &Adjacency, dist: &[Vec<u16>]) -> Vec<u32> {
+    let n = adj.len();
+    let mut hops = vec![0u32; n * n];
+    for src in 0..n {
+        let row = &mut hops[src * n..(src + 1) * n];
+        for &v in adj.neighbors(NodeId(src as u32)) {
+            let via = &dist[v.index()];
+            for (dst, slot) in row.iter_mut().enumerate() {
+                if dst == src {
+                    continue;
+                }
+                let d = via[dst];
+                if d == UNREACHABLE {
+                    continue;
+                }
+                let better = match *slot {
+                    0 => true,
+                    cur => d < dist[(cur - 1) as usize][dst],
+                };
+                if better {
+                    *slot = v.0 + 1;
+                }
+            }
+        }
+    }
+    hops
 }
 
 /// Link-state routing: one possibly stale snapshot (`View`) per node, refreshed
@@ -55,6 +105,9 @@ pub struct LinkState {
     views: Vec<View>,
     refresh_interval: SimDuration,
     stats: RoutingStats,
+    /// `no_route` lives in a `Cell` so the hot `&self` [`LinkState::next_hop`]
+    /// can count misses without requiring `&mut self`.
+    no_route: Cell<u64>,
     cache: TruthCache,
 }
 
@@ -65,10 +118,12 @@ impl LinkState {
         let n = initial.len();
         let adj = Arc::new(initial.clone());
         let dist: DistTable = Arc::new(initial.all_pairs_distances());
+        let hops: HopTable = Arc::new(build_hop_table(&adj, &dist));
         let views = (0..n)
             .map(|_| View {
                 adj: Arc::clone(&adj),
                 dist: Arc::clone(&dist),
+                hops: Arc::clone(&hops),
                 refreshed_at: SimTime::ZERO,
             })
             .collect();
@@ -76,7 +131,8 @@ impl LinkState {
             views,
             refresh_interval,
             stats: RoutingStats::default(),
-            cache: TruthCache { adj, dist },
+            no_route: Cell::new(0),
+            cache: TruthCache { adj, dist, hops },
         }
     }
 
@@ -126,9 +182,15 @@ impl LinkState {
                 rows.push(row.clone());
             }
         }
+        let dist = Arc::new(rows);
+        // The hop table is derived state: rebuilding it here — once per
+        // actual topology change, right after the incremental distance
+        // update — is what lets `next_hop` stay a pure array load.
+        let hops = Arc::new(build_hop_table(ground_truth, &dist));
         self.cache = TruthCache {
             adj: Arc::new(ground_truth.clone()),
-            dist: Arc::new(rows),
+            dist,
+            hops,
         };
     }
 
@@ -150,6 +212,7 @@ impl LinkState {
             if *view.adj != *ground_truth {
                 view.adj = Arc::clone(&self.cache.adj);
                 view.dist = Arc::clone(&self.cache.dist);
+                view.hops = Arc::clone(&self.cache.hops);
                 self.stats.refreshes += 1;
             }
             // Due views — updated or already accurate — restart the
@@ -165,31 +228,45 @@ impl LinkState {
         let view = &mut self.views[node.index()];
         view.adj = Arc::clone(&self.cache.adj);
         view.dist = Arc::clone(&self.cache.dist);
+        view.hops = Arc::clone(&self.cache.hops);
         view.refreshed_at = now;
         self.stats.refreshes += 1;
     }
 
+    /// Force **every** view up to date immediately — the model for a
+    /// flooded topology-change advertisement (node failure/recovery, link
+    /// blackout). Views that already match the truth only restart their
+    /// staleness clock.
+    pub fn force_refresh_all(&mut self, now: SimTime, ground_truth: &Adjacency) {
+        self.ensure_cache(ground_truth);
+        for view in &mut self.views {
+            if *view.adj != *ground_truth {
+                view.adj = Arc::clone(&self.cache.adj);
+                view.dist = Arc::clone(&self.cache.dist);
+                view.hops = Arc::clone(&self.cache.hops);
+                self.stats.refreshes += 1;
+            }
+            view.refreshed_at = now;
+        }
+    }
+
     /// Next hop from `from` toward `dst` according to **`from`'s own
     /// view**: the neighbour minimising `(distance-to-dst, id)`.
-    pub fn next_hop(&mut self, from: NodeId, dst: NodeId) -> Option<NodeId> {
+    ///
+    /// A single load from the view's pre-resolved hop table (see the
+    /// module docs); `&self` so forwarding never needs a mutable borrow
+    /// of the routing state.
+    pub fn next_hop(&self, from: NodeId, dst: NodeId) -> Option<NodeId> {
         if from == dst {
             return None;
         }
-        let view = &self.views[from.index()];
-        let mut best: Option<(u16, NodeId)> = None;
-        for &v in view.adj.neighbors(from) {
-            let d = view.dist[v.index()][dst.index()];
-            if d == UNREACHABLE {
-                continue;
-            }
-            if best.is_none_or(|(bd, bid)| (d, v) < (bd, bid)) {
-                best = Some((d, v));
-            }
+        let n = self.views.len();
+        let enc = self.views[from.index()].hops[from.index() * n + dst.index()];
+        if enc == 0 {
+            self.no_route.set(self.no_route.get() + 1);
+            return None;
         }
-        if best.is_none() {
-            self.stats.no_route += 1;
-        }
-        best.map(|(_, v)| v)
+        Some(NodeId(enc - 1))
     }
 
     /// Remaining hop count from `from` to `dst` in `from`'s view (the
@@ -205,7 +282,7 @@ impl LinkState {
     /// Walk the per-hop next-hop decisions from `src` to `dst`; returns
     /// the node sequence, or None if the walk fails or loops (possible
     /// with inconsistent views).
-    pub fn trace_path(&mut self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    pub fn trace_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
         let mut path = vec![src];
         let mut cur = src;
         let limit = self.len() * 2;
@@ -221,7 +298,10 @@ impl LinkState {
 
     /// Diagnostics.
     pub fn stats(&self) -> RoutingStats {
-        self.stats
+        RoutingStats {
+            no_route: self.no_route.get(),
+            ..self.stats
+        }
     }
 }
 
@@ -235,7 +315,7 @@ mod tests {
 
     #[test]
     fn chain_routing() {
-        let mut r = ls(5);
+        let r = ls(5);
         assert_eq!(r.next_hop(NodeId(0), NodeId(4)), Some(NodeId(1)));
         assert_eq!(r.next_hop(NodeId(3), NodeId(4)), Some(NodeId(4)));
         assert_eq!(r.next_hop(NodeId(4), NodeId(0)), Some(NodeId(3)));
@@ -250,7 +330,7 @@ mod tests {
         for (u, v) in [(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (1, 4)] {
             a.set_edge(NodeId(u), NodeId(v), true);
         }
-        let mut r = LinkState::new(&a, SimDuration::from_secs(5));
+        let r = LinkState::new(&a, SimDuration::from_secs(5));
         let fwd = r.trace_path(NodeId(0), NodeId(5)).unwrap();
         let mut rev = r.trace_path(NodeId(5), NodeId(0)).unwrap();
         rev.reverse();
@@ -287,7 +367,7 @@ mod tests {
 
     #[test]
     fn next_hop_to_self_is_none() {
-        let mut r = ls(3);
+        let r = ls(3);
         assert_eq!(r.next_hop(NodeId(1), NodeId(1)), None);
     }
 
@@ -296,7 +376,7 @@ mod tests {
         let mut truth = Adjacency::new(4);
         truth.set_edge(NodeId(0), NodeId(1), true);
         truth.set_edge(NodeId(2), NodeId(3), true);
-        let mut r = LinkState::new(&truth, SimDuration::from_secs(5));
+        let r = LinkState::new(&truth, SimDuration::from_secs(5));
         assert!(r.trace_path(NodeId(0), NodeId(3)).is_none());
     }
 
@@ -360,6 +440,111 @@ mod tests {
         for w in r.views.windows(2) {
             assert!(Arc::ptr_eq(&w[0].dist, &w[1].dist), "views must share");
             assert!(Arc::ptr_eq(&w[0].adj, &w[1].adj));
+            assert!(Arc::ptr_eq(&w[0].hops, &w[1].hops), "hop table shared");
         }
+    }
+
+    /// The cached hop table must agree with the historical neighbour scan
+    /// (minimise `(distance, id)`) for every pair, through a sequence of
+    /// incremental topology edits.
+    #[test]
+    fn hop_table_matches_neighbour_scan() {
+        let n = 9;
+        let mut truth = Adjacency::linear(n);
+        let mut r = LinkState::new(&truth, SimDuration::from_secs(1));
+        let edits: Vec<(u32, u32, bool)> = vec![
+            (0, 4, true),
+            (2, 3, false),
+            (1, 7, true),
+            (0, 4, false),
+            (5, 8, true),
+            (4, 5, false),
+        ];
+        let mut step = 0;
+        loop {
+            let dist = truth.all_pairs_distances();
+            for s in 0..n as u32 {
+                for d in 0..n as u32 {
+                    let mut best: Option<(u16, NodeId)> = None;
+                    if s != d {
+                        for &v in truth.neighbors(NodeId(s)) {
+                            let dv = dist[v.index()][d as usize];
+                            if dv == UNREACHABLE {
+                                continue;
+                            }
+                            if best.is_none_or(|(bd, bid)| (dv, v) < (bd, bid)) {
+                                best = Some((dv, v));
+                            }
+                        }
+                    }
+                    assert_eq!(
+                        r.next_hop(NodeId(s), NodeId(d)),
+                        best.map(|(_, v)| v),
+                        "cache disagrees with scan for {s}->{d} at step {step}"
+                    );
+                }
+            }
+            let Some(&(u, v, present)) = edits.get(step) else {
+                break;
+            };
+            truth.set_edge(NodeId(u), NodeId(v), present);
+            step += 1;
+            r.refresh_due_views(SimTime::from_secs_f64(2.0 * step as f64), &truth);
+        }
+    }
+
+    /// Node churn: failing a cut node severs routes; healing it restores
+    /// all-pairs reachability (and identical next hops) after the flooded
+    /// refresh.
+    #[test]
+    fn churn_fail_then_heal_restores_all_pairs_reachability() {
+        let n = 7;
+        let healthy = Adjacency::linear(n);
+        let mut r = LinkState::new(&healthy, SimDuration::from_secs(5));
+        let before: Vec<Option<NodeId>> = (0..n as u32)
+            .flat_map(|s| (0..n as u32).map(move |d| (s, d)))
+            .map(|(s, d)| r.next_hop(NodeId(s), NodeId(d)))
+            .collect();
+
+        // Node 3 fails: all its edges vanish from the advertised truth.
+        let mut failed = healthy.clone();
+        failed.set_edge(NodeId(2), NodeId(3), false);
+        failed.set_edge(NodeId(3), NodeId(4), false);
+        r.force_refresh_all(SimTime::from_secs_f64(10.0), &failed);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(6)), None, "cut must sever");
+        assert_eq!(r.remaining_hops(NodeId(0), NodeId(6)), None);
+        assert!(r.stats().no_route > 0);
+
+        // Node 3 recovers: the healed truth is re-flooded.
+        r.force_refresh_all(SimTime::from_secs_f64(20.0), &healthy);
+        let after: Vec<Option<NodeId>> = (0..n as u32)
+            .flat_map(|s| (0..n as u32).map(move |d| (s, d)))
+            .map(|(s, d)| r.next_hop(NodeId(s), NodeId(d)))
+            .collect();
+        assert_eq!(before, after, "healing must restore identical routes");
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                if s != d {
+                    assert!(
+                        r.trace_path(NodeId(s), NodeId(d)).is_some(),
+                        "{s}->{d} unreachable after heal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn force_refresh_all_updates_every_view_at_once() {
+        let mut r = ls(4);
+        let mut truth = Adjacency::linear(4);
+        truth.set_edge(NodeId(1), NodeId(2), false);
+        // Well inside the refresh interval: a flooded advertisement must
+        // still reach every view immediately.
+        r.force_refresh_all(SimTime::from_secs_f64(0.5), &truth);
+        for s in [0u32, 1] {
+            assert_eq!(r.next_hop(NodeId(s), NodeId(3)), None, "view {s} stale");
+        }
+        assert_eq!(r.stats().refreshes, 4);
     }
 }

@@ -36,7 +36,7 @@ proptest! {
         extra in 0usize..10,
     ) {
         let adj = random_connected(n, seed, extra);
-        let mut ls = LinkState::new(&adj, SimDuration::from_secs(5));
+        let ls = LinkState::new(&adj, SimDuration::from_secs(5));
         let dist = adj.all_pairs_distances();
         for s in 0..n as u32 {
             for d in 0..n as u32 {
@@ -73,7 +73,7 @@ proptest! {
         extra in 0usize..8,
     ) {
         let adj = random_connected(n, seed, extra);
-        let mut ls = LinkState::new(&adj, SimDuration::from_secs(5));
+        let ls = LinkState::new(&adj, SimDuration::from_secs(5));
         for s in 0..n as u32 {
             for d in (s + 1)..n as u32 {
                 let fwd = ls.trace_path(NodeId(s), NodeId(d)).unwrap();
@@ -87,7 +87,7 @@ proptest! {
     #[test]
     fn chain_routes_are_exactly_symmetric(n in 2usize..20) {
         let adj = Adjacency::linear(n);
-        let mut ls = LinkState::new(&adj, SimDuration::from_secs(5));
+        let ls = LinkState::new(&adj, SimDuration::from_secs(5));
         for s in 0..n as u32 {
             for d in (s + 1)..n as u32 {
                 let fwd = ls.trace_path(NodeId(s), NodeId(d)).unwrap();
@@ -106,7 +106,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let adj = random_connected(n, seed, 4);
-        let mut ls = LinkState::new(&adj, SimDuration::from_secs(5));
+        let ls = LinkState::new(&adj, SimDuration::from_secs(5));
         let dst = NodeId(n as u32 - 1);
         let path = ls.trace_path(NodeId(0), dst).unwrap();
         for (i, node) in path.iter().enumerate() {
