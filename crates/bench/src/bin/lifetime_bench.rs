@@ -1,0 +1,202 @@
+//! Network-lifetime comparison: which transport keeps a battery-powered
+//! network alive — and delivering — longest?
+//!
+//! Runs the lifetime catalog scenarios (finite batteries, long-lived
+//! workloads) under JTP / JNC / ATP / TCP and reports time-to-first-death,
+//! time-to-partition, the alive-node curve at quarter points of the run,
+//! packets delivered before the lights went out and energy-per-bit — the
+//! paper's §6.1 energy story closed into an actual lifetime answer.
+//!
+//! Run: `cargo run --release -p jtp-bench --bin lifetime_bench --
+//! --quick --json BENCH_lifetime.json`
+//!
+//! When the `--json` target already exists and holds a JSON object (e.g.
+//! `BENCH_engine.json`), the report is **merged** into it under a
+//! `"lifetime"` key instead of clobbering the file.
+
+use jtp_bench::Args;
+use jtp_netsim::{run_many, Scenario, TransportKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    scenario: String,
+    transport: String,
+    seeds: usize,
+    /// Mean time of the first battery death (s); the run horizon when no
+    /// node died.
+    first_death_s_mean: f64,
+    /// Fraction of runs in which the survivors were partitioned.
+    partitioned_frac: f64,
+    /// Mean alive-node counts at 25/50/75/100 % of the horizon.
+    alive_curve: Vec<f64>,
+    /// Mean packets delivered before the network died (or the run ended).
+    delivered_mean: f64,
+    /// Mean battery deaths per run.
+    deaths_mean: f64,
+    /// Mean residual energy left per node at harvest (J).
+    residual_j_mean: f64,
+    energy_per_bit_uj_mean: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    quick: bool,
+    cells: Vec<Cell>,
+}
+
+/// Merge `{"lifetime": report}` into an existing JSON object file, or
+/// write a fresh `{"lifetime": ...}` object. Purely textual (the compat
+/// stand-ins have no JSON parser): the existing content is preserved
+/// verbatim and a previous `"lifetime"` section — which this tool always
+/// writes as the trailing key — is replaced. Targets that would lose
+/// data under that assumption (non-objects, or a top-level key after
+/// `"lifetime"`) are refused instead of silently corrupted.
+fn write_merged(path: &std::path::Path, report: &Report) {
+    let body = serde_json::to_string_pretty(report).expect("serialisable report");
+    let merged = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            assert!(
+                trimmed.starts_with('{') && trimmed.ends_with('}'),
+                "{path:?} is not a JSON object; refusing to merge a lifetime section into it"
+            );
+            let head = match trimmed.rfind("\n  \"lifetime\":") {
+                Some(pos) => {
+                    // Everything from the key on is replaced; that tail
+                    // must contain no *other* top-level (2-space-indented)
+                    // key, or the merge would silently drop it.
+                    let tail = &trimmed[pos + 1..];
+                    assert!(
+                        !tail["  \"lifetime\":".len()..].contains("\n  \""),
+                        "{path:?} has a top-level key after \"lifetime\"; refusing to merge"
+                    );
+                    trimmed[..pos].trim_end().trim_end_matches(',')
+                }
+                None => trimmed[..trimmed.len() - 1]
+                    .trim_end()
+                    .trim_end_matches(','),
+            };
+            // No comma after a bare `{` (previously-empty object).
+            let sep = if head.trim_end().ends_with('{') {
+                ""
+            } else {
+                ","
+            };
+            format!(
+                "{head}{sep}\n  \"lifetime\": {}\n}}",
+                body.replace('\n', "\n  ")
+            )
+        }
+        Err(_) => format!("{{\n  \"lifetime\": {}\n}}", body.replace('\n', "\n  ")),
+    };
+    std::fs::write(path, merged).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+    println!("\n[lifetime section written to {path:?}]");
+}
+
+fn main() {
+    let args = Args::parse();
+    let seeds = args.pick(6, 2);
+    let transports = [
+        (TransportKind::Jtp, "JTP"),
+        (TransportKind::Jnc, "JNC"),
+        (TransportKind::Atp, "ATP"),
+        (TransportKind::Tcp, "TCP"),
+    ];
+    let scenarios: Vec<Scenario> = Scenario::catalog()
+        .into_iter()
+        .filter(|s| s.battery.is_some())
+        .collect();
+    assert!(
+        !scenarios.is_empty(),
+        "the catalog lost its lifetime (battery) entries"
+    );
+    let mut cells = Vec::new();
+    let mut rows = Vec::new();
+    for sc in &scenarios {
+        let horizon = sc.duration_s;
+        let n_nodes = sc.topology.node_count() as f64;
+        for (t, tname) in transports {
+            let cfg = sc.build(t);
+            let ms = run_many(&cfg, seeds);
+            let k = ms.len() as f64;
+            let first_death = ms
+                .iter()
+                .map(|m| m.first_death_s.unwrap_or(horizon))
+                .sum::<f64>()
+                / k;
+            let partitioned =
+                ms.iter().filter(|m| m.first_partition_s.is_some()).count() as f64 / k;
+            let alive_curve: Vec<f64> = [0.25, 0.5, 0.75, 1.0]
+                .iter()
+                .map(|q| {
+                    ms.iter()
+                        .map(|m| m.alive_at_s(q * horizon) as f64)
+                        .sum::<f64>()
+                        / k
+                })
+                .collect();
+            let delivered = ms.iter().map(|m| m.delivered_packets as f64).sum::<f64>() / k;
+            let deaths = ms.iter().map(|m| m.battery_deaths as f64).sum::<f64>() / k;
+            let residual = ms
+                .iter()
+                .map(|m| m.mean_residual_j().unwrap_or(0.0))
+                .sum::<f64>()
+                / k;
+            let epb = {
+                let finite: Vec<f64> = ms
+                    .iter()
+                    .map(|m| m.energy_per_bit_uj())
+                    .filter(|v| v.is_finite())
+                    .collect();
+                jtp_bench::mean(&finite)
+            };
+            rows.push(vec![
+                sc.name.clone(),
+                tname.into(),
+                format!("{first_death:.1}"),
+                format!("{partitioned:.2}"),
+                format!(
+                    "{:.1}/{:.1}/{:.1}/{:.1}",
+                    alive_curve[0], alive_curve[1], alive_curve[2], alive_curve[3]
+                ),
+                format!("{:.1}%", alive_curve[3] / n_nodes * 100.0),
+                format!("{delivered:.0}"),
+                format!("{epb:.3}"),
+            ]);
+            cells.push(Cell {
+                scenario: sc.name.clone(),
+                transport: tname.into(),
+                seeds,
+                first_death_s_mean: first_death,
+                partitioned_frac: partitioned,
+                alive_curve,
+                delivered_mean: delivered,
+                deaths_mean: deaths,
+                residual_j_mean: residual,
+                energy_per_bit_uj_mean: epb,
+            });
+        }
+    }
+    jtp_bench::print_table(
+        &format!("Network lifetime ({seeds} seeds per cell)"),
+        &[
+            "scenario",
+            "transport",
+            "first death s",
+            "partitioned",
+            "alive @25/50/75/100%",
+            "survive%",
+            "delivered",
+            "µJ/bit",
+        ],
+        &rows,
+    );
+    let report = Report {
+        quick: args.quick,
+        cells,
+    };
+    if let Some(path) = &args.json {
+        write_merged(path, &report);
+    }
+}

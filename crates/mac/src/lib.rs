@@ -30,8 +30,10 @@ pub mod estimator;
 pub mod frame;
 pub mod node;
 pub mod schedule;
+pub mod sleep;
 
 pub use estimator::{AvailRateEstimator, LinkEstimator};
 pub use frame::{Frame, FrameKind};
 pub use node::{MacConfig, MacStats, NodeMac, SlotOutcome};
 pub use schedule::TdmaSchedule;
+pub use sleep::{DutyCycleConfig, SleepSchedule};

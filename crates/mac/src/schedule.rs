@@ -78,6 +78,28 @@ impl TdmaSchedule {
         self.frame_permutation(frame)[within]
     }
 
+    /// The global slot index of `node`'s owned slot within `frame_index`.
+    ///
+    /// Derives the frame's permutation locally instead of touching the
+    /// single-frame cache, so far-future probes (battery death-time
+    /// prediction walks frames well ahead of the event clock) don't
+    /// thrash the sequential `owner()` scans of the slot path.
+    pub fn owned_slot_in_frame(&self, node: NodeId, frame_index: u64) -> u64 {
+        let mut perm: Vec<NodeId> = (0..self.n_nodes).map(NodeId).collect();
+        let mut rng = SimRng::derive_indexed(self.seed, "tdma-frame", frame_index);
+        rng.shuffle(&mut perm);
+        let within = perm
+            .iter()
+            .position(|&v| v == node)
+            .expect("every node owns one slot per frame");
+        frame_index * self.n_nodes as u64 + within as u64
+    }
+
+    /// Number of nodes (slots per frame).
+    pub fn n_nodes(&self) -> u32 {
+        self.n_nodes
+    }
+
     /// The first slot strictly after time `after` owned by a node marked in
     /// `owner_set` (indexed by node id). `None` when the set is empty.
     ///
@@ -174,6 +196,18 @@ mod tests {
         let mut s = sched(1);
         for i in 0..5u64 {
             assert_eq!(s.owner(i), NodeId(0));
+        }
+    }
+
+    #[test]
+    fn owned_slot_in_frame_matches_owner_scan() {
+        let mut s = sched(6);
+        for frame in 0..30u64 {
+            for node in 0..6u32 {
+                let slot = s.owned_slot_in_frame(NodeId(node), frame);
+                assert_eq!(slot / 6, frame, "slot lies in the queried frame");
+                assert_eq!(s.owner(slot), NodeId(node));
+            }
         }
     }
 

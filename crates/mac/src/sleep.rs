@@ -1,0 +1,149 @@
+//! Duty-cycled sleep schedules over TDMA frames.
+//!
+//! JAVeLEN's TDMA already lets radios power down outside scheduled slots;
+//! a duty cycle goes further: a node *sleeps whole frames* — it still
+//! wakes for its own slot (transmission is never blocked), but during a
+//! sleep frame it does not listen, so frames addressed to it fail at the
+//! link and the sender's ARQ pays for the rendezvous miss. The trade is
+//! the classic sensor-network one: baseline listening energy against
+//! latency and per-hop attempts.
+//!
+//! The schedule is a pure function of `(node, frame_index)` — no RNG, no
+//! state — so the assembly layer can evaluate it identically on the
+//! idle-slot-skipping fast path, in bulk replays and in the naive
+//! slot-per-event engine.
+
+use jtp_sim::NodeId;
+
+/// Duty-cycle parameters: a node is awake for `awake_frames` out of every
+/// `period_frames`, with its phase staggered by node id so neighbours
+/// overlap rather than the whole network sleeping in lockstep.
+#[derive(Clone, Copy, Debug)]
+pub struct DutyCycleConfig {
+    /// Cycle length in TDMA frames.
+    pub period_frames: u64,
+    /// Awake (listening) frames per cycle, `1 ..= period_frames`.
+    pub awake_frames: u64,
+}
+
+impl DutyCycleConfig {
+    /// A 50 % duty cycle with a 4-frame period.
+    pub fn half() -> Self {
+        DutyCycleConfig {
+            period_frames: 4,
+            awake_frames: 2,
+        }
+    }
+
+    /// Sanity-check the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.period_frames == 0 {
+            return Err("duty cycle period must be at least one frame".into());
+        }
+        if self.awake_frames == 0 || self.awake_frames > self.period_frames {
+            return Err(format!(
+                "duty cycle awake frames must be in 1..={}",
+                self.period_frames
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fraction of frames spent awake.
+    pub fn awake_fraction(&self) -> f64 {
+        self.awake_frames as f64 / self.period_frames as f64
+    }
+}
+
+/// An evaluable sleep schedule (see the module docs for semantics).
+#[derive(Clone, Copy, Debug)]
+pub struct SleepSchedule {
+    cfg: DutyCycleConfig,
+}
+
+impl SleepSchedule {
+    /// Build from validated parameters.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (validate the config first).
+    pub fn new(cfg: DutyCycleConfig) -> Self {
+        cfg.validate().expect("invalid duty cycle");
+        SleepSchedule { cfg }
+    }
+
+    /// The parameters this schedule runs.
+    pub fn config(&self) -> DutyCycleConfig {
+        self.cfg
+    }
+
+    /// Is `node` awake (listening) during TDMA frame `frame`?
+    ///
+    /// Phase-staggered by node id: node `i` is awake in frames where
+    /// `(frame + i) mod period < awake_frames`.
+    pub fn awake(&self, node: NodeId, frame: u64) -> bool {
+        (frame + node.0 as u64) % self.cfg.period_frames < self.cfg.awake_frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        DutyCycleConfig::half().validate().unwrap();
+        assert!(DutyCycleConfig {
+            period_frames: 0,
+            awake_frames: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(DutyCycleConfig {
+            period_frames: 4,
+            awake_frames: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(DutyCycleConfig {
+            period_frames: 4,
+            awake_frames: 5,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn awake_fraction_matches_long_run_average() {
+        let s = SleepSchedule::new(DutyCycleConfig {
+            period_frames: 5,
+            awake_frames: 2,
+        });
+        for node in 0..4u32 {
+            let awake = (0..1000u64).filter(|&f| s.awake(NodeId(node), f)).count();
+            assert_eq!(awake, 400, "node {node}: exactly 2 of every 5 frames");
+        }
+    }
+
+    #[test]
+    fn phases_are_staggered_by_node() {
+        let s = SleepSchedule::new(DutyCycleConfig::half());
+        // With period 4 / awake 2, nodes 0 and 2 are exact complements.
+        for f in 0..40u64 {
+            assert_eq!(s.awake(NodeId(0), f), !s.awake(NodeId(2), f));
+        }
+        // And in every frame *some* node is awake.
+        for f in 0..40u64 {
+            assert!((0..4u32).any(|n| s.awake(NodeId(n), f)));
+        }
+    }
+
+    #[test]
+    fn always_awake_degenerate() {
+        let s = SleepSchedule::new(DutyCycleConfig {
+            period_frames: 1,
+            awake_frames: 1,
+        });
+        assert!((0..100u64).all(|f| s.awake(NodeId(3), f)));
+        assert_eq!(s.config().awake_fraction(), 1.0);
+    }
+}

@@ -4,9 +4,9 @@
 use jtp::JtpConfig;
 use jtp_baselines::atp::AtpConfig;
 use jtp_baselines::tcp::TcpConfig;
-use jtp_mac::MacConfig;
+use jtp_mac::{DutyCycleConfig, MacConfig};
 use jtp_phys::gilbert::GilbertConfig;
-use jtp_phys::{PathLoss, RadioEnergyModel};
+use jtp_phys::{BatteryConfig, PathLoss, RadioEnergyModel};
 use jtp_sim::{NodeId, SimDuration};
 
 /// Which transport protocol a flow (and the whole run) uses.
@@ -107,6 +107,19 @@ pub enum DynamicsAction {
     PartitionStart(Vec<NodeId>),
     /// The partition heals.
     PartitionEnd,
+    /// A correlated area failure: every node within `radius_m` of the
+    /// point `(x_m, y_m)` — at its position when the event fires, so
+    /// mobility matters — crashes at once (queues lost, links gone). The
+    /// spatially-correlated analogue of [`DynamicsAction::NodeDown`];
+    /// victims can be revived individually with `NodeUp`.
+    AreaFail {
+        /// Blast centre x (metres).
+        x_m: f64,
+        /// Blast centre y (metres).
+        y_m: f64,
+        /// Blast radius (metres).
+        radius_m: f64,
+    },
 }
 
 /// A dynamics action with its activation time.
@@ -150,6 +163,51 @@ impl MobilityConfig {
             mean_pause_s: 100.0,
             update_period: SimDuration::from_secs(1),
         }
+    }
+}
+
+/// Energy-aware routing parameters: nodes periodically advertise their
+/// residual battery fraction, quantised into a per-node forwarding weight;
+/// the link-state layer then routes on residual-energy-weighted shortest
+/// paths (max-min-lifetime style) instead of raw hop counts.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyRoutingConfig {
+    /// How often residual-energy advertisements flood the network.
+    pub advert_period: SimDuration,
+    /// Quantisation levels above the base weight: a full battery weighs 1,
+    /// an empty one `1 + levels`. Coarse levels keep re-floods rare.
+    pub levels: u16,
+    /// Extra weight once a node falls below its battery's low-power
+    /// threshold — the max-min hammer that makes nearly-drained relays a
+    /// last resort.
+    pub low_penalty: u16,
+}
+
+impl Default for EnergyRoutingConfig {
+    fn default() -> Self {
+        EnergyRoutingConfig {
+            advert_period: SimDuration::from_secs(10),
+            levels: 7,
+            low_penalty: 24,
+        }
+    }
+}
+
+impl EnergyRoutingConfig {
+    /// Sanity-check the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.advert_period.is_zero() {
+            return Err("energy routing advert period must be positive".into());
+        }
+        if self.levels == 0 {
+            return Err("energy routing needs at least one quantisation level".into());
+        }
+        // The heaviest advertised weight is 1 + levels + low_penalty (a
+        // dead node); it must fit the u16 weight lattice.
+        if 1 + self.levels as u32 + self.low_penalty as u32 > u16::MAX as u32 {
+            return Err("energy routing weights overflow u16: shrink levels/low_penalty".into());
+        }
+        Ok(())
     }
 }
 
@@ -216,6 +274,18 @@ pub struct ExperimentConfig {
     pub gilbert: GilbertConfig,
     /// Radio energy parameters.
     pub energy: RadioEnergyModel,
+    /// Finite per-node energy budgets (None = the paper's tally-only
+    /// monitor: joules are counted but never run out). With a battery,
+    /// radio charges plus a per-frame idle/sleep draw deplete each node;
+    /// a depleted node dies for good — the lifetime subsystem's core knob.
+    pub battery: Option<BatteryConfig>,
+    /// Duty-cycled sleep schedule (None = always listening). Sleeping
+    /// nodes keep transmitting in their owned slots but do not receive,
+    /// and pay the battery's sleep draw instead of the idle draw.
+    pub duty_cycle: Option<DutyCycleConfig>,
+    /// Residual-energy-aware routing (None = hop-count shortest paths).
+    /// Requires a battery: the advertised weights are residual fractions.
+    pub energy_routing: Option<EnergyRoutingConfig>,
     /// Mobility (None = static).
     pub mobility: Option<MobilityConfig>,
     /// Scheduled substrate dynamics: node churn, link blackouts,
@@ -256,6 +326,9 @@ impl ExperimentConfig {
             pathloss: PathLoss::javelen_default(),
             gilbert: GilbertConfig::paper_default(),
             energy: RadioEnergyModel::javelen_default(),
+            battery: None,
+            duty_cycle: None,
+            energy_routing: None,
             mobility: None,
             dynamics: Vec::new(),
             routing_refresh: SimDuration::from_secs(5),
@@ -347,6 +420,25 @@ impl ExperimentConfig {
         self
     }
 
+    /// Give every node a finite battery.
+    pub fn battery(mut self, battery: BatteryConfig) -> Self {
+        self.battery = Some(battery);
+        self
+    }
+
+    /// Put every node on a duty-cycled sleep schedule.
+    pub fn duty_cycle(mut self, duty: DutyCycleConfig) -> Self {
+        self.duty_cycle = Some(duty);
+        self
+    }
+
+    /// Route on residual-energy-weighted shortest paths (default
+    /// parameters). Requires [`ExperimentConfig::battery`].
+    pub fn energy_aware_routing(mut self) -> Self {
+        self.energy_routing = Some(EnergyRoutingConfig::default());
+        self
+    }
+
     /// Schedule a substrate dynamics event.
     pub fn dynamic(mut self, ev: DynamicsEvent) -> Self {
         self.dynamics.push(ev);
@@ -376,6 +468,20 @@ impl ExperimentConfig {
         }
         self.jtp.validate()?;
         self.pathloss.validate()?;
+        if let Some(b) = &self.battery {
+            b.validate()?;
+        }
+        if let Some(d) = &self.duty_cycle {
+            d.validate()?;
+        }
+        if let Some(e) = &self.energy_routing {
+            e.validate()?;
+            if self.battery.is_none() {
+                return Err(
+                    "energy-aware routing needs a battery (weights are residual fractions)".into(),
+                );
+            }
+        }
         if let TopologyKind::Clustered {
             spread_m,
             cluster_spacing_m,
@@ -439,6 +545,13 @@ impl ExperimentConfig {
                     }
                 }
                 DynamicsAction::PartitionEnd => {}
+                DynamicsAction::AreaFail { radius_m, .. } => {
+                    if *radius_m <= 0.0 {
+                        return Err(format!(
+                            "dynamics {i}: area failure radius must be positive"
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -529,6 +642,52 @@ mod tests {
             DynamicsAction::PartitionStart(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]),
         ));
         assert!(bad_partition.validate().is_err());
+    }
+
+    #[test]
+    fn battery_and_duty_cycle_knobs_validate() {
+        let ok = ExperimentConfig::linear(4)
+            .battery(BatteryConfig::javelen_small())
+            .duty_cycle(DutyCycleConfig::half())
+            .energy_aware_routing();
+        ok.validate().unwrap();
+        // Energy routing without a battery has nothing to advertise.
+        let orphan = ExperimentConfig::linear(4).energy_aware_routing();
+        assert!(orphan.validate().is_err());
+        let mut bad_batt = ExperimentConfig::linear(4).battery(BatteryConfig::javelen_small());
+        bad_batt.battery.as_mut().unwrap().capacity_j = -1.0;
+        assert!(bad_batt.validate().is_err());
+        let mut bad_duty = ExperimentConfig::linear(4).duty_cycle(DutyCycleConfig::half());
+        bad_duty.duty_cycle.as_mut().unwrap().awake_frames = 0;
+        assert!(bad_duty.validate().is_err());
+        // Dead-node weight 1 + levels + low_penalty must fit u16.
+        let mut overflow = ExperimentConfig::linear(4)
+            .battery(BatteryConfig::javelen_small())
+            .energy_aware_routing();
+        overflow.energy_routing.as_mut().unwrap().levels = u16::MAX;
+        assert!(overflow.validate().is_err());
+    }
+
+    #[test]
+    fn area_failure_radius_validated() {
+        let ok = ExperimentConfig::linear(4).dynamic(DynamicsEvent::at_s(
+            5.0,
+            DynamicsAction::AreaFail {
+                x_m: 55.0,
+                y_m: 0.0,
+                radius_m: 60.0,
+            },
+        ));
+        ok.validate().unwrap();
+        let bad = ExperimentConfig::linear(4).dynamic(DynamicsEvent::at_s(
+            5.0,
+            DynamicsAction::AreaFail {
+                x_m: 0.0,
+                y_m: 0.0,
+                radius_m: 0.0,
+            },
+        ));
+        assert!(bad.validate().is_err());
     }
 
     #[test]

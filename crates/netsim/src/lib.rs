@@ -40,8 +40,8 @@ pub mod topology;
 pub mod trace;
 
 pub use config::{
-    DynamicsAction, DynamicsEvent, ExperimentConfig, FlowSpec, MobilityConfig, TopologyKind,
-    TransportKind,
+    DynamicsAction, DynamicsEvent, EnergyRoutingConfig, ExperimentConfig, FlowSpec, MobilityConfig,
+    TopologyKind, TransportKind,
 };
 pub use metrics::{FlowMetrics, Metrics};
 pub use network::{Event, Network};

@@ -20,11 +20,21 @@
 //! * sender wakeups pace data out at the receiver-assigned rate; receiver
 //!   timers emit regular feedback; mobility ticks move nodes and refresh
 //!   (staleness permitting) the routing views,
-//! * scheduled **dynamics** events crash/heal nodes, black out links and
-//!   open/heal partitions: the effective ground truth is the geometric
-//!   connectivity masked by the substrate state, and each action floods a
-//!   routing refresh while in-flight traffic fails at the channel —
-//!   identically in the skipping and naive engines.
+//! * scheduled **dynamics** events crash/heal nodes, black out links,
+//!   open/heal partitions and blast whole discs: the effective ground
+//!   truth is the geometric connectivity masked by the substrate state,
+//!   and each action floods a routing refresh while in-flight traffic
+//!   fails at the channel — identically in the skipping and naive
+//!   engines,
+//! * with finite **batteries**, every radio charge plus a per-frame
+//!   idle/sleep baseline draw (charged at each owned slot, so the
+//!   idle-slot replay reproduces the naive drain sequence exactly)
+//!   depletes the node's reservoir; depletion kills the node for good
+//!   through the same masked-truth machinery, at a slot event the
+//!   skipping engine *aims* at the exactly-predicted death slot.
+//!   Duty-cycled nodes sleep whole frames (they transmit but don't
+//!   receive), and energy-aware routing periodically floods quantised
+//!   residual fractions as per-node forwarding weights.
 //!
 //! Hot-path notes: per-link Gilbert-Elliott fading processes live in a
 //! flat `Vec` indexed by a dense triangular pair index (no per-frame
@@ -34,7 +44,8 @@
 //! equivalence proof rests on.
 
 use crate::config::{
-    DynamicsAction, DynamicsEvent, ExperimentConfig, MobilityConfig, TransportKind,
+    DynamicsAction, DynamicsEvent, EnergyRoutingConfig, ExperimentConfig, MobilityConfig,
+    TransportKind,
 };
 use crate::metrics::{FlowMetrics, Metrics};
 use crate::payload::{Payload, TransportPacket};
@@ -43,10 +54,13 @@ use crate::trace::{MonitorSample, TraceConfig, TraceLog};
 use jtp::{IjtpModule, JtpReceiver, JtpSender, LinkInfo, PreXmitVerdict};
 use jtp_baselines::atp::{AtpReceiver, AtpSender};
 use jtp_baselines::tcp::{TcpReceiver, TcpSender};
-use jtp_mac::{Frame, FrameKind, NodeMac, SlotOutcome, TdmaSchedule};
+use jtp_mac::{Frame, FrameKind, NodeMac, SleepSchedule, SlotOutcome, TdmaSchedule};
 use jtp_phys::energy::EnergyCategory;
 use jtp_phys::gilbert::{GilbertConfig, GilbertElliott};
-use jtp_phys::{EnergyMeter, MobilityModel, PathLoss, Point, RadioEnergyModel, RandomWaypoint};
+use jtp_phys::{
+    Battery, BatteryConfig, EnergyMeter, MobilityModel, PathLoss, Point, RadioEnergyModel,
+    RandomWaypoint,
+};
 use jtp_routing::{Adjacency, LinkState};
 use jtp_sim::{EventId, EventQueue, FlowId, NodeId, SimDuration, SimRng, SimTime, Simulation};
 
@@ -70,6 +84,9 @@ pub enum Event {
     /// A scheduled substrate dynamics action fires (index into
     /// [`ExperimentConfig::dynamics`]).
     Dynamics(u32),
+    /// Periodic residual-energy advertisement: nodes flood their battery
+    /// levels and routing re-weights (energy-aware routing only).
+    EnergyAdvert,
 }
 
 /// Transport endpoints of a flow.
@@ -147,6 +164,37 @@ pub struct Network {
     /// Frames lost to node crashes (flushed queues + sends from a dead
     /// node), distinct from congestion/ARQ/no-route drops.
     churn_drops: u64,
+    // ---- battery / lifetime state ----
+    /// Finite energy budgets (None = the tally-only monitor).
+    battery_cfg: Option<BatteryConfig>,
+    /// Per-node reservoirs (empty when batteries are disabled).
+    batteries: Vec<Battery>,
+    /// `battery_dead[i]` ⇔ node i's battery depleted. Unlike dynamics
+    /// churn, battery death is permanent: `NodeUp` cannot revive it.
+    battery_dead: Vec<bool>,
+    /// Skipping engine only: the future slot (owned by node i) at which
+    /// baseline draw alone would deplete node i's battery — slot events
+    /// are aimed at these so endogenous death fires at the exact instant
+    /// the naive per-slot loop would detect it.
+    death_slot: Vec<Option<u64>>,
+    /// Nodes whose batteries crossed zero in the current event, in drain
+    /// order; processed (once each) at the event's timestamp.
+    pending_deaths: Vec<NodeId>,
+    /// Battery deaths in chronological order.
+    deaths: Vec<(SimTime, NodeId)>,
+    /// First instant battery deaths split the surviving nodes.
+    first_partition: Option<SimTime>,
+    /// Baseline battery charge per owned slot while awake (J).
+    baseline_idle_j: f64,
+    /// Baseline battery charge per owned slot while duty-cycle asleep (J).
+    baseline_sleep_j: f64,
+    /// Duty-cycled sleep schedule (None = always listening).
+    sleep: Option<SleepSchedule>,
+    /// Energy-aware routing parameters (None = hop-count routing).
+    energy_cfg: Option<EnergyRoutingConfig>,
+    /// The last advertised weight vector (avoids re-flooding unchanged
+    /// advertisements).
+    advertised_weights: Option<Vec<u16>>,
     // ---- idle-slot-skipping engine state ----
     /// Whether slots owned by idle nodes are skipped (config).
     skip_idle: bool,
@@ -295,8 +343,15 @@ impl Network {
         if let Some(m) = &cfg.mobility {
             queue.schedule_at(SimTime::ZERO + m.update_period, Event::MobilityTick);
         }
+        if let Some(e) = &cfg.energy_routing {
+            let first = SimTime::ZERO + e.advert_period;
+            if first <= end {
+                queue.schedule_at(first, Event::EnergyAdvert);
+            }
+        }
 
-        let net = Network {
+        let frame_s = schedule.frame_duration().as_secs_f64();
+        let mut net = Network {
             transport: cfg.transport,
             backlog: vec![false; n],
             backlog_count: 0,
@@ -329,7 +384,32 @@ impl Network {
             blocked_links: vec![false; n * (n.saturating_sub(1)) / 2],
             partition: None,
             churn_drops: 0,
+            battery_cfg: cfg.battery,
+            batteries: match &cfg.battery {
+                Some(b) => (0..n).map(|_| Battery::new(b.capacity_j)).collect(),
+                None => Vec::new(),
+            },
+            battery_dead: vec![false; n],
+            death_slot: vec![None; n],
+            pending_deaths: Vec::new(),
+            deaths: Vec::new(),
+            first_partition: None,
+            baseline_idle_j: cfg.battery.map_or(0.0, |b| b.idle_draw_w * frame_s),
+            baseline_sleep_j: cfg.battery.map_or(0.0, |b| b.sleep_draw_w * frame_s),
+            sleep: cfg.duty_cycle.map(SleepSchedule::new),
+            energy_cfg: cfg.energy_routing,
+            advertised_weights: None,
         };
+        if net.battery_cfg.is_some() && net.skip_idle {
+            // Aim the skipping engine's slot event at upcoming baseline-
+            // draw deaths from the start — an empty workload must still
+            // fire every death the naive per-slot loop would detect.
+            for i in 0..n {
+                net.death_slot[i] = net.predict_death_slot(i);
+            }
+            net.backlog_dirty = true;
+            net.sync_slot_event(SimTime::ZERO, &mut queue);
+        }
         (net, queue)
     }
 
@@ -363,13 +443,24 @@ impl Network {
 
     /// Replay slots `[slot_cursor, upto)` as idle: each was owned by a node
     /// whose queue was empty when the slot passed (the scheduling invariant
-    /// guarantees this), so the only effect the naive loop would have had
-    /// is the owner's idle-slot accounting — applied here in slot order,
-    /// byte-identically.
+    /// guarantees this), so the only effects the naive loop would have had
+    /// are the owner's idle-slot accounting and its baseline battery draw —
+    /// applied here in slot order, byte-identically (the per-slot `drain`
+    /// additions reproduce the naive engine's float sequence exactly).
+    ///
+    /// Deaths can never occur inside a replay: the slot event is aimed at
+    /// `min(next busy slot, earliest predicted death slot)`, so a battery
+    /// that baseline draw would deplete gets a *fired* slot event at
+    /// exactly that instant instead of being replayed past it.
     fn replay_idle_slots(&mut self, upto: u64) {
         while self.slot_cursor < upto {
             let owner = self.schedule.owner(self.slot_cursor);
             self.nodes[owner.index()].mac.record_owned_slot(false);
+            self.charge_baseline(owner, self.slot_cursor);
+            debug_assert!(
+                self.pending_deaths.is_empty(),
+                "battery death inside an idle replay — prediction missed a slot"
+            );
             self.slot_cursor += 1;
         }
     }
@@ -395,13 +486,19 @@ impl Network {
             return;
         }
         self.backlog_dirty = false;
-        let desired = if self.backlog_count == 0 {
+        let busy = if self.backlog_count == 0 {
             None
         } else {
-            self.schedule
-                .next_owned_slot(now, &self.backlog)
-                .filter(|&s| self.schedule.slot_start(s) <= self.end)
+            self.schedule.next_owned_slot(now, &self.backlog)
         };
+        // Earliest predicted baseline-draw death: its slot must *fire* so
+        // the death materialises at the same instant as in the naive loop.
+        let death = self.death_slot.iter().filter_map(|&s| s).min();
+        let desired = match (busy, death) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+        .filter(|&s| self.schedule.slot_start(s) <= self.end);
         match (self.pending_slot, desired) {
             (Some((_, cur)), Some(want)) if cur == want => {}
             (prev, want) => {
@@ -426,6 +523,228 @@ impl Network {
         }
         let last = self.schedule.slot_index_at(self.end.min(horizon));
         self.replay_idle_slots(last + 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Battery & lifetime
+    // ------------------------------------------------------------------
+
+    /// Baseline battery draw for the frame containing `slot`, charged to
+    /// the slot's owner: `idle_draw × frame` while listening, or
+    /// `sleep_draw × frame` in a duty-cycled sleep frame. One charge per
+    /// node per frame, applied at the owned slot so the skipping engine's
+    /// replay reproduces the naive engine's drain sequence exactly.
+    fn charge_baseline(&mut self, owner: NodeId, slot: u64) {
+        if self.battery_cfg.is_none() {
+            return;
+        }
+        let i = owner.index();
+        if self.battery_dead[i] {
+            return;
+        }
+        let frame = slot / self.nodes.len() as u64;
+        let j = match &self.sleep {
+            Some(s) if !s.awake(owner, frame) => self.baseline_sleep_j,
+            _ => self.baseline_idle_j,
+        };
+        if self.batteries[i].drain(j) {
+            self.pending_deaths.push(owner);
+        }
+    }
+
+    /// Charge transport energy to a node's meter *and* drain its battery.
+    /// Only ever called at fired slot events, so the drain lands at the
+    /// same instant in both engines.
+    fn charge_node(&mut self, node: NodeId, category: EnergyCategory, joules: f64) {
+        self.nodes[node.index()].energy.charge(category, joules);
+        if self.battery_cfg.is_none() {
+            return;
+        }
+        let i = node.index();
+        if self.battery_dead[i] {
+            return;
+        }
+        if self.batteries[i].drain(joules) {
+            self.pending_deaths.push(node);
+        } else {
+            // The drain sequence changed: the predicted baseline-draw
+            // death slot moves earlier. Keep the aim exact.
+            self.recompute_death_slot(i);
+        }
+    }
+
+    /// Predict the slot at which baseline draw alone will deplete node
+    /// `i`'s battery, replaying the exact per-frame `drain` additions the
+    /// engine will execute (no closed forms — float rounding must match).
+    /// None when batteries are off, the node is dead, draws are zero, or
+    /// the crossing lies beyond the run horizon.
+    fn predict_death_slot(&self, i: usize) -> Option<u64> {
+        let cfg = self.battery_cfg.as_ref()?;
+        if self.battery_dead[i] {
+            return None;
+        }
+        if cfg.idle_draw_w <= 0.0 && cfg.sleep_draw_w <= 0.0 {
+            return None;
+        }
+        let node = NodeId(i as u32);
+        let n = self.nodes.len() as u64;
+        let cap = self.batteries[i].capacity_j();
+        let mut drained = self.batteries[i].drained_j();
+        if drained >= cap {
+            return None; // already crossing: handled as a pending death
+        }
+        // First frame whose baseline charge is still pending: the cursor
+        // frame unless the node's owned slot there is already accounted.
+        let mut frame = self.slot_cursor / n;
+        if self.schedule.owned_slot_in_frame(node, frame) < self.slot_cursor {
+            frame += 1;
+        }
+        loop {
+            if self.schedule.slot_start(frame * n) > self.end {
+                return None; // the battery outlives the run
+            }
+            let j = match &self.sleep {
+                Some(s) if !s.awake(node, frame) => self.baseline_sleep_j,
+                _ => self.baseline_idle_j,
+            };
+            drained += j;
+            if drained >= cap {
+                let slot = self.schedule.owned_slot_in_frame(node, frame);
+                return (self.schedule.slot_start(slot) <= self.end).then_some(slot);
+            }
+            frame += 1;
+        }
+    }
+
+    /// Refresh node `i`'s predicted death slot (skipping engine only —
+    /// the naive loop fires every slot and needs no aim) and mark the
+    /// slot event for re-aiming if it moved.
+    fn recompute_death_slot(&mut self, i: usize) {
+        if !self.skip_idle {
+            return;
+        }
+        let predicted = self.predict_death_slot(i);
+        if predicted != self.death_slot[i] {
+            self.death_slot[i] = predicted;
+            self.backlog_dirty = true;
+        }
+    }
+
+    /// Materialise battery deaths recorded during the current event, in
+    /// drain order: each dead node's queue is lost, its links vanish from
+    /// the advertised topology (flooded refresh, like dynamics churn) and
+    /// the lifetime clocks tick. Battery death is permanent.
+    fn process_pending_deaths(&mut self, now: SimTime) {
+        if self.pending_deaths.is_empty() {
+            return;
+        }
+        let mut any = false;
+        for v in std::mem::take(&mut self.pending_deaths) {
+            let i = v.index();
+            if self.battery_dead[i] {
+                continue;
+            }
+            self.battery_dead[i] = true;
+            self.death_slot[i] = None;
+            self.deaths.push((now, v));
+            if self.node_up[i] {
+                self.node_up[i] = false;
+                self.churn_drops += self.nodes[i].mac.flush();
+                self.refresh_backlog(v);
+            }
+            any = true;
+        }
+        if any {
+            self.backlog_dirty = true;
+            self.rebuild_truth();
+            self.routing.force_refresh_all(now, &self.truth);
+            if self.first_partition.is_none() && !self.alive_connected() {
+                self.first_partition = Some(now);
+            }
+        }
+    }
+
+    /// Are the currently functional nodes (battery intact and powered)
+    /// mutually reachable over the effective ground truth? Vacuously true
+    /// below two survivors — a lone survivor is an endpoint, not a
+    /// partition.
+    fn alive_connected(&self) -> bool {
+        let n = self.positions.len();
+        let alive: Vec<bool> = (0..n)
+            .map(|i| !self.battery_dead[i] && self.node_up[i])
+            .collect();
+        let alive_count = alive.iter().filter(|&&a| a).count();
+        if alive_count < 2 {
+            return true;
+        }
+        let start = alive.iter().position(|&a| a).expect("alive_count >= 2");
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId(start as u32)];
+        seen[start] = true;
+        let mut reached = 1;
+        while let Some(u) = stack.pop() {
+            for &v in self.truth.neighbors(u) {
+                if alive[v.index()] && !seen[v.index()] {
+                    seen[v.index()] = true;
+                    reached += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        reached == alive_count
+    }
+
+    /// Quantised forwarding weight for one node's residual fraction (see
+    /// [`EnergyRoutingConfig`]).
+    fn advert_weight(&self, i: usize, e: &EnergyRoutingConfig) -> u16 {
+        let cfg = self.battery_cfg.as_ref().expect("advert needs a battery");
+        if self.battery_dead[i] {
+            // Dead nodes carry no links, so the weight is moot; pin it to
+            // the ceiling for cleanliness.
+            return 1 + e.levels + e.low_penalty;
+        }
+        let frac = self.batteries[i].residual_frac();
+        let scaled = ((1.0 - frac) * e.levels as f64).floor() as u16;
+        let mut w = 1 + scaled.min(e.levels);
+        if frac < cfg.low_threshold {
+            w += e.low_penalty;
+        }
+        w
+    }
+
+    /// Periodic residual-energy advertisement: quantise every battery
+    /// into a forwarding weight and, when the vector changed, flood it —
+    /// routing shifts to residual-energy-weighted shortest paths.
+    fn handle_energy_advert(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
+        let Some(e) = self.energy_cfg else {
+            return;
+        };
+        if self.battery_cfg.is_none() {
+            return;
+        }
+        // Residuals are read here, so the skipping engine must first
+        // materialise the baseline draws the naive loop has already
+        // applied (every slot with start ≤ now has fired there). After
+        // all flows complete neither engine fires further slots, so the
+        // frozen levels already agree.
+        if self.skip_idle && !self.all_flows_completed() {
+            let upto = self.schedule.slot_index_at(now) + 1;
+            if upto > self.slot_cursor {
+                self.replay_idle_slots(upto);
+            }
+        }
+        let weights: Vec<u16> = (0..self.nodes.len())
+            .map(|i| self.advert_weight(i, &e))
+            .collect();
+        if self.advertised_weights.as_ref() != Some(&weights) {
+            self.routing.set_node_weights(Some(weights.clone()));
+            self.advertised_weights = Some(weights);
+            self.routing.force_refresh_all(now, &self.truth);
+        }
+        let at = now + e.advert_period;
+        if at <= self.end {
+            q.schedule_at(at, Event::EnergyAdvert);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -477,7 +796,11 @@ impl Network {
                 }
             }
             DynamicsAction::NodeUp(v) => {
-                self.node_up[v.index()] = true;
+                // A battery-dead node is beyond reviving: the scheduled
+                // heal fizzles.
+                if !self.battery_dead[v.index()] {
+                    self.node_up[v.index()] = true;
+                }
             }
             DynamicsAction::LinkDown(a, b) => {
                 let idx = self.pair_index(a.0.min(b.0), a.0.max(b.0));
@@ -496,6 +819,18 @@ impl Network {
             }
             DynamicsAction::PartitionEnd => {
                 self.partition = None;
+            }
+            DynamicsAction::AreaFail { x_m, y_m, radius_m } => {
+                // Correlated failure: every node inside the disc — at its
+                // position *now*, mobility included — crashes at once.
+                let centre = Point::new(x_m, y_m);
+                for i in 0..self.positions.len() {
+                    if self.node_up[i] && self.positions[i].distance(centre) <= radius_m {
+                        self.node_up[i] = false;
+                        self.churn_drops += self.nodes[i].mac.flush();
+                        self.refresh_backlog(NodeId(i as u32));
+                    }
+                }
             }
         }
         self.rebuild_truth();
@@ -542,6 +877,12 @@ impl Network {
         }
         self.slot_cursor = slot + 1;
         let owner = self.schedule.owner(slot);
+        // Baseline draw lands before the transmission decision; a node
+        // whose battery dies of it loses its queue and the slot goes idle
+        // — identically in both engines, since this death slot always
+        // *fires* (the skipping engine aims at predicted death slots).
+        self.charge_baseline(owner, slot);
+        self.process_pending_deaths(now);
         match self.prepare_head(owner, now) {
             None => {
                 self.nodes[owner.index()].mac.record_owned_slot(false);
@@ -554,16 +895,20 @@ impl Network {
                     FrameKind::Data => (EnergyCategory::DataTx, EnergyCategory::DataRx),
                     FrameKind::Ack => (EnergyCategory::AckTx, EnergyCategory::AckRx),
                 };
-                self.nodes[owner.index()].energy.charge(cat_tx, tx_j);
+                self.charge_node(owner, cat_tx, tx_j);
                 if success {
                     let rx_j = self.energy_model.rx_energy_j(bytes);
-                    self.nodes[dst.index()].energy.charge(cat_rx, rx_j);
+                    self.charge_node(dst, cat_rx, rx_j);
                 }
                 match self.nodes[owner.index()].mac.transmit_result(success) {
                     SlotOutcome::Delivered(frame) => self.deliver(now, frame, q),
                     SlotOutcome::Exhausted(_) | SlotOutcome::Retrying => {}
                     SlotOutcome::Idle => unreachable!("prepared head implies non-idle"),
                 }
+                // Transmission/reception drains materialise *after* the
+                // frame's fate resolved: the packet that empties a battery
+                // still arrives, then the node goes dark.
+                self.process_pending_deaths(now);
             }
         }
         self.refresh_backlog(owner);
@@ -670,6 +1015,16 @@ impl Network {
         // partition cut can never deliver.
         if !self.node_up[from.index()] || !self.node_up[to.index()] {
             return false;
+        }
+        // A duty-cycled receiver sleeping this frame hears nothing (the
+        // sender still wakes to transmit in its owned slot and pays for
+        // the attempt). Pure function of (node, frame): no RNG consumed,
+        // identical on the skipping and naive slot paths.
+        if let Some(s) = &self.sleep {
+            let frame = self.schedule.slot_index_at(now) / self.nodes.len() as u64;
+            if !s.awake(to, frame) {
+                return false;
+            }
         }
         let (lo, hi) = (from.0.min(to.0), from.0.max(to.0));
         if self.blocked_links[self.pair_index(lo, hi)] {
@@ -1107,10 +1462,25 @@ impl Network {
             feedbacks_sent += fm.feedbacks_sent;
             flows.push(fm);
         }
+        let residual_j: Vec<f64> = self.batteries.iter().map(|b| b.residual_j()).collect();
+        let mut alive = self.positions.len() as u32;
+        let alive_curve: Vec<(f64, u32)> = self
+            .deaths
+            .iter()
+            .map(|(t, _)| {
+                alive -= 1;
+                (t.as_secs_f64(), alive)
+            })
+            .collect();
         Metrics {
             energy_total_j: total.total_j(),
             per_node_energy_j: per_node,
             energy_ack_j: total.ack_j(),
+            battery_deaths: self.deaths.len() as u64,
+            first_death_s: self.deaths.first().map(|(t, _)| t.as_secs_f64()),
+            first_partition_s: self.first_partition.map(|t| t.as_secs_f64()),
+            alive_curve,
+            residual_j,
             delivered_packets,
             delivered_bytes,
             source_retransmissions,
@@ -1150,6 +1520,7 @@ impl Simulation for Network {
             Event::ReceiverTimer(f) => self.handle_receiver_timer(now, f, queue),
             Event::MobilityTick => self.handle_mobility_tick(now, queue),
             Event::Dynamics(i) => self.handle_dynamics(now, i),
+            Event::EnergyAdvert => self.handle_energy_advert(now, queue),
         }
         // Any handler may have enqueued or drained MAC traffic; keep the
         // skipping engine's slot event aimed at the earliest busy slot.

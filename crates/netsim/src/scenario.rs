@@ -41,7 +41,9 @@
 use crate::config::{
     DynamicsAction, DynamicsEvent, ExperimentConfig, FlowSpec, TopologyKind, TransportKind,
 };
-use jtp_sim::{NodeId, SimDuration};
+use jtp_mac::DutyCycleConfig;
+use jtp_phys::BatteryConfig;
+use jtp_sim::{NodeId, SimDuration, SimRng};
 
 /// One declarative workload component. Patterns lower to one or more
 /// [`FlowSpec`]s; rates map onto the transport's initial sending rate (the
@@ -125,12 +127,39 @@ pub enum TrafficPattern {
         /// Start time of both directions (seconds).
         start_s: f64,
     },
+    /// A Poisson flow-arrival process: `flows` transfers whose start
+    /// times form a Poisson process of rate `rate_per_s` from `start_s`
+    /// on, each between a uniformly drawn distinct src/dst pair. Drawn
+    /// from the scenario seed's own substream (in-crate xoshiro), so the
+    /// arrival pattern is independent of channel/mobility randomness and
+    /// identical across the transports being compared.
+    Poisson {
+        /// Number of flow arrivals.
+        flows: u32,
+        /// Arrival rate (flows per second).
+        rate_per_s: f64,
+        /// Packets per flow.
+        packets: u32,
+        /// Process start time (seconds).
+        start_s: f64,
+        /// End-to-end loss tolerance (JTP only; forced to 0 for TCP/ATP).
+        loss_tolerance: f64,
+    },
 }
 
 impl TrafficPattern {
     /// Append this pattern's flows. `force_reliable` clamps loss
-    /// tolerance to 0 (TCP/ATP support nothing else).
-    fn lower(&self, flows: &mut Vec<FlowSpec>, force_reliable: bool) {
+    /// tolerance to 0 (TCP/ATP support nothing else); `n_nodes`, `seed`
+    /// and `index` feed the stochastic patterns (Poisson arrivals draw
+    /// endpoints over the topology from a per-pattern substream).
+    fn lower(
+        &self,
+        flows: &mut Vec<FlowSpec>,
+        force_reliable: bool,
+        n_nodes: usize,
+        seed: u64,
+        index: usize,
+    ) {
         let lt = |x: f64| if force_reliable { 0.0 } else { x };
         let mut push = |src: NodeId, dst: NodeId, start_s: f64, packets: u32, tol: f64, rate| {
             flows.push(FlowSpec {
@@ -213,6 +242,36 @@ impl TrafficPattern {
                 push(*a, *b, *start_s, *packets, 0.0, None);
                 push(*b, *a, *start_s, *packets, 0.0, None);
             }
+            TrafficPattern::Poisson {
+                flows: n_flows,
+                rate_per_s,
+                packets,
+                start_s,
+                loss_tolerance,
+            } => {
+                assert!(*rate_per_s > 0.0, "Poisson rate must be positive");
+                assert!(n_nodes >= 2, "Poisson flows need two endpoints");
+                let mut rng = SimRng::derive_indexed(seed, "scenario-poisson", index as u64);
+                let mut at = *start_s;
+                for _ in 0..*n_flows {
+                    at += rng.exponential(1.0 / rate_per_s);
+                    let src = rng.below(n_nodes);
+                    let dst = loop {
+                        let d = rng.below(n_nodes);
+                        if d != src {
+                            break d;
+                        }
+                    };
+                    push(
+                        NodeId(src as u32),
+                        NodeId(dst as u32),
+                        at,
+                        *packets,
+                        lt(*loss_tolerance),
+                        None,
+                    );
+                }
+            }
         }
     }
 }
@@ -240,6 +299,21 @@ pub enum DynamicsSpec {
         start_s: f64,
         /// Blackout end (seconds).
         end_s: f64,
+    },
+    /// A correlated area failure at `at_s`: every node within `radius_m`
+    /// of `(x_m, y_m)` — wherever it has moved to by then — crashes at
+    /// once (ROADMAP's "all nodes in a disc"). Composes naturally with
+    /// battery death: the blast prunes the topology, survivors inherit
+    /// the forwarding load and drain faster.
+    AreaFailure {
+        /// Blast centre x (metres).
+        x_m: f64,
+        /// Blast centre y (metres).
+        y_m: f64,
+        /// Blast radius (metres).
+        radius_m: f64,
+        /// Blast time (seconds).
+        at_s: f64,
     },
     /// The link `{a, b}` flaps: `cycles` blackouts of `down_s` seconds,
     /// starting `period_s` apart from `first_down_s` on.
@@ -290,6 +364,21 @@ impl DynamicsSpec {
                 ));
                 out.push(DynamicsEvent::at_s(*end_s, DynamicsAction::PartitionEnd));
             }
+            DynamicsSpec::AreaFailure {
+                x_m,
+                y_m,
+                radius_m,
+                at_s,
+            } => {
+                out.push(DynamicsEvent::at_s(
+                    *at_s,
+                    DynamicsAction::AreaFail {
+                        x_m: *x_m,
+                        y_m: *y_m,
+                        radius_m: *radius_m,
+                    },
+                ));
+            }
             DynamicsSpec::LinkFlap {
                 a,
                 b,
@@ -333,6 +422,12 @@ pub struct Scenario {
     pub seed: u64,
     /// Random-waypoint speed (None = static).
     pub mobile_mps: Option<f64>,
+    /// Finite per-node energy budgets (None = tally-only energy monitor).
+    pub battery: Option<BatteryConfig>,
+    /// Duty-cycled sleep schedule (None = always listening).
+    pub duty_cycle: Option<DutyCycleConfig>,
+    /// Route on residual-energy-weighted shortest paths (needs a battery).
+    pub energy_routing: bool,
 }
 
 impl Scenario {
@@ -346,6 +441,9 @@ impl Scenario {
             duration_s: 600.0,
             seed: 1,
             mobile_mps: None,
+            battery: None,
+            duty_cycle: None,
+            energy_routing: false,
         }
     }
 
@@ -379,6 +477,25 @@ impl Scenario {
         self
     }
 
+    /// Give every node a finite battery.
+    pub fn battery(mut self, battery: BatteryConfig) -> Self {
+        self.battery = Some(battery);
+        self
+    }
+
+    /// Put every node on a duty-cycled sleep schedule.
+    pub fn duty_cycle(mut self, duty: DutyCycleConfig) -> Self {
+        self.duty_cycle = Some(duty);
+        self
+    }
+
+    /// Route on residual-energy-weighted shortest paths (default
+    /// parameters; requires [`Scenario::battery`]).
+    pub fn energy_routing(mut self) -> Self {
+        self.energy_routing = true;
+        self
+    }
+
     /// Lower onto a validated [`ExperimentConfig`] for `transport`.
     pub fn build(&self, transport: TransportKind) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::with_topology(self.topology.clone())
@@ -388,9 +505,19 @@ impl Scenario {
         if let Some(s) = self.mobile_mps {
             cfg = cfg.mobile(s);
         }
+        if let Some(b) = self.battery {
+            cfg = cfg.battery(b);
+        }
+        if let Some(d) = self.duty_cycle {
+            cfg = cfg.duty_cycle(d);
+        }
+        if self.energy_routing {
+            cfg = cfg.energy_aware_routing();
+        }
+        let n_nodes = self.topology.node_count();
         let force_reliable = transport == TransportKind::Tcp || transport == TransportKind::Atp;
-        for t in &self.traffic {
-            t.lower(&mut cfg.flows, force_reliable);
+        for (i, t) in self.traffic.iter().enumerate() {
+            t.lower(&mut cfg.flows, force_reliable, n_nodes, self.seed, i);
         }
         for d in &self.dynamics {
             d.lower(&mut cfg.dynamics);
@@ -580,6 +707,72 @@ impl Scenario {
                 cycles: 3,
                 loss_tolerance: 0.0,
             }),
+            // ---- lifetime family: finite batteries, nodes die ----
+            Scenario::new(
+                "grid-lifetime-race",
+                TopologyKind::Grid {
+                    cols: 4,
+                    rows: 4,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(900.0)
+            .seed(109)
+            .traffic(TrafficPattern::CrossTraffic {
+                a: NodeId(0),
+                b: NodeId(15),
+                // Effectively unbounded: the transfer outlives the
+                // batteries, so the run measures lifetime, not completion.
+                packets: 50_000,
+                start_s: 5.0,
+            })
+            .battery(BatteryConfig::javelen_small())
+            .energy_routing(),
+            Scenario::new(
+                "grid-duty-cycle",
+                TopologyKind::Grid {
+                    cols: 3,
+                    rows: 3,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(900.0)
+            .seed(110)
+            .traffic(TrafficPattern::Bulk {
+                src: NodeId(0),
+                dst: NodeId(8),
+                // Outlives the batteries (see grid-lifetime-race).
+                packets: 50_000,
+                start_s: 5.0,
+                loss_tolerance: 0.0,
+            })
+            .battery(BatteryConfig {
+                capacity_j: 0.45,
+                ..BatteryConfig::javelen_small()
+            })
+            .duty_cycle(DutyCycleConfig::half()),
+            Scenario::new(
+                "chain-poisson-lifetime",
+                TopologyKind::Linear {
+                    n: 7,
+                    spacing_m: 55.0,
+                },
+            )
+            .duration_s(900.0)
+            .seed(111)
+            .traffic(TrafficPattern::Poisson {
+                flows: 6,
+                rate_per_s: 0.02,
+                packets: 15,
+                start_s: 5.0,
+                loss_tolerance: 0.0,
+            })
+            // Small enough that relays die (~250 s) while Poisson
+            // arrivals are still coming: late flows meet a dying network.
+            .battery(BatteryConfig {
+                capacity_j: 0.25,
+                ..BatteryConfig::javelen_small()
+            }),
         ]
     }
 }
@@ -599,7 +792,7 @@ mod tests {
             duration_s: 10.0,
             loss_tolerance: 0.4,
         }
-        .lower(&mut flows, false);
+        .lower(&mut flows, false, 8, 1, 0);
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].packets, 25);
         assert_eq!(flows[0].initial_rate_pps, Some(2.5));
@@ -614,7 +807,7 @@ mod tests {
             duration_s: 10.0,
             loss_tolerance: 0.4,
         }
-        .lower(&mut reliable, true);
+        .lower(&mut reliable, true, 8, 1, 0);
         assert_eq!(reliable[0].loss_tolerance, 0.0);
     }
 
@@ -631,7 +824,7 @@ mod tests {
             cycles: 3,
             loss_tolerance: 0.0,
         }
-        .lower(&mut flows, false);
+        .lower(&mut flows, false, 8, 1, 0);
         assert_eq!(flows.len(), 3);
         for (i, f) in flows.iter().enumerate() {
             assert_eq!(f.packets, 40);
@@ -650,7 +843,7 @@ mod tests {
             start_s: 1.0,
             stagger_s: 2.0,
         }
-        .lower(&mut flows, false);
+        .lower(&mut flows, false, 8, 1, 0);
         assert_eq!(flows.len(), 3);
         assert!(flows.iter().all(|f| f.dst == NodeId(0)));
         let mut cross = Vec::new();
@@ -660,7 +853,7 @@ mod tests {
             packets: 9,
             start_s: 2.0,
         }
-        .lower(&mut cross, false);
+        .lower(&mut cross, false, 8, 1, 0);
         assert_eq!(cross.len(), 2);
         assert_eq!((cross[0].src, cross[0].dst), (NodeId(0), NodeId(4)));
         assert_eq!((cross[1].src, cross[1].dst), (NodeId(4), NodeId(0)));
@@ -688,13 +881,104 @@ mod tests {
     }
 
     #[test]
+    fn poisson_lowering_is_deterministic_and_well_formed() {
+        let pat = TrafficPattern::Poisson {
+            flows: 12,
+            rate_per_s: 0.1,
+            packets: 9,
+            start_s: 5.0,
+            loss_tolerance: 0.3,
+        };
+        let mut a = Vec::new();
+        pat.lower(&mut a, false, 10, 42, 0);
+        let mut b = Vec::new();
+        pat.lower(&mut b, false, 10, 42, 0);
+        assert_eq!(a.len(), 12);
+        let mut prev = 5.0;
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!(fa.src, fb.src, "same seed, same arrival pattern");
+            assert_eq!(fa.start, fb.start);
+            assert_ne!(fa.src, fa.dst, "endpoints must be distinct");
+            assert!(fa.src.index() < 10 && fa.dst.index() < 10);
+            assert!(fa.start.as_secs_f64() > prev, "arrivals strictly ordered");
+            prev = fa.start.as_secs_f64();
+            assert_eq!(fa.loss_tolerance, 0.3);
+        }
+        // Mean inter-arrival ≈ 1/rate = 10 s (loose statistical check).
+        let span = a.last().unwrap().start.as_secs_f64() - 5.0;
+        assert!((3.0..40.0).contains(&(span / 12.0)), "span {span}");
+        // Different substream index → different arrivals.
+        let mut c = Vec::new();
+        pat.lower(&mut c, false, 10, 42, 1);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.start != y.start));
+        // TCP/ATP lowering forces full reliability.
+        let mut reliable = Vec::new();
+        pat.lower(&mut reliable, true, 10, 42, 0);
+        assert!(reliable.iter().all(|f| f.loss_tolerance == 0.0));
+    }
+
+    #[test]
+    fn area_failure_lowers_to_area_fail_action() {
+        let mut evs = Vec::new();
+        DynamicsSpec::AreaFailure {
+            x_m: 100.0,
+            y_m: 50.0,
+            radius_m: 75.0,
+            at_s: 30.0,
+        }
+        .lower(&mut evs);
+        assert_eq!(evs.len(), 1);
+        assert!((evs[0].at.as_secs_f64() - 30.0).abs() < 1e-9);
+        assert_eq!(
+            evs[0].action,
+            DynamicsAction::AreaFail {
+                x_m: 100.0,
+                y_m: 50.0,
+                radius_m: 75.0,
+            }
+        );
+    }
+
+    #[test]
+    fn lifetime_knobs_lower_onto_config() {
+        let sc = Scenario::new(
+            "knobs",
+            TopologyKind::Linear {
+                n: 4,
+                spacing_m: 55.0,
+            },
+        )
+        .battery(BatteryConfig::javelen_small())
+        .duty_cycle(DutyCycleConfig::half())
+        .energy_routing()
+        .traffic(TrafficPattern::Bulk {
+            src: NodeId(0),
+            dst: NodeId(3),
+            packets: 5,
+            start_s: 1.0,
+            loss_tolerance: 0.0,
+        });
+        let cfg = sc.build(TransportKind::Jtp);
+        assert!(cfg.battery.is_some());
+        assert!(cfg.duty_cycle.is_some());
+        assert!(cfg.energy_routing.is_some());
+    }
+
+    #[test]
     fn catalog_lowers_valid_for_every_transport() {
         let cat = Scenario::catalog();
-        assert!(cat.len() >= 8, "catalog shrank below the canonical eight");
+        assert!(
+            cat.len() >= 11,
+            "catalog shrank below the canonical eleven (8 + the lifetime family)"
+        );
         let mut names: Vec<&str> = cat.iter().map(|s| s.name.as_str()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), cat.len(), "scenario names must be unique");
+        assert!(
+            cat.iter().filter(|s| s.battery.is_some()).count() >= 3,
+            "the lifetime family must keep finite batteries in the catalog"
+        );
         for sc in &cat {
             for t in [
                 TransportKind::Jtp,

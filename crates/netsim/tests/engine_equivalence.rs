@@ -240,6 +240,157 @@ fn dynamics_run_identical() {
     );
 }
 
+/// Battery depletion — endogenous node death — must be byte-identical:
+/// the skipping engine charges skipped slots' baseline draw in bulk on
+/// replay and aims a real slot event at every predicted death slot, so
+/// deaths (and the routing floods they trigger) land at the exact instant
+/// the naive per-slot loop detects them — mid-transfer included.
+#[test]
+fn battery_death_run_identical() {
+    use jtp_phys::BatteryConfig;
+    let mut cfg = ExperimentConfig::linear(6)
+        .transport(TransportKind::Jtp)
+        .duration_s(700.0)
+        .seed(640)
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(5),
+            start: SimDuration::from_secs(5),
+            packets: u32::MAX / 2, // long-lived: outlives the relays
+            loss_tolerance: 1.0,
+            initial_rate_pps: None,
+        });
+    cfg.battery = Some(BatteryConfig {
+        capacity_j: 0.35,
+        ..BatteryConfig::javelen_small()
+    });
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "battery death");
+    assert!(
+        fast.battery_deaths > 0,
+        "batteries must actually die mid-transfer for this to prove anything"
+    );
+    assert!(fast.delivered_packets > 0);
+}
+
+/// Same, with an *empty* workload: the naive engine grinds an event per
+/// slot to find the deaths; the skipping engine must derive the identical
+/// death times from predictions alone.
+#[test]
+fn idle_battery_deaths_identical() {
+    use jtp_phys::BatteryConfig;
+    let mut cfg = ExperimentConfig::linear(5)
+        .transport(TransportKind::Jtp)
+        .duration_s(500.0)
+        .seed(641);
+    cfg.battery = Some(BatteryConfig {
+        capacity_j: 0.25,
+        ..BatteryConfig::javelen_small()
+    });
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "idle battery deaths");
+    assert_eq!(fast.battery_deaths, 5, "every node dies of baseline draw");
+}
+
+/// Duty-cycled sleep (satellite of the battery work): sleeping receivers
+/// reject frames deterministically before any RNG draw, and the sleep
+/// draw changes the per-frame baseline sequence — still byte-identical,
+/// with battery death striking mid-transfer under the duty cycle.
+#[test]
+fn duty_cycled_battery_run_identical() {
+    use jtp_mac::DutyCycleConfig;
+    use jtp_phys::BatteryConfig;
+    let mut cfg = ExperimentConfig::grid(3, 2)
+        .transport(TransportKind::Jtp)
+        .duration_s(900.0)
+        .seed(642)
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(5),
+            start: SimDuration::from_secs(5),
+            packets: u32::MAX / 2,
+            loss_tolerance: 1.0,
+            initial_rate_pps: None,
+        });
+    cfg.battery = Some(BatteryConfig {
+        capacity_j: 0.4,
+        ..BatteryConfig::javelen_small()
+    });
+    cfg.duty_cycle = Some(DutyCycleConfig::half());
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "duty-cycled battery");
+    assert!(fast.battery_deaths > 0, "death under duty cycling required");
+    assert!(
+        fast.mac_attempts > fast.delivered_packets,
+        "sleep must force retries for the equivalence to be interesting"
+    );
+}
+
+/// Energy-aware routing adds periodic advertisement floods whose weights
+/// are read from *materialised* battery levels — the skipping engine must
+/// catch up skipped baseline draws before quantising, or the two engines
+/// would advertise different weights.
+#[test]
+fn energy_aware_routing_run_identical() {
+    use jtp_phys::BatteryConfig;
+    let mut cfg = ExperimentConfig::grid(3, 2)
+        .transport(TransportKind::Jtp)
+        .duration_s(900.0)
+        .seed(643)
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(5),
+            start: SimDuration::from_secs(5),
+            packets: u32::MAX / 2,
+            loss_tolerance: 1.0,
+            initial_rate_pps: None,
+        });
+    cfg.battery = Some(BatteryConfig {
+        capacity_j: 0.5,
+        ..BatteryConfig::javelen_small()
+    });
+    cfg.energy_routing = Some(jtp_netsim::EnergyRoutingConfig::default());
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "energy-aware routing");
+    assert!(fast.battery_deaths > 0);
+}
+
+/// Scenario-dynamics churn composed with battery death: a node crashes,
+/// its battery keeps draining while down, the heal is void once the
+/// battery empties — the masked-truth bookkeeping must agree byte-for-
+/// byte across engines.
+#[test]
+fn churn_plus_battery_run_identical() {
+    use jtp_netsim::{DynamicsAction, DynamicsEvent};
+    use jtp_phys::BatteryConfig;
+    let mut cfg = ExperimentConfig::linear(6)
+        .transport(TransportKind::Jtp)
+        .duration_s(800.0)
+        .seed(644)
+        .bulk_flow(60, 5.0, 0.0)
+        .dynamic(DynamicsEvent::at_s(
+            30.0,
+            DynamicsAction::NodeDown(NodeId(2)),
+        ))
+        .dynamic(DynamicsEvent::at_s(90.0, DynamicsAction::NodeUp(NodeId(2))))
+        .dynamic(DynamicsEvent::at_s(
+            120.0,
+            DynamicsAction::AreaFail {
+                x_m: 220.0,
+                y_m: 0.0,
+                radius_m: 30.0,
+            },
+        ));
+    cfg.battery = Some(BatteryConfig {
+        capacity_j: 0.4,
+        ..BatteryConfig::javelen_small()
+    });
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "churn + area failure + battery");
+    assert!(fast.battery_deaths > 0);
+    assert!(fast.churn_drops + fast.no_route_drops + fast.arq_drops > 0);
+}
+
 /// Traces must also be unaffected (receptions drive the fig-5 series).
 #[test]
 fn traces_identical_under_skipping() {

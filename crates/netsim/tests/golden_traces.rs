@@ -1,10 +1,11 @@
-//! Golden-trace regression tests: every canonical scenario's JTP run is
-//! pinned byte-for-byte by a committed [`GoldenDigest`] line (headline
-//! metrics + an FNV over the full metrics encoding + the trace-stream
-//! checksum). Any engine change that perturbs observable behaviour —
-//! event ordering, RNG consumption, a counter, a float — flips at least
-//! one digest and fails here, the same way `engine_equivalence.rs` pins
-//! idle-slot skipping.
+//! Golden-trace regression tests: every canonical scenario is pinned
+//! byte-for-byte by committed [`GoldenDigest`] lines — one per transport
+//! (JTP, plus TCP and ATP now that their timers are stable) — covering
+//! the headline metrics, an FNV over the full metrics encoding and the
+//! trace-stream checksum. Any engine change that perturbs observable
+//! behaviour — event ordering, RNG consumption, a counter, a float —
+//! flips at least one digest and fails here, the same way
+//! `engine_equivalence.rs` pins idle-slot skipping.
 //!
 //! When a change is *intended* to alter results (new defaults, new
 //! physics), regenerate the committed file and review the diff:
@@ -19,10 +20,19 @@ use jtp_netsim::{run_digest, Scenario, TransportKind};
 const GOLDEN: &str = include_str!("golden/digests.txt");
 
 fn current_lines() -> Vec<String> {
-    Scenario::catalog()
+    // JTP lines first (historical order), then the TCP and ATP pins.
+    let cat = Scenario::catalog();
+    let mut lines: Vec<String> = cat
         .iter()
         .map(|sc| run_digest(&sc.build(TransportKind::Jtp)).to_line(&sc.name))
-        .collect()
+        .collect();
+    for (t, tag) in [(TransportKind::Tcp, "tcp"), (TransportKind::Atp, "atp")] {
+        lines.extend(
+            cat.iter()
+                .map(|sc| run_digest(&sc.build(t)).to_line(&format!("{}:{tag}", sc.name))),
+        );
+    }
+    lines
 }
 
 #[test]
@@ -31,7 +41,8 @@ fn catalog_digests_match_committed_golden_file() {
     if std::env::var_os("GOLDEN_REGEN").is_some() {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/digests.txt");
         let mut body = String::from(
-            "# Golden digests of the canonical scenario catalog under JTP.\n\
+            "# Golden digests of the canonical scenario catalog: JTP per scenario,\n\
+             # then `name:tcp` and `name:atp` pins.\n\
              # Regenerate: GOLDEN_REGEN=1 cargo test -p jtp-netsim --test golden_traces\n",
         );
         for l in &lines {

@@ -189,12 +189,23 @@ fn catalog_scenarios_all_deliver_under_jtp() {
             "catalog scenario {} delivered nothing",
             sc.name
         );
-        assert!(
-            m.delivery_ratio() > 0.5,
-            "catalog scenario {} delivered under half its offered load: {:.3}",
-            sc.name,
-            m.delivery_ratio()
-        );
+        if sc.battery.is_some() {
+            // Lifetime entries offer (quasi-)unbounded work on finite
+            // joules: the meaningful invariant is that batteries actually
+            // ran out, not that the offer was met.
+            assert!(
+                m.battery_deaths > 0,
+                "lifetime scenario {} never drained a battery",
+                sc.name
+            );
+        } else {
+            assert!(
+                m.delivery_ratio() > 0.5,
+                "catalog scenario {} delivered under half its offered load: {:.3}",
+                sc.name,
+                m.delivery_ratio()
+            );
+        }
     }
 }
 

@@ -13,7 +13,8 @@
 //! * [`energy`] — the link-layer energy monitor ("computes the energy spent
 //!   for the transmission of each transport-layer packet based on the
 //!   transmission power, the radio's datarate and the packet's length",
-//!   §6.1) and per-node accumulators,
+//!   §6.1), per-node accumulators, and finite [`Battery`] reservoirs that
+//!   close the loop from consumption to node death,
 //! * [`mobility`] — random-waypoint mobility (random direction, mean leg
 //!   47 m, mean pause 100 s; speeds 0.1 / 1 / 5 m/s, §6.1.2).
 
@@ -26,7 +27,7 @@ pub mod gilbert;
 pub mod mobility;
 pub mod pathloss;
 
-pub use energy::{EnergyMeter, RadioEnergyModel};
+pub use energy::{Battery, BatteryConfig, EnergyMeter, RadioEnergyModel};
 pub use geom::{Field, Point};
 pub use gilbert::GilbertElliott;
 pub use mobility::{MobilityModel, RandomWaypoint, Stationary};

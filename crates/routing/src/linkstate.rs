@@ -20,6 +20,18 @@
 //!   is therefore a single array load on an immutable `&self` — the
 //!   per-packet neighbour scan is gone, and its tie-break (minimise
 //!   `(distance, id)`) is baked into the table so routes are unchanged.
+//!
+//! **Energy-aware routing** ([`LinkState::set_node_weights`]): when
+//! per-node forwarding weights are advertised (netsim derives them from
+//! residual battery fractions), the next-hop table is built from a
+//! node-weighted Dijkstra instead of hop counts — max-min-lifetime style:
+//! paths through drained nodes get expensive and traffic shifts to
+//! fresher relays. The BFS hop-count table is kept alongside (it feeds
+//! the transport's remaining-hops estimate, eq. 4, which must stay a
+//! *hop* count), and the hot `next_hop` load is unchanged — only the
+//! table build differs. With all weights equal to 1 the weighted
+//! distances coincide with hop counts and the table is bit-identical to
+//! the hop-count build.
 
 use crate::graph::{Adjacency, UNREACHABLE};
 use jtp_sim::{NodeId, SimDuration, SimTime};
@@ -30,6 +42,9 @@ type DistTable = Arc<Vec<Vec<u16>>>;
 /// Flat row-major `src × dst` next-hop table: `0` = no route, else
 /// `neighbour id + 1`.
 type HopTable = Arc<Vec<u32>>;
+
+/// Cost marker for unreachable pairs in weighted distance rows.
+const UNREACHABLE_COST: u32 = u32::MAX;
 
 /// One node's snapshot of the topology, plus its shortest-path distances
 /// and the pre-resolved next-hop table derived from them.
@@ -56,12 +71,14 @@ pub struct RoutingStats {
 }
 
 /// The current ground truth, its distances and its next-hop table, shared
-/// by fresh views.
+/// by fresh views. `weights` records which node-weight advertisement the
+/// hop table was built under (None = plain hop counts).
 #[derive(Clone, Debug)]
 struct TruthCache {
     adj: Arc<Adjacency>,
     dist: DistTable,
     hops: HopTable,
+    weights: Option<Vec<u16>>,
 }
 
 /// Build the flat next-hop table for one topology snapshot: entry
@@ -69,8 +86,9 @@ struct TruthCache {
 /// `(distance-to-dst, id)` encoded as `id + 1`, or 0 when no neighbour
 /// reaches `dst`. Neighbour lists are sorted ascending, so keeping the
 /// first strict minimum reproduces the historical `(d, v)` lexicographic
-/// tie-break exactly.
-fn build_hop_table(adj: &Adjacency, dist: &[Vec<u16>]) -> Vec<u32> {
+/// tie-break exactly. Generic over the distance cell so the hop-count
+/// (`u16`) and weighted-cost (`u32`) tables share one audited build.
+fn build_hop_table<D: Copy + Ord>(adj: &Adjacency, dist: &[Vec<D>], unreachable: D) -> Vec<u32> {
     let n = adj.len();
     let mut hops = vec![0u32; n * n];
     for src in 0..n {
@@ -82,7 +100,7 @@ fn build_hop_table(adj: &Adjacency, dist: &[Vec<u16>]) -> Vec<u32> {
                     continue;
                 }
                 let d = via[dst];
-                if d == UNREACHABLE {
+                if d == unreachable {
                     continue;
                 }
                 let better = match *slot {
@@ -98,6 +116,62 @@ fn build_hop_table(adj: &Adjacency, dist: &[Vec<u16>]) -> Vec<u32> {
     hops
 }
 
+/// Weighted variant of [`build_hop_table`]: the key minimised per
+/// neighbour is the *full* forwarding cost `weights[v] + wdist[v][dst]`
+/// (entering `v` costs `weights[v]`, which varies per neighbour — unlike
+/// the hop-count build, where the uniform `+1` cancels out of the
+/// comparison). Folding the entry cost into per-node rows lets the one
+/// audited tie-break implementation serve both tables. With all weights
+/// equal to 1 every key is `1 + hops`, so the table is bit-identical to
+/// the hop-count build.
+fn build_hop_table_weighted(adj: &Adjacency, wdist: &[Vec<u32>], weights: &[u16]) -> Vec<u32> {
+    let cost_rows: Vec<Vec<u32>> = wdist
+        .iter()
+        .zip(weights)
+        .map(|(row, &w)| {
+            row.iter()
+                .map(|&d| {
+                    if d == UNREACHABLE_COST {
+                        UNREACHABLE_COST
+                    } else {
+                        d.saturating_add(w as u32)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    build_hop_table(adj, &cost_rows, UNREACHABLE_COST)
+}
+
+/// Node-weighted single-source shortest paths: the cost of a path is the
+/// sum of `weights[v]` over every node `v` entered along it (the source
+/// itself is free — its weight taxes *other* nodes routing through it).
+/// O(n²) selection Dijkstra; distances are unique, so selection order
+/// cannot affect the result.
+fn dijkstra_node_weighted(adj: &Adjacency, weights: &[u16], src: NodeId) -> Vec<u32> {
+    let n = adj.len();
+    let mut dist = vec![UNREACHABLE_COST; n];
+    let mut done = vec![false; n];
+    dist[src.index()] = 0;
+    loop {
+        let mut best: Option<(u32, usize)> = None;
+        for (v, &d) in dist.iter().enumerate() {
+            if !done[v] && d != UNREACHABLE_COST && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, v));
+            }
+        }
+        let Some((du, u)) = best else { break };
+        done[u] = true;
+        for &v in adj.neighbors(NodeId(u as u32)) {
+            let cand = du.saturating_add(weights[v.index()] as u32);
+            if cand < dist[v.index()] {
+                dist[v.index()] = cand;
+            }
+        }
+    }
+    dist
+}
+
 /// Link-state routing: one possibly stale snapshot (`View`) per node, refreshed
 /// from ground truth every `refresh_interval`.
 #[derive(Clone, Debug)]
@@ -109,6 +183,9 @@ pub struct LinkState {
     /// can count misses without requiring `&mut self`.
     no_route: Cell<u64>,
     cache: TruthCache,
+    /// Currently advertised per-node forwarding weights (energy-aware
+    /// routing); None = plain hop-count routing.
+    node_weights: Option<Vec<u16>>,
 }
 
 impl LinkState {
@@ -118,7 +195,7 @@ impl LinkState {
         let n = initial.len();
         let adj = Arc::new(initial.clone());
         let dist: DistTable = Arc::new(initial.all_pairs_distances());
-        let hops: HopTable = Arc::new(build_hop_table(&adj, &dist));
+        let hops: HopTable = Arc::new(build_hop_table(&adj, &dist, UNREACHABLE));
         let views = (0..n)
             .map(|_| View {
                 adj: Arc::clone(&adj),
@@ -132,8 +209,32 @@ impl LinkState {
             refresh_interval,
             stats: RoutingStats::default(),
             no_route: Cell::new(0),
-            cache: TruthCache { adj, dist, hops },
+            cache: TruthCache {
+                adj,
+                dist,
+                hops,
+                weights: None,
+            },
+            node_weights: None,
         }
+    }
+
+    /// Advertise per-node forwarding weights (energy-aware routing), or
+    /// None to return to hop-count routing. Weight 1 is a full-energy
+    /// node; larger weights tax routes through that node. Views pick the
+    /// new tables up on their next (forced or due) refresh — exactly like
+    /// a topology advertisement.
+    ///
+    /// # Panics
+    /// Panics when the weight vector's length disagrees with the node
+    /// count or any weight is zero (zero-cost relays would make route
+    /// costs degenerate).
+    pub fn set_node_weights(&mut self, weights: Option<Vec<u16>>) {
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), self.views.len(), "one weight per node");
+            assert!(w.iter().all(|&x| x >= 1), "weights must be >= 1");
+        }
+        self.node_weights = weights;
     }
 
     /// Number of nodes.
@@ -146,51 +247,74 @@ impl LinkState {
         self.views.is_empty()
     }
 
-    /// Bring the shared truth cache up to date with `ground_truth`,
-    /// re-running BFS only from affected sources.
+    /// Bring the shared truth cache up to date with `ground_truth` and the
+    /// advertised node weights, re-running BFS only from affected sources.
+    /// (The weighted Dijkstra, when weights are set, is recomputed in full
+    /// — its rows have no cheap incremental-validity criterion — but it
+    /// only runs when the topology *or the advertisement* changed.)
     fn ensure_cache(&mut self, ground_truth: &Adjacency) {
-        if *self.cache.adj == *ground_truth {
+        let adj_current = *self.cache.adj == *ground_truth;
+        if adj_current && self.cache.weights == self.node_weights {
             return;
         }
-        let changed = self.cache.adj.diff_edges(ground_truth);
-        let old = &self.cache.dist;
-        let n = ground_truth.len();
-        let mut rows: Vec<Vec<u16>> = Vec::with_capacity(n);
-        for s in 0..n {
-            let row = &old[s];
-            let affected = changed.iter().any(|&(u, v, present)| {
-                let (du, dv) = (row[u.index()], row[v.index()]);
-                if present {
-                    // Added edge: a shortcut for s iff the endpoints sat
-                    // ≥ 2 levels apart (∞ on one side counts).
-                    match (du == UNREACHABLE, dv == UNREACHABLE) {
-                        (true, true) => false,
-                        (true, false) | (false, true) => true,
-                        (false, false) => du.abs_diff(dv) >= 2,
+        let dist = if adj_current {
+            Arc::clone(&self.cache.dist)
+        } else {
+            let changed = self.cache.adj.diff_edges(ground_truth);
+            let old = &self.cache.dist;
+            let n = ground_truth.len();
+            let mut rows: Vec<Vec<u16>> = Vec::with_capacity(n);
+            for s in 0..n {
+                let row = &old[s];
+                let affected = changed.iter().any(|&(u, v, present)| {
+                    let (du, dv) = (row[u.index()], row[v.index()]);
+                    if present {
+                        // Added edge: a shortcut for s iff the endpoints sat
+                        // ≥ 2 levels apart (∞ on one side counts).
+                        match (du == UNREACHABLE, dv == UNREACHABLE) {
+                            (true, true) => false,
+                            (true, false) | (false, true) => true,
+                            (false, false) => du.abs_diff(dv) >= 2,
+                        }
+                    } else {
+                        // Removed edge: can only matter if it was tight
+                        // (adjacent endpoints differ by exactly 1 level).
+                        du != UNREACHABLE && dv != UNREACHABLE && du.abs_diff(dv) == 1
                     }
+                });
+                if affected {
+                    self.stats.bfs_run += 1;
+                    rows.push(ground_truth.bfs_distances(NodeId(s as u32)));
                 } else {
-                    // Removed edge: can only matter if it was tight
-                    // (adjacent endpoints differ by exactly 1 level).
-                    du != UNREACHABLE && dv != UNREACHABLE && du.abs_diff(dv) == 1
+                    self.stats.bfs_skipped += 1;
+                    rows.push(row.clone());
                 }
-            });
-            if affected {
-                self.stats.bfs_run += 1;
-                rows.push(ground_truth.bfs_distances(NodeId(s as u32)));
-            } else {
-                self.stats.bfs_skipped += 1;
-                rows.push(row.clone());
             }
-        }
-        let dist = Arc::new(rows);
+            Arc::new(rows)
+        };
         // The hop table is derived state: rebuilding it here — once per
-        // actual topology change, right after the incremental distance
-        // update — is what lets `next_hop` stay a pure array load.
-        let hops = Arc::new(build_hop_table(ground_truth, &dist));
+        // actual topology/advertisement change, right after the
+        // incremental distance update — is what lets `next_hop` stay a
+        // pure array load.
+        let hops = Arc::new(match &self.node_weights {
+            None => build_hop_table(ground_truth, &dist, UNREACHABLE),
+            Some(w) => {
+                let n = ground_truth.len();
+                let wdist: Vec<Vec<u32>> = (0..n)
+                    .map(|s| dijkstra_node_weighted(ground_truth, w, NodeId(s as u32)))
+                    .collect();
+                build_hop_table_weighted(ground_truth, &wdist, w)
+            }
+        });
         self.cache = TruthCache {
-            adj: Arc::new(ground_truth.clone()),
+            adj: if adj_current {
+                Arc::clone(&self.cache.adj)
+            } else {
+                Arc::new(ground_truth.clone())
+            },
             dist,
             hops,
+            weights: self.node_weights.clone(),
         };
     }
 
@@ -198,18 +322,22 @@ impl LinkState {
     /// interval. Call whenever ground truth may have changed (the assembly
     /// calls this on mobility updates); cheap when nothing is due.
     pub fn refresh_due_views(&mut self, now: SimTime, ground_truth: &Adjacency) {
-        let any_due_and_stale = self
+        if self
             .views
             .iter()
-            .any(|v| now.since(v.refreshed_at) >= self.refresh_interval && *v.adj != *ground_truth);
-        if any_due_and_stale {
-            self.ensure_cache(ground_truth);
+            .all(|v| now.since(v.refreshed_at) < self.refresh_interval)
+        {
+            return;
         }
+        self.ensure_cache(ground_truth);
         for view in &mut self.views {
             if now.since(view.refreshed_at) < self.refresh_interval {
                 continue;
             }
-            if *view.adj != *ground_truth {
+            // A view is stale iff it no longer shares the cache's tables
+            // (covers both topology changes and weight re-advertisements,
+            // which rebuild the hop table under an unchanged adjacency).
+            if !Arc::ptr_eq(&view.hops, &self.cache.hops) {
                 view.adj = Arc::clone(&self.cache.adj);
                 view.dist = Arc::clone(&self.cache.dist);
                 view.hops = Arc::clone(&self.cache.hops);
@@ -235,12 +363,12 @@ impl LinkState {
 
     /// Force **every** view up to date immediately — the model for a
     /// flooded topology-change advertisement (node failure/recovery, link
-    /// blackout). Views that already match the truth only restart their
-    /// staleness clock.
+    /// blackout, energy re-advertisement). Views already sharing the
+    /// current tables only restart their staleness clock.
     pub fn force_refresh_all(&mut self, now: SimTime, ground_truth: &Adjacency) {
         self.ensure_cache(ground_truth);
         for view in &mut self.views {
-            if *view.adj != *ground_truth {
+            if !Arc::ptr_eq(&view.hops, &self.cache.hops) {
                 view.adj = Arc::clone(&self.cache.adj);
                 view.dist = Arc::clone(&self.cache.dist);
                 view.hops = Arc::clone(&self.cache.hops);
@@ -532,6 +660,85 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A diamond with redundant routes: 0—1—3 and 0—2—3.
+    fn diamond() -> Adjacency {
+        let mut a = Adjacency::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            a.set_edge(NodeId(u), NodeId(v), true);
+        }
+        a
+    }
+
+    #[test]
+    fn unit_weights_reproduce_hop_count_routing() {
+        // Energy-aware routing with every node at full energy must be
+        // bit-identical to hop-count routing (same distances, same
+        // tie-breaks) on an irregular mesh.
+        let mut a = Adjacency::linear(7);
+        a.set_edge(NodeId(0), NodeId(4), true);
+        a.set_edge(NodeId(2), NodeId(6), true);
+        let r_hops = LinkState::new(&a, SimDuration::from_secs(5));
+        let mut r_w = LinkState::new(&a, SimDuration::from_secs(5));
+        r_w.set_node_weights(Some(vec![1; 7]));
+        r_w.force_refresh_all(SimTime::from_secs_f64(0.1), &a);
+        for s in 0..7u32 {
+            for d in 0..7u32 {
+                assert_eq!(
+                    r_hops.next_hop(NodeId(s), NodeId(d)),
+                    r_w.next_hop(NodeId(s), NodeId(d)),
+                    "{s}->{d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_weight_steers_route_around_drained_node() {
+        let a = diamond();
+        let mut r = LinkState::new(&a, SimDuration::from_secs(5));
+        // Hop-count tie between relays 1 and 2 resolves to the lower id.
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(1)));
+        // Node 1 is nearly drained: routes shift to relay 2 …
+        r.set_node_weights(Some(vec![1, 8, 1, 1]));
+        r.force_refresh_all(SimTime::from_secs_f64(1.0), &a);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(2)));
+        assert_eq!(r.next_hop(NodeId(3), NodeId(0)), Some(NodeId(2)));
+        // … while the transport's remaining-hops estimate stays a true
+        // hop count (eq. 4 must not see inflated "distances").
+        assert_eq!(r.remaining_hops(NodeId(0), NodeId(3)), Some(2));
+        // Clearing the advertisement restores hop-count routing.
+        r.set_node_weights(None);
+        r.force_refresh_all(SimTime::from_secs_f64(2.0), &a);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn weight_change_propagates_on_due_refresh_without_topology_change() {
+        let a = diamond();
+        let mut r = LinkState::new(&a, SimDuration::from_secs(5));
+        r.set_node_weights(Some(vec![1, 8, 1, 1]));
+        // Inside the refresh interval nothing is due: stale tie-break.
+        r.refresh_due_views(SimTime::from_secs_f64(1.0), &a);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(1)));
+        // Once due, the re-advertised weights reach every view even
+        // though the adjacency never changed.
+        r.refresh_due_views(SimTime::from_secs_f64(6.0), &a);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(2)));
+        assert!(r.stats().refreshes >= 4);
+    }
+
+    #[test]
+    fn weighted_routing_respects_disconnection() {
+        let mut a = diamond();
+        let mut r = LinkState::new(&a, SimDuration::from_secs(5));
+        r.set_node_weights(Some(vec![2, 3, 4, 5]));
+        a.set_edge(NodeId(0), NodeId(1), false);
+        a.set_edge(NodeId(0), NodeId(2), false);
+        r.force_refresh_all(SimTime::from_secs_f64(1.0), &a);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), None);
+        assert_eq!(r.next_hop(NodeId(1), NodeId(3)), Some(NodeId(3)));
     }
 
     #[test]

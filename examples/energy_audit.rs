@@ -11,6 +11,7 @@
 
 use javelen::netsim::{run_experiment, ExperimentConfig, TransportKind};
 use javelen::phys::gilbert::GilbertConfig;
+use javelen::phys::BatteryConfig;
 
 fn main() {
     let kinds = [
@@ -57,4 +58,44 @@ fn main() {
     println!("JTP: rare 200-B feedback packets and local recovery keep both");
     println!("columns small; TCP pays a per-2-packets ACK stream over every");
     println!("hop; JNC pays full-path source retransmissions.");
+
+    // The same joules, closed into a lifetime: give every node a small
+    // battery, offer an effectively endless transfer, and see which
+    // transport keeps the network delivering longest.
+    println!();
+    println!("network lifetime — same chain, 0.6 J batteries, endless transfer");
+    println!();
+    println!(
+        "{:<16} {:>14} {:>14} {:>10} {:>9}",
+        "protocol", "first death s", "partition s", "delivered", "uJ/bit"
+    );
+    for (kind, name) in kinds {
+        let mut cfg = ExperimentConfig::linear(7)
+            .transport(kind)
+            .duration_s(2000.0)
+            .seed(5)
+            .battery(BatteryConfig::javelen_small())
+            .bulk_flow(1_000_000, 10.0, 0.0);
+        cfg.gilbert = GilbertConfig {
+            bad_fraction: 0.2,
+            bad_loss_floor: 0.8,
+            ..GilbertConfig::paper_default()
+        };
+        let m = run_experiment(&cfg);
+        let fmt_opt = |t: Option<f64>| match t {
+            Some(t) => format!("{t:.1}"),
+            None => "-".into(),
+        };
+        println!(
+            "{:<16} {:>14} {:>14} {:>10} {:>9.4}",
+            name,
+            fmt_opt(m.first_death_s),
+            fmt_opt(m.first_partition_s),
+            m.delivered_packets,
+            m.energy_per_bit_uj()
+        );
+    }
+    println!();
+    println!("time-to-first-death alone can flatter an idle protocol; read it");
+    println!("next to `delivered` — packets moved before the network died.");
 }
