@@ -18,12 +18,20 @@
 //!    vs the flat per-view next-hop table (PR 2), which turns every
 //!    query into one array load. Routes are identical; only the cost per
 //!    forwarded packet changes.
+//! 5. **scale** — the dynamics/energy-re-advertisement path at 100+
+//!    nodes: incremental rebuilds (masked-truth edits + weighted-APSP
+//!    repair) vs the legacy from-scratch rebuilds (O(n²) truth + O(n³)
+//!    weighted Dijkstra per change), measured both at the routing
+//!    component level and over a whole catalog-scale lifetime run.
+//!    Results are byte-identical between modes (pinned by
+//!    `engine_equivalence::incremental_rebuilds_identical_to_scratch_rebuilds`);
+//!    only the wall clock differs.
 //!
 //! Run: `cargo run --release -p jtp-bench --bin engine_bench -- --quick
 //! --json BENCH_engine.json`
 
 use jtp_bench::Args;
-use jtp_netsim::{run_experiment, ExperimentConfig, FlowSpec, TransportKind};
+use jtp_netsim::{run_experiment, ExperimentConfig, FlowSpec, Scenario, TransportKind};
 use jtp_routing::{Adjacency, LinkState, UNREACHABLE};
 use jtp_sim::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
 use serde::Serialize;
@@ -352,6 +360,169 @@ fn bench_next_hop(nodes: usize, extra_edges: usize, queries: u64) -> NextHopBenc
 }
 
 #[derive(Serialize)]
+struct ScaleCell {
+    scenario: String,
+    nodes: usize,
+    /// Substrate changes applied (advertisements + churn events, or the
+    /// simulated seconds of the whole-run cells).
+    work: String,
+    scratch_wall_s: f64,
+    incremental_wall_s: f64,
+    speedup: f64,
+}
+
+/// One advertisement round of the synthetic drain model: node `i`'s
+/// weight walks up through quantisation levels at its own rate and
+/// stagger, so each round changes a *few* weights — the advert shape the
+/// energy subsystem floods (levels are coarse precisely so that
+/// re-floods stay rare; see `EnergyRoutingConfig`).
+fn drained_weights(n: usize, round: u64, rounds: u64) -> Vec<u16> {
+    (0..n)
+        .map(|i| {
+            let rate = 0.7 + (i % 16) as f64 / 24.0;
+            let stagger = (i % 29) as f64 / 29.0;
+            1 + ((round as f64 * rate / rounds as f64) * 4.0 - stagger)
+                .max(0.0)
+                .floor() as u16
+        })
+        .collect()
+}
+
+/// Routing-component cell: a `cols × rows` lattice under an interleaved
+/// advertisement/churn sequence, timed once with the incremental
+/// weighted-APSP repair and once with the legacy from-scratch rebuild.
+/// Cross-checks a sample of next hops for equality before timing.
+fn bench_scale_routing(cols: usize, rows: usize, rounds: u64) -> ScaleCell {
+    let n = cols * rows;
+    let grid = |blocked: Option<(u32, u32)>| {
+        let mut adj = Adjacency::new(n);
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = (r * cols + c) as u32;
+                if c + 1 < cols {
+                    adj.set_edge(NodeId(i), NodeId(i + 1), true);
+                }
+                if r + 1 < rows {
+                    adj.set_edge(NodeId(i), NodeId(i + cols as u32), true);
+                }
+            }
+        }
+        if let Some((a, b)) = blocked {
+            adj.set_edge(NodeId(a), NodeId(b), false);
+        }
+        adj
+    };
+    let base = grid(None);
+    let flapped = grid(Some((n as u32 / 2, n as u32 / 2 + 1)));
+    // Every 8th round a link near the middle flaps (the churn shape);
+    // every round re-advertises the drained weight vector. Weight vectors
+    // are precomputed so the timed loop measures the *flood handling*,
+    // not the advert synthesis.
+    let weights: Vec<Vec<u16>> = (0..rounds).map(|r| drained_weights(n, r, rounds)).collect();
+    let run_mode = |full_rebuild: bool| -> f64 {
+        let mut ls = LinkState::new(&base, SimDuration::from_secs(5));
+        ls.set_full_weighted_rebuild(full_rebuild);
+        let start = Instant::now();
+        for round in 0..rounds {
+            let truth = if round % 8 == 4 { &flapped } else { &base };
+            ls.set_node_weights(Some(weights[round as usize].clone()));
+            ls.force_refresh_all(SimTime::from_secs_f64(round as f64 + 1.0), truth);
+            std::hint::black_box(ls.next_hop(NodeId(0), NodeId(n as u32 - 1)));
+        }
+        start.elapsed().as_secs_f64()
+    };
+    // Correctness spot-check: both modes must route identically after an
+    // advert + churn round.
+    {
+        let mut a = LinkState::new(&base, SimDuration::from_secs(5));
+        let mut b = LinkState::new(&base, SimDuration::from_secs(5));
+        b.set_full_weighted_rebuild(true);
+        for (round, truth) in [(1u64, grid(None)), (2, grid(Some((4, 5))))] {
+            for ls in [&mut a, &mut b] {
+                ls.set_node_weights(Some(drained_weights(n, round * 7, rounds)));
+                ls.force_refresh_all(SimTime::from_secs_f64(round as f64), &truth);
+            }
+            for s in (0..n as u32).step_by(7) {
+                for d in (0..n as u32).step_by(5) {
+                    assert_eq!(
+                        a.next_hop(NodeId(s), NodeId(d)),
+                        b.next_hop(NodeId(s), NodeId(d)),
+                        "modes disagree for {s}->{d}"
+                    );
+                }
+            }
+        }
+    }
+    run_mode(false); // warm
+    let best_of_2 = |full: bool, f: &dyn Fn(bool) -> f64| f(full).min(f(full));
+    let scratch = best_of_2(true, &run_mode);
+    let incremental = best_of_2(false, &run_mode);
+    let out = ScaleCell {
+        scenario: format!("routing: {cols}x{rows} grid advert+churn"),
+        nodes: n,
+        work: format!("{rounds} advert rounds, link flap every 8th"),
+        scratch_wall_s: scratch,
+        incremental_wall_s: incremental,
+        speedup: scratch / incremental,
+    };
+    println!(
+        "scale routing ({n:>3} nodes)       : scratch {scratch:>8.3}s | incremental {incremental:>8.3}s | speedup {:.2}x",
+        out.speedup
+    );
+    out
+}
+
+/// Whole-run cell: the catalog's 100+-node lifetime scenario (batteries,
+/// energy-aware routing, deaths flooding refreshes) run end to end in
+/// both rebuild modes. Metrics are asserted identical before reporting.
+fn bench_scale_run(name: &str) -> ScaleCell {
+    let sc = Scenario::catalog()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("catalog scale entry");
+    // Always the full horizon: the rebuild storm is the death cascade in
+    // the run's second half — truncating it would measure idle slots.
+    let mut cfg = sc.build(TransportKind::Jtp);
+    let nodes = cfg.topology.node_count();
+    cfg.incremental_rebuilds = true;
+    let m_inc = run_experiment(&cfg); // warm
+    let time_best_of_2 = |cfg: &ExperimentConfig| {
+        (0..2)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(run_experiment(cfg));
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let incremental = time_best_of_2(&cfg);
+    cfg.incremental_rebuilds = false;
+    let m_scratch = run_experiment(&cfg);
+    let scratch = time_best_of_2(&cfg);
+    assert_eq!(
+        serde_json::to_string(&m_scratch).unwrap(),
+        serde_json::to_string(&m_inc).unwrap(),
+        "rebuild modes diverged"
+    );
+    let out = ScaleCell {
+        scenario: format!("run: {name} (JTP)"),
+        nodes,
+        work: format!(
+            "{:.0} simulated s, full lifetime",
+            cfg.duration.as_secs_f64()
+        ),
+        scratch_wall_s: scratch,
+        incremental_wall_s: incremental,
+        speedup: scratch / incremental,
+    };
+    println!(
+        "scale run {name:<22}: scratch {scratch:>8.3}s | incremental {incremental:>8.3}s | speedup {:.2}x",
+        out.speedup
+    );
+    out
+}
+
+#[derive(Serialize)]
 struct Batch {
     scenario: String,
     seeds: usize,
@@ -369,6 +540,10 @@ struct Report {
     slot_engine: Vec<SlotEngine>,
     batch: Batch,
     next_hop: Vec<NextHopBench>,
+    /// 100+-node dynamics/energy-re-advertisement path: incremental
+    /// rebuilds vs the legacy from-scratch rebuilds (byte-identical
+    /// results, see `engine_equivalence`).
+    scale: Vec<ScaleCell>,
 }
 
 /// Configure a scenario as the pre-overhaul engine (slot-per-event loop,
@@ -508,6 +683,18 @@ fn main() {
         bench_next_hop(100, 150, nh_queries),
     ];
 
+    // 5. Scale: the dynamics/energy-re-advertisement path past 16 nodes —
+    //    incremental masked-truth + weighted-APSP repair vs the legacy
+    //    from-scratch rebuilds, at the routing component level (100- and
+    //    144-node grids) and over the catalog's 121-node lifetime run.
+    let adverts: u64 = args.pick(120, 40);
+    let scale = vec![
+        bench_scale_routing(10, 10, adverts),
+        bench_scale_routing(12, 12, adverts),
+        bench_scale_routing(16, 16, adverts),
+        bench_scale_run("grid121-lifetime"),
+    ];
+
     let report = Report {
         quick: args.quick,
         queue_workload: "hold model: pop + schedule(now+U[0,100ms]) per step, extra schedule+cancel every 3rd step".into(),
@@ -515,6 +702,7 @@ fn main() {
         slot_engine,
         batch,
         next_hop,
+        scale,
     };
     jtp_bench::maybe_write_json(&args, &report);
 }

@@ -108,10 +108,16 @@ pub enum DynamicsAction {
     /// The partition heals.
     PartitionEnd,
     /// A correlated area failure: every node within `radius_m` of the
-    /// point `(x_m, y_m)` — at its position when the event fires, so
-    /// mobility matters — crashes at once (queues lost, links gone). The
+    /// point `(x_m, y_m)` crashes at once (queues lost, links gone). The
     /// spatially-correlated analogue of [`DynamicsAction::NodeDown`];
     /// victims can be revived individually with `NodeUp`.
+    ///
+    /// **Disc semantics under mobility**: the victim set is sampled from
+    /// node positions **at the instant the event fires** — i.e. the
+    /// positions as of the last mobility tick before (or at) the blast
+    /// time — not from the initial placement. A node that wandered into
+    /// the disc by then dies; one that wandered out survives. Pinned by
+    /// `lifetime::area_failure_under_mobility_samples_positions_at_event_time`.
     AreaFail {
         /// Blast centre x (metres).
         x_m: f64,
@@ -308,6 +314,14 @@ pub struct ExperimentConfig {
     /// timer events per flow. Disable only to benchmark against that
     /// behaviour.
     pub wakeup_coalescing: bool,
+    /// Maintain the effective ground truth and the energy-weighted
+    /// routing table **incrementally** per dynamics event / energy
+    /// re-advertisement (a node failure touches its incident edges, a
+    /// weight change repairs only the affected shortest-path regions).
+    /// Disable to run the legacy from-scratch rebuilds — O(n²) truth +
+    /// O(n³) weighted Dijkstra per change — for benchmarking; results
+    /// are byte-identical in both modes.
+    pub incremental_rebuilds: bool,
 }
 
 impl ExperimentConfig {
@@ -335,6 +349,7 @@ impl ExperimentConfig {
             tcp_ack_flush: SimDuration::from_millis(500),
             idle_slot_skipping: true,
             wakeup_coalescing: true,
+            incremental_rebuilds: true,
         }
     }
 

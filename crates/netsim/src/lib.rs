@@ -38,6 +38,7 @@ pub mod runner;
 pub mod scenario;
 pub mod topology;
 pub mod trace;
+pub mod truth;
 
 pub use config::{
     DynamicsAction, DynamicsEvent, EnergyRoutingConfig, ExperimentConfig, FlowSpec, MobilityConfig,
@@ -51,3 +52,4 @@ pub use runner::{
 };
 pub use scenario::{DynamicsSpec, Scenario, TrafficPattern};
 pub use trace::{TraceConfig, TraceLog};
+pub use truth::MaskedTruth;

@@ -31,7 +31,8 @@
 //!   idle-slot replay reproduces the naive drain sequence exactly)
 //!   depletes the node's reservoir; depletion kills the node for good
 //!   through the same masked-truth machinery, at a slot event the
-//!   skipping engine *aims* at the exactly-predicted death slot.
+//!   skipping engine *aims* at the predicted death slot (an analytic
+//!   lower bound far out, the exactly-replayed crossing once near).
 //!   Duty-cycled nodes sleep whole frames (they transmit but don't
 //!   receive), and energy-aware routing periodically floods quantised
 //!   residual fractions as per-node forwarding weights.
@@ -51,6 +52,7 @@ use crate::metrics::{FlowMetrics, Metrics};
 use crate::payload::{Payload, TransportPacket};
 use crate::topology::{adjacency_from_positions, field_for, place_nodes};
 use crate::trace::{MonitorSample, TraceConfig, TraceLog};
+use crate::truth::MaskedTruth;
 use jtp::{IjtpModule, JtpReceiver, JtpSender, LinkInfo, PreXmitVerdict};
 use jtp_baselines::atp::{AtpReceiver, AtpSender};
 use jtp_baselines::tcp::{TcpReceiver, TcpSender};
@@ -61,12 +63,19 @@ use jtp_phys::{
     Battery, BatteryConfig, EnergyMeter, MobilityModel, PathLoss, Point, RadioEnergyModel,
     RandomWaypoint,
 };
-use jtp_routing::{Adjacency, LinkState};
+use jtp_routing::LinkState;
 use jtp_sim::{EventId, EventQueue, FlowId, NodeId, SimDuration, SimRng, SimTime, Simulation};
 
 /// Event class of TDMA slot boundaries: delivered before same-instant
 /// timer events (classes are ordered before FIFO sequence at ties).
 const SLOT_CLASS: u8 = 0;
+
+/// Frames within which battery-death prediction switches from the
+/// analytic lower bound to the exact per-frame float replay (the replay
+/// must reproduce the engine's drain sequence bit-for-bit, so the final
+/// approach is always walked; the window also absorbs the bound's
+/// float-safety margin).
+const PREDICT_EXACT_WINDOW: u64 = 32;
 
 /// Simulation events.
 #[derive(Clone, Copy, Debug)]
@@ -133,7 +142,10 @@ pub struct Network {
     flows: Vec<Flow>,
     schedule: TdmaSchedule,
     routing: LinkState,
-    truth: Adjacency,
+    /// Effective ground truth: geometric connectivity masked by the
+    /// substrate state (churn, blackouts, partitions, battery deaths),
+    /// maintained incrementally per dynamics event.
+    truth: MaskedTruth,
     /// Per-undirected-link fading processes, indexed by [`Network::pair_index`].
     /// Lazily initialised so RNG substream consumption matches link first-use
     /// order exactly (the former `HashMap` behaviour).
@@ -153,14 +165,10 @@ pub struct Network {
     // ---- substrate dynamics state ----
     /// The scheduled dynamics timeline (from the config).
     dynamics: Vec<DynamicsEvent>,
-    /// `node_up[i]` ⇔ node i is powered (failed nodes neither transmit
-    /// nor receive and their links vanish from the advertised topology).
-    node_up: Vec<bool>,
-    /// Blacked-out undirected links, indexed like [`Network::pair_index`].
-    blocked_links: Vec<bool>,
-    /// Active partition: side membership per node (cross-side links are
-    /// severed). At most one partition at a time.
-    partition: Option<Vec<bool>>,
+    /// Maintain the effective truth (and the weighted routing table)
+    /// incrementally per dynamics event; false = the legacy from-scratch
+    /// rebuilds, kept runnable for benchmarks and equivalence tests.
+    incremental_rebuilds: bool,
     /// Frames lost to node crashes (flushed queues + sends from a dead
     /// node), distinct from congestion/ARQ/no-route drops.
     churn_drops: u64,
@@ -172,10 +180,14 @@ pub struct Network {
     /// `battery_dead[i]` ⇔ node i's battery depleted. Unlike dynamics
     /// churn, battery death is permanent: `NodeUp` cannot revive it.
     battery_dead: Vec<bool>,
-    /// Skipping engine only: the future slot (owned by node i) at which
-    /// baseline draw alone would deplete node i's battery — slot events
-    /// are aimed at these so endogenous death fires at the exact instant
-    /// the naive per-slot loop would detect it.
+    /// Skipping engine only: a future slot (owned by node i) at or
+    /// before which node i's battery provably cannot die of baseline
+    /// draw — either the exactly-replayed crossing slot (when the death
+    /// is within [`PREDICT_EXACT_WINDOW`] frames) or a conservative
+    /// analytic lower bound on it. Slot events are aimed at these: an
+    /// aimed slot that isn't the crossing fires harmlessly and re-aims,
+    /// so endogenous death still fires at the exact instant the naive
+    /// per-slot loop would detect it.
     death_slot: Vec<Option<u64>>,
     /// Nodes whose batteries crossed zero in the current event, in drain
     /// order; processed (once each) at the event's timestamp.
@@ -220,8 +232,9 @@ impl Network {
         cfg.validate().expect("invalid experiment configuration");
         let n = cfg.topology.node_count();
         let positions = place_nodes(&cfg.topology, &cfg.pathloss, cfg.seed);
-        let truth = adjacency_from_positions(&positions, &cfg.pathloss);
-        let routing = LinkState::new(&truth, cfg.routing_refresh);
+        let truth = MaskedTruth::new(adjacency_from_positions(&positions, &cfg.pathloss));
+        let mut routing = LinkState::new(truth.adjacency(), cfg.routing_refresh);
+        routing.set_full_weighted_rebuild(!cfg.incremental_rebuilds);
         let schedule = TdmaSchedule::new(n as u32, cfg.slot, cfg.seed);
         let capacity = schedule.per_node_capacity_pps();
         let field = field_for(&cfg.topology);
@@ -380,9 +393,7 @@ impl Network {
             trace: TraceLog::default(),
             no_route_drops: 0,
             dynamics: cfg.dynamics.clone(),
-            node_up: vec![true; n],
-            blocked_links: vec![false; n * (n.saturating_sub(1)) / 2],
-            partition: None,
+            incremental_rebuilds: cfg.incremental_rebuilds,
             churn_drops: 0,
             battery_cfg: cfg.battery,
             batteries: match &cfg.battery {
@@ -449,9 +460,12 @@ impl Network {
     /// additions reproduce the naive engine's float sequence exactly).
     ///
     /// Deaths can never occur inside a replay: the slot event is aimed at
-    /// `min(next busy slot, earliest predicted death slot)`, so a battery
-    /// that baseline draw would deplete gets a *fired* slot event at
-    /// exactly that instant instead of being replayed past it.
+    /// `min(next busy slot, earliest predicted death slot)`, and every
+    /// predicted death slot is at or **before** the true crossing (it is
+    /// either the exactly-replayed crossing or a conservative analytic
+    /// lower bound on it), so a battery that baseline draw would deplete
+    /// gets a *fired* slot event no later than that instant instead of
+    /// being replayed past it.
     fn replay_idle_slots(&mut self, upto: u64) {
         while self.slot_cursor < upto {
             let owner = self.schedule.owner(self.slot_cursor);
@@ -573,11 +587,27 @@ impl Network {
         }
     }
 
-    /// Predict the slot at which baseline draw alone will deplete node
-    /// `i`'s battery, replaying the exact per-frame `drain` additions the
-    /// engine will execute (no closed forms — float rounding must match).
+    /// Predict a slot at which node `i`'s battery may die of baseline
+    /// draw alone: either the **exact** crossing slot — found by
+    /// replaying the per-frame `drain` additions the engine will execute
+    /// (no closed forms — float rounding must match) — or a
+    /// **conservative lower bound** on it when the crossing is far away.
+    ///
+    /// The bound is analytic: with at most `j_max` joules leaving per
+    /// frame, the reservoir provably cannot empty within
+    /// `remaining/j_max` frames (shrunk by a float-safety factor and the
+    /// exact-replay window), so the frame-by-frame walk — which used to
+    /// make every radio charge on a 100k-frame battery cost a 100k-frame
+    /// replay — is skipped entirely until the crossing is near. Aiming a
+    /// slot event at the bound is harmless: a fired slot with no death is
+    /// observationally identical to a replayed idle slot, and the firing
+    /// re-predicts from the new state ([`Network::handle_slot`]), closing
+    /// in geometrically. Only inside the final [`PREDICT_EXACT_WINDOW`]
+    /// does the exact float replay run, so deaths still land on the
+    /// byte-exact slot the naive per-slot loop would detect.
+    ///
     /// None when batteries are off, the node is dead, draws are zero, or
-    /// the crossing lies beyond the run horizon.
+    /// the (bound on the) crossing lies beyond the run horizon.
     fn predict_death_slot(&self, i: usize) -> Option<u64> {
         let cfg = self.battery_cfg.as_ref()?;
         if self.battery_dead[i] {
@@ -599,6 +629,32 @@ impl Network {
         if self.schedule.owned_slot_in_frame(node, frame) < self.slot_cursor {
             frame += 1;
         }
+        // Analytic skip: the crossing cannot happen within `safe` pending
+        // frames even at the maximum per-frame draw, with a 1e-6 relative
+        // margin absorbing worst-case float-summation rounding (valid up
+        // to ~10⁹-frame lifetimes; catalog batteries sit far below).
+        let j_max = self.baseline_idle_j.max(self.baseline_sleep_j);
+        if j_max > 0.0 {
+            // The float→int cast saturates for near-zero draws, so guard
+            // the index arithmetic with the run's own frame bound: a
+            // crossing provably past the horizon is simply no death.
+            let horizon_frame = self.schedule.slot_index_at(self.end) / n + 1;
+            let safe = ((cap - drained) / j_max * (1.0 - 1e-6)) as u64;
+            let safe = safe.saturating_sub(PREDICT_EXACT_WINDOW);
+            if safe > 0 {
+                let bound = frame.saturating_add(safe);
+                if bound > horizon_frame {
+                    return None; // even the earliest possible crossing is past the horizon
+                }
+                if self.schedule.slot_start(bound * n) > self.end {
+                    return None;
+                }
+                let slot = self.schedule.owned_slot_in_frame(node, bound);
+                return (self.schedule.slot_start(slot) <= self.end).then_some(slot);
+            }
+        }
+        // Exact replay — only ever runs within the final window (plus
+        // whatever slack the draw mix left under the j_max bound).
         loop {
             if self.schedule.slot_start(frame * n) > self.end {
                 return None; // the battery outlives the run
@@ -647,8 +703,8 @@ impl Network {
             self.battery_dead[i] = true;
             self.death_slot[i] = None;
             self.deaths.push((now, v));
-            if self.node_up[i] {
-                self.node_up[i] = false;
+            if self.truth.is_up(v) {
+                self.truth.set_node_up(v, false);
                 self.churn_drops += self.nodes[i].mac.flush();
                 self.refresh_backlog(v);
             }
@@ -656,8 +712,8 @@ impl Network {
         }
         if any {
             self.backlog_dirty = true;
-            self.rebuild_truth();
-            self.routing.force_refresh_all(now, &self.truth);
+            self.after_substrate_change();
+            self.routing.force_refresh_all(now, self.truth.adjacency());
             if self.first_partition.is_none() && !self.alive_connected() {
                 self.first_partition = Some(now);
             }
@@ -671,7 +727,7 @@ impl Network {
     fn alive_connected(&self) -> bool {
         let n = self.positions.len();
         let alive: Vec<bool> = (0..n)
-            .map(|i| !self.battery_dead[i] && self.node_up[i])
+            .map(|i| !self.battery_dead[i] && self.truth.is_up(NodeId(i as u32)))
             .collect();
         let alive_count = alive.iter().filter(|&&a| a).count();
         if alive_count < 2 {
@@ -683,7 +739,7 @@ impl Network {
         seen[start] = true;
         let mut reached = 1;
         while let Some(u) = stack.pop() {
-            for &v in self.truth.neighbors(u) {
+            for &v in self.truth.adjacency().neighbors(u) {
                 if alive[v.index()] && !seen[v.index()] {
                     seen[v.index()] = true;
                     reached += 1;
@@ -739,7 +795,7 @@ impl Network {
         if self.advertised_weights.as_ref() != Some(&weights) {
             self.routing.set_node_weights(Some(weights.clone()));
             self.advertised_weights = Some(weights);
-            self.routing.force_refresh_all(now, &self.truth);
+            self.routing.force_refresh_all(now, self.truth.adjacency());
         }
         let at = now + e.advert_period;
         if at <= self.end {
@@ -751,33 +807,16 @@ impl Network {
     // Substrate dynamics
     // ------------------------------------------------------------------
 
-    /// Recompute the effective ground truth: geometric connectivity minus
-    /// failed nodes, blacked-out links and the active partition cut.
-    fn rebuild_truth(&mut self) {
-        let n = self.positions.len();
-        let mut adj = jtp_routing::Adjacency::new(n);
-        for i in 0..n {
-            if !self.node_up[i] {
-                continue;
-            }
-            for j in (i + 1)..n {
-                if !self.node_up[j] || self.blocked_links[self.pair_index(i as u32, j as u32)] {
-                    continue;
-                }
-                if let Some(side) = &self.partition {
-                    if side[i] != side[j] {
-                        continue;
-                    }
-                }
-                if self
-                    .pathloss
-                    .in_range(self.positions[i].distance(self.positions[j]))
-                {
-                    adj.set_edge(NodeId(i as u32), NodeId(j as u32), true);
-                }
-            }
+    /// Finish a substrate mutation. The incremental engine already
+    /// maintained the effective truth edge-by-edge inside [`MaskedTruth`];
+    /// the legacy comparison mode instead re-derives geometry and masks
+    /// from scratch here — the O(n²)-per-event `rebuild_truth` the
+    /// incremental path replaced (kept runnable for benchmarks; both
+    /// produce the identical adjacency).
+    fn after_substrate_change(&mut self) {
+        if !self.incremental_rebuilds {
+            self.truth.set_positions(&self.positions, &self.pathloss);
         }
-        self.truth = adj;
     }
 
     /// Apply one scheduled dynamics action, then advertise the new truth
@@ -786,8 +825,8 @@ impl Network {
     fn handle_dynamics(&mut self, now: SimTime, idx: u32) {
         match self.dynamics[idx as usize].action.clone() {
             DynamicsAction::NodeDown(v) => {
-                if self.node_up[v.index()] {
-                    self.node_up[v.index()] = false;
+                if self.truth.is_up(v) {
+                    self.truth.set_node_up(v, false);
                     // The crash loses the transmit queue; while down the
                     // node enqueues nothing, so its slots stay idle (and
                     // skippable) by construction.
@@ -799,42 +838,43 @@ impl Network {
                 // A battery-dead node is beyond reviving: the scheduled
                 // heal fizzles.
                 if !self.battery_dead[v.index()] {
-                    self.node_up[v.index()] = true;
+                    self.truth.set_node_up(v, true);
                 }
             }
             DynamicsAction::LinkDown(a, b) => {
-                let idx = self.pair_index(a.0.min(b.0), a.0.max(b.0));
-                self.blocked_links[idx] = true;
+                self.truth.set_link_blocked(a, b, true);
             }
             DynamicsAction::LinkUp(a, b) => {
-                let idx = self.pair_index(a.0.min(b.0), a.0.max(b.0));
-                self.blocked_links[idx] = false;
+                self.truth.set_link_blocked(a, b, false);
             }
             DynamicsAction::PartitionStart(group) => {
                 let mut side = vec![false; self.positions.len()];
                 for v in &group {
                     side[v.index()] = true;
                 }
-                self.partition = Some(side);
+                self.truth.set_partition(Some(side));
             }
             DynamicsAction::PartitionEnd => {
-                self.partition = None;
+                self.truth.set_partition(None);
             }
             DynamicsAction::AreaFail { x_m, y_m, radius_m } => {
                 // Correlated failure: every node inside the disc — at its
-                // position *now*, mobility included — crashes at once.
+                // position **at the instant the event fires**, so under
+                // mobility the victim set is sampled from the moved
+                // placement, not the initial one — crashes at once.
                 let centre = Point::new(x_m, y_m);
                 for i in 0..self.positions.len() {
-                    if self.node_up[i] && self.positions[i].distance(centre) <= radius_m {
-                        self.node_up[i] = false;
+                    let v = NodeId(i as u32);
+                    if self.truth.is_up(v) && self.positions[i].distance(centre) <= radius_m {
+                        self.truth.set_node_up(v, false);
                         self.churn_drops += self.nodes[i].mac.flush();
-                        self.refresh_backlog(NodeId(i as u32));
+                        self.refresh_backlog(v);
                     }
                 }
             }
         }
-        self.rebuild_truth();
-        self.routing.force_refresh_all(now, &self.truth);
+        self.after_substrate_change();
+        self.routing.force_refresh_all(now, self.truth.adjacency());
     }
 
     // ------------------------------------------------------------------
@@ -843,7 +883,7 @@ impl Network {
 
     /// Route `tp` one hop from `from` and enqueue it at `from`'s MAC.
     fn forward_from(&mut self, from: NodeId, tp: TransportPacket) {
-        if !self.node_up[from.index()] {
+        if !self.truth.is_up(from) {
             // A dead node originates and forwards nothing; transport
             // timers at a crashed endpoint spin harmlessly until it heals.
             self.churn_drops += 1;
@@ -883,6 +923,13 @@ impl Network {
         // *fires* (the skipping engine aims at predicted death slots).
         self.charge_baseline(owner, slot);
         self.process_pending_deaths(now);
+        if self.skip_idle && self.death_slot[owner.index()].is_some_and(|ds| ds <= slot) {
+            // The aimed slot was a conservative lower bound, not the
+            // crossing itself: re-predict from the post-charge state and
+            // re-aim (each hop lands geometrically closer to the exact
+            // death slot; see `predict_death_slot`).
+            self.recompute_death_slot(owner.index());
+        }
         match self.prepare_head(owner, now) {
             None => {
                 self.nodes[owner.index()].mac.record_owned_slot(false);
@@ -1013,7 +1060,7 @@ impl Network {
         // Substrate dynamics short-circuit the channel without touching
         // any RNG substream: a dead endpoint, a blacked-out link or a
         // partition cut can never deliver.
-        if !self.node_up[from.index()] || !self.node_up[to.index()] {
+        if !self.truth.is_up(from) || !self.truth.is_up(to) {
             return false;
         }
         // A duty-cycled receiver sleeping this frame hears nothing (the
@@ -1026,15 +1073,13 @@ impl Network {
                 return false;
             }
         }
-        let (lo, hi) = (from.0.min(to.0), from.0.max(to.0));
-        if self.blocked_links[self.pair_index(lo, hi)] {
+        if self.truth.link_blocked(from, to) {
             return false;
         }
-        if let Some(side) = &self.partition {
-            if side[from.index()] != side[to.index()] {
-                return false;
-            }
+        if !self.truth.same_side(from, to) {
+            return false;
         }
+        let (lo, hi) = (from.0.min(to.0), from.0.max(to.0));
         let d = self.positions[from.index()].distance(self.positions[to.index()]);
         if !self.pathloss.in_range(d) {
             return false;
@@ -1367,8 +1412,10 @@ impl Network {
                 self.positions[i] = w.position_at(now);
             }
         }
-        self.rebuild_truth();
-        self.routing.refresh_due_views(now, &self.truth);
+        // Every node moved: re-deriving the geometric adjacency is
+        // inherently a full pass (the masks are re-applied on top).
+        self.truth.set_positions(&self.positions, &self.pathloss);
+        self.routing.refresh_due_views(now, self.truth.adjacency());
         let at = now + mcfg.update_period;
         if at <= self.end {
             q.schedule_at(at, Event::MobilityTick);
@@ -1506,6 +1553,13 @@ impl Network {
     /// Current node positions (test/diagnostic).
     pub fn positions(&self) -> &[Point] {
         &self.positions
+    }
+
+    /// Whether a node is currently powered — false after dynamics churn,
+    /// an area failure or battery death (test/diagnostic; this is what
+    /// the `AreaFail` disc-semantics test asserts against).
+    pub fn node_is_up(&self, v: NodeId) -> bool {
+        self.truth.is_up(v)
     }
 }
 

@@ -773,6 +773,106 @@ impl Scenario {
                 capacity_j: 0.25,
                 ..BatteryConfig::javelen_small()
             }),
+            // ---- scale family: 100–144-node grids and clusters. The
+            // per-node TDMA capacity shrinks with n (one slot per frame),
+            // so workloads are sized in tens of packets; what these
+            // entries exercise is the *engine* — incremental truth
+            // rebuilds, incremental weighted APSP and bounded battery
+            // prediction keep per-event cost flat where the from-scratch
+            // paths collapsed past 16 nodes (see BENCH_engine.json's
+            // "scale" section). ----
+            Scenario::new(
+                "grid100-churn-cross",
+                TopologyKind::Grid {
+                    cols: 10,
+                    rows: 10,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(600.0)
+            .seed(112)
+            .traffic(TrafficPattern::CrossTraffic {
+                a: NodeId(0),
+                b: NodeId(99),
+                packets: 40,
+                start_s: 5.0,
+            })
+            .traffic(TrafficPattern::Cbr {
+                src: NodeId(9),
+                dst: NodeId(90),
+                rate_pps: 0.3,
+                start_s: 20.0,
+                duration_s: 100.0,
+                loss_tolerance: 0.0,
+            })
+            .dynamics(DynamicsSpec::NodeChurn {
+                node: NodeId(44),
+                fail_at_s: 60.0,
+                recover_at_s: 180.0,
+            })
+            .dynamics(DynamicsSpec::AreaFailure {
+                // Mid-grid blast: nodes around (4,5)–(5,5) crash; the
+                // cross-flows route around the hole.
+                x_m: 360.0,
+                y_m: 400.0,
+                radius_m: 90.0,
+                at_s: 240.0,
+            }),
+            Scenario::new(
+                "clustered120-convergecast",
+                TopologyKind::Clustered {
+                    clusters: 8,
+                    per_cluster: 15,
+                    spread_m: 25.0,
+                    cluster_spacing_m: 90.0,
+                },
+            )
+            .duration_s(600.0)
+            .seed(113)
+            .traffic(TrafficPattern::Convergecast {
+                sink: NodeId(0),
+                sources: vec![
+                    NodeId(20),
+                    NodeId(41),
+                    NodeId(62),
+                    NodeId(83),
+                    NodeId(104),
+                    NodeId(119),
+                ],
+                packets: 12,
+                start_s: 5.0,
+                stagger_s: 6.0,
+            })
+            .dynamics(DynamicsSpec::LinkFlap {
+                a: NodeId(0),
+                b: NodeId(1),
+                first_down_s: 40.0,
+                down_s: 15.0,
+                period_s: 90.0,
+                cycles: 4,
+            }),
+            Scenario::new(
+                "grid121-lifetime",
+                TopologyKind::Grid {
+                    cols: 11,
+                    rows: 11,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(900.0)
+            .seed(114)
+            .traffic(TrafficPattern::CrossTraffic {
+                a: NodeId(0),
+                b: NodeId(120),
+                // Effectively unbounded: the run measures lifetime. At
+                // 121 nodes a frame is ~3 s, so the idle draw alone kills
+                // the javelen_small battery at ~600 s — inside the
+                // horizon, with relays dying earlier under load.
+                packets: 50_000,
+                start_s: 5.0,
+            })
+            .battery(BatteryConfig::javelen_small())
+            .energy_routing(),
         ]
     }
 }
@@ -968,8 +1068,16 @@ mod tests {
     fn catalog_lowers_valid_for_every_transport() {
         let cat = Scenario::catalog();
         assert!(
-            cat.len() >= 11,
-            "catalog shrank below the canonical eleven (8 + the lifetime family)"
+            cat.len() >= 14,
+            "catalog shrank below the canonical fourteen \
+             (8 + the lifetime family + the 100+-node scale family)"
+        );
+        assert!(
+            cat.iter()
+                .filter(|s| s.topology.node_count() >= 100)
+                .count()
+                >= 3,
+            "the scale family must keep 100+-node entries in the catalog"
         );
         let mut names: Vec<&str> = cat.iter().map(|s| s.name.as_str()).collect();
         names.sort();

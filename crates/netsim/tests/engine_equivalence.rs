@@ -391,6 +391,114 @@ fn churn_plus_battery_run_identical() {
     assert!(fast.churn_drops + fast.no_route_drops + fast.arq_drops > 0);
 }
 
+/// The incremental rebuild engine (masked-truth edits per dynamics
+/// event, weighted-APSP repair per energy re-advertisement) must be
+/// byte-identical to the legacy from-scratch rebuilds — on a workload
+/// that composes churn, an area failure, battery death floods and
+/// periodic weight re-advertisements, so every repair path is exercised.
+#[test]
+fn incremental_rebuilds_identical_to_scratch_rebuilds() {
+    use jtp_netsim::{DynamicsAction, DynamicsEvent};
+    use jtp_phys::BatteryConfig;
+    let mut cfg = ExperimentConfig::grid(6, 6)
+        .transport(TransportKind::Jtp)
+        .duration_s(700.0)
+        .seed(645)
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(35),
+            start: SimDuration::from_secs(5),
+            packets: u32::MAX / 2,
+            loss_tolerance: 1.0,
+            initial_rate_pps: None,
+        })
+        .dynamic(DynamicsEvent::at_s(
+            40.0,
+            DynamicsAction::NodeDown(NodeId(14)),
+        ))
+        .dynamic(DynamicsEvent::at_s(
+            120.0,
+            DynamicsAction::NodeUp(NodeId(14)),
+        ))
+        .dynamic(DynamicsEvent::at_s(
+            160.0,
+            DynamicsAction::PartitionStart((0..18).map(NodeId).collect()),
+        ))
+        .dynamic(DynamicsEvent::at_s(220.0, DynamicsAction::PartitionEnd))
+        .dynamic(DynamicsEvent::at_s(
+            300.0,
+            DynamicsAction::AreaFail {
+                x_m: 240.0,
+                y_m: 240.0,
+                radius_m: 100.0,
+            },
+        ));
+    cfg.battery = Some(BatteryConfig {
+        capacity_j: 0.5,
+        ..BatteryConfig::javelen_small()
+    });
+    cfg.energy_routing = Some(jtp_netsim::EnergyRoutingConfig::default());
+    let fast = run_experiment(&cfg);
+    cfg.incremental_rebuilds = false;
+    let scratch = run_experiment(&cfg);
+    assert_identical(&fast, &scratch, "incremental vs from-scratch rebuilds");
+    assert!(
+        fast.battery_deaths > 0,
+        "deaths must exercise the flood path"
+    );
+    assert!(
+        fast.churn_drops + fast.no_route_drops > 0,
+        "dynamics must bite for the equivalence to mean anything"
+    );
+    assert!(fast.delivered_packets > 0);
+}
+
+/// Idle-slot skipping stays byte-identical at scale-family size: a
+/// 100-node grid with battery death, energy re-advertisements and an
+/// area failure (short horizon — the naive engine fires every slot).
+#[test]
+fn scale_grid_run_identical() {
+    use jtp_netsim::{DynamicsAction, DynamicsEvent};
+    use jtp_phys::BatteryConfig;
+    let mut cfg = ExperimentConfig::grid(10, 10)
+        .transport(TransportKind::Jtp)
+        .duration_s(400.0)
+        .seed(646)
+        // A short diagonal hop count (0 → 22 is 4 hops): at 100 nodes a
+        // frame is ~2.5 s, so corner-to-corner transfers would not
+        // deliver inside a naive-engine-affordable horizon.
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(22),
+            start: SimDuration::from_secs(5),
+            packets: u32::MAX / 2,
+            loss_tolerance: 1.0,
+            initial_rate_pps: None,
+        })
+        .dynamic(DynamicsEvent::at_s(
+            120.0,
+            DynamicsAction::AreaFail {
+                x_m: 360.0,
+                y_m: 400.0,
+                radius_m: 90.0,
+            },
+        ));
+    // ~3 s frames at 100 nodes: a 0.35 J battery dies of idle draw at
+    // ~140 frames ≈ 350 s, inside the horizon.
+    cfg.battery = Some(BatteryConfig {
+        capacity_j: 0.35,
+        ..BatteryConfig::javelen_small()
+    });
+    cfg.energy_routing = Some(jtp_netsim::EnergyRoutingConfig::default());
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "100-node scale grid");
+    assert!(
+        fast.battery_deaths > 0,
+        "scale run must reach battery death"
+    );
+    assert!(fast.delivered_packets > 0);
+}
+
 /// Traces must also be unaffected (receptions drive the fig-5 series).
 #[test]
 fn traces_identical_under_skipping() {

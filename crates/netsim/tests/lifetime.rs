@@ -236,6 +236,133 @@ fn area_failure_kills_the_disc() {
     );
 }
 
+/// A vanishingly small (but valid) baseline draw: the analytic
+/// death-bound arithmetic must conclude "outlives the run" without
+/// overflowing, and the run must behave exactly like a healthy battery.
+#[test]
+fn near_zero_draw_battery_outlives_run_without_overflow() {
+    let cfg = ExperimentConfig::linear(3)
+        .duration_s(60.0)
+        .seed(2)
+        .battery(BatteryConfig {
+            capacity_j: 1.0,
+            idle_draw_w: 1e-18,
+            sleep_draw_w: 0.0,
+            low_threshold: 0.25,
+        })
+        .bulk_flow(5, 1.0, 0.0);
+    let m = run_experiment(&cfg);
+    assert_eq!(m.battery_deaths, 0);
+    assert_eq!(m.first_death_s, None);
+    assert_eq!(m.delivered_packets, 5);
+}
+
+/// Scale smoke: a 100-node grid with batteries, energy-aware routing and
+/// churn runs its full lifetime inside a bounded wall-clock budget — the
+/// workload whose per-event cost used to collapse past 16 nodes (O(n²)
+/// truth rebuilds, O(n³) weighted Dijkstra per advertisement, O(frames)
+/// battery prediction per radio charge).
+#[test]
+fn hundred_node_grid_lifetime_smoke() {
+    let start = std::time::Instant::now();
+    let cfg = ExperimentConfig::grid(10, 10)
+        .duration_s(900.0)
+        .seed(500)
+        .battery(small_battery(0.5))
+        .energy_aware_routing()
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(33),
+            start: SimDuration::from_secs(5),
+            packets: u32::MAX / 2, // long-lived: dies with the network
+            loss_tolerance: 1.0,
+            initial_rate_pps: None,
+        })
+        .dynamic(DynamicsEvent::at_s(
+            100.0,
+            DynamicsAction::NodeDown(NodeId(55)),
+        ))
+        .dynamic(DynamicsEvent::at_s(
+            200.0,
+            DynamicsAction::NodeUp(NodeId(55)),
+        ));
+    let m = run_experiment(&cfg);
+    assert_eq!(
+        m.battery_deaths, 100,
+        "every node must deplete inside the horizon"
+    );
+    assert!(m.first_death_s.is_some());
+    assert!(m.delivered_packets > 0, "the transfer must make progress");
+    assert_eq!(m.alive_at_s(900.0), 0);
+    // "Bounded runtime" is the point of the smoke test: the whole
+    // 900-simulated-second, 100-node lifetime run — deaths, floods and
+    // re-advertisements included — runs in well under a second in debug
+    // builds. The generous wall bound only catches *catastrophic*
+    // blowups on slow CI; the asymptotics themselves are pinned by the
+    // incremental-vs-scratch equivalence stats and the committed
+    // `scale` bench cells, not by this clock.
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "100-node lifetime run took {:?} — a catastrophic scale regression",
+        start.elapsed()
+    );
+}
+
+/// `DynamicsAction::AreaFail` samples its victim disc from node positions
+/// **at the instant the event fires** — under mobility the blast hits
+/// wherever nodes have wandered to, not their initial placement. This
+/// pins that contract (documented on the action) by snapshotting
+/// positions just before the blast and diffing the survivor set.
+#[test]
+fn area_failure_under_mobility_samples_positions_at_event_time() {
+    use jtp_netsim::{Network, TraceConfig};
+    use jtp_phys::Point;
+    use jtp_sim::{run_until, SimTime};
+
+    let (centre, radius) = (Point::new(200.0, 120.0), 130.0);
+    let cfg = ExperimentConfig::random(20)
+        .duration_s(200.0)
+        .seed(17)
+        .mobile(5.0) // fast: nodes move far before the blast
+        .dynamic(DynamicsEvent::at_s(
+            120.0,
+            DynamicsAction::AreaFail {
+                x_m: centre.x,
+                y_m: centre.y,
+                radius_m: radius,
+            },
+        ));
+    let (mut net, mut queue) = Network::new(&cfg, TraceConfig::default());
+    // Drive to just past the last mobility tick before the blast (ticks
+    // are 1 s apart; the blast at t=120 fires on the 119-tick positions
+    // because dynamics events were enqueued before that tick).
+    run_until(&mut net, &mut queue, SimTime::from_secs_f64(119.5));
+    let in_disc_at_event: Vec<bool> = net
+        .positions()
+        .iter()
+        .map(|p| p.distance(centre) <= radius)
+        .collect();
+    let in_disc_at_start: Vec<bool> =
+        jtp_netsim::topology::place_nodes(&cfg.topology, &cfg.pathloss, cfg.seed)
+            .iter()
+            .map(|p| p.distance(centre) <= radius)
+            .collect();
+    assert_ne!(
+        in_disc_at_event, in_disc_at_start,
+        "mobility must have moved the victim set for this test to bite \
+         (reseed if the placement ever changes)"
+    );
+    let horizon = net.horizon();
+    run_until(&mut net, &mut queue, horizon);
+    for i in 0..20u32 {
+        assert_eq!(
+            net.node_is_up(NodeId(i)),
+            !in_disc_at_event[i as usize],
+            "node {i}: victims must be exactly the disc at event time"
+        );
+    }
+}
+
 /// The lifetime catalog scenarios actually exercise the subsystem: every
 /// battery entry records deaths under JTP within its horizon.
 #[test]

@@ -29,6 +29,8 @@
 
 pub mod graph;
 pub mod linkstate;
+pub mod wapsp;
 
 pub use graph::{Adjacency, UNREACHABLE};
 pub use linkstate::{LinkState, RoutingStats};
+pub use wapsp::{WapspStats, WeightedApsp, UNREACHABLE_COST};

@@ -34,6 +34,7 @@
 //! the hop-count build.
 
 use crate::graph::{Adjacency, UNREACHABLE};
+use crate::wapsp::{WeightedApsp, UNREACHABLE_COST};
 use jtp_sim::{NodeId, SimDuration, SimTime};
 use std::cell::Cell;
 use std::sync::Arc;
@@ -42,9 +43,6 @@ type DistTable = Arc<Vec<Vec<u16>>>;
 /// Flat row-major `src × dst` next-hop table: `0` = no route, else
 /// `neighbour id + 1`.
 type HopTable = Arc<Vec<u32>>;
-
-/// Cost marker for unreachable pairs in weighted distance rows.
-const UNREACHABLE_COST: u32 = u32::MAX;
 
 /// One node's snapshot of the topology, plus its shortest-path distances
 /// and the pre-resolved next-hop table derived from them.
@@ -68,46 +66,61 @@ pub struct RoutingStats {
     pub bfs_skipped: u64,
     /// BFS source recomputations performed.
     pub bfs_run: u64,
+    /// Weighted single-source tables built from scratch (first
+    /// advertisement, or every change in legacy full-rebuild mode).
+    pub weighted_full_builds: u64,
+    /// Weighted source rows repaired incrementally (see
+    /// [`crate::wapsp::WeightedApsp`]).
+    pub weighted_repairs: u64,
 }
 
 /// The current ground truth, its distances and its next-hop table, shared
 /// by fresh views. `weights` records which node-weight advertisement the
-/// hop table was built under (None = plain hop counts).
+/// hop table was built under (None = plain hop counts); `wapsp` carries
+/// the live weighted distance table across changes so the next
+/// advertisement or topology edit repairs it instead of rebuilding.
 #[derive(Clone, Debug)]
 struct TruthCache {
     adj: Arc<Adjacency>,
     dist: DistTable,
     hops: HopTable,
     weights: Option<Vec<u16>>,
+    wapsp: Option<WeightedApsp>,
 }
 
-/// Build the flat next-hop table for one topology snapshot: entry
+/// The one audited next-hop build both tables share: entry
 /// `[src·n + dst]` holds the neighbour of `src` minimising
-/// `(distance-to-dst, id)` encoded as `id + 1`, or 0 when no neighbour
-/// reaches `dst`. Neighbour lists are sorted ascending, so keeping the
-/// first strict minimum reproduces the historical `(d, v)` lexicographic
-/// tie-break exactly. Generic over the distance cell so the hop-count
-/// (`u16`) and weighted-cost (`u32`) tables share one audited build.
-fn build_hop_table<D: Copy + Ord>(adj: &Adjacency, dist: &[Vec<D>], unreachable: D) -> Vec<u32> {
+/// `(key(via, dst), id)` encoded as `id + 1`, or 0 when no neighbour
+/// reaches `dst` (`key` returns `unreachable`). Neighbour lists are
+/// sorted ascending and only a strictly smaller key displaces the
+/// incumbent, so the first minimum reproduces the historical `(d, v)`
+/// lexicographic tie-break exactly; the incumbent's key is kept in a
+/// per-source row buffer rather than re-read through the distance table
+/// (this build runs on every flooded refresh, so its constant factor is
+/// part of the dynamics path). The key closure monomorphises away —
+/// keeping hop-count and weighted builds on this single loop is what
+/// guarantees their tie-breaks can never drift apart.
+fn build_hop_table_by_key<D: Copy + Ord>(
+    adj: &Adjacency,
+    unreachable: D,
+    key: impl Fn(NodeId, usize) -> D,
+) -> Vec<u32> {
     let n = adj.len();
     let mut hops = vec![0u32; n * n];
+    let mut best = vec![unreachable; n];
     for src in 0..n {
+        best.fill(unreachable);
         let row = &mut hops[src * n..(src + 1) * n];
         for &v in adj.neighbors(NodeId(src as u32)) {
-            let via = &dist[v.index()];
             for (dst, slot) in row.iter_mut().enumerate() {
                 if dst == src {
                     continue;
                 }
-                let d = via[dst];
-                if d == unreachable {
-                    continue;
-                }
-                let better = match *slot {
-                    0 => true,
-                    cur => d < dist[(cur - 1) as usize][dst],
-                };
-                if better {
+                let d = key(v, dst);
+                // `d < unreachable` for any reachable d, so an empty slot
+                // (best = unreachable) accepts the first candidate.
+                if d < best[dst] {
+                    best[dst] = d;
                     *slot = v.0 + 1;
                 }
             }
@@ -116,38 +129,39 @@ fn build_hop_table<D: Copy + Ord>(adj: &Adjacency, dist: &[Vec<D>], unreachable:
     hops
 }
 
-/// Weighted variant of [`build_hop_table`]: the key minimised per
-/// neighbour is the *full* forwarding cost `weights[v] + wdist[v][dst]`
-/// (entering `v` costs `weights[v]`, which varies per neighbour — unlike
-/// the hop-count build, where the uniform `+1` cancels out of the
-/// comparison). Folding the entry cost into per-node rows lets the one
-/// audited tie-break implementation serve both tables. With all weights
-/// equal to 1 every key is `1 + hops`, so the table is bit-identical to
-/// the hop-count build.
+/// Hop-count next-hop table: the key is the neighbour's distance to the
+/// destination (the uniform `+1` for entering the neighbour cancels out
+/// of the comparison).
+fn build_hop_table<D: Copy + Ord>(adj: &Adjacency, dist: &[Vec<D>], unreachable: D) -> Vec<u32> {
+    build_hop_table_by_key(adj, unreachable, |v, dst| dist[v.index()][dst])
+}
+
+/// Weighted next-hop table: the key is the *full* forwarding cost
+/// `weights[v] + wdist[v][dst]` (entering `v` costs `weights[v]`, which
+/// varies per neighbour — unlike the hop-count build, where the uniform
+/// `+1` cancels). Keys are computed on the fly instead of materialising
+/// n² cost rows. With all weights equal to 1 every key is `1 + hops`,
+/// so the table is bit-identical to the hop-count build.
 fn build_hop_table_weighted(adj: &Adjacency, wdist: &[Vec<u32>], weights: &[u16]) -> Vec<u32> {
-    let cost_rows: Vec<Vec<u32>> = wdist
-        .iter()
-        .zip(weights)
-        .map(|(row, &w)| {
-            row.iter()
-                .map(|&d| {
-                    if d == UNREACHABLE_COST {
-                        UNREACHABLE_COST
-                    } else {
-                        d.saturating_add(w as u32)
-                    }
-                })
-                .collect()
-        })
-        .collect();
-    build_hop_table(adj, &cost_rows, UNREACHABLE_COST)
+    build_hop_table_by_key(adj, UNREACHABLE_COST, |v, dst| {
+        let d = wdist[v.index()][dst];
+        if d == UNREACHABLE_COST {
+            UNREACHABLE_COST
+        } else {
+            d.saturating_add(weights[v.index()] as u32)
+        }
+    })
 }
 
 /// Node-weighted single-source shortest paths: the cost of a path is the
 /// sum of `weights[v]` over every node `v` entered along it (the source
 /// itself is free — its weight taxes *other* nodes routing through it).
-/// O(n²) selection Dijkstra; distances are unique, so selection order
-/// cannot affect the result.
+/// O(n²) selection Dijkstra.
+///
+/// This is the **legacy** build (kept verbatim for the
+/// `full_weighted_rebuild` comparison mode and as the oracle in tests);
+/// the live path maintains a [`WeightedApsp`] incrementally. Distances
+/// are unique values, so the two produce bit-identical rows.
 fn dijkstra_node_weighted(adj: &Adjacency, weights: &[u16], src: NodeId) -> Vec<u32> {
     let n = adj.len();
     let mut dist = vec![UNREACHABLE_COST; n];
@@ -186,6 +200,10 @@ pub struct LinkState {
     /// Currently advertised per-node forwarding weights (energy-aware
     /// routing); None = plain hop-count routing.
     node_weights: Option<Vec<u16>>,
+    /// Legacy comparison mode: rebuild the weighted distance table from
+    /// scratch (O(n³)) on every change instead of repairing it. Results
+    /// are bit-identical either way; only the wall clock differs.
+    full_weighted_rebuild: bool,
 }
 
 impl LinkState {
@@ -214,9 +232,19 @@ impl LinkState {
                 dist,
                 hops,
                 weights: None,
+                wapsp: None,
             },
             node_weights: None,
+            full_weighted_rebuild: false,
         }
+    }
+
+    /// Select the legacy from-scratch weighted rebuild (true) instead of
+    /// the incremental repair (false, the default). Routes are
+    /// bit-identical in both modes — this knob exists so benchmarks and
+    /// equivalence tests can compare the two code paths.
+    pub fn set_full_weighted_rebuild(&mut self, on: bool) {
+        self.full_weighted_rebuild = on;
     }
 
     /// Advertise per-node forwarding weights (energy-aware routing), or
@@ -248,19 +276,23 @@ impl LinkState {
     }
 
     /// Bring the shared truth cache up to date with `ground_truth` and the
-    /// advertised node weights, re-running BFS only from affected sources.
-    /// (The weighted Dijkstra, when weights are set, is recomputed in full
-    /// — its rows have no cheap incremental-validity criterion — but it
-    /// only runs when the topology *or the advertisement* changed.)
+    /// advertised node weights, re-running BFS only from affected sources
+    /// and repairing (not rebuilding) the weighted distance table when
+    /// weights are set — the energy-re-advertisement path is incremental
+    /// end to end (see [`crate::wapsp`]).
     fn ensure_cache(&mut self, ground_truth: &Adjacency) {
         let adj_current = *self.cache.adj == *ground_truth;
         if adj_current && self.cache.weights == self.node_weights {
             return;
         }
+        let changed = if adj_current {
+            Vec::new()
+        } else {
+            self.cache.adj.diff_edges(ground_truth)
+        };
         let dist = if adj_current {
             Arc::clone(&self.cache.dist)
         } else {
-            let changed = self.cache.adj.diff_edges(ground_truth);
             let old = &self.cache.dist;
             let n = ground_truth.len();
             let mut rows: Vec<Vec<u16>> = Vec::with_capacity(n);
@@ -296,16 +328,39 @@ impl LinkState {
         // actual topology/advertisement change, right after the
         // incremental distance update — is what lets `next_hop` stay a
         // pure array load.
-        let hops = Arc::new(match &self.node_weights {
-            None => build_hop_table(ground_truth, &dist, UNREACHABLE),
-            Some(w) => {
-                let n = ground_truth.len();
-                let wdist: Vec<Vec<u32>> = (0..n)
+        let n = ground_truth.len() as u64;
+        let (hops, wapsp) = match &self.node_weights {
+            None => (build_hop_table(ground_truth, &dist, UNREACHABLE), None),
+            Some(w) if self.full_weighted_rebuild => {
+                // Legacy path, kept runnable for benchmarks: n × O(n²)
+                // selection Dijkstra from scratch on every change.
+                self.stats.weighted_full_builds += n;
+                let wdist: Vec<Vec<u32>> = (0..ground_truth.len())
                     .map(|s| dijkstra_node_weighted(ground_truth, w, NodeId(s as u32)))
                     .collect();
-                build_hop_table_weighted(ground_truth, &wdist, w)
+                (build_hop_table_weighted(ground_truth, &wdist, w), None)
             }
-        });
+            Some(w) => {
+                let ap = match self.cache.wapsp.take() {
+                    // The cached table matches (cache.adj, cache.weights):
+                    // repair it to (ground_truth, w).
+                    Some(mut ap) => {
+                        self.stats.weighted_repairs += n;
+                        ap.update(&self.cache.adj, ground_truth, &changed, w);
+                        ap
+                    }
+                    // First advertisement since weights were (re)enabled.
+                    None => {
+                        self.stats.weighted_full_builds += n;
+                        WeightedApsp::build(ground_truth, w)
+                    }
+                };
+                (
+                    build_hop_table_weighted(ground_truth, ap.rows(), w),
+                    Some(ap),
+                )
+            }
+        };
         self.cache = TruthCache {
             adj: if adj_current {
                 Arc::clone(&self.cache.adj)
@@ -313,8 +368,9 @@ impl LinkState {
                 Arc::new(ground_truth.clone())
             },
             dist,
-            hops,
+            hops: Arc::new(hops),
             weights: self.node_weights.clone(),
+            wapsp,
         };
     }
 
@@ -739,6 +795,84 @@ mod tests {
         r.force_refresh_all(SimTime::from_secs_f64(1.0), &a);
         assert_eq!(r.next_hop(NodeId(0), NodeId(3)), None);
         assert_eq!(r.next_hop(NodeId(1), NodeId(3)), Some(NodeId(3)));
+    }
+
+    /// The incremental weighted-APSP path must produce byte-identical
+    /// next-hop tables to the legacy from-scratch rebuild through an
+    /// interleaved sequence of topology churn and weight re-advertisements
+    /// — the routing half of the scale tentpole's equivalence pin.
+    #[test]
+    fn incremental_weighted_path_matches_full_rebuild_under_churn() {
+        use jtp_sim::SimRng;
+        let n = 12;
+        let mut rng = SimRng::derive(77, "linkstate-wapsp-churn");
+        let mut truth = Adjacency::linear(n);
+        truth.set_edge(NodeId(0), NodeId(7), true);
+        truth.set_edge(NodeId(3), NodeId(11), true);
+        let mut fast = LinkState::new(&truth, SimDuration::from_secs(5));
+        let mut legacy = LinkState::new(&truth, SimDuration::from_secs(5));
+        legacy.set_full_weighted_rebuild(true);
+        let mut weights = vec![1u16; n];
+        for step in 0..40 {
+            // Alternate dynamics kinds: weight nudges (the EnergyAdvert
+            // shape) and edge churn (node death / heal shape).
+            if step % 3 != 2 {
+                for _ in 0..1 + rng.below(3) {
+                    let v = rng.below(n);
+                    weights[v] = 1 + rng.below(16) as u16;
+                }
+            } else {
+                let a = rng.below(n);
+                let b = rng.below(n);
+                if a != b {
+                    let has = truth.has_edge(NodeId(a as u32), NodeId(b as u32));
+                    truth.set_edge(NodeId(a as u32), NodeId(b as u32), !has);
+                }
+            }
+            let now = SimTime::from_secs_f64(step as f64 + 1.0);
+            for r in [&mut fast, &mut legacy] {
+                r.set_node_weights(Some(weights.clone()));
+                r.force_refresh_all(now, &truth);
+            }
+            for s in 0..n as u32 {
+                for d in 0..n as u32 {
+                    assert_eq!(
+                        fast.next_hop(NodeId(s), NodeId(d)),
+                        legacy.next_hop(NodeId(s), NodeId(d)),
+                        "step {step}: {s}->{d} diverged"
+                    );
+                }
+            }
+        }
+        let (sf, sl) = (fast.stats(), legacy.stats());
+        assert!(sf.weighted_repairs > 0, "incremental path never repaired");
+        assert!(
+            sf.weighted_full_builds < sl.weighted_full_builds,
+            "incremental mode must not rebuild from scratch per change"
+        );
+    }
+
+    /// Toggling the advertisement off and on drops and rebuilds the
+    /// cached weighted table cleanly (the repair must never run against a
+    /// stale table from before the hop-count interlude).
+    #[test]
+    fn weight_toggle_rebuilds_cached_table() {
+        let a = diamond();
+        let mut r = LinkState::new(&a, SimDuration::from_secs(5));
+        r.set_node_weights(Some(vec![1, 8, 1, 1]));
+        r.force_refresh_all(SimTime::from_secs_f64(1.0), &a);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(2)));
+        r.set_node_weights(None);
+        r.force_refresh_all(SimTime::from_secs_f64(2.0), &a);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(1)));
+        r.set_node_weights(Some(vec![1, 1, 8, 1]));
+        r.force_refresh_all(SimTime::from_secs_f64(3.0), &a);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(1)));
+        let s = r.stats();
+        assert_eq!(
+            s.weighted_full_builds, 8,
+            "each (re)enable builds the 4-node table from scratch once"
+        );
     }
 
     #[test]
