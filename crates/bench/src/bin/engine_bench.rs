@@ -26,12 +26,29 @@
 //!    Results are byte-identical between modes (pinned by
 //!    `engine_equivalence::incremental_rebuilds_identical_to_scratch_rebuilds`);
 //!    only the wall clock differs.
+//! 6. **mobility** — the per-tick cost of *moving* topologies at n ∈
+//!    {64, 100, 256}: spatial-grid neighbour discovery vs the brute-force
+//!    all-pairs scan, and the whole diffed tick (geometry diff +
+//!    masked-truth patch + affected-region BFS repair + column-
+//!    incremental next-hop rebuild) vs the scratch path. Byte-identical
+//!    results (pinned by the `mobile` tests and
+//!    `engine_equivalence::mobile_incremental_rebuilds_identical_to_scratch`);
+//!    only the wall clock differs.
 //!
 //! Run: `cargo run --release -p jtp-bench --bin engine_bench -- --quick
-//! --json BENCH_engine.json`
+//! --json BENCH_engine.json`. `--section <name>` (repeatable) restricts
+//! the run to named sections and **fails loudly** on an unknown name.
 
 use jtp_bench::Args;
-use jtp_netsim::{run_experiment, ExperimentConfig, FlowSpec, Scenario, TransportKind};
+use jtp_netsim::topology::{
+    adjacency_from_positions, adjacency_from_positions_brute, edges_from_positions, field_for,
+    geometry_edge_diff, place_nodes,
+};
+use jtp_netsim::{
+    run_experiment, ExperimentConfig, FlowSpec, MaskedTruth, Scenario, TopologyKind, TransportKind,
+};
+use jtp_phys::mobility::MobilityModel;
+use jtp_phys::{PathLoss, Point, RandomWaypoint};
 use jtp_routing::{Adjacency, LinkState, UNREACHABLE};
 use jtp_sim::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
 use serde::Serialize;
@@ -522,6 +539,174 @@ fn bench_scale_run(name: &str) -> ScaleCell {
     out
 }
 
+/// A deterministic sequence of waypoint-evolved position frames over a
+/// `cols × rows` grid placement (1 s ticks, paper-style leg/pause
+/// structure), precomputed so the timed loops measure geometry/repair
+/// work only, never the mobility model itself.
+fn waypoint_frames(
+    cols: usize,
+    rows: usize,
+    ticks: u64,
+) -> (Vec<Point>, Vec<Vec<Point>>, PathLoss) {
+    let kind = TopologyKind::Grid {
+        cols,
+        rows,
+        spacing_m: 80.0,
+    };
+    let pl = PathLoss::javelen_default();
+    let field = field_for(&kind);
+    let start = place_nodes(&kind, &pl, 7);
+    // The catalog's mobility regime (`.mobile(1.0)`: 1 m/s, 47 m legs,
+    // 100 s pauses, 1 s ticks) — ~1–3 links flip per tick, which is the
+    // workload the diffed path is built for.
+    let mut walkers: Vec<RandomWaypoint> = start
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| RandomWaypoint::new(field, p, 1.0, 47.0, 100.0, 77, i as u64))
+        .collect();
+    let frames: Vec<Vec<Point>> = (1..=ticks)
+        .map(|t| {
+            let now = SimTime::from_secs_f64(t as f64);
+            walkers.iter_mut().map(|w| w.position_at(now)).collect()
+        })
+        .collect();
+    (start, frames, pl)
+}
+
+/// Mobility geometry cell: per-tick neighbour discovery **as each
+/// engine runs it** — the diffed engine's spatial-grid pass producing
+/// the sorted in-range edge list (it never builds a graph per tick) vs
+/// the scratch engine's brute-force all-pairs scan producing a full
+/// `Adjacency` — over an identical waypoint trajectory. The comparison
+/// deliberately includes each side's output-shape cost, because that is
+/// the cost the respective engine pays; the pure candidate-set
+/// equivalence (grid-backed `Adjacency` == brute `Adjacency`) is pinned
+/// by assertion on sampled frames before timing and by the
+/// `spatial_grid_matches_brute_force` proptest.
+fn bench_mobility_geometry(cols: usize, rows: usize, ticks: u64) -> ScaleCell {
+    let (_, frames, pl) = waypoint_frames(cols, rows, ticks);
+    let n = cols * rows;
+    for f in frames.iter().step_by((ticks as usize / 8).max(1)) {
+        assert_eq!(
+            adjacency_from_positions(f, &pl),
+            adjacency_from_positions_brute(f, &pl),
+            "grid and brute adjacency diverged"
+        );
+    }
+    let time_brute = || {
+        let start = Instant::now();
+        for f in &frames {
+            std::hint::black_box(adjacency_from_positions_brute(f, &pl).len());
+        }
+        start.elapsed().as_secs_f64()
+    };
+    // The grid side times the production per-tick shape: the sorted
+    // in-range edge list (no graph construction).
+    let time_grid = || {
+        let start = Instant::now();
+        for f in &frames {
+            std::hint::black_box(edges_from_positions(f, &pl).len());
+        }
+        start.elapsed().as_secs_f64()
+    };
+    time_grid(); // warm
+    let best_of_3 = |f: &dyn Fn() -> f64| f().min(f()).min(f());
+    let brute = best_of_3(&time_brute);
+    let grid = best_of_3(&time_grid);
+    let out = ScaleCell {
+        scenario: format!("geometry: {cols}x{rows} waypoint ticks"),
+        nodes: n,
+        work: format!(
+            "{ticks} ticks, grid edge-list pass (diffed engine) vs \
+             brute adjacency scan (scratch engine)"
+        ),
+        scratch_wall_s: brute,
+        incremental_wall_s: grid,
+        speedup: brute / grid,
+    };
+    println!(
+        "mobility geometry ({n:>3} nodes)   : brute {brute:>8.3}s | grid {grid:>8.3}s | speedup {:.2}x",
+        out.speedup
+    );
+    out
+}
+
+/// Mobility repair cell: the **whole diffed tick** under a per-tick
+/// flooded refresh (the worst case for the repair machinery — the
+/// production engine refreshes views at most every 5 s, where the
+/// incremental side amortises even better) — neighbour discovery,
+/// geometry-diff application to the masked truth, affected-region BFS
+/// repair and the entry-incremental next-hop rebuild — vs the scratch
+/// path (brute scan, whole-truth rebuild, full BFS rows, full table
+/// builds). Next hops are cross-checked between modes before timing.
+fn bench_mobility_repair(cols: usize, rows: usize, ticks: u64) -> ScaleCell {
+    let (start_pts, frames, pl) = waypoint_frames(cols, rows, ticks);
+    let n = cols * rows;
+    let run_mode = |incremental: bool| -> f64 {
+        let mut truth = MaskedTruth::new(adjacency_from_positions(&start_pts, &pl));
+        let mut ls = LinkState::new(truth.adjacency(), SimDuration::from_secs(5));
+        ls.set_full_table_rebuild(!incremental);
+        let t0 = Instant::now();
+        for (i, f) in frames.iter().enumerate() {
+            if incremental {
+                let edges = edges_from_positions(f, &pl);
+                let diff = geometry_edge_diff(truth.geometry(), &edges);
+                truth.apply_geometry_diff(&diff);
+            } else {
+                truth.set_geometry(adjacency_from_positions_brute(f, &pl));
+            }
+            ls.force_refresh_all(SimTime::from_secs_f64((i + 1) as f64), truth.adjacency());
+            std::hint::black_box(ls.next_hop(NodeId(0), NodeId(n as u32 - 1)));
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // Correctness spot-check: both modes must route identically after
+    // every tick of a short prefix.
+    {
+        let mut a_truth = MaskedTruth::new(adjacency_from_positions(&start_pts, &pl));
+        let mut b_truth = a_truth.clone();
+        let mut a = LinkState::new(a_truth.adjacency(), SimDuration::from_secs(5));
+        let mut b = LinkState::new(b_truth.adjacency(), SimDuration::from_secs(5));
+        b.set_full_table_rebuild(true);
+        for (i, f) in frames.iter().take(12).enumerate() {
+            let edges = edges_from_positions(f, &pl);
+            let diff = geometry_edge_diff(a_truth.geometry(), &edges);
+            a_truth.apply_geometry_diff(&diff);
+            b_truth.set_geometry(adjacency_from_positions_brute(f, &pl));
+            assert_eq!(a_truth.adjacency(), b_truth.adjacency());
+            let now = SimTime::from_secs_f64((i + 1) as f64);
+            a.force_refresh_all(now, a_truth.adjacency());
+            b.force_refresh_all(now, b_truth.adjacency());
+            for s in (0..n as u32).step_by(7) {
+                for d in (0..n as u32).step_by(5) {
+                    assert_eq!(
+                        a.next_hop(NodeId(s), NodeId(d)),
+                        b.next_hop(NodeId(s), NodeId(d)),
+                        "modes disagree for {s}->{d} at tick {i}"
+                    );
+                }
+            }
+        }
+    }
+    run_mode(true); // warm
+    let best_of_3 = |m: bool| run_mode(m).min(run_mode(m)).min(run_mode(m));
+    let scratch = best_of_3(false);
+    let incremental = best_of_3(true);
+    let out = ScaleCell {
+        scenario: format!("repair: {cols}x{rows} waypoint tick end-to-end"),
+        nodes: n,
+        work: format!("{ticks} ticks, diffed truth+BFS repair vs scratch"),
+        scratch_wall_s: scratch,
+        incremental_wall_s: incremental,
+        speedup: scratch / incremental,
+    };
+    println!(
+        "mobility repair ({n:>3} nodes)     : scratch {scratch:>8.3}s | incremental {incremental:>8.3}s | speedup {:.2}x",
+        out.speedup
+    );
+    out
+}
+
 #[derive(Serialize)]
 struct Batch {
     scenario: String,
@@ -538,12 +723,17 @@ struct Report {
     queue_workload: String,
     queue_ops: Vec<QueueOps>,
     slot_engine: Vec<SlotEngine>,
-    batch: Batch,
+    batch: Option<Batch>,
     next_hop: Vec<NextHopBench>,
     /// 100+-node dynamics/energy-re-advertisement path: incremental
     /// rebuilds vs the legacy from-scratch rebuilds (byte-identical
     /// results, see `engine_equivalence`).
     scale: Vec<ScaleCell>,
+    /// Mobile-topology per-tick path at n ∈ {64, 100, 256}: spatial-grid
+    /// vs brute-force neighbour discovery, and the diffed
+    /// truth+BFS-repair tick vs the scratch rebuilds (byte-identical
+    /// results, see the `mobile` tests).
+    mobility: Vec<ScaleCell>,
 }
 
 /// Configure a scenario as the pre-overhaul engine (slot-per-event loop,
@@ -603,97 +793,139 @@ fn bench_slot_engine(
 }
 
 fn main() {
-    let args = Args::parse();
+    // An unknown `--section` is a hard error at parse time — a CI job
+    // gating on a renamed section must fail, not upload an artifact
+    // without it.
+    let args = Args::parse_with_sections(&[
+        "queue_ops",
+        "slot_engine",
+        "batch",
+        "next_hop",
+        "scale",
+        "mobility",
+    ]);
 
     // 1. Pure queue-op throughput at simulation-realistic and stress
     //    pending-set sizes.
-    let steps: u64 = args.pick(4_000_000, 800_000);
     let mut queue_ops = Vec::new();
-    for fill in [48usize, 4096] {
-        bench_baseline_queue(fill, steps / 10); // warm
-        bench_indexed_queue(fill, steps / 10);
-        let base_eps = bench_baseline_queue(fill, steps);
-        let idx_eps = bench_indexed_queue(fill, steps);
-        let row = QueueOps {
-            pending: fill,
-            baseline_events_per_sec: base_eps,
-            indexed_events_per_sec: idx_eps,
-            speedup: idx_eps / base_eps,
-        };
-        println!(
-            "queue ops (fill {fill:>4})          : baseline {base_eps:>12.0} ev/s | indexed {idx_eps:>12.0} ev/s | speedup {:.2}x",
-            row.speedup
-        );
-        queue_ops.push(row);
+    if args.section_enabled("queue_ops") {
+        let steps: u64 = args.pick(4_000_000, 800_000);
+        for fill in [48usize, 4096] {
+            bench_baseline_queue(fill, steps / 10); // warm
+            bench_indexed_queue(fill, steps / 10);
+            let base_eps = bench_baseline_queue(fill, steps);
+            let idx_eps = bench_indexed_queue(fill, steps);
+            let row = QueueOps {
+                pending: fill,
+                baseline_events_per_sec: base_eps,
+                indexed_events_per_sec: idx_eps,
+                speedup: idx_eps / base_eps,
+            };
+            println!(
+                "queue ops (fill {fill:>4})          : baseline {base_eps:>12.0} ev/s | indexed {idx_eps:>12.0} ev/s | speedup {:.2}x",
+                row.speedup
+            );
+            queue_ops.push(row);
+        }
     }
 
     // 2. Whole-engine throughput: pre-overhaul engine (slot-per-event,
     //    uncoalesced wakeups) vs the overhauled engine. Results of the two
     //    engines are deterministic per mode; idle-slot skipping itself is
     //    byte-identical (see tests/engine_equivalence.rs).
-    let sim_s = args.pick(5000.0, 1500.0);
-    let slot_engine = vec![
-        bench_slot_engine("fig9: random25 sparse load", fig9_scenario, sim_s),
-        bench_slot_engine(
-            "fig5: linear8 saturated",
-            |seed, d| fig5_scenario(seed, d, true),
-            args.pick(2500.0, 800.0),
-        ),
-    ];
+    let mut slot_engine = Vec::new();
+    if args.section_enabled("slot_engine") {
+        let sim_s = args.pick(5000.0, 1500.0);
+        slot_engine = vec![
+            bench_slot_engine("fig9: random25 sparse load", fig9_scenario, sim_s),
+            bench_slot_engine(
+                "fig5: linear8 saturated",
+                |seed, d| fig5_scenario(seed, d, true),
+                args.pick(2500.0, 800.0),
+            ),
+        ];
+    }
 
     // 3. Multi-seed batch at fig5 scale: legacy engine run serially (the
     //    pre-overhaul harness) vs the overhauled engine through the
     //    work-stealing parallel runner.
-    let seeds: usize = args.pick(12, 4);
-    let batch_sim_s = args.pick(2500.0, 800.0);
-    let legacy: Vec<ExperimentConfig> = (0..seeds)
-        .map(|i| {
-            let mut c = fig5_scenario(500 + i as u64, batch_sim_s, false);
-            engine_mode(&mut c, false);
-            c
-        })
-        .collect();
-    let legacy_wall = time_runs(&legacy);
-    let mut batch_cfg = fig5_scenario(500, batch_sim_s, true);
-    engine_mode(&mut batch_cfg, true);
-    let start = Instant::now();
-    let ms = jtp_netsim::run_many(&batch_cfg, seeds);
-    let parallel_wall = start.elapsed().as_secs_f64();
-    assert_eq!(ms.len(), seeds);
-    let batch = Batch {
-        scenario: "fig5 multi-seed batch (2 competing flows, linear8)".into(),
-        seeds,
-        threads: std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1),
-        legacy_serial_wall_s: legacy_wall,
-        overhauled_parallel_wall_s: parallel_wall,
-        speedup: legacy_wall / parallel_wall,
-    };
-    println!(
-        "batch ({seeds} seeds)              : legacy serial {legacy_wall:>8.3}s | overhauled {parallel_wall:>8.3}s | speedup {:.2}x",
-        batch.speedup
-    );
+    let mut batch = None;
+    if args.section_enabled("batch") {
+        let seeds: usize = args.pick(12, 4);
+        let batch_sim_s = args.pick(2500.0, 800.0);
+        let legacy: Vec<ExperimentConfig> = (0..seeds)
+            .map(|i| {
+                let mut c = fig5_scenario(500 + i as u64, batch_sim_s, false);
+                engine_mode(&mut c, false);
+                c
+            })
+            .collect();
+        let legacy_wall = time_runs(&legacy);
+        let mut batch_cfg = fig5_scenario(500, batch_sim_s, true);
+        engine_mode(&mut batch_cfg, true);
+        let start = Instant::now();
+        let ms = jtp_netsim::run_many(&batch_cfg, seeds);
+        let parallel_wall = start.elapsed().as_secs_f64();
+        assert_eq!(ms.len(), seeds);
+        let b = Batch {
+            scenario: "fig5 multi-seed batch (2 competing flows, linear8)".into(),
+            seeds,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            legacy_serial_wall_s: legacy_wall,
+            overhauled_parallel_wall_s: parallel_wall,
+            speedup: legacy_wall / parallel_wall,
+        };
+        println!(
+            "batch ({seeds} seeds)              : legacy serial {legacy_wall:>8.3}s | overhauled {parallel_wall:>8.3}s | speedup {:.2}x",
+            b.speedup
+        );
+        batch = Some(b);
+    }
 
     // 4. Per-packet next-hop decision: neighbour scan vs flat hop table,
     //    at the random-field scale (25) and a larger mesh (100).
-    let nh_queries: u64 = args.pick(20_000_000, 2_000_000);
-    let next_hop = vec![
-        bench_next_hop(25, 30, nh_queries),
-        bench_next_hop(100, 150, nh_queries),
-    ];
+    let mut next_hop = Vec::new();
+    if args.section_enabled("next_hop") {
+        let nh_queries: u64 = args.pick(20_000_000, 2_000_000);
+        next_hop = vec![
+            bench_next_hop(25, 30, nh_queries),
+            bench_next_hop(100, 150, nh_queries),
+        ];
+    }
 
     // 5. Scale: the dynamics/energy-re-advertisement path past 16 nodes —
     //    incremental masked-truth + weighted-APSP repair vs the legacy
     //    from-scratch rebuilds, at the routing component level (100- and
     //    144-node grids) and over the catalog's 121-node lifetime run.
-    let adverts: u64 = args.pick(120, 40);
-    let scale = vec![
-        bench_scale_routing(10, 10, adverts),
-        bench_scale_routing(12, 12, adverts),
-        bench_scale_routing(16, 16, adverts),
-        bench_scale_run("grid121-lifetime"),
-    ];
+    let mut scale = Vec::new();
+    if args.section_enabled("scale") {
+        let adverts: u64 = args.pick(120, 40);
+        scale = vec![
+            bench_scale_routing(10, 10, adverts),
+            bench_scale_routing(12, 12, adverts),
+            bench_scale_routing(16, 16, adverts),
+            bench_scale_run("grid121-lifetime"),
+        ];
+    }
+
+    // 6. Mobility: the per-tick geometry + repair cost of moving
+    //    topologies — spatial-grid vs brute-force neighbour discovery,
+    //    and the whole diffed tick vs the scratch rebuilds, at the
+    //    mobile scale family's sizes.
+    let mut mobility = Vec::new();
+    if args.section_enabled("mobility") {
+        // The catalog's own 600 s horizon: random-waypoint mobility needs
+        // a few mean-pause lengths to reach its steady state (~1/3 of
+        // nodes mid-leg); shorter windows under-represent the churn the
+        // real mobile entries sustain.
+        let ticks: u64 = args.pick(600, 150);
+        for (cols, rows) in [(8usize, 8usize), (10, 10), (16, 16)] {
+            mobility.push(bench_mobility_geometry(cols, rows, ticks));
+            mobility.push(bench_mobility_repair(cols, rows, ticks));
+        }
+    }
 
     let report = Report {
         quick: args.quick,
@@ -703,6 +935,7 @@ fn main() {
         batch,
         next_hop,
         scale,
+        mobility,
     };
     jtp_bench::maybe_write_json(&args, &report);
 }

@@ -25,19 +25,63 @@ pub struct Args {
     pub quick: bool,
     /// Optional JSON output path.
     pub json: Option<PathBuf>,
+    /// Named sections to run (empty = all). Only populated by
+    /// [`Args::parse_with_sections`]; the plain [`Args::parse`] rejects
+    /// `--section` outright, so a binary without sections can never
+    /// accept the flag and silently ignore it.
+    pub sections: Vec<String>,
 }
 
 impl Args {
-    /// Parse from `std::env::args`.
+    /// Parse from `std::env::args`. `--section` is an error here — use
+    /// [`Args::parse_with_sections`] in binaries that define sections.
     pub fn parse() -> Args {
+        Self::parse_inner(None)
+    }
+
+    /// Parse from `std::env::args`, accepting `--section <name>`
+    /// (repeatable) restricted to `known`. A request for a section this
+    /// binary does not have is a **hard error, never a silent skip**: a
+    /// CI job asking for a section that was renamed or dropped must
+    /// turn red, not upload an artifact missing the data it gates on.
+    pub fn parse_with_sections(known: &[&str]) -> Args {
+        Self::parse_inner(Some(known))
+    }
+
+    fn parse_inner(known: Option<&[&str]>) -> Args {
         let mut out = Args::default();
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => out.quick = true,
                 "--json" => out.json = it.next().map(PathBuf::from),
+                "--section" => {
+                    let Some(known) = known else {
+                        eprintln!("this binary has no sections; --section is not supported");
+                        std::process::exit(2);
+                    };
+                    match it.next() {
+                        Some(s) if known.iter().any(|k| *k == s) => out.sections.push(s),
+                        Some(s) => {
+                            eprintln!(
+                                "unknown --section {s:?}; this binary has: {}",
+                                known.join(", ")
+                            );
+                            std::process::exit(2);
+                        }
+                        None => {
+                            eprintln!("--section requires a name");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: <bin> [--quick] [--json <path>]");
+                    let section = if known.is_some() {
+                        " [--section <name>]..."
+                    } else {
+                        ""
+                    };
+                    eprintln!("usage: <bin> [--quick] [--json <path>]{section}");
                     std::process::exit(0);
                 }
                 other => {
@@ -56,6 +100,12 @@ impl Args {
         } else {
             full
         }
+    }
+
+    /// Should the named section run? (All sections run when no
+    /// `--section` was given.)
+    pub fn section_enabled(&self, name: &str) -> bool {
+        self.sections.is_empty() || self.sections.iter().any(|s| s == name)
     }
 }
 
@@ -178,5 +228,17 @@ mod tests {
     fn mean_works() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn section_selection_defaults_to_all() {
+        let args = Args::default();
+        assert!(args.section_enabled("mobility"));
+        let picked = Args {
+            sections: vec!["mobility".into()],
+            ..Args::default()
+        };
+        assert!(picked.section_enabled("mobility"));
+        assert!(!picked.section_enabled("scale"));
     }
 }

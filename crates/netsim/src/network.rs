@@ -50,7 +50,10 @@ use crate::config::{
 };
 use crate::metrics::{FlowMetrics, Metrics};
 use crate::payload::{Payload, TransportPacket};
-use crate::topology::{adjacency_from_positions, field_for, place_nodes};
+use crate::topology::{
+    adjacency_from_positions, adjacency_from_positions_brute, edges_from_positions, field_for,
+    geometry_edge_diff, place_nodes,
+};
 use crate::trace::{MonitorSample, TraceConfig, TraceLog};
 use crate::truth::MaskedTruth;
 use jtp::{IjtpModule, JtpReceiver, JtpSender, LinkInfo, PreXmitVerdict};
@@ -235,6 +238,7 @@ impl Network {
         let truth = MaskedTruth::new(adjacency_from_positions(&positions, &cfg.pathloss));
         let mut routing = LinkState::new(truth.adjacency(), cfg.routing_refresh);
         routing.set_full_weighted_rebuild(!cfg.incremental_rebuilds);
+        routing.set_full_table_rebuild(!cfg.incremental_rebuilds);
         let schedule = TdmaSchedule::new(n as u32, cfg.slot, cfg.seed);
         let capacity = schedule.per_node_capacity_pps();
         let field = field_for(&cfg.topology);
@@ -714,9 +718,21 @@ impl Network {
             self.backlog_dirty = true;
             self.after_substrate_change();
             self.routing.force_refresh_all(now, self.truth.adjacency());
-            if self.first_partition.is_none() && !self.alive_connected() {
-                self.first_partition = Some(now);
-            }
+            self.note_first_partition(now);
+        }
+    }
+
+    /// Record the first instant the live node set stopped being mutually
+    /// reachable — whatever the cause: battery deaths, dynamics churn,
+    /// link blackouts, scheduled partitions, area failures or mobility
+    /// drift. (Historically only the battery-death path recorded this,
+    /// so e.g. a blackout-partitioned run reported `first_partition_s:
+    /// None`; every substrate-changing handler now funnels through
+    /// here.) Cheap once recorded; until then one O(V+E) traversal per
+    /// substrate change.
+    fn note_first_partition(&mut self, now: SimTime) {
+        if self.first_partition.is_none() && !self.alive_connected() {
+            self.first_partition = Some(now);
         }
     }
 
@@ -810,12 +826,15 @@ impl Network {
     /// Finish a substrate mutation. The incremental engine already
     /// maintained the effective truth edge-by-edge inside [`MaskedTruth`];
     /// the legacy comparison mode instead re-derives geometry and masks
-    /// from scratch here — the O(n²)-per-event `rebuild_truth` the
-    /// incremental path replaced (kept runnable for benchmarks; both
-    /// produce the identical adjacency).
+    /// from scratch here — the O(n²) brute-force pair scan plus whole-
+    /// truth rebuild the incremental path replaced (kept runnable for
+    /// benchmarks; both produce the identical adjacency).
     fn after_substrate_change(&mut self) {
         if !self.incremental_rebuilds {
-            self.truth.set_positions(&self.positions, &self.pathloss);
+            self.truth.set_geometry(adjacency_from_positions_brute(
+                &self.positions,
+                &self.pathloss,
+            ));
         }
     }
 
@@ -875,6 +894,7 @@ impl Network {
         }
         self.after_substrate_change();
         self.routing.force_refresh_all(now, self.truth.adjacency());
+        self.note_first_partition(now);
     }
 
     // ------------------------------------------------------------------
@@ -1412,10 +1432,26 @@ impl Network {
                 self.positions[i] = w.position_at(now);
             }
         }
-        // Every node moved: re-deriving the geometric adjacency is
-        // inherently a full pass (the masks are re-applied on top).
-        self.truth.set_positions(&self.positions, &self.pathloss);
+        if self.incremental_rebuilds {
+            // Spatial-grid neighbour discovery (O(n·k)) into a sorted
+            // in-range edge list, merged against the standing geometry:
+            // only the links that actually appeared or vanished this
+            // tick are patched and re-masked — no per-tick graph
+            // construction — and the same diff-shaped change is what the
+            // routing cache repairs from.
+            let edges = edges_from_positions(&self.positions, &self.pathloss);
+            let diff = geometry_edge_diff(self.truth.geometry(), &edges);
+            self.truth.apply_geometry_diff(&diff);
+        } else {
+            // Legacy comparison path: brute-force all-pairs scan plus a
+            // whole-truth remask — byte-identical results, O(n²) cost.
+            self.truth.set_geometry(adjacency_from_positions_brute(
+                &self.positions,
+                &self.pathloss,
+            ));
+        }
         self.routing.refresh_due_views(now, self.truth.adjacency());
+        self.note_first_partition(now);
         let at = now + mcfg.update_period;
         if at <= self.end {
             q.schedule_at(at, Event::MobilityTick);

@@ -873,6 +873,77 @@ impl Scenario {
             })
             .battery(BatteryConfig::javelen_small())
             .energy_routing(),
+            // ---- mobile scale family: 100+-node topologies where every
+            // node moves. What these entries exercise is the mobility
+            // tentpole — spatial-grid neighbour discovery, diffed
+            // geometry application and the affected-region BFS /
+            // column-incremental next-hop repair keep the per-tick cost
+            // proportional to the links that actually flipped (see
+            // BENCH_engine.json's "mobility" section); the legacy
+            // brute-force path stays byte-identical via
+            // `incremental_rebuilds = false`. ----
+            Scenario::new(
+                "grid100-waypoint-cbr",
+                TopologyKind::Grid {
+                    cols: 10,
+                    rows: 10,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(600.0)
+            .seed(115)
+            .mobile(1.0)
+            // Few-hop pairs: at 100 nodes a frame is 2.5 s, so the
+            // workload is sized to the per-node TDMA capacity (~0.4 pps)
+            // and to path lengths mobility can keep re-forming — what
+            // the entry exercises is the per-tick engine, not an
+            // 18-hop corner-to-corner miracle.
+            .traffic(TrafficPattern::Cbr {
+                src: NodeId(0),
+                dst: NodeId(22),
+                rate_pps: 0.2,
+                start_s: 10.0,
+                duration_s: 120.0,
+                loss_tolerance: 0.0,
+            })
+            .traffic(TrafficPattern::CrossTraffic {
+                a: NodeId(45),
+                b: NodeId(48),
+                packets: 30,
+                start_s: 5.0,
+            })
+            .dynamics(DynamicsSpec::NodeChurn {
+                node: NodeId(46),
+                fail_at_s: 90.0,
+                recover_at_s: 200.0,
+            }),
+            Scenario::new(
+                "clustered120-mobile-lifetime",
+                TopologyKind::Clustered {
+                    clusters: 8,
+                    per_cluster: 15,
+                    spread_m: 25.0,
+                    cluster_spacing_m: 90.0,
+                },
+            )
+            .duration_s(600.0)
+            .seed(116)
+            .mobile(1.0)
+            .traffic(TrafficPattern::CrossTraffic {
+                a: NodeId(0),
+                b: NodeId(119),
+                // Effectively unbounded: the run measures lifetime under
+                // mobility — relays drift, routes re-form, batteries die.
+                packets: 50_000,
+                start_s: 5.0,
+            })
+            // At 120 nodes a frame is 3 s; 0.45 J of idle draw dies at
+            // ~450 s, inside the horizon, with loaded relays earlier.
+            .battery(BatteryConfig {
+                capacity_j: 0.45,
+                ..BatteryConfig::javelen_small()
+            })
+            .energy_routing(),
         ]
     }
 }
@@ -1068,16 +1139,23 @@ mod tests {
     fn catalog_lowers_valid_for_every_transport() {
         let cat = Scenario::catalog();
         assert!(
-            cat.len() >= 14,
-            "catalog shrank below the canonical fourteen \
-             (8 + the lifetime family + the 100+-node scale family)"
+            cat.len() >= 16,
+            "catalog shrank below the canonical sixteen (8 + the lifetime \
+             family + the static and mobile 100+-node scale families)"
         );
         assert!(
             cat.iter()
                 .filter(|s| s.topology.node_count() >= 100)
                 .count()
-                >= 3,
+                >= 5,
             "the scale family must keep 100+-node entries in the catalog"
+        );
+        assert!(
+            cat.iter()
+                .filter(|s| s.mobile_mps.is_some() && s.topology.node_count() >= 100)
+                .count()
+                >= 2,
+            "the mobile scale family must keep 100+-node mobile entries"
         );
         let mut names: Vec<&str> = cat.iter().map(|s| s.name.as_str()).collect();
         names.sort();

@@ -1,7 +1,18 @@
 //! Node placement and ground-truth connectivity.
+//!
+//! Geometric adjacency is derived through a [`SpatialGrid`] (cell size =
+//! radio range): candidate pairs come from same-or-adjacent cells and the
+//! **exact same float predicate** (`pathloss.in_range(distance)`) the
+//! historical all-pairs scan used decides membership — so the grid path
+//! is bit-identical to [`adjacency_from_positions_brute`] (pinned by the
+//! boundary tests and the `spatial_grid_matches_brute_force` proptest)
+//! while costing O(n·k) per mobility tick instead of O(n²). Never switch
+//! the grid path to a squared-distance comparison: `sqrt` rounding can
+//! make `d² < r²` and `sqrt(d²) < r` disagree for distances at the range
+//! boundary, which would flake every byte-equivalence pin downstream.
 
 use crate::config::TopologyKind;
-use jtp_phys::{Field, PathLoss, Point};
+use jtp_phys::{Field, PathLoss, Point, SpatialGrid};
 use jtp_routing::Adjacency;
 use jtp_sim::{NodeId, SimRng};
 
@@ -83,7 +94,116 @@ fn cluster_centers(clusters: usize, spacing: f64) -> Vec<Point> {
 }
 
 /// Ground-truth adjacency: an edge wherever two radios are in range.
+///
+/// Spatial-grid fast path (see the module docs): candidate pairs come
+/// from a uniform hash with cell size = `max_range`, the range decision
+/// is the identical float predicate the brute-force scan applies, and
+/// the result is bit-identical to [`adjacency_from_positions_brute`].
 pub fn adjacency_from_positions(positions: &[Point], pathloss: &PathLoss) -> Adjacency {
+    let n = positions.len();
+    let mut adj = Adjacency::new(n);
+    if n < 2 {
+        return adj;
+    }
+    let grid = SpatialGrid::build(positions, grid_cell(pathloss));
+    grid.for_each_candidate_pair(|i, j| {
+        let d = positions[i as usize].distance(positions[j as usize]);
+        if pathloss.in_range(d) {
+            adj.set_edge(NodeId(i), NodeId(j), true);
+        }
+    });
+    adj
+}
+
+/// Grid cell side for neighbour discovery: the radio range plus a hair
+/// of slack, so the adjacent-cell guarantee dominates every float-
+/// rounding term in the cell indexing (see [`SpatialGrid::build`]).
+fn grid_cell(pathloss: &PathLoss) -> f64 {
+    pathloss.max_range * (1.0 + 1e-9)
+}
+
+/// The in-range undirected pairs `(a, b)` with `a < b`, sorted
+/// lexicographically — the allocation-light form of
+/// [`adjacency_from_positions`] the mobility tick consumes: candidates
+/// from the spatial grid, membership by the identical float predicate,
+/// and **no** per-tick graph construction (the caller diffs the list
+/// against the standing geometry via [`geometry_edge_diff`] and patches
+/// only what changed).
+pub fn edges_from_positions(positions: &[Point], pathloss: &PathLoss) -> Vec<(NodeId, NodeId)> {
+    if positions.len() < 2 {
+        return Vec::new();
+    }
+    let grid = SpatialGrid::build(positions, grid_cell(pathloss));
+    // Squared-distance **prefilter only**: a candidate strictly beyond
+    // `r·(1+1e-9)` squared provably has `sqrt(d²) > max_range`, so it can
+    // be rejected without the sqrt. Everything inside the loose bound
+    // still goes through the exact `in_range(distance)` predicate — the
+    // boundary decision is never made on squared values (see the module
+    // docs), so the result stays bit-identical to the brute scan.
+    let rr_loose = (pathloss.max_range * (1.0 + 1e-9)).powi(2);
+    let mut packed: Vec<u64> = Vec::with_capacity(positions.len() * 4);
+    grid.for_each_candidate_pair(|i, j| {
+        let (p, q) = (positions[i as usize], positions[j as usize]);
+        let d2 = (p.x - q.x) * (p.x - q.x) + (p.y - q.y) * (p.y - q.y);
+        if d2 > rr_loose {
+            return;
+        }
+        if pathloss.in_range(p.distance(q)) {
+            packed.push((i as u64) << 32 | j as u64);
+        }
+    });
+    // Lexicographic `(a, b)` order == numeric order of the packed keys.
+    packed.sort_unstable();
+    packed
+        .into_iter()
+        .map(|k| (NodeId((k >> 32) as u32), NodeId(k as u32)))
+        .collect()
+}
+
+/// Diff the standing geometric adjacency against a sorted in-range edge
+/// list (from [`edges_from_positions`]): a merge of the two sorted edge
+/// streams, O(E_old + E_new), yielding `(a, b, present_in_new)` in
+/// ascending `(a, b)` order — the exact shape
+/// `MaskedTruth::apply_geometry_edge_diff` and the routing repair eat.
+pub fn geometry_edge_diff(
+    geo: &Adjacency,
+    new_edges: &[(NodeId, NodeId)],
+) -> Vec<(NodeId, NodeId, bool)> {
+    let mut out = Vec::new();
+    let mut it = new_edges.iter().copied().peekable();
+    for i in 0..geo.len() {
+        let a = NodeId(i as u32);
+        for &b in geo.neighbors(a) {
+            if b <= a {
+                continue;
+            }
+            // Emit every new edge sorting strictly before (a, b): absent
+            // from the old geometry, so it was added.
+            while let Some(&(na, nb)) = it.peek() {
+                if (na, nb) < (a, b) {
+                    out.push((na, nb, true));
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            if it.peek() == Some(&(a, b)) {
+                it.next(); // unchanged edge
+            } else {
+                out.push((a, b, false)); // vanished from the new list
+            }
+        }
+    }
+    for (na, nb) in it {
+        out.push((na, nb, true));
+    }
+    out
+}
+
+/// The historical all-pairs scan, kept runnable as the oracle the grid
+/// path is pinned against (and as the legacy geometry pass selected by
+/// `ExperimentConfig::incremental_rebuilds = false`).
+pub fn adjacency_from_positions_brute(positions: &[Point], pathloss: &PathLoss) -> Adjacency {
     let n = positions.len();
     let mut adj = Adjacency::new(n);
     for i in 0..n {
@@ -98,20 +218,24 @@ pub fn adjacency_from_positions(positions: &[Point], pathloss: &PathLoss) -> Adj
 }
 
 /// The deployment field implied by a topology (for mobility bounds).
+///
+/// Degenerate lattices are clamped to the **actual placement extent**: a
+/// 1-column grid puts every node at x = 0, so its field is 1 m wide (the
+/// `+1.0` slack), not `spacing + 1` — the old `max(1)` clamp inflated the
+/// empty axis and let waypoint mobility roam a full spacing off the
+/// placement line.
 pub fn field_for(kind: &TopologyKind) -> Field {
+    // `+1.0` keeps the Field constructor's positive-area invariant when
+    // an axis has zero extent (single row/column/node).
+    let span = |count: usize, spacing: f64| count.saturating_sub(1) as f64 * spacing + 1.0;
     match kind {
-        TopologyKind::Linear { n, spacing_m } => {
-            Field::new(((*n - 1).max(1)) as f64 * spacing_m + 1.0, 50.0)
-        }
+        TopologyKind::Linear { n, spacing_m } => Field::new(span(*n, *spacing_m), 50.0),
         TopologyKind::Random { field_side_m, .. } => Field::square(*field_side_m),
         TopologyKind::Grid {
             cols,
             rows,
             spacing_m,
-        } => Field::new(
-            (cols.saturating_sub(1)).max(1) as f64 * spacing_m + 1.0,
-            (rows.saturating_sub(1)).max(1) as f64 * spacing_m + 1.0,
-        ),
+        } => Field::new(span(*cols, *spacing_m), span(*rows, *spacing_m)),
         TopologyKind::Clustered {
             clusters,
             cluster_spacing_m,
@@ -229,6 +353,156 @@ mod tests {
                     let d = a[c * 4 + i].distance(a[c * 4 + j]);
                     assert!(d <= 50.0 + 1e-9, "intra-cluster distance {d}");
                 }
+            }
+        }
+    }
+
+    /// The sorted edge list and its merge-diff against a standing
+    /// geometry must agree with the full-adjacency oracle across random
+    /// placements and perturbations.
+    #[test]
+    fn edge_list_and_diff_match_adjacency_oracle() {
+        let pl = pl();
+        let mut rng = SimRng::derive(17, "edge-list-oracle");
+        let n = 40;
+        let mut pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.uniform(0.0, 400.0), rng.uniform(0.0, 400.0)))
+            .collect();
+        let mut geo = adjacency_from_positions(&pts, &pl);
+        for step in 0..60 {
+            // Jitter a few nodes (a mobility-tick-shaped perturbation).
+            for _ in 0..1 + rng.below(4) {
+                let i = rng.below(n);
+                pts[i] = Point::new(
+                    (pts[i].x + rng.uniform(-30.0, 30.0)).clamp(0.0, 400.0),
+                    (pts[i].y + rng.uniform(-30.0, 30.0)).clamp(0.0, 400.0),
+                );
+            }
+            let edges = edges_from_positions(&pts, &pl);
+            let expect = adjacency_from_positions_brute(&pts, &pl);
+            let diff = geometry_edge_diff(&geo, &edges);
+            assert_eq!(
+                diff,
+                geo.diff_edges(&expect),
+                "step {step}: edge-list diff diverged from adjacency diff"
+            );
+            for &(a, b, present) in &diff {
+                geo.set_edge(a, b, present);
+            }
+            assert_eq!(geo, expect, "step {step}: patched geometry drifted");
+        }
+    }
+
+    /// The grid path and the brute-force scan must agree **exactly at the
+    /// range boundary**: `in_range` is a strict `<` on the float distance,
+    /// and the grid path applies the identical predicate (never a squared-
+    /// distance shortcut), so a pair at exactly `max_range` is out of
+    /// range in both paths and a pair one ULP below is in range in both.
+    #[test]
+    fn at_boundary_distances_agree_between_grid_and_brute() {
+        let pl = pl();
+        let r = pl.max_range;
+        let just_under = f64::from_bits(r.to_bits() - 1); // nextafter(r, 0)
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(r, 0.0),          // exactly at range: no edge
+            Point::new(0.0, just_under), // one ULP inside: edge
+            Point::new(r + 1e-9, -r),    // just beyond: no edge to 0
+        ];
+        let grid = adjacency_from_positions(&pts, &pl);
+        let brute = adjacency_from_positions_brute(&pts, &pl);
+        assert_eq!(grid, brute, "grid and brute paths diverged at boundary");
+        assert!(
+            !grid.has_edge(NodeId(0), NodeId(1)),
+            "d == max_range is out"
+        );
+        assert!(grid.has_edge(NodeId(0), NodeId(2)), "d < max_range is in");
+        assert!(!grid.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    /// Grid-backed adjacency is bit-identical to the all-pairs scan on
+    /// assorted placements (the proptest in `tests/` widens the sweep).
+    #[test]
+    fn grid_adjacency_matches_brute_on_catalog_shapes() {
+        let pl = pl();
+        for kind in [
+            TopologyKind::Grid {
+                cols: 10,
+                rows: 10,
+                spacing_m: 80.0,
+            },
+            TopologyKind::Clustered {
+                clusters: 4,
+                per_cluster: 8,
+                spread_m: 25.0,
+                cluster_spacing_m: 90.0,
+            },
+            TopologyKind::Random {
+                n: 30,
+                field_side_m: 330.0,
+            },
+            TopologyKind::Linear {
+                n: 9,
+                spacing_m: 55.0,
+            },
+        ] {
+            let pts = place_nodes(&kind, &pl, 3);
+            assert_eq!(
+                adjacency_from_positions(&pts, &pl),
+                adjacency_from_positions_brute(&pts, &pl),
+                "grid vs brute diverged on {kind:?}"
+            );
+        }
+    }
+
+    /// A 1-column (or 1-row) grid must imply a field clamped to the
+    /// actual placement extent — all nodes sit on the degenerate axis, so
+    /// waypoint mobility may not roam a full spacing away from it.
+    #[test]
+    fn degenerate_grid_fields_clamp_to_placement_extent() {
+        let col = TopologyKind::Grid {
+            cols: 1,
+            rows: 6,
+            spacing_m: 80.0,
+        };
+        let f = field_for(&col);
+        assert_eq!(f.width, 1.0, "1-column grid spans 0 m in x (+1 slack)");
+        assert_eq!(f.height, 5.0 * 80.0 + 1.0);
+        for p in place_nodes(&col, &pl(), 1) {
+            assert!(f.contains(p), "placement outside implied field: {p:?}");
+        }
+        let row = TopologyKind::Grid {
+            cols: 6,
+            rows: 1,
+            spacing_m: 80.0,
+        };
+        let f = field_for(&row);
+        assert_eq!(f.height, 1.0, "1-row grid spans 0 m in y (+1 slack)");
+        assert_eq!(f.width, 5.0 * 80.0 + 1.0);
+    }
+
+    /// Waypoint mobility over a degenerate grid's implied field stays on
+    /// (within 1 m of) the placement axis for the whole run.
+    #[test]
+    fn waypoint_on_one_column_grid_stays_on_the_axis() {
+        use jtp_phys::{MobilityModel, RandomWaypoint};
+        use jtp_sim::SimTime;
+        let kind = TopologyKind::Grid {
+            cols: 1,
+            rows: 5,
+            spacing_m: 80.0,
+        };
+        let field = field_for(&kind);
+        let pts = place_nodes(&kind, &pl(), 2);
+        for (i, start) in pts.into_iter().enumerate() {
+            let mut w = RandomWaypoint::new(field, start, 5.0, 47.0, 10.0, 9, i as u64);
+            for t in 0..400 {
+                let p = w.position_at(SimTime::from_secs_f64(t as f64));
+                assert!(
+                    (0.0..=1.0).contains(&p.x),
+                    "node {i} roamed off the column at t={t}: {p:?}"
+                );
+                assert!(field.contains(p));
             }
         }
     }

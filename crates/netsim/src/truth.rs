@@ -176,17 +176,44 @@ impl MaskedTruth {
         }
     }
 
-    /// Replace the geometric adjacency (a mobility tick moved every node)
-    /// and re-derive the effective truth from scratch — the one event
-    /// class where a full rebuild is inherent.
+    /// Replace the geometric adjacency and re-derive the effective truth
+    /// from scratch — the legacy mobility-tick path
+    /// (`ExperimentConfig::incremental_rebuilds = false`), kept runnable
+    /// as the oracle [`MaskedTruth::apply_geometry_diff`] is pinned
+    /// against.
     pub fn set_geometry(&mut self, geo: Adjacency) {
         assert_eq!(geo.len(), self.len(), "geometry node count mismatch");
         self.geo = geo;
         self.truth = self.rebuilt();
     }
 
-    /// Recompute positions → geometry → masked truth in one call (the
-    /// shape the mobility tick and the legacy comparison path use).
+    /// Advance the geometric adjacency by its **edge diff**, in place:
+    /// only the geometric edges that appeared or vanished are patched
+    /// and re-masked, so a mobility tick costs O(changed edges) — no
+    /// graph construction, no whole-truth rebuild. `diff` must be the
+    /// exact old→new geometry diff (`old.diff_edges(&new)` or
+    /// `topology::geometry_edge_diff` against an in-range edge list; the
+    /// caller computes it anyway to feed the routing repair). The
+    /// resulting truth is identical to [`MaskedTruth::set_geometry`] on
+    /// the new geometry: edges untouched by the diff keep a mask status
+    /// that cannot have changed, and every touched edge is re-derived
+    /// through the same `edge_allowed` predicate the scratch rebuild
+    /// applies.
+    pub fn apply_geometry_diff(&mut self, diff: &[(NodeId, NodeId, bool)]) {
+        for &(a, b, present) in diff {
+            self.geo.set_edge(a, b, present);
+            let want = present && self.edge_allowed(a, b);
+            if self.truth.has_edge(a, b) != want {
+                self.truth.set_edge(a, b, want);
+            }
+        }
+    }
+
+    /// Recompute positions → geometry (spatial-grid discovery) → masked
+    /// truth in one call, rebuilding the truth from scratch. The live
+    /// mobility tick instead applies a geometry *diff*
+    /// ([`MaskedTruth::apply_geometry_diff`]); this convenience remains
+    /// for tests and one-shot consumers.
     pub fn set_positions(&mut self, positions: &[Point], pathloss: &PathLoss) {
         self.set_geometry(adjacency_from_positions(positions, pathloss));
     }
@@ -270,6 +297,66 @@ mod tests {
             "down node stays down through a geometry change"
         );
         assert_eq!(*t.adjacency(), t.rebuilt());
+    }
+
+    /// The diffed geometry swap must agree edge-for-edge with the
+    /// scratch `set_geometry` under random geometry churn layered over
+    /// random masks.
+    #[test]
+    fn geometry_diff_matches_scratch_swap_under_churn() {
+        use jtp_sim::SimRng;
+        let n = 12;
+        let mut rng = SimRng::derive(123, "geometry-diff-churn");
+        let mut fast = MaskedTruth::new(Adjacency::linear(n));
+        let mut scratch = MaskedTruth::new(Adjacency::linear(n));
+        for step in 0..200 {
+            // Random mask churn applied identically to both.
+            match rng.below(6) {
+                0 => {
+                    let v = NodeId(rng.below(n) as u32);
+                    let up = fast.is_up(v);
+                    fast.set_node_up(v, !up);
+                    scratch.set_node_up(v, !up);
+                }
+                1 => {
+                    let a = rng.below(n);
+                    let b = rng.below(n);
+                    if a != b {
+                        let (a, b) = (NodeId(a as u32), NodeId(b as u32));
+                        let blocked = fast.link_blocked(a, b);
+                        fast.set_link_blocked(a, b, !blocked);
+                        scratch.set_link_blocked(a, b, !blocked);
+                    }
+                }
+                2 => {
+                    let side: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+                    fast.set_partition(Some(side.clone()));
+                    scratch.set_partition(Some(side));
+                }
+                _ => {
+                    // A "mobility tick": flip a few geometric edges.
+                    let mut geo = fast.geometry().clone();
+                    for _ in 0..1 + rng.below(4) {
+                        let a = rng.below(n);
+                        let b = rng.below(n);
+                        if a != b {
+                            let has = geo.has_edge(NodeId(a as u32), NodeId(b as u32));
+                            geo.set_edge(NodeId(a as u32), NodeId(b as u32), !has);
+                        }
+                    }
+                    let diff = fast.geometry().diff_edges(&geo);
+                    fast.apply_geometry_diff(&diff);
+                    assert_eq!(*fast.geometry(), geo, "patched geometry drifted");
+                    scratch.set_geometry(geo);
+                }
+            }
+            assert_eq!(
+                *fast.adjacency(),
+                *scratch.adjacency(),
+                "step {step}: diffed truth diverged from scratch swap"
+            );
+            assert_eq!(*fast.adjacency(), fast.rebuilt(), "step {step}");
+        }
     }
 
     /// Randomised mask churn: every incremental step must agree with the

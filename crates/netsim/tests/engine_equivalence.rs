@@ -115,6 +115,100 @@ fn mobile_run_identical() {
     assert_identical(&fast, &naive, "mobile");
 }
 
+/// The diffed mobility path (spatial-grid neighbour discovery + geometry
+/// edge-diff + affected-region BFS repair + column-incremental next-hop
+/// rebuild) must be byte-identical to the legacy from-scratch path
+/// (brute-force all-pairs scan + whole-truth rebuild + full BFS rows +
+/// full table builds) — on a mobile run composed with churn so both the
+/// per-tick and the flooded-refresh shapes are exercised.
+#[test]
+fn mobile_incremental_rebuilds_identical_to_scratch() {
+    use jtp_netsim::{DynamicsAction, DynamicsEvent};
+    let mut cfg = ExperimentConfig::random(14)
+        .transport(TransportKind::Jtp)
+        .duration_s(500.0)
+        .seed(647)
+        .mobile(2.0)
+        .bulk_flow(50, 5.0, 0.0)
+        .dynamic(DynamicsEvent::at_s(
+            60.0,
+            DynamicsAction::NodeDown(NodeId(5)),
+        ))
+        .dynamic(DynamicsEvent::at_s(
+            140.0,
+            DynamicsAction::NodeUp(NodeId(5)),
+        ));
+    let fast = run_experiment(&cfg);
+    cfg.incremental_rebuilds = false;
+    let scratch = run_experiment(&cfg);
+    assert_identical(&fast, &scratch, "mobile incremental vs scratch");
+    assert!(fast.delivered_packets > 0);
+}
+
+/// Same pin at mobile-scale-family size: a 100-node grid where every
+/// node moves, with batteries and energy re-advertisements layered on —
+/// the full composition the tentpole exists for. (Skip engine in both
+/// modes; the naive engine's mobile equivalence is covered above and at
+/// scale by `scale_grid_run_identical`.)
+#[test]
+fn mobile_scale_incremental_rebuilds_identical_to_scratch() {
+    use jtp_phys::BatteryConfig;
+    let mut cfg = ExperimentConfig::grid(10, 10)
+        .transport(TransportKind::Jtp)
+        .duration_s(300.0)
+        .seed(648)
+        .mobile(1.0)
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(22),
+            start: SimDuration::from_secs(5),
+            packets: u32::MAX / 2,
+            loss_tolerance: 1.0,
+            initial_rate_pps: None,
+        });
+    cfg.battery = Some(BatteryConfig {
+        capacity_j: 0.28,
+        ..BatteryConfig::javelen_small()
+    });
+    cfg.energy_routing = Some(jtp_netsim::EnergyRoutingConfig::default());
+    let fast = run_experiment(&cfg);
+    cfg.incremental_rebuilds = false;
+    let scratch = run_experiment(&cfg);
+    assert_identical(&fast, &scratch, "mobile 100-node incremental vs scratch");
+    assert!(
+        fast.battery_deaths > 0,
+        "deaths must flood refreshes under mobility"
+    );
+}
+
+/// Mobility composed with batteries across the skip/naive engines: the
+/// diffed geometry path must not disturb the idle-slot replay or the
+/// death-slot aiming.
+#[test]
+fn mobile_battery_run_identical() {
+    use jtp_phys::BatteryConfig;
+    let mut cfg = ExperimentConfig::random(10)
+        .transport(TransportKind::Jtp)
+        .duration_s(400.0)
+        .seed(649)
+        .mobile(1.0)
+        .flow(FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(9),
+            start: SimDuration::from_secs(5),
+            packets: u32::MAX / 2,
+            loss_tolerance: 1.0,
+            initial_rate_pps: None,
+        });
+    cfg.battery = Some(BatteryConfig {
+        capacity_j: 0.3,
+        ..BatteryConfig::javelen_small()
+    });
+    let (fast, naive) = run_both(cfg);
+    assert_identical(&fast, &naive, "mobile + battery");
+    assert!(fast.battery_deaths > 0);
+}
+
 /// Loss-tolerant flows + random topology + several staggered flows: ties
 /// between slot boundaries and timers are common here.
 #[test]

@@ -16,7 +16,9 @@
 //!   §6.1), per-node accumulators, and finite [`Battery`] reservoirs that
 //!   close the loop from consumption to node death,
 //! * [`mobility`] — random-waypoint mobility (random direction, mean leg
-//!   47 m, mean pause 100 s; speeds 0.1 / 1 / 5 m/s, §6.1.2).
+//!   47 m, mean pause 100 s; speeds 0.1 / 1 / 5 m/s, §6.1.2),
+//! * [`spatial`] — a uniform spatial hash over positions so per-tick
+//!   neighbour discovery is O(n·k) instead of the all-pairs scan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +28,11 @@ pub mod geom;
 pub mod gilbert;
 pub mod mobility;
 pub mod pathloss;
+pub mod spatial;
 
 pub use energy::{Battery, BatteryConfig, EnergyMeter, RadioEnergyModel};
 pub use geom::{Field, Point};
 pub use gilbert::GilbertElliott;
 pub use mobility::{MobilityModel, RandomWaypoint, Stationary};
 pub use pathloss::PathLoss;
+pub use spatial::SpatialGrid;

@@ -1,0 +1,265 @@
+//! Uniform spatial hash over node positions.
+//!
+//! Per-tick neighbour discovery used to be an all-pairs scan: O(n²)
+//! distance computations on **every** mobility tick, which is the last
+//! quadratic wall on mobile 100+-node runs. A [`SpatialGrid`] buckets the
+//! positions into square cells whose side is the radio range, so every
+//! pair closer than the range lands in the same or an adjacent cell —
+//! candidate pairs are found in O(n·k) where k is the local density, and
+//! the caller applies its own (exact, unchanged) range predicate to each
+//! candidate.
+//!
+//! The grid is a pure *candidate filter*: it may propose pairs that are
+//! out of range (corner-of-cell geometry), never miss a pair that is in
+//! range (`|Δx| < cell` and `|Δy| < cell` put the endpoints in adjacent
+//! columns/rows), and it proposes each unordered pair exactly once. The
+//! in-range decision stays with the caller's float predicate, so a
+//! grid-backed adjacency is **bit-identical** to the brute-force scan —
+//! the equivalence discipline every fast path in this workspace follows.
+
+use crate::geom::Point;
+
+/// A uniform grid (spatial hash) over a set of 2-D positions.
+///
+/// Build one per query batch with [`SpatialGrid::build`]; enumerate
+/// candidate pairs with [`SpatialGrid::for_each_candidate_pair`]. Cells
+/// are `cell × cell` metres, anchored at the minimum coordinate of the
+/// positions, so negative coordinates need no special casing.
+#[derive(Clone, Debug)]
+pub struct SpatialGrid {
+    cell: f64,
+    inv_cell: f64,
+    cols: usize,
+    rows: usize,
+    min_x: f64,
+    min_y: f64,
+    /// CSR layout: cell `c` holds `items[starts[c]..starts[c + 1]]` —
+    /// a counting sort over cells, two flat allocations total (the grid
+    /// is rebuilt every mobility tick, so per-cell `Vec`s would put n
+    /// allocations on the per-tick path). Within a cell, node indices
+    /// ascend (insertion follows the caller's position order).
+    starts: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl SpatialGrid {
+    /// Bucket `positions` into cells of side `cell` (metres, must be
+    /// positive). Pass the radio's maximum range **times a hair of
+    /// slack** (e.g. `range * (1.0 + 1e-9)`) for neighbour discovery:
+    /// the slack dominates every float-rounding term in the cell
+    /// indexing, so two points strictly closer than `range` provably
+    /// land in the same or adjacent cells.
+    pub fn build(positions: &[Point], cell: f64) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        let inv_cell = 1.0 / cell;
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in positions {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if positions.is_empty() {
+            return SpatialGrid {
+                cell,
+                inv_cell,
+                cols: 0,
+                rows: 0,
+                min_x: 0.0,
+                min_y: 0.0,
+                starts: vec![0],
+                items: Vec::new(),
+            };
+        }
+        let cols = ((max_x - min_x) * inv_cell) as usize + 1;
+        let rows = ((max_y - min_y) * inv_cell) as usize + 1;
+        let cell_of = |p: &Point| {
+            let cx = (((p.x - min_x) * inv_cell) as usize).min(cols - 1);
+            let cy = (((p.y - min_y) * inv_cell) as usize).min(rows - 1);
+            cy * cols + cx
+        };
+        // Counting sort: sizes, prefix sums, then a stable fill (so
+        // within-cell order is the caller's position order).
+        let mut starts = vec![0u32; cols * rows + 1];
+        for p in positions {
+            starts[cell_of(p) + 1] += 1;
+        }
+        for c in 1..starts.len() {
+            starts[c] += starts[c - 1];
+        }
+        let mut cursor = starts.clone();
+        let mut items = vec![0u32; positions.len()];
+        for (i, p) in positions.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        SpatialGrid {
+            cell,
+            inv_cell,
+            cols,
+            rows,
+            min_x,
+            min_y,
+            starts,
+            items,
+        }
+    }
+
+    /// The node indices bucketed into cell `c` (row-major index).
+    fn cell_items(&self, c: usize) -> &[u32] {
+        &self.items[self.starts[c] as usize..self.starts[c + 1] as usize]
+    }
+
+    /// The cell side (metres).
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// Visit every unordered candidate pair `(i, j)` with `i < j` whose
+    /// positions lie in the same or adjacent cells — a superset of every
+    /// pair closer than the cell size, each pair proposed exactly once.
+    ///
+    /// Enumeration order is deterministic (cells row-major; within-cell
+    /// pairs first, then the four forward neighbour cells E, SW, S, SE),
+    /// but callers must not rely on it: the contract is the *set* of
+    /// candidates.
+    pub fn for_each_candidate_pair(&self, mut f: impl FnMut(u32, u32)) {
+        let mut emit = |a: u32, b: u32| {
+            if a < b {
+                f(a, b)
+            } else {
+                f(b, a)
+            }
+        };
+        for cy in 0..self.rows {
+            for cx in 0..self.cols {
+                let here = self.cell_items(cy * self.cols + cx);
+                if here.is_empty() {
+                    continue;
+                }
+                // Within-cell pairs.
+                for (k, &a) in here.iter().enumerate() {
+                    for &b in &here[k + 1..] {
+                        emit(a, b);
+                    }
+                }
+                // Forward half of the 8-neighbourhood (E, SW, S, SE): each
+                // adjacent cell pair is visited from exactly one side.
+                let fwd: [(isize, isize); 4] = [(1, 0), (-1, 1), (0, 1), (1, 1)];
+                for (dx, dy) in fwd {
+                    let (nx, ny) = (cx as isize + dx, cy as isize + dy);
+                    if nx < 0 || ny < 0 || nx as usize >= self.cols || ny as usize >= self.rows {
+                        continue;
+                    }
+                    let there = self.cell_items(ny as usize * self.cols + nx as usize);
+                    for &a in here {
+                        for &b in there {
+                            emit(a, b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cell coordinates a point would land in (diagnostic).
+    pub fn cell_of(&self, p: Point) -> (usize, usize) {
+        assert!(self.cols > 0 && self.rows > 0, "empty grid has no cells");
+        let cx = (((p.x - self.min_x) * self.inv_cell) as usize).min(self.cols - 1);
+        let cy = (((p.y - self.min_y) * self.inv_cell) as usize).min(self.rows - 1);
+        (cx, cy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jtp_sim::SimRng;
+    use std::collections::HashSet;
+
+    fn pairs_of(grid: &SpatialGrid) -> HashSet<(u32, u32)> {
+        let mut out = HashSet::new();
+        grid.for_each_candidate_pair(|a, b| {
+            assert!(a < b, "pairs must be ordered");
+            assert!(out.insert((a, b)), "pair ({a},{b}) proposed twice");
+        });
+        out
+    }
+
+    #[test]
+    fn candidates_cover_every_in_range_pair() {
+        let mut rng = SimRng::derive(7, "spatial-grid-test");
+        for trial in 0..20 {
+            let n = 40 + trial;
+            let side = 300.0 + trial as f64 * 17.0;
+            let range = 60.0 + (trial % 5) as f64 * 20.0;
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.uniform(0.0, side), rng.uniform(0.0, side)))
+                .collect();
+            let grid = SpatialGrid::build(&pts, range);
+            let cand = pairs_of(&grid);
+            for i in 0..n as u32 {
+                for j in (i + 1)..n as u32 {
+                    let d = pts[i as usize].distance(pts[j as usize]);
+                    if d < range {
+                        assert!(
+                            cand.contains(&(i, j)),
+                            "in-range pair ({i},{j}) at {d} m missed (range {range})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_local() {
+        // Two far-apart clumps: no cross-clump candidates.
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push(Point::new(i as f64, 0.0));
+            pts.push(Point::new(1000.0 + i as f64, 0.0));
+        }
+        let grid = SpatialGrid::build(&pts, 100.0);
+        grid.for_each_candidate_pair(|a, b| {
+            let left = |i: u32| pts[i as usize].x < 500.0;
+            assert_eq!(left(a), left(b), "cross-clump candidate ({a},{b})");
+        });
+    }
+
+    #[test]
+    fn negative_coordinates_are_handled() {
+        let pts = vec![
+            Point::new(-250.0, -90.0),
+            Point::new(-200.0, -90.0),
+            Point::new(130.0, 40.0),
+        ];
+        let grid = SpatialGrid::build(&pts, 100.0);
+        let cand = pairs_of(&grid);
+        assert!(cand.contains(&(0, 1)), "50 m pair must be a candidate");
+        assert!(!cand.contains(&(0, 2)), "380+ m pair is never a candidate");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty = SpatialGrid::build(&[], 50.0);
+        empty.for_each_candidate_pair(|_, _| panic!("no pairs in an empty grid"));
+        let one = SpatialGrid::build(&[Point::new(3.0, 4.0)], 50.0);
+        one.for_each_candidate_pair(|_, _| panic!("no pairs for one node"));
+        assert_eq!(one.dims(), (1, 1));
+        assert_eq!(one.cell_of(Point::new(3.0, 4.0)), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_rejected() {
+        SpatialGrid::build(&[Point::new(0.0, 0.0)], 0.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Affected-region repair of BFS hop-distance rows.
+//!
+//! The hop-count table re-ran a full BFS from every *affected* source on
+//! each dynamics flood (the PR 1 criterion skips provably-unaffected
+//! sources, but an affected source paid O(V+E) even when one edge at the
+//! far side of its tree moved). This module repairs an affected row in
+//! place, mirroring the weighted repair in [`crate::wapsp`] with every
+//! weight fixed at 1:
+//!
+//! 1. an **increase pass** over the intermediate graph (old edges minus
+//!    removals): candidates pop in ascending old distance; a node keeps
+//!    its distance iff an unaffected neighbour still supports it
+//!    (`row[u] + 1 == row[x]`), otherwise it joins the affected region,
+//!    which is re-settled by a shortest-path pass seeded from its
+//!    unaffected boundary;
+//! 2. a **decrease pass** applying the added edges: seeded with every
+//!    directly-improved endpoint, relaxing outward, touching only nodes
+//!    whose distance actually drops.
+//!
+//! Hop distances are small integers, so every priority queue here is a
+//! **bucket queue** (a `Vec` per distance, reused across rows): O(1)
+//! push, ascending-bucket scan, no binary-heap constants — at 100 nodes
+//! the heap version cost about as much as the full BFS it replaced.
+//! Within one bucket the processing order is irrelevant: supports and
+//! relaxations only ever consult strictly smaller distances.
+//!
+//! Both phases compute exact hop distances, and hop distances are unique
+//! integers — repaired rows are **bit-identical** to a from-scratch BFS
+//! (pinned by the linkstate tests and the netsim whole-run equivalence
+//! suite). Cost is proportional to the affected region, not to n.
+
+use crate::graph::{Adjacency, UNREACHABLE};
+use jtp_sim::NodeId;
+
+/// Reusable scratch buffers (one per repair batch, shared across rows).
+/// Buckets keep their capacity across rows and phases.
+pub(crate) struct BfsRepairScratch {
+    affected: Vec<bool>,
+    visited: Vec<bool>,
+    touched: Vec<usize>,
+    /// `buckets[d]` holds nodes queued at distance `d` (old distance in
+    /// the increase pass, tentative distance in the settle passes).
+    buckets: Vec<Vec<u32>>,
+    /// Entries written by the last repair (deduplicated): the exact set
+    /// the caller must diff against the original row — O(touched), not
+    /// O(n). Consumed via [`BfsRepairScratch::drain_dirty`].
+    dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+}
+
+impl BfsRepairScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        BfsRepairScratch {
+            affected: vec![false; n],
+            visited: vec![false; n],
+            touched: Vec::new(),
+            // Hop distances are < n; +1 headroom for the `d + 1` pushes.
+            buckets: vec![Vec::new(); n + 1],
+            dirty: vec![false; n],
+            dirty_list: Vec::new(),
+        }
+    }
+
+    /// Visit every entry index the last [`repair_bfs_row`] wrote (some
+    /// writes may have restored the original value — the caller compares
+    /// values), clearing the log for the next row.
+    pub(crate) fn drain_dirty(&mut self, mut f: impl FnMut(usize)) {
+        for x in self.dirty_list.drain(..) {
+            self.dirty[x as usize] = false;
+            f(x as usize);
+        }
+    }
+}
+
+/// Repair `row` — source `s`'s exact BFS distances over `old_adj` — into
+/// its exact BFS distances over `new_adj`. `removed`/`added` are the
+/// edge diff split by direction (as `(usize, usize)` index pairs).
+pub(crate) fn repair_bfs_row(
+    old_adj: &Adjacency,
+    new_adj: &Adjacency,
+    removed: &[(usize, usize)],
+    added: &[(usize, usize)],
+    s: usize,
+    row: &mut [u16],
+    scratch: &mut BfsRepairScratch,
+) {
+    let BfsRepairScratch {
+        affected,
+        visited,
+        touched,
+        buckets,
+        dirty,
+        dirty_list,
+    } = scratch;
+    debug_assert!(dirty_list.is_empty(), "previous dirty log not drained");
+    let mark = |dirty: &mut Vec<bool>, dirty_list: &mut Vec<u32>, x: usize| {
+        if !dirty[x] {
+            dirty[x] = true;
+            dirty_list.push(x as u32);
+        }
+    };
+    // A neighbour iteration over the intermediate graph (old − removed =
+    // old ∩ new) is "new-adjacency neighbours that were also present in
+    // the old adjacency" (edge-presence checks are O(1)).
+    let mid_neighbors = |x: usize| {
+        new_adj
+            .neighbors(NodeId(x as u32))
+            .iter()
+            .copied()
+            .filter(move |&u| old_adj.has_edge(NodeId(x as u32), u))
+    };
+
+    // ---- Phase 1a: identify the affected region under removals.
+    // Candidates scan in ascending *old* distance; every potential
+    // supporter is strictly closer, so its status is final when a node
+    // is examined.
+    let (mut lo, mut hi) = (usize::MAX, 0usize);
+    let push = |buckets: &mut Vec<Vec<u32>>, d: usize, x: u32, lo: &mut usize, hi: &mut usize| {
+        buckets[d].push(x);
+        *lo = (*lo).min(d);
+        *hi = (*hi).max(d);
+    };
+    for &(a, b) in removed {
+        for x in [a, b] {
+            if x != s && row[x] != UNREACHABLE {
+                push(buckets, row[x] as usize, x as u32, &mut lo, &mut hi);
+            }
+        }
+    }
+    touched.clear();
+    let mut d = lo;
+    while d <= hi {
+        if buckets[d].is_empty() {
+            d += 1;
+            continue;
+        }
+        // Expansion only pushes strictly larger old distances, so the
+        // current bucket never grows while it drains.
+        let mut cur = std::mem::take(&mut buckets[d]);
+        for &x in &cur {
+            let x = x as usize;
+            if visited[x] {
+                continue;
+            }
+            visited[x] = true;
+            touched.push(x);
+            let supported = mid_neighbors(x).any(|u| {
+                !affected[u.index()]
+                    && row[u.index()] != UNREACHABLE
+                    && row[u.index()] + 1 == d as u16
+            });
+            if supported {
+                continue;
+            }
+            affected[x] = true;
+            for y in mid_neighbors(x) {
+                let yi = y.index();
+                if !visited[yi] && row[yi] != UNREACHABLE && row[yi] as usize > d {
+                    buckets[row[yi] as usize].push(y.0);
+                    hi = hi.max(row[yi] as usize);
+                }
+            }
+        }
+        cur.clear();
+        buckets[d] = cur;
+        d += 1;
+    }
+    if lo != usize::MAX {
+        // ---- Phase 1b: re-settle the affected region from its
+        // unaffected boundary (whose distances are still exact).
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for &x in touched.iter() {
+            if !affected[x] {
+                continue;
+            }
+            let mut best = UNREACHABLE;
+            for u in mid_neighbors(x) {
+                if !affected[u.index()] && row[u.index()] != UNREACHABLE {
+                    best = best.min(row[u.index()] + 1);
+                }
+            }
+            // Every affected node is logged here; the 1b relaxations
+            // below only ever write affected nodes, so they need no
+            // further marking.
+            mark(dirty, dirty_list, x);
+            row[x] = best;
+            if best != UNREACHABLE {
+                push(buckets, best as usize, x as u32, &mut lo, &mut hi);
+            }
+        }
+        let mut d = lo;
+        while d <= hi {
+            if buckets[d].is_empty() {
+                d += 1;
+                continue;
+            }
+            let mut cur = std::mem::take(&mut buckets[d]);
+            for &x in &cur {
+                let x = x as usize;
+                if row[x] as usize != d {
+                    continue; // stale: settled at a smaller distance
+                }
+                for y in mid_neighbors(x) {
+                    let yi = y.index();
+                    if affected[yi] && (d + 1) < row[yi] as usize {
+                        row[yi] = (d + 1) as u16;
+                        buckets[d + 1].push(y.0);
+                        hi = hi.max(d + 1);
+                    }
+                }
+            }
+            cur.clear();
+            buckets[d] = cur;
+            d += 1;
+        }
+        for &x in touched.iter() {
+            affected[x] = false;
+            visited[x] = false;
+        }
+    }
+
+    // ---- Phase 2: decrease pass applying the added edges — a seeded
+    // relaxation over the new adjacency touches exactly the improved
+    // region.
+    let (mut lo, mut hi) = (usize::MAX, 0usize);
+    for &(a, b) in added {
+        for (x, via) in [(a, b), (b, a)] {
+            if x == s || row[via] == UNREACHABLE {
+                continue;
+            }
+            let cand = row[via] + 1;
+            if cand < row[x] {
+                mark(dirty, dirty_list, x);
+                row[x] = cand;
+                push(buckets, cand as usize, x as u32, &mut lo, &mut hi);
+            }
+        }
+    }
+    let mut d = lo;
+    while d <= hi {
+        if buckets[d].is_empty() {
+            d += 1;
+            continue;
+        }
+        let mut cur = std::mem::take(&mut buckets[d]);
+        for &x in &cur {
+            let x = x as usize;
+            if row[x] as usize != d {
+                continue; // stale: improved below this bucket
+            }
+            for &y in new_adj.neighbors(NodeId(x as u32)) {
+                let yi = y.index();
+                if (d + 1) < row[yi] as usize {
+                    mark(dirty, dirty_list, yi);
+                    row[yi] = (d + 1) as u16;
+                    buckets[d + 1].push(y.0);
+                    hi = hi.max(d + 1);
+                }
+            }
+        }
+        cur.clear();
+        buckets[d] = cur;
+        d += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jtp_sim::SimRng;
+
+    type EdgeList = Vec<(usize, usize)>;
+
+    fn split_diff(diff: &[(NodeId, NodeId, bool)]) -> (EdgeList, EdgeList) {
+        let removed = diff
+            .iter()
+            .filter(|&&(_, _, p)| !p)
+            .map(|&(a, b, _)| (a.index(), b.index()))
+            .collect();
+        let added = diff
+            .iter()
+            .filter(|&&(_, _, p)| p)
+            .map(|&(a, b, _)| (a.index(), b.index()))
+            .collect();
+        (removed, added)
+    }
+
+    /// Random edge churn: every repaired row must equal a from-scratch
+    /// BFS, across connect/sever cycles and multi-edge steps (the same
+    /// scratch is reused throughout, so leftover state would surface).
+    #[test]
+    fn repaired_rows_match_scratch_bfs() {
+        let mut rng = SimRng::derive(808, "bfs-repair-churn");
+        for n in [8usize, 14, 23] {
+            let mut adj = Adjacency::linear(n);
+            let mut rows: Vec<Vec<u16>> = (0..n)
+                .map(|s| adj.bfs_distances(NodeId(s as u32)))
+                .collect();
+            let mut scratch = BfsRepairScratch::new(n);
+            for step in 0..80 {
+                let mut new = adj.clone();
+                for _ in 0..1 + rng.below(3) {
+                    let a = rng.below(n);
+                    let b = rng.below(n);
+                    if a != b {
+                        let has = new.has_edge(NodeId(a as u32), NodeId(b as u32));
+                        new.set_edge(NodeId(a as u32), NodeId(b as u32), !has);
+                    }
+                }
+                let diff = adj.diff_edges(&new);
+                let (removed, added) = split_diff(&diff);
+                for (s, row) in rows.iter_mut().enumerate() {
+                    let before = row.clone();
+                    repair_bfs_row(&adj, &new, &removed, &added, s, row, &mut scratch);
+                    // The dirty log must cover every entry that changed
+                    // (the hop-table patch relies on that).
+                    let mut logged = vec![false; n];
+                    scratch.drain_dirty(|v| logged[v] = true);
+                    for v in 0..n {
+                        if before[v] != row[v] {
+                            assert!(
+                                logged[v],
+                                "n={n} step={step} source={s}: changed entry {v} missing from dirty log"
+                            );
+                        }
+                    }
+                    assert_eq!(
+                        *row,
+                        new.bfs_distances(NodeId(s as u32)),
+                        "n={n} step={step} source={s}: repair diverged from BFS"
+                    );
+                }
+                adj = new;
+            }
+        }
+    }
+
+    #[test]
+    fn disconnect_and_reconnect_roundtrip() {
+        let adj = Adjacency::linear(6);
+        let mut cut = adj.clone();
+        cut.set_edge(NodeId(2), NodeId(3), false);
+        let mut scratch = BfsRepairScratch::new(6);
+        let mut row = adj.bfs_distances(NodeId(0));
+        repair_bfs_row(&adj, &cut, &[(2, 3)], &[], 0, &mut row, &mut scratch);
+        scratch.drain_dirty(|_| {});
+        assert_eq!(row, cut.bfs_distances(NodeId(0)));
+        assert_eq!(row[5], UNREACHABLE);
+        repair_bfs_row(&cut, &adj, &[], &[(2, 3)], 0, &mut row, &mut scratch);
+        scratch.drain_dirty(|_| {});
+        assert_eq!(row, adj.bfs_distances(NodeId(0)));
+        assert_eq!(row[5], 5);
+    }
+}

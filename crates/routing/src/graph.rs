@@ -91,8 +91,57 @@ impl Adjacency {
     }
 
     /// Edges present in exactly one of `self` (old) and `newer`, as
-    /// `(a, b, present_in_newer)` with `a < b`.
+    /// `(a, b, present_in_newer)` with `a < b`, ordered by `(a, b)`.
+    ///
+    /// Computed by merging the two sorted neighbour lists per node —
+    /// O(n + E_old + E_new), not the O(n²) pair scan — so diffing two
+    /// mobility-tick geometries costs what actually changed, not the
+    /// whole matrix. Output order matches the historical pair scan
+    /// exactly (ascending `a`, then ascending `b`).
     pub fn diff_edges(&self, newer: &Adjacency) -> Vec<(NodeId, NodeId, bool)> {
+        assert_eq!(self.n, newer.n, "diff over different node counts");
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            let a = NodeId(i as u32);
+            let old_l = self.neighbors(a);
+            let new_l = newer.neighbors(a);
+            // Skip neighbours b <= a (each undirected edge reported once).
+            let mut o = old_l.partition_point(|&b| b <= a);
+            let mut w = new_l.partition_point(|&b| b <= a);
+            while o < old_l.len() || w < new_l.len() {
+                match (old_l.get(o), new_l.get(w)) {
+                    (Some(&bo), Some(&bn)) if bo == bn => {
+                        o += 1;
+                        w += 1;
+                    }
+                    (Some(&bo), Some(&bn)) if bo < bn => {
+                        out.push((a, bo, false));
+                        o += 1;
+                    }
+                    (Some(_), Some(&bn)) => {
+                        out.push((a, bn, true));
+                        w += 1;
+                    }
+                    (Some(&bo), None) => {
+                        out.push((a, bo, false));
+                        o += 1;
+                    }
+                    (None, Some(&bn)) => {
+                        out.push((a, bn, true));
+                        w += 1;
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                }
+            }
+        }
+        out
+    }
+
+    /// The historical all-pairs diff: an O(n²) `has_edge` scan over every
+    /// pair. Output identical to [`Adjacency::diff_edges`]; kept runnable
+    /// so the legacy comparison modes reproduce the pre-merge-diff cost
+    /// structure they are benchmarked as.
+    pub fn diff_edges_scan(&self, newer: &Adjacency) -> Vec<(NodeId, NodeId, bool)> {
         assert_eq!(self.n, newer.n, "diff over different node counts");
         let mut out = Vec::new();
         for i in 0..self.n as u32 {
@@ -202,6 +251,33 @@ mod tests {
             vec![(NodeId(0), NodeId(3), true), (NodeId(1), NodeId(2), false)]
         );
         assert!(new.diff_edges(&new).is_empty());
+    }
+
+    /// The merge-based diff must reproduce the historical pair scan —
+    /// same set, same `(a, b)` order — on random edge flips.
+    #[test]
+    fn diff_edges_matches_pair_scan_oracle() {
+        use jtp_sim::SimRng;
+        let mut rng = SimRng::derive(11, "diff-edges-oracle");
+        let n = 17;
+        let mut old = Adjacency::linear(n);
+        for step in 0..50 {
+            let mut new = old.clone();
+            for _ in 0..rng.below(6) {
+                let a = rng.below(n);
+                let b = rng.below(n);
+                if a != b {
+                    let has = new.has_edge(NodeId(a as u32), NodeId(b as u32));
+                    new.set_edge(NodeId(a as u32), NodeId(b as u32), !has);
+                }
+            }
+            assert_eq!(
+                old.diff_edges(&new),
+                old.diff_edges_scan(&new),
+                "step {step}"
+            );
+            old = new;
+        }
     }
 
     #[test]

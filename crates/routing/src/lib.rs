@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bfs_repair;
 pub mod graph;
 pub mod linkstate;
 pub mod wapsp;

@@ -132,6 +132,11 @@ impl WeightedApsp {
     /// the hop-count table's incremental BFS, so it is passed in rather
     /// than recomputed. Rows end bit-identical to a from-scratch build.
     ///
+    /// Returns one flag per source: `true` iff that row **may** have
+    /// changed (a conservative superset — the row was written to, even if
+    /// some writes restored the old value). The link-state layer uses
+    /// this to re-derive only the next-hop rows whose inputs moved.
+    ///
     /// # Panics
     /// Panics when node counts disagree with the table.
     pub fn update(
@@ -140,7 +145,7 @@ impl WeightedApsp {
         new_adj: &Adjacency,
         edge_diff: &[(NodeId, NodeId, bool)],
         new_weights: &[u16],
-    ) {
+    ) -> Vec<bool> {
         assert_eq!(old_adj.len(), self.n, "old adjacency size mismatch");
         assert_eq!(new_adj.len(), self.n, "new adjacency size mismatch");
         assert_eq!(new_weights.len(), self.n, "one weight per node");
@@ -168,8 +173,9 @@ impl WeightedApsp {
             .filter(|&&(_, _, present)| present)
             .map(|&(a, b, _)| (a.index(), b.index()))
             .collect();
+        let mut changed = vec![false; self.n];
         if raised.is_empty() && lowered.is_empty() && removed.is_empty() && added.is_empty() {
-            return;
+            return changed;
         }
 
         // Scratch reused across sources.
@@ -178,6 +184,7 @@ impl WeightedApsp {
         let mut touched: Vec<usize> = Vec::new();
         let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
 
+        #[allow(clippy::needless_range_loop)] // `s` indexes rows, changed and seeds alike
         for s in 0..self.n {
             self.stats.repaired_sources += 1;
             let row = &mut self.rows[s];
@@ -250,6 +257,7 @@ impl WeightedApsp {
                         best = best.min(row[u.index()].saturating_add(w_mid[x]));
                     }
                 }
+                changed[s] = true;
                 row[x] = best;
                 if best != UNREACHABLE_COST {
                     heap.push(Reverse((best, x as u32)));
@@ -294,6 +302,7 @@ impl WeightedApsp {
                     }
                 }
                 if best < row[v] {
+                    changed[s] = true;
                     row[v] = best;
                     heap.push(Reverse((best, v as u32)));
                 }
@@ -305,6 +314,7 @@ impl WeightedApsp {
                     }
                     let cand = row[via].saturating_add(new_weights[x] as u32);
                     if cand < row[x] {
+                        changed[s] = true;
                         row[x] = cand;
                         heap.push(Reverse((cand, x as u32)));
                     }
@@ -320,12 +330,14 @@ impl WeightedApsp {
                     let yi = y.index();
                     let cand = d.saturating_add(new_weights[yi] as u32);
                     if cand < row[yi] {
+                        changed[s] = true;
                         row[yi] = cand;
                         heap.push(Reverse((cand, y.0)));
                     }
                 }
             }
         }
+        changed
     }
 }
 
@@ -450,9 +462,21 @@ mod tests {
                     w[v] = 1 + rng.below(32) as u16;
                 }
                 let diff = adj.diff_edges(&new);
-                ap.update(&adj, &new, &diff, &w);
+                let before = ap.rows().to_vec();
+                let changed = ap.update(&adj, &new, &diff, &w);
                 adj = new;
                 assert_matches_scratch(&ap, &adj, &w, &format!("n={n} step={step}"));
+                // The changed-rows report must be a superset of the rows
+                // that actually moved (the hop-table row rebuild relies
+                // on unflagged rows being untouched).
+                for s in 0..n {
+                    if ap.rows()[s] != before[s] {
+                        assert!(
+                            changed[s],
+                            "n={n} step={step}: row {s} changed but was not flagged"
+                        );
+                    }
+                }
             }
             let st = ap.stats();
             assert!(st.repaired_sources > 0, "repairs must run");
