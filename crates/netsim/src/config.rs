@@ -9,6 +9,87 @@ use jtp_phys::gilbert::GilbertConfig;
 use jtp_phys::{BatteryConfig, PathLoss, RadioEnergyModel};
 use jtp_sim::{NodeId, SimDuration};
 
+/// Why a configuration (or a scenario lowering onto one) was rejected.
+///
+/// Every malformed-input path in the simulator funnels through this type:
+/// [`ExperimentConfig::validate`] is the single choke point, and the
+/// fallible entry points (`Network::try_new`, `try_run_experiment`,
+/// `Scenario::try_build`, `try_place_nodes`) surface it instead of
+/// panicking. The variants are coarse-grained by *which knob* was wrong,
+/// so fuzzers and CLIs can branch on the class while humans read the
+/// embedded reason.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// Node placement parameters are unusable (too few nodes,
+    /// non-positive/non-finite geometry).
+    Topology(String),
+    /// A flow references nodes outside the topology or carries
+    /// out-of-range parameters.
+    Flow {
+        /// Index into [`ExperimentConfig::flows`].
+        index: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A scheduled dynamics event is malformed.
+    Dynamics {
+        /// Index into [`ExperimentConfig::dynamics`].
+        index: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// Mobility parameters would corrupt or hang the run.
+    Mobility(String),
+    /// A period or duration that drives the event loop is zero or
+    /// otherwise degenerate (zero-period events never advance time).
+    Timing(String),
+    /// JTP transport parameters rejected by [`JtpConfig::validate`].
+    Jtp(String),
+    /// Path-loss model parameters rejected by [`PathLoss::validate`].
+    PathLoss(String),
+    /// Battery parameters rejected by `BatteryConfig::validate`.
+    Battery(String),
+    /// Duty-cycle parameters rejected by `DutyCycleConfig::validate`.
+    DutyCycle(String),
+    /// Energy-aware-routing parameters rejected by
+    /// [`EnergyRoutingConfig::validate`], or routing requested without a
+    /// battery to advertise.
+    EnergyRouting(String),
+    /// A [`crate::scenario::Scenario`] failed to lower: its declarative
+    /// fields are inconsistent before they ever reach an
+    /// [`ExperimentConfig`].
+    Scenario {
+        /// The scenario's name.
+        name: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// Node placement failed: the sampled geometry never produced a
+    /// connected network within the resampling budget.
+    Placement(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Topology(r) => write!(f, "topology: {r}"),
+            ConfigError::Flow { index, reason } => write!(f, "flow {index}: {reason}"),
+            ConfigError::Dynamics { index, reason } => write!(f, "dynamics {index}: {reason}"),
+            ConfigError::Mobility(r) => write!(f, "mobility: {r}"),
+            ConfigError::Timing(r) => write!(f, "timing: {r}"),
+            ConfigError::Jtp(r) => write!(f, "jtp: {r}"),
+            ConfigError::PathLoss(r) => write!(f, "pathloss: {r}"),
+            ConfigError::Battery(r) => write!(f, "battery: {r}"),
+            ConfigError::DutyCycle(r) => write!(f, "duty cycle: {r}"),
+            ConfigError::EnergyRouting(r) => write!(f, "energy routing: {r}"),
+            ConfigError::Scenario { name, reason } => write!(f, "scenario {name:?}: {reason}"),
+            ConfigError::Placement(r) => write!(f, "placement: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which transport protocol a flow (and the whole run) uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TransportKind {
@@ -355,22 +436,23 @@ impl ExperimentConfig {
 
     /// A config over an explicit topology, with paper-default substrate
     /// parameters (the entry point the scenario engine lowers through).
+    ///
+    /// Constructors never panic: an unusable topology (fewer than two
+    /// nodes, degenerate geometry) is reported by [`Self::validate`],
+    /// which every run entry point calls before building a network.
     pub fn with_topology(topology: TopologyKind) -> Self {
-        assert!(topology.node_count() >= 2);
         Self::base(topology)
     }
 
     /// A linear chain of `n` nodes, 55 m spacing (full-quality links,
     /// single-hop neighbours only).
     pub fn linear(n: usize) -> Self {
-        assert!(n >= 2, "need at least source and destination");
         Self::base(TopologyKind::Linear { n, spacing_m: 55.0 })
     }
 
     /// `n` nodes uniform in a square field sized for connectivity
     /// (side = 60·√n metres, mean degree ≈ 8 at 100 m range).
     pub fn random(n: usize) -> Self {
-        assert!(n >= 2);
         let side = 60.0 * (n as f64).sqrt();
         Self::base(TopologyKind::Random {
             n,
@@ -381,7 +463,6 @@ impl ExperimentConfig {
     /// A `cols × rows` lattice, 80 m spacing (4-connected at the 100 m
     /// radio range).
     pub fn grid(cols: usize, rows: usize) -> Self {
-        assert!(cols * rows >= 2, "need at least source and destination");
         Self::base(TopologyKind::Grid {
             cols,
             rows,
@@ -393,7 +474,6 @@ impl ExperimentConfig {
     /// around centres 90 m apart, so clusters interconnect only through
     /// their rims.
     pub fn clustered(clusters: usize, per_cluster: usize) -> Self {
-        assert!(clusters * per_cluster >= 2);
         Self::base(TopologyKind::Clustered {
             clusters,
             per_cluster,
@@ -466,7 +546,7 @@ impl ExperimentConfig {
         let n = self.topology.node_count();
         let spec = FlowSpec {
             src: NodeId(0),
-            dst: NodeId(n as u32 - 1),
+            dst: NodeId(n.saturating_sub(1) as u32),
             start: SimDuration::from_secs_f64(start_s),
             packets,
             loss_tolerance: lt,
@@ -475,99 +555,194 @@ impl ExperimentConfig {
         self.flow(spec)
     }
 
-    /// Validate cross-field consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate cross-field consistency. The single choke point every run
+    /// entry point (`Network::try_new`, `try_run_experiment`,
+    /// `Scenario::try_build`) passes through: a config that validates
+    /// runs without panicking, however degenerate its outcome.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         let n = self.topology.node_count();
         if n < 2 {
-            return Err("need at least 2 nodes".into());
+            return Err(ConfigError::Topology(format!(
+                "need at least source and destination (got {n} nodes)"
+            )));
         }
-        self.jtp.validate()?;
-        self.pathloss.validate()?;
+        self.validate_topology_geometry()?;
+        self.validate_timing()?;
+        self.jtp.validate().map_err(ConfigError::Jtp)?;
+        self.pathloss.validate().map_err(ConfigError::PathLoss)?;
         if let Some(b) = &self.battery {
-            b.validate()?;
+            b.validate().map_err(ConfigError::Battery)?;
         }
         if let Some(d) = &self.duty_cycle {
-            d.validate()?;
+            d.validate().map_err(ConfigError::DutyCycle)?;
         }
         if let Some(e) = &self.energy_routing {
-            e.validate()?;
+            e.validate().map_err(ConfigError::EnergyRouting)?;
             if self.battery.is_none() {
-                return Err(
-                    "energy-aware routing needs a battery (weights are residual fractions)".into(),
-                );
-            }
-        }
-        if let TopologyKind::Clustered {
-            spread_m,
-            cluster_spacing_m,
-            ..
-        } = &self.topology
-        {
-            // Discs must stay inside the implied deployment field (whose
-            // cells are cluster_spacing wide, centres at cell midpoints):
-            // otherwise mobility clamping would silently move nodes off
-            // the connectivity-checked placement.
-            if *spread_m <= 0.0 || *spread_m > cluster_spacing_m / 2.0 {
-                return Err(format!(
-                    "clustered topology: spread ({spread_m} m) must be in \
-                     (0, cluster_spacing/2 = {} m]",
-                    cluster_spacing_m / 2.0
+                return Err(ConfigError::EnergyRouting(
+                    "needs a battery (weights are residual fractions)".into(),
                 ));
             }
         }
+        if let Some(m) = &self.mobility {
+            if m.update_period.is_zero() {
+                return Err(ConfigError::Mobility(
+                    "update period must be positive (zero would re-tick forever at one instant)"
+                        .into(),
+                ));
+            }
+            if !m.speed_mps.is_finite() || m.speed_mps < 0.0 {
+                return Err(ConfigError::Mobility(format!(
+                    "speed must be finite and non-negative (got {} m/s)",
+                    m.speed_mps
+                )));
+            }
+            if !m.mean_leg_m.is_finite() || m.mean_leg_m <= 0.0 {
+                return Err(ConfigError::Mobility(format!(
+                    "mean leg must be finite and positive (got {} m)",
+                    m.mean_leg_m
+                )));
+            }
+            if !m.mean_pause_s.is_finite() || m.mean_pause_s < 0.0 {
+                return Err(ConfigError::Mobility(format!(
+                    "mean pause must be finite and non-negative (got {} s)",
+                    m.mean_pause_s
+                )));
+            }
+        }
         for (i, f) in self.flows.iter().enumerate() {
+            let flow_err = |reason: String| ConfigError::Flow { index: i, reason };
             if f.src.index() >= n || f.dst.index() >= n {
-                return Err(format!("flow {i} endpoints outside topology"));
+                return Err(flow_err("endpoints outside topology".into()));
             }
             if f.src == f.dst {
-                return Err(format!("flow {i} has identical endpoints"));
+                return Err(flow_err("identical endpoints".into()));
             }
             if !(0.0..=1.0).contains(&f.loss_tolerance) {
-                return Err(format!("flow {i} loss tolerance outside [0,1]"));
+                return Err(flow_err(format!(
+                    "loss tolerance {} outside [0,1]",
+                    f.loss_tolerance
+                )));
             }
             if (self.transport == TransportKind::Tcp || self.transport == TransportKind::Atp)
                 && f.loss_tolerance != 0.0
             {
-                return Err(format!(
-                    "flow {i}: {:?} only supports full reliability",
+                return Err(flow_err(format!(
+                    "{:?} only supports full reliability",
                     self.transport
-                ));
+                )));
+            }
+            if let Some(r) = f.initial_rate_pps {
+                if !r.is_finite() || r <= 0.0 {
+                    return Err(flow_err(format!(
+                        "initial rate must be finite and positive (got {r} pps)"
+                    )));
+                }
             }
         }
         for (i, ev) in self.dynamics.iter().enumerate() {
+            let dyn_err = |reason: String| ConfigError::Dynamics { index: i, reason };
             match &ev.action {
                 DynamicsAction::NodeDown(v) | DynamicsAction::NodeUp(v) => {
                     if v.index() >= n {
-                        return Err(format!("dynamics {i}: node {v} outside topology"));
+                        return Err(dyn_err(format!("node {v} outside topology")));
                     }
                 }
                 DynamicsAction::LinkDown(a, b) | DynamicsAction::LinkUp(a, b) => {
                     if a.index() >= n || b.index() >= n {
-                        return Err(format!("dynamics {i}: link endpoint outside topology"));
+                        return Err(dyn_err("link endpoint outside topology".into()));
                     }
                     if a == b {
-                        return Err(format!("dynamics {i}: link endpoints identical"));
+                        return Err(dyn_err("link endpoints identical".into()));
                     }
                 }
                 DynamicsAction::PartitionStart(group) => {
                     if group.is_empty() || group.len() >= n {
-                        return Err(format!(
-                            "dynamics {i}: partition group must be a non-empty proper subset"
+                        return Err(dyn_err(
+                            "partition group must be a non-empty proper subset".into(),
                         ));
                     }
                     if group.iter().any(|v| v.index() >= n) {
-                        return Err(format!("dynamics {i}: partition member outside topology"));
+                        return Err(dyn_err("partition member outside topology".into()));
                     }
                 }
                 DynamicsAction::PartitionEnd => {}
-                DynamicsAction::AreaFail { radius_m, .. } => {
-                    if *radius_m <= 0.0 {
-                        return Err(format!(
-                            "dynamics {i}: area failure radius must be positive"
-                        ));
+                DynamicsAction::AreaFail {
+                    x_m, y_m, radius_m, ..
+                } => {
+                    if !radius_m.is_finite() || *radius_m <= 0.0 {
+                        return Err(dyn_err(format!(
+                            "area failure radius must be finite and positive (got {radius_m} m)"
+                        )));
+                    }
+                    if !x_m.is_finite() || !y_m.is_finite() {
+                        return Err(dyn_err("area failure centre must be finite".into()));
                     }
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Geometry sanity for the four placement families: every length that
+    /// feeds the position sampler must be finite and positive, else
+    /// distances go NaN and "resample until connected" never terminates.
+    fn validate_topology_geometry(&self) -> Result<(), ConfigError> {
+        let positive = |what: &str, v: f64| -> Result<(), ConfigError> {
+            if !v.is_finite() || v <= 0.0 {
+                Err(ConfigError::Topology(format!(
+                    "{what} must be finite and positive (got {v} m)"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match &self.topology {
+            TopologyKind::Linear { spacing_m, .. } => positive("chain spacing", *spacing_m),
+            TopologyKind::Random { field_side_m, .. } => positive("field side", *field_side_m),
+            TopologyKind::Grid { spacing_m, .. } => positive("lattice spacing", *spacing_m),
+            TopologyKind::Clustered {
+                spread_m,
+                cluster_spacing_m,
+                ..
+            } => {
+                positive("cluster spacing", *cluster_spacing_m)?;
+                positive("cluster spread", *spread_m)?;
+                // Discs must stay inside the implied deployment field
+                // (whose cells are cluster_spacing wide, centres at cell
+                // midpoints): otherwise mobility clamping would silently
+                // move nodes off the connectivity-checked placement.
+                if *spread_m > cluster_spacing_m / 2.0 {
+                    return Err(ConfigError::Topology(format!(
+                        "clustered spread ({spread_m} m) must be in \
+                         (0, cluster_spacing/2 = {} m]",
+                        cluster_spacing_m / 2.0
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Every period that re-schedules `now + period` must be positive, or
+    /// the event loop re-fires forever at one instant. `SimDuration`
+    /// construction already clamps negative/NaN seconds to zero, so a
+    /// zero check covers the whole malformed range.
+    fn validate_timing(&self) -> Result<(), ConfigError> {
+        if self.duration.is_zero() {
+            return Err(ConfigError::Timing(
+                "simulated duration must be positive".into(),
+            ));
+        }
+        if self.slot.is_zero() {
+            return Err(ConfigError::Timing(
+                "TDMA slot length must be positive".into(),
+            ));
+        }
+        if self.tcp_ack_flush.is_zero() {
+            return Err(ConfigError::Timing(
+                "TCP ack-flush period must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -703,6 +878,91 @@ mod tests {
             },
         ));
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_topologies_error_instead_of_panicking() {
+        // Constructors are total; validate() is the choke point.
+        for cfg in [
+            ExperimentConfig::linear(0),
+            ExperimentConfig::linear(1),
+            ExperimentConfig::random(1),
+            ExperimentConfig::grid(1, 1),
+            ExperimentConfig::grid(0, 7),
+            ExperimentConfig::clustered(1, 1),
+            ExperimentConfig::with_topology(TopologyKind::Linear {
+                n: 0,
+                spacing_m: 55.0,
+            }),
+        ] {
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::Topology(_))),
+                "{:?} should fail topology validation",
+                cfg.topology
+            );
+        }
+        // bulk_flow on a zero-node chain must not underflow either.
+        let cfg = ExperimentConfig::linear(0).bulk_flow(1, 0.0, 0.0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_geometry_and_timing_rejected() {
+        let mut nan_spacing = ExperimentConfig::linear(3);
+        if let TopologyKind::Linear { spacing_m, .. } = &mut nan_spacing.topology {
+            *spacing_m = f64::NAN;
+        }
+        assert!(matches!(
+            nan_spacing.validate(),
+            Err(ConfigError::Topology(_))
+        ));
+
+        let zero_duration = ExperimentConfig::linear(3).duration_s(0.0);
+        assert!(matches!(
+            zero_duration.validate(),
+            Err(ConfigError::Timing(_))
+        ));
+        // from_secs_f64 clamps NaN/negative to zero, so these funnel into
+        // the same rejection.
+        let nan_duration = ExperimentConfig::linear(3).duration_s(f64::NAN);
+        assert!(nan_duration.validate().is_err());
+
+        let mut zero_slot = ExperimentConfig::linear(3);
+        zero_slot.slot = SimDuration::ZERO;
+        assert!(matches!(zero_slot.validate(), Err(ConfigError::Timing(_))));
+
+        let mut zero_mob = ExperimentConfig::linear(3).mobile(1.0);
+        zero_mob.mobility.as_mut().unwrap().update_period = SimDuration::ZERO;
+        assert!(matches!(zero_mob.validate(), Err(ConfigError::Mobility(_))));
+        let mut nan_speed = ExperimentConfig::linear(3).mobile(f64::NAN);
+        assert!(matches!(
+            nan_speed.validate(),
+            Err(ConfigError::Mobility(_))
+        ));
+        nan_speed.mobility = None;
+        nan_speed.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_flow_rates_rejected() {
+        let mut cfg = ExperimentConfig::linear(3).bulk_flow(10, 0.0, 0.0);
+        cfg.flows[0].initial_rate_pps = Some(f64::INFINITY);
+        assert!(matches!(cfg.validate(), Err(ConfigError::Flow { .. })));
+        cfg.flows[0].initial_rate_pps = Some(0.0);
+        assert!(cfg.validate().is_err());
+        cfg.flows[0].initial_rate_pps = Some(8.0);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn config_error_displays_its_class() {
+        let err = ExperimentConfig::linear(1).validate().unwrap_err();
+        assert!(err.to_string().contains("topology"));
+        let err = ExperimentConfig::linear(3)
+            .bulk_flow(1, 0.0, 7.0)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("flow 0"));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fuzz;
 pub mod metrics;
 pub mod network;
 pub mod payload;
@@ -41,14 +42,15 @@ pub mod trace;
 pub mod truth;
 
 pub use config::{
-    DynamicsAction, DynamicsEvent, EnergyRoutingConfig, ExperimentConfig, FlowSpec, MobilityConfig,
-    TopologyKind, TransportKind,
+    ConfigError, DynamicsAction, DynamicsEvent, EnergyRoutingConfig, ExperimentConfig, FlowSpec,
+    MobilityConfig, TopologyKind, TransportKind,
 };
+pub use fuzz::{check_scenario, CaseOutcome, CaseReport, GeneratedCase, ScenarioGen};
 pub use metrics::{FlowMetrics, Metrics};
 pub use network::{Event, Network};
 pub use runner::{
-    run_digest, run_experiment, run_many, run_many_on, run_traced, summarize_runs, GoldenDigest,
-    Summary,
+    run_digest, run_experiment, run_many, run_many_on, run_traced, summarize_runs, try_run_digest,
+    try_run_experiment, try_run_traced, GoldenDigest, Summary,
 };
 pub use scenario::{DynamicsSpec, Scenario, TrafficPattern};
 pub use trace::{TraceConfig, TraceLog};

@@ -45,14 +45,14 @@
 //! equivalence proof rests on.
 
 use crate::config::{
-    DynamicsAction, DynamicsEvent, EnergyRoutingConfig, ExperimentConfig, MobilityConfig,
-    TransportKind,
+    ConfigError, DynamicsAction, DynamicsEvent, EnergyRoutingConfig, ExperimentConfig,
+    MobilityConfig, TransportKind,
 };
 use crate::metrics::{FlowMetrics, Metrics};
 use crate::payload::{Payload, TransportPacket};
 use crate::topology::{
     adjacency_from_positions, adjacency_from_positions_brute, edges_from_positions, field_for,
-    geometry_edge_diff, place_nodes,
+    geometry_edge_diff, try_place_nodes,
 };
 use crate::trace::{MonitorSample, TraceConfig, TraceLog};
 use crate::truth::MaskedTruth;
@@ -231,10 +231,23 @@ pub struct Network {
 
 impl Network {
     /// Build a network and its event queue from a validated configuration.
+    ///
+    /// Panics on an invalid configuration; [`Network::try_new`] reports
+    /// the [`ConfigError`] instead.
     pub fn new(cfg: &ExperimentConfig, trace_cfg: TraceConfig) -> (Network, EventQueue<Event>) {
-        cfg.validate().expect("invalid experiment configuration");
+        Network::try_new(cfg, trace_cfg).expect("invalid experiment configuration")
+    }
+
+    /// [`Network::new`] with invalid or unplaceable configurations
+    /// reported as [`ConfigError`] — the panic-free front door generated
+    /// (fuzzer) scenarios come through.
+    pub fn try_new(
+        cfg: &ExperimentConfig,
+        trace_cfg: TraceConfig,
+    ) -> Result<(Network, EventQueue<Event>), ConfigError> {
+        cfg.validate()?;
         let n = cfg.topology.node_count();
-        let positions = place_nodes(&cfg.topology, &cfg.pathloss, cfg.seed);
+        let positions = try_place_nodes(&cfg.topology, &cfg.pathloss, cfg.seed)?;
         let truth = MaskedTruth::new(adjacency_from_positions(&positions, &cfg.pathloss));
         let mut routing = LinkState::new(truth.adjacency(), cfg.routing_refresh);
         routing.set_full_weighted_rebuild(!cfg.incremental_rebuilds);
@@ -425,7 +438,7 @@ impl Network {
             net.backlog_dirty = true;
             net.sync_slot_event(SimTime::ZERO, &mut queue);
         }
-        (net, queue)
+        Ok((net, queue))
     }
 
     /// The configured end of the run.

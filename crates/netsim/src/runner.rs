@@ -7,7 +7,7 @@
 //! external thread-pool dependency. Determinism: each replica depends only
 //! on its own seed, so batch results are independent of thread scheduling.
 
-use crate::config::ExperimentConfig;
+use crate::config::{ConfigError, ExperimentConfig};
 use crate::metrics::Metrics;
 use crate::network::Network;
 use crate::trace::{TraceConfig, TraceLog};
@@ -17,13 +17,33 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Run one experiment to completion and return its metrics.
+///
+/// Panics on an invalid configuration; [`try_run_experiment`] reports
+/// the [`ConfigError`] instead.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Metrics {
     run_traced(cfg, TraceConfig::default()).0
 }
 
+/// [`run_experiment`] with invalid configurations reported as
+/// [`ConfigError`] — the panic-free entry point for generated scenarios.
+pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<Metrics, ConfigError> {
+    try_run_traced(cfg, TraceConfig::default()).map(|(m, _)| m)
+}
+
 /// Run one experiment with tracing enabled.
+///
+/// Panics on an invalid configuration; [`try_run_traced`] reports the
+/// [`ConfigError`] instead.
 pub fn run_traced(cfg: &ExperimentConfig, trace: TraceConfig) -> (Metrics, TraceLog) {
-    let (mut net, mut queue) = Network::new(cfg, trace);
+    try_run_traced(cfg, trace).expect("invalid experiment configuration")
+}
+
+/// [`run_traced`] with invalid configurations reported as [`ConfigError`].
+pub fn try_run_traced(
+    cfg: &ExperimentConfig,
+    trace: TraceConfig,
+) -> Result<(Metrics, TraceLog), ConfigError> {
+    let (mut net, mut queue) = Network::try_new(cfg, trace)?;
     let horizon = net.horizon();
     run_until(&mut net, &mut queue, horizon);
     // Account any TDMA slots the idle-skipping engine elided at the tail.
@@ -38,7 +58,7 @@ pub fn run_traced(cfg: &ExperimentConfig, trace: TraceConfig) -> (Metrics, Trace
         horizon
     };
     let m = net.metrics(now);
-    (m, net.trace)
+    Ok((m, net.trace))
 }
 
 /// A batch summary of one scalar metric across independent seeds.
@@ -166,25 +186,30 @@ impl GoldenDigest {
 /// Run `cfg` with reception tracing and digest the outcome (see
 /// [`GoldenDigest`]).
 pub fn run_digest(cfg: &ExperimentConfig) -> GoldenDigest {
-    let (m, trace) = run_traced(
+    try_run_digest(cfg).expect("invalid experiment configuration")
+}
+
+/// [`run_digest`] with invalid configurations reported as [`ConfigError`].
+pub fn try_run_digest(cfg: &ExperimentConfig) -> Result<GoldenDigest, ConfigError> {
+    let (m, trace) = try_run_traced(
         cfg,
         TraceConfig {
             receptions: true,
             ..Default::default()
         },
-    );
+    )?;
     let json = serde_json::to_string(&m).expect("metrics serialise");
     let mut fnv = crate::trace::Fnv64::default();
     fnv.write(json.as_bytes());
     let fnv = fnv.finish();
-    GoldenDigest {
+    Ok(GoldenDigest {
         delivered: m.delivered_packets,
         delivery_ratio: m.delivery_ratio(),
         goodput_kbps: m.avg_goodput_kbps(),
         energy_per_bit_uj: m.energy_per_bit_uj(),
         metrics_fnv: fnv,
         trace_checksum: trace.checksum(),
-    }
+    })
 }
 
 /// Convenience: batch-run and summarise energy-per-bit and goodput, the

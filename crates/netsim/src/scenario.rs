@@ -39,7 +39,8 @@
 //! ```
 
 use crate::config::{
-    DynamicsAction, DynamicsEvent, ExperimentConfig, FlowSpec, TopologyKind, TransportKind,
+    ConfigError, DynamicsAction, DynamicsEvent, ExperimentConfig, FlowSpec, TopologyKind,
+    TransportKind,
 };
 use jtp_mac::DutyCycleConfig;
 use jtp_phys::BatteryConfig;
@@ -148,6 +149,19 @@ pub enum TrafficPattern {
 }
 
 impl TrafficPattern {
+    /// The pattern's end-to-end loss tolerance, for patterns that carry
+    /// one (`None` for convergecast and cross-traffic, which are always
+    /// fully reliable).
+    pub fn loss_tolerance(&self) -> Option<f64> {
+        match self {
+            TrafficPattern::Bulk { loss_tolerance, .. }
+            | TrafficPattern::Cbr { loss_tolerance, .. }
+            | TrafficPattern::OnOff { loss_tolerance, .. }
+            | TrafficPattern::Poisson { loss_tolerance, .. } => Some(*loss_tolerance),
+            TrafficPattern::Convergecast { .. } | TrafficPattern::CrossTraffic { .. } => None,
+        }
+    }
+
     /// Append this pattern's flows. `force_reliable` clamps loss
     /// tolerance to 0 (TCP/ATP support nothing else); `n_nodes`, `seed`
     /// and `index` feed the stochastic patterns (Poisson arrivals draw
@@ -497,7 +511,23 @@ impl Scenario {
     }
 
     /// Lower onto a validated [`ExperimentConfig`] for `transport`.
+    ///
+    /// Panics if the scenario is malformed — the convenience wrapper for
+    /// hand-written scenarios that are supposed to be correct. Generated
+    /// or untrusted scenarios should use [`Scenario::try_build`].
     pub fn build(&self, transport: TransportKind) -> ExperimentConfig {
+        self.try_build(transport)
+            .unwrap_or_else(|e| panic!("scenario {} lowers invalid: {e}", self.name))
+    }
+
+    /// Lower onto a validated [`ExperimentConfig`] for `transport`,
+    /// reporting malformed scenarios as [`ConfigError`] instead of
+    /// panicking. Scenario-level inconsistencies (unordered churn times,
+    /// flap duty cycles with no up-time, non-positive Poisson rates)
+    /// surface as [`ConfigError::Scenario`]; everything else funnels
+    /// through [`ExperimentConfig::validate`].
+    pub fn try_build(&self, transport: TransportKind) -> Result<ExperimentConfig, ConfigError> {
+        self.validate_specs()?;
         let mut cfg = ExperimentConfig::with_topology(self.topology.clone())
             .transport(transport)
             .duration_s(self.duration_s)
@@ -522,9 +552,85 @@ impl Scenario {
         for d in &self.dynamics {
             d.lower(&mut cfg.dynamics);
         }
-        cfg.validate()
-            .unwrap_or_else(|e| panic!("scenario {} lowers invalid: {e}", self.name));
-        cfg
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Scenario-level sanity: the declarative fields the lowering step
+    /// consumes before [`ExperimentConfig::validate`] ever sees the
+    /// result. Ordering checks are deliberately negated (`!(a < b)`, not
+    /// `a >= b`) so NaN input falls into the rejecting branch.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn validate_specs(&self) -> Result<(), ConfigError> {
+        let err = |reason: String| ConfigError::Scenario {
+            name: self.name.clone(),
+            reason,
+        };
+        // Guards the Poisson endpoint-draw loop, which needs two distinct
+        // nodes to terminate.
+        if self.topology.node_count() < 2 {
+            return Err(err(format!(
+                "need at least source and destination (got {} nodes)",
+                self.topology.node_count()
+            )));
+        }
+        for (i, t) in self.traffic.iter().enumerate() {
+            if let TrafficPattern::Poisson { rate_per_s, .. } = t {
+                if !(rate_per_s.is_finite() && *rate_per_s > 0.0) {
+                    return Err(err(format!(
+                        "traffic {i}: Poisson rate must be finite and positive \
+                         (got {rate_per_s} flows/s)"
+                    )));
+                }
+            }
+            // Checked here, not only in cfg.validate(): the lowering
+            // forces loss tolerance to 0 for TCP/ATP, which would
+            // otherwise *silently launder* an out-of-domain value
+            // (first caught by the fuzzer: tolerance 1.5 under Tcp).
+            if let Some(lt) = t.loss_tolerance() {
+                if !(0.0..=1.0).contains(&lt) {
+                    return Err(err(format!(
+                        "traffic {i}: loss tolerance {lt} outside [0, 1]"
+                    )));
+                }
+            }
+        }
+        for (i, d) in self.dynamics.iter().enumerate() {
+            match d {
+                DynamicsSpec::NodeChurn {
+                    fail_at_s,
+                    recover_at_s,
+                    ..
+                } => {
+                    if !(fail_at_s < recover_at_s) {
+                        return Err(err(format!(
+                            "dynamics {i}: churn must fail (at {fail_at_s} s) before \
+                             healing (at {recover_at_s} s)"
+                        )));
+                    }
+                }
+                DynamicsSpec::Partition { start_s, end_s, .. } => {
+                    if !(start_s < end_s) {
+                        return Err(err(format!(
+                            "dynamics {i}: partition must start (at {start_s} s) before \
+                             healing (at {end_s} s)"
+                        )));
+                    }
+                }
+                DynamicsSpec::LinkFlap {
+                    down_s, period_s, ..
+                } => {
+                    if !(*down_s > 0.0 && down_s < period_s) {
+                        return Err(err(format!(
+                            "dynamics {i}: flap down-time ({down_s} s) must be positive \
+                             and below the period ({period_s} s)"
+                        )));
+                    }
+                }
+                DynamicsSpec::AreaFailure { .. } => {} // checked by cfg.validate()
+            }
+        }
+        Ok(())
     }
 
     /// The canonical scenario catalog: one entry per workload/dynamics/
@@ -1133,6 +1239,76 @@ mod tests {
         assert!(cfg.battery.is_some());
         assert!(cfg.duty_cycle.is_some());
         assert!(cfg.energy_routing.is_some());
+    }
+
+    #[test]
+    fn try_build_reports_malformed_scenarios_without_panicking() {
+        let chain = TopologyKind::Linear {
+            n: 4,
+            spacing_m: 55.0,
+        };
+        let unordered_churn =
+            Scenario::new("bad-churn", chain.clone()).dynamics(DynamicsSpec::NodeChurn {
+                node: NodeId(1),
+                fail_at_s: 50.0,
+                recover_at_s: 20.0,
+            });
+        let nan_partition =
+            Scenario::new("bad-partition", chain.clone()).dynamics(DynamicsSpec::Partition {
+                group: vec![NodeId(0)],
+                start_s: f64::NAN,
+                end_s: 100.0,
+            });
+        let solid_flap =
+            Scenario::new("bad-flap", chain.clone()).dynamics(DynamicsSpec::LinkFlap {
+                a: NodeId(0),
+                b: NodeId(1),
+                first_down_s: 10.0,
+                down_s: 30.0,
+                period_s: 30.0,
+                cycles: 2,
+            });
+        let dead_poisson =
+            Scenario::new("bad-poisson", chain.clone()).traffic(TrafficPattern::Poisson {
+                flows: 3,
+                rate_per_s: 0.0,
+                packets: 5,
+                start_s: 1.0,
+                loss_tolerance: 0.0,
+            });
+        let lonely = Scenario::new(
+            "bad-lonely",
+            TopologyKind::Linear {
+                n: 1,
+                spacing_m: 55.0,
+            },
+        );
+        for sc in [
+            unordered_churn,
+            nan_partition,
+            solid_flap,
+            dead_poisson,
+            lonely,
+        ] {
+            let err = sc.try_build(TransportKind::Jtp).unwrap_err();
+            assert!(
+                matches!(err, ConfigError::Scenario { ref name, .. } if *name == sc.name),
+                "{}: expected a scenario-level error, got {err}",
+                sc.name
+            );
+        }
+        // Errors below the scenario layer pass through untouched.
+        let bad_flow = Scenario::new("bad-flow", chain).traffic(TrafficPattern::Bulk {
+            src: NodeId(0),
+            dst: NodeId(9),
+            packets: 5,
+            start_s: 1.0,
+            loss_tolerance: 0.0,
+        });
+        assert!(matches!(
+            bad_flow.try_build(TransportKind::Jtp),
+            Err(ConfigError::Flow { index: 0, .. })
+        ));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! make `d² < r²` and `sqrt(d²) < r` disagree for distances at the range
 //! boundary, which would flake every byte-equivalence pin downstream.
 
-use crate::config::TopologyKind;
+use crate::config::{ConfigError, TopologyKind};
 use jtp_phys::{Field, PathLoss, Point, SpatialGrid};
 use jtp_routing::Adjacency;
 use jtp_sim::{NodeId, SimRng};
@@ -20,33 +20,47 @@ use jtp_sim::{NodeId, SimRng};
 /// resampled (deterministically from the seed) until the implied
 /// connectivity graph is connected — the paper sizes fields so the network
 /// "is connected with high probability", we make it a certainty.
+///
+/// Panics if the resampling budget runs out; [`try_place_nodes`] reports
+/// that as [`ConfigError::Placement`] instead.
 pub fn place_nodes(kind: &TopologyKind, pathloss: &PathLoss, seed: u64) -> Vec<Point> {
+    try_place_nodes(kind, pathloss, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`place_nodes`], with placement failure (a field too sparse for its
+/// radio range to ever connect within the deterministic resampling
+/// budget) reported as [`ConfigError::Placement`] instead of a panic.
+pub fn try_place_nodes(
+    kind: &TopologyKind,
+    pathloss: &PathLoss,
+    seed: u64,
+) -> Result<Vec<Point>, ConfigError> {
     match kind {
-        TopologyKind::Linear { n, spacing_m } => (0..*n)
+        TopologyKind::Linear { n, spacing_m } => Ok((0..*n)
             .map(|i| Point::new(i as f64 * spacing_m, 0.0))
-            .collect(),
+            .collect()),
         TopologyKind::Random { n, field_side_m } => {
             let field = Field::square(*field_side_m);
             let mut rng = SimRng::derive(seed, "placement");
             for _attempt in 0..1000 {
                 let pts: Vec<Point> = (0..*n).map(|_| field.random_point(&mut rng)).collect();
                 if adjacency_from_positions(&pts, pathloss).is_connected() {
-                    return pts;
+                    return Ok(pts);
                 }
             }
-            panic!(
+            Err(ConfigError::Placement(format!(
                 "could not find a connected placement of {n} nodes in a \
                  {field_side_m} m field after 1000 attempts — enlarge the \
                  range or shrink the field"
-            );
+            )))
         }
         TopologyKind::Grid {
             cols,
             rows,
             spacing_m,
-        } => (0..rows * cols)
+        } => Ok((0..rows * cols)
             .map(|i| Point::new((i % cols) as f64 * spacing_m, (i / cols) as f64 * spacing_m))
-            .collect(),
+            .collect()),
         TopologyKind::Clustered {
             clusters,
             per_cluster,
@@ -67,14 +81,14 @@ pub fn place_nodes(kind: &TopologyKind, pathloss: &PathLoss, seed: u64) -> Vec<P
                     }
                 }
                 if adjacency_from_positions(&pts, pathloss).is_connected() {
-                    return pts;
+                    return Ok(pts);
                 }
             }
-            panic!(
+            Err(ConfigError::Placement(format!(
                 "could not find a connected clustered placement \
                  ({clusters}×{per_cluster}, spread {spread_m} m, spacing \
                  {cluster_spacing_m} m) after 1000 attempts"
-            );
+            )))
         }
     }
 }

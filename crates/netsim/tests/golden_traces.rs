@@ -65,13 +65,54 @@ fn catalog_digests_match_committed_golden_file() {
         committed.len(),
         lines.len()
     );
+    let mut drift = Vec::new();
     for (want, got) in committed.iter().zip(&lines) {
-        assert_eq!(
-            got, want,
-            "golden digest drift — if intended, regenerate with \
-             GOLDEN_REGEN=1 and review the diff"
-        );
+        if got != want {
+            drift.push(diagnose_drift(want, got));
+        }
     }
+    assert!(
+        drift.is_empty(),
+        "golden digest drift in {} scenario(s):\n{}\n\
+         if intended, regenerate with GOLDEN_REGEN=1 cargo test -p \
+         jtp-netsim --test golden_traces and review the diff",
+        drift.len(),
+        drift.join("\n")
+    );
+}
+
+/// Name the scenario and the exact digest fields that moved, so a failure
+/// says *what kind* of drift happened — e.g. `trace` alone means the
+/// reception stream changed while every counter survived, while
+/// `metrics` alone means some counter or float moved without touching
+/// deliveries.
+fn diagnose_drift(want: &str, got: &str) -> String {
+    let fields = |line: &str| -> (String, Vec<(String, String)>) {
+        let mut it = line.split_whitespace();
+        let name = it.next().unwrap_or("?").to_string();
+        let kv = it
+            .filter_map(|tok| tok.split_once('='))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        (name, kv)
+    };
+    let (name, want_kv) = fields(want);
+    let (got_name, got_kv) = fields(got);
+    let mut moved = Vec::new();
+    if got_name != name {
+        moved.push(format!("scenario order changed ({name} vs {got_name})"));
+    }
+    for (k, wv) in &want_kv {
+        match got_kv.iter().find(|(gk, _)| gk == k) {
+            Some((_, gv)) if gv != wv => moved.push(format!("{k}: {wv} -> {gv}")),
+            None => moved.push(format!("{k}: {wv} -> (missing)")),
+            _ => {}
+        }
+    }
+    if moved.is_empty() {
+        moved.push(format!("line changed shape: {want:?} vs {got:?}"));
+    }
+    format!("  {name}: {}", moved.join(", "))
 }
 
 /// The digest machinery itself must be a pure function of the run.

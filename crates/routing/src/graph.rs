@@ -90,6 +90,35 @@ impl Adjacency {
         &self.neighbors[a.index()]
     }
 
+    /// The graph relabelled by `perm`: node `i` of `self` becomes node
+    /// `perm[i]` of the result. `perm` must be a permutation of
+    /// `0..len()`. The metamorphic oracle for routing: shortest-path
+    /// *distances* are label-independent, so
+    /// `self.permuted(p).bfs_distances(p[s])[p[d]] ==
+    /// self.bfs_distances(s)[d]` for every pair — while next-hop
+    /// *choices* may legitimately differ (ties break on node id).
+    pub fn permuted(&self, perm: &[NodeId]) -> Adjacency {
+        assert_eq!(perm.len(), self.n, "permutation length mismatch");
+        let mut seen = vec![false; self.n];
+        for p in perm {
+            assert!(
+                p.index() < self.n && !seen[p.index()],
+                "not a permutation of 0..n"
+            );
+            seen[p.index()] = true;
+        }
+        let mut out = Adjacency::new(self.n);
+        for i in 0..self.n {
+            let a = NodeId(i as u32);
+            for &b in self.neighbors(a) {
+                if b > a {
+                    out.set_edge(perm[a.index()], perm[b.index()], true);
+                }
+            }
+        }
+        out
+    }
+
     /// Edges present in exactly one of `self` (old) and `newer`, as
     /// `(a, b, present_in_newer)` with `a < b`, ordered by `(a, b)`.
     ///
@@ -203,6 +232,31 @@ impl Adjacency {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn permuted_graph_preserves_distances_under_relabelling() {
+        // A small asymmetric graph: chain 0—1—2—3 plus chord 0—2.
+        let mut g = Adjacency::linear(4);
+        g.set_edge(NodeId(0), NodeId(2), true);
+        // Reverse relabelling: i -> 3 - i.
+        let perm: Vec<NodeId> = (0..4).rev().map(NodeId).collect();
+        let h = g.permuted(&perm);
+        assert_eq!(h.len(), 4);
+        for a in 0..4u32 {
+            let da = g.bfs_distances(NodeId(a));
+            let dp = h.bfs_distances(perm[a as usize]);
+            for b in 0..4u32 {
+                assert_eq!(
+                    da[b as usize],
+                    dp[perm[b as usize].index()],
+                    "distance {a}->{b} changed under relabelling"
+                );
+            }
+        }
+        // The identity permutation is a no-op.
+        let id: Vec<NodeId> = (0..4).map(NodeId).collect();
+        assert_eq!(g.permuted(&id), g);
+    }
 
     #[test]
     fn linear_chain_structure() {
