@@ -2,10 +2,12 @@
 //!
 //! Sweeps a window of generated adversarial scenarios through
 //! `jtp_netsim::fuzz`'s oracle stack (naive vs skip engine, legacy vs
-//! incremental rebuilds, parallel vs sequential batches, metamorphic
+//! incremental rebuilds, partitioned vs sequential flood-plane engine at
+//! workers ∈ {2, 4}, parallel vs sequential batches, metamorphic
 //! invariants, conservation checks). Panics inside a case are caught and
 //! reported as failures with a self-contained repro, so one bad case
-//! never hides the rest of the sweep.
+//! never hides the rest of the sweep; genuine divergences are greedily
+//! shrunk to a minimal still-failing scenario before being reported.
 //!
 //! ```text
 //! cargo run --release -p jtp-bench --bin fuzz_scenarios -- \

@@ -67,6 +67,9 @@ pub enum ConfigError {
     /// Node placement failed: the sampled geometry never produced a
     /// connected network within the resampling budget.
     Placement(String),
+    /// The worker-thread knob is unusable (zero workers would leave the
+    /// flood-plane fan-outs with nobody to run them).
+    Workers(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -84,6 +87,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::EnergyRouting(r) => write!(f, "energy routing: {r}"),
             ConfigError::Scenario { name, reason } => write!(f, "scenario {name:?}: {reason}"),
             ConfigError::Placement(r) => write!(f, "placement: {r}"),
+            ConfigError::Workers(r) => write!(f, "workers: {r}"),
         }
     }
 }
@@ -403,6 +407,18 @@ pub struct ExperimentConfig {
     /// O(n³) weighted Dijkstra per change — for benchmarking; results
     /// are byte-identical in both modes.
     pub incremental_rebuilds: bool,
+    /// Worker threads for the partitioned flood-plane engine: every
+    /// flooded advertisement's routing recomputation (BFS row repairs,
+    /// weighted-APSP repairs, next-hop row rebuilds) is partitioned
+    /// across this many scoped threads in contiguous source chunks and
+    /// merged in source order at the flood's virtual time. A **pure
+    /// performance knob**: traces, metrics and golden digests are
+    /// byte-identical for every value (1, the default, is today's fully
+    /// sequential path; values above the node count clamp to one node
+    /// per partition). The sequential TDMA event plane is the
+    /// conservative synchronizer — see ARCHITECTURE.md, "Partitioned
+    /// flood-plane engine".
+    pub workers: usize,
 }
 
 impl ExperimentConfig {
@@ -431,6 +447,7 @@ impl ExperimentConfig {
             idle_slot_skipping: true,
             wakeup_coalescing: true,
             incremental_rebuilds: true,
+            workers: 1,
         }
     }
 
@@ -540,6 +557,14 @@ impl ExperimentConfig {
         self
     }
 
+    /// Set the worker-thread count for the partitioned flood-plane
+    /// engine (see [`ExperimentConfig::workers`]). Byte-identical output
+    /// for every value ≥ 1; zero is rejected by [`Self::validate`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
     /// Convenience: one bulk transfer of `packets` packets from node 0 to
     /// the last node, starting at `start_s`, with loss tolerance `lt`.
     pub fn bulk_flow(self, packets: u32, start_s: f64, lt: f64) -> Self {
@@ -568,6 +593,11 @@ impl ExperimentConfig {
         }
         self.validate_topology_geometry()?;
         self.validate_timing()?;
+        if self.workers == 0 {
+            return Err(ConfigError::Workers(
+                "worker count must be at least 1 (1 = sequential engine)".into(),
+            ));
+        }
         self.jtp.validate().map_err(ConfigError::Jtp)?;
         self.pathloss.validate().map_err(ConfigError::PathLoss)?;
         if let Some(b) = &self.battery {
@@ -790,6 +820,18 @@ mod tests {
             initial_rate_pps: None,
         });
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn workers_zero_rejected_large_values_accepted() {
+        let base = ExperimentConfig::linear(3).bulk_flow(5, 0.0, 0.0);
+        assert_eq!(base.workers, 1, "sequential by default");
+        let zero = base.clone().workers(0);
+        assert!(matches!(zero.validate(), Err(ConfigError::Workers(_))));
+        assert!(zero.validate().unwrap_err().to_string().contains("workers"));
+        // Worker counts above the node count are valid (they clamp to
+        // one source per partition inside the routing layer).
+        base.clone().workers(64).validate().unwrap();
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   byte-identical,
 //! * **incremental vs legacy rebuilds** — `incremental_rebuilds` off must
 //!   be byte-identical,
+//! * **partitioned vs sequential engine** — the flood plane on
+//!   `workers` ∈ {2, 4} threads must produce byte-identical golden
+//!   digests (same metrics *and* same reception trace checksum),
 //! * **parallel vs sequential batches** — `run_many_on(.., 2)` must equal
 //!   `run_many_on(.., 1)` replica for replica,
 //! * **metamorphic invariants** — post-horizon dynamics are inert;
@@ -33,7 +36,7 @@
 
 use crate::config::{ConfigError, DynamicsAction, DynamicsEvent, TopologyKind, TransportKind};
 use crate::metrics::Metrics;
-use crate::runner::{run_many_on, try_run_experiment};
+use crate::runner::{run_many_on, try_run_digest, try_run_digest_on, try_run_experiment};
 use crate::scenario::{DynamicsSpec, Scenario, TrafficPattern};
 use crate::topology::{adjacency_from_positions, try_place_nodes};
 use jtp_phys::BatteryConfig;
@@ -101,6 +104,9 @@ pub struct CaseReport {
     pub scenario: Scenario,
     /// The oracle verdict.
     pub outcome: CaseOutcome,
+    /// For genuine oracle divergences: the scenario greedily shrunk to a
+    /// minimal still-diverging reproduction (see [`shrink_scenario`]).
+    pub shrunk: Option<Scenario>,
 }
 
 impl CaseReport {
@@ -128,6 +134,15 @@ impl CaseReport {
             }
         }
         out.push_str(&format!("scenario: {:#?}\n", self.scenario));
+        if let Some(s) = &self.shrunk {
+            out.push_str(&format!(
+                "shrunk to {} nodes, {} traffic, {} dynamics — minimal repro:\n\
+                 shrunk scenario: {s:#?}\n",
+                s.topology.node_count(),
+                s.traffic.len(),
+                s.dynamics.len()
+            ));
+        }
         out
     }
 }
@@ -192,7 +207,9 @@ impl ScenarioGen {
         }
     }
 
-    /// Generate case `index` and run it through the oracle stack.
+    /// Generate case `index` and run it through the oracle stack. A
+    /// genuine oracle divergence is automatically shrunk to a minimal
+    /// still-diverging reproduction (the `shrunk` field of the report).
     pub fn run_case(&self, index: u64) -> CaseReport {
         let case = self.generate(index);
         let mut outcome = check_scenario(&case.scenario, case.transport);
@@ -206,12 +223,33 @@ impl ScenarioGen {
                 };
             }
         }
+        // Shrink genuine engine divergences (not validator holes — those
+        // "fail" by *passing*, so dropping components can't preserve the
+        // property being debugged). A panic while re-checking a candidate
+        // counts as still-failing: the bug is still in there.
+        let shrunk = match (&outcome, case.expect_reject) {
+            (CaseOutcome::Diverged { .. }, false) => {
+                let transport = case.transport;
+                Some(shrink_scenario(
+                    &case.scenario,
+                    |s| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            matches!(check_scenario(s, transport), CaseOutcome::Diverged { .. })
+                        }))
+                        .unwrap_or(true)
+                    },
+                    200,
+                ))
+            }
+            _ => None,
+        };
         CaseReport {
             seed: self.seed,
             index,
             transport: case.transport,
             scenario: case.scenario,
             outcome,
+            shrunk,
         }
     }
 }
@@ -284,6 +322,37 @@ pub fn check_scenario(sc: &Scenario, transport: TransportKind) -> CaseOutcome {
         }
     }
 
+    // Partitioned vs sequential flood-plane engine: `workers` must be a
+    // pure performance knob — identical golden digests (metrics FNV and
+    // reception-trace checksum) for every worker count.
+    match try_run_digest(&cfg) {
+        Ok(d1) => {
+            engine_runs += 1;
+            let line1 = d1.to_line(&sc.name);
+            for workers in [2usize, 4] {
+                match try_run_digest_on(&cfg, workers) {
+                    Ok(dw) => {
+                        engine_runs += 1;
+                        if dw.to_line(&sc.name) != line1 {
+                            failures.push(format!(
+                                "partitioned engine (workers={workers}) diverged from the \
+                                 sequential digest:\n  seq: {line1}\n  par: {}",
+                                dw.to_line(&sc.name)
+                            ));
+                        }
+                    }
+                    Err(e) => failures.push(format!(
+                        "partitioned engine (workers={workers}) rejected a config the \
+                         sequential one ran: {e}"
+                    )),
+                }
+            }
+        }
+        Err(e) => failures.push(format!(
+            "digest run rejected a config the plain run accepted: {e}"
+        )),
+    }
+
     // Metamorphic: dynamics scheduled past the horizon are never lowered
     // into the event queue, so appending one must be byte-inert.
     {
@@ -323,6 +392,132 @@ pub fn check_scenario(sc: &Scenario, transport: TransportKind) -> CaseOutcome {
     } else {
         CaseOutcome::Diverged { failures }
     }
+}
+
+/// Greedily shrink a failing scenario to a minimal reproduction.
+///
+/// Starting from `sc` (for which `still_fails` must hold), repeatedly try
+/// deleting one component at a time — dynamics events first, then traffic
+/// flows, then nodes (via topology-shape steps: shorter chain, dropped
+/// lattice row/column, dropped cluster) — keeping each deletion only if
+/// the shrunk scenario still fails. Runs to a fixpoint: one full pass in
+/// which no deletion survives. Candidates that merely become *invalid*
+/// (e.g. traffic referencing a dropped node) naturally report not-failing
+/// via the predicate (the oracle stack rejects them cleanly), so the
+/// shrinker never trades a divergence for a `ConfigError`.
+///
+/// `max_evals` bounds the number of `still_fails` evaluations — each one
+/// typically re-runs the whole oracle stack, so the budget caps total
+/// shrink cost on pathological cases. The best scenario found so far is
+/// returned when the budget runs out.
+pub fn shrink_scenario(
+    sc: &Scenario,
+    mut still_fails: impl FnMut(&Scenario) -> bool,
+    max_evals: usize,
+) -> Scenario {
+    let mut cur = sc.clone();
+    let mut evals = 0usize;
+    let mut try_shrink = |cur: &mut Scenario, cand: Scenario, evals: &mut usize| -> bool {
+        if *evals >= max_evals {
+            return false;
+        }
+        *evals += 1;
+        if still_fails(&cand) {
+            *cur = cand;
+            true
+        } else {
+            false
+        }
+    };
+    loop {
+        let mut progressed = false;
+        // Dynamics, back to front so surviving indices stay valid.
+        for i in (0..cur.dynamics.len()).rev() {
+            let mut cand = cur.clone();
+            cand.dynamics.remove(i);
+            progressed |= try_shrink(&mut cur, cand, &mut evals);
+        }
+        // Traffic flows.
+        for i in (0..cur.traffic.len()).rev() {
+            let mut cand = cur.clone();
+            cand.traffic.remove(i);
+            progressed |= try_shrink(&mut cur, cand, &mut evals);
+        }
+        // Nodes, one topology-shape step at a time.
+        for topo in shrunk_topologies(&cur.topology) {
+            let mut cand = cur.clone();
+            cand.topology = topo;
+            progressed |= try_shrink(&mut cur, cand, &mut evals);
+        }
+        if !progressed || evals >= max_evals {
+            return cur;
+        }
+    }
+}
+
+/// One-step node-count reductions of a topology, preserving its shape and
+/// the two-node minimum the scenario validator requires.
+fn shrunk_topologies(t: &TopologyKind) -> Vec<TopologyKind> {
+    let mut out = Vec::new();
+    match *t {
+        TopologyKind::Linear { n, spacing_m } if n > 2 => {
+            out.push(TopologyKind::Linear {
+                n: n - 1,
+                spacing_m,
+            });
+        }
+        TopologyKind::Random { n, field_side_m } if n > 2 => {
+            out.push(TopologyKind::Random {
+                n: n - 1,
+                field_side_m,
+            });
+        }
+        TopologyKind::Grid {
+            cols,
+            rows,
+            spacing_m,
+        } => {
+            if rows > 1 && (rows - 1) * cols >= 2 {
+                out.push(TopologyKind::Grid {
+                    cols,
+                    rows: rows - 1,
+                    spacing_m,
+                });
+            }
+            if cols > 1 && rows * (cols - 1) >= 2 {
+                out.push(TopologyKind::Grid {
+                    cols: cols - 1,
+                    rows,
+                    spacing_m,
+                });
+            }
+        }
+        TopologyKind::Clustered {
+            clusters,
+            per_cluster,
+            spread_m,
+            cluster_spacing_m,
+        } => {
+            if clusters > 1 && (clusters - 1) * per_cluster >= 2 {
+                out.push(TopologyKind::Clustered {
+                    clusters: clusters - 1,
+                    per_cluster,
+                    spread_m,
+                    cluster_spacing_m,
+                });
+            }
+            if per_cluster > 1 && clusters * (per_cluster - 1) >= 2 {
+                out.push(TopologyKind::Clustered {
+                    clusters,
+                    per_cluster: per_cluster - 1,
+                    spread_m,
+                    cluster_spacing_m,
+                });
+            }
+        }
+        _ => {}
+    }
+    out
 }
 
 /// Shortest-path distances are label-independent: relabelling the nodes by
@@ -828,5 +1023,144 @@ mod tests {
         assert!(repro.contains("--seed 5"));
         assert!(repro.contains("--start 0"));
         assert!(repro.contains("Scenario"));
+    }
+
+    #[test]
+    fn shrinker_reaches_the_minimal_failing_core() {
+        // A bulky scenario whose "failure" is caused by exactly one
+        // dynamics component: the shrinker must strip every flow, every
+        // other dynamics event and every spare node.
+        let sc = Scenario::new(
+            "shrink-me",
+            TopologyKind::Linear {
+                n: 7,
+                spacing_m: 50.0,
+            },
+        )
+        .traffic(TrafficPattern::Bulk {
+            src: NodeId(0),
+            dst: NodeId(3),
+            packets: 10,
+            start_s: 1.0,
+            loss_tolerance: 0.0,
+        })
+        .traffic(TrafficPattern::CrossTraffic {
+            a: NodeId(1),
+            b: NodeId(2),
+            packets: 5,
+            start_s: 2.0,
+        })
+        .dynamics(DynamicsSpec::NodeChurn {
+            node: NodeId(1),
+            fail_at_s: 5.0,
+            recover_at_s: 10.0,
+        })
+        .dynamics(DynamicsSpec::AreaFailure {
+            x_m: 0.0,
+            y_m: 0.0,
+            radius_m: 30.0,
+            at_s: 8.0,
+        })
+        .dynamics(DynamicsSpec::LinkFlap {
+            a: NodeId(0),
+            b: NodeId(1),
+            first_down_s: 3.0,
+            down_s: 2.0,
+            period_s: 10.0,
+            cycles: 2,
+        });
+        let mut evals = 0usize;
+        let fails = |s: &Scenario| {
+            s.dynamics
+                .iter()
+                .any(|d| matches!(d, DynamicsSpec::AreaFailure { .. }))
+        };
+        let min = shrink_scenario(
+            &sc,
+            |s| {
+                evals += 1;
+                fails(s)
+            },
+            1000,
+        );
+        assert!(fails(&min), "shrinker lost the failing core");
+        assert!(min.traffic.is_empty(), "flows survived: {:?}", min.traffic);
+        assert_eq!(min.dynamics.len(), 1, "dynamics: {:?}", min.dynamics);
+        assert!(matches!(min.topology, TopologyKind::Linear { n: 2, .. }));
+        assert!(evals <= 40, "greedy shrink took {evals} evaluations");
+    }
+
+    #[test]
+    fn shrinker_respects_the_evaluation_budget() {
+        let sc = Scenario::new(
+            "budget",
+            TopologyKind::Linear {
+                n: 8,
+                spacing_m: 50.0,
+            },
+        )
+        .dynamics(DynamicsSpec::AreaFailure {
+            x_m: 0.0,
+            y_m: 0.0,
+            radius_m: 30.0,
+            at_s: 8.0,
+        });
+        let mut evals = 0usize;
+        let min = shrink_scenario(
+            &sc,
+            |_| {
+                evals += 1;
+                true // everything "fails" — an unbounded shrinker would churn
+            },
+            3,
+        );
+        assert_eq!(evals, 3);
+        // Budget-limited, but every accepted candidate still failed.
+        assert!(min.topology.node_count() < 8);
+    }
+
+    #[test]
+    fn shrunk_topologies_never_drop_below_two_nodes() {
+        let shapes = [
+            TopologyKind::Linear {
+                n: 2,
+                spacing_m: 50.0,
+            },
+            TopologyKind::Random {
+                n: 2,
+                field_side_m: 80.0,
+            },
+            TopologyKind::Grid {
+                cols: 1,
+                rows: 2,
+                spacing_m: 80.0,
+            },
+            TopologyKind::Grid {
+                cols: 2,
+                rows: 1,
+                spacing_m: 80.0,
+            },
+            TopologyKind::Clustered {
+                clusters: 1,
+                per_cluster: 2,
+                spread_m: 10.0,
+                cluster_spacing_m: 80.0,
+            },
+            TopologyKind::Clustered {
+                clusters: 2,
+                per_cluster: 1,
+                spread_m: 10.0,
+                cluster_spacing_m: 80.0,
+            },
+        ];
+        for t in &shapes {
+            for s in shrunk_topologies(t) {
+                assert!(s.node_count() >= 2, "{t:?} shrank to {s:?}");
+            }
+            assert!(
+                shrunk_topologies(t).is_empty() || t.node_count() > 2,
+                "{t:?} at the 2-node floor must not shrink"
+            );
+        }
     }
 }

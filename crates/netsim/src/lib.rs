@@ -9,6 +9,9 @@
 //!   meter; TDMA slots; routing; per-protocol endpoints),
 //! * [`scenario`] — the declarative scenario engine: traffic patterns ×
 //!   substrate dynamics × topologies, lowered onto [`ExperimentConfig`],
+//! * [`partition`] — topology cuts and the flood-plane synchronizer
+//!   behind the `workers` knob (partitioned output is byte-identical to
+//!   sequential — see ARCHITECTURE.md, "Partitioned flood-plane engine"),
 //! * [`runner`] — single runs, traced runs, parallel multi-seed batches
 //!   with confidence intervals, and golden-trace digests,
 //! * [`metrics`] — energy-per-bit, goodput and mechanism counters,
@@ -34,6 +37,7 @@ pub mod config;
 pub mod fuzz;
 pub mod metrics;
 pub mod network;
+pub mod partition;
 pub mod payload;
 pub mod runner;
 pub mod scenario;
@@ -45,12 +49,15 @@ pub use config::{
     ConfigError, DynamicsAction, DynamicsEvent, EnergyRoutingConfig, ExperimentConfig, FlowSpec,
     MobilityConfig, TopologyKind, TransportKind,
 };
-pub use fuzz::{check_scenario, CaseOutcome, CaseReport, GeneratedCase, ScenarioGen};
+pub use fuzz::{
+    check_scenario, shrink_scenario, CaseOutcome, CaseReport, GeneratedCase, ScenarioGen,
+};
 pub use metrics::{FlowMetrics, Metrics};
 pub use network::{Event, Network};
+pub use partition::{FloodSync, TopologyCut};
 pub use runner::{
     run_digest, run_experiment, run_many, run_many_on, run_traced, summarize_runs, try_run_digest,
-    try_run_experiment, try_run_traced, GoldenDigest, Summary,
+    try_run_digest_on, try_run_experiment, try_run_traced, GoldenDigest, Summary,
 };
 pub use scenario::{DynamicsSpec, Scenario, TrafficPattern};
 pub use trace::{TraceConfig, TraceLog};

@@ -49,6 +49,7 @@ use crate::config::{
     MobilityConfig, TransportKind,
 };
 use crate::metrics::{FlowMetrics, Metrics};
+use crate::partition::{FloodSync, TopologyCut};
 use crate::payload::{Payload, TransportPacket};
 use crate::topology::{
     adjacency_from_positions, adjacency_from_positions_brute, edges_from_positions, field_for,
@@ -145,6 +146,12 @@ pub struct Network {
     flows: Vec<Flow>,
     schedule: TdmaSchedule,
     routing: LinkState,
+    /// Static cut of the topology across the flood-plane workers (the
+    /// `ExperimentConfig::workers` knob; 1 partition = sequential).
+    cut: TopologyCut,
+    /// Flood-barrier ledger: one cross-partition batch exchange per
+    /// routing flood, merged at the flood's virtual time.
+    flood_sync: FloodSync,
     /// Effective ground truth: geometric connectivity masked by the
     /// substrate state (churn, blackouts, partitions, battery deaths),
     /// maintained incrementally per dynamics event.
@@ -252,6 +259,7 @@ impl Network {
         let mut routing = LinkState::new(truth.adjacency(), cfg.routing_refresh);
         routing.set_full_weighted_rebuild(!cfg.incremental_rebuilds);
         routing.set_full_table_rebuild(!cfg.incremental_rebuilds);
+        routing.set_workers(cfg.workers);
         let schedule = TdmaSchedule::new(n as u32, cfg.slot, cfg.seed);
         let capacity = schedule.per_node_capacity_pps();
         let field = field_for(&cfg.topology);
@@ -396,6 +404,8 @@ impl Network {
             flows,
             schedule,
             routing,
+            cut: TopologyCut::new(n, cfg.workers),
+            flood_sync: FloodSync::default(),
             truth,
             channels: vec![None; n * (n.saturating_sub(1)) / 2],
             attempt_rng: SimRng::derive(cfg.seed, "channel-attempts"),
@@ -449,6 +459,24 @@ impl Network {
     /// True once every flow has completed (false when there are no flows).
     pub fn all_flows_completed(&self) -> bool {
         !self.flows.is_empty() && self.completed_flows == self.flows.len()
+    }
+
+    /// The static topology cut behind [`ExperimentConfig::workers`].
+    pub fn partition_cut(&self) -> &TopologyCut {
+        &self.cut
+    }
+
+    /// The flood-barrier ledger: how many cross-partition batch exchanges
+    /// the run performed, and the virtual time of the last one.
+    pub fn flood_sync(&self) -> FloodSync {
+        self.flood_sync
+    }
+
+    /// Wall-clock accounting of the routing layer's flood-plane fan-outs
+    /// (all-zero when `workers` = 1). Never part of [`Metrics`]: wall time
+    /// is host noise, results are byte-identical across worker counts.
+    pub fn parallel_stats(&self) -> jtp_sim::par::ParStats {
+        self.routing.parallel_stats()
     }
 
     // ------------------------------------------------------------------
@@ -730,6 +758,7 @@ impl Network {
         if any {
             self.backlog_dirty = true;
             self.after_substrate_change();
+            self.flood_sync.note_flood(now);
             self.routing.force_refresh_all(now, self.truth.adjacency());
             self.note_first_partition(now);
         }
@@ -824,6 +853,7 @@ impl Network {
         if self.advertised_weights.as_ref() != Some(&weights) {
             self.routing.set_node_weights(Some(weights.clone()));
             self.advertised_weights = Some(weights);
+            self.flood_sync.note_flood(now);
             self.routing.force_refresh_all(now, self.truth.adjacency());
         }
         let at = now + e.advert_period;
@@ -906,6 +936,7 @@ impl Network {
             }
         }
         self.after_substrate_change();
+        self.flood_sync.note_flood(now);
         self.routing.force_refresh_all(now, self.truth.adjacency());
         self.note_first_partition(now);
     }
@@ -1463,6 +1494,7 @@ impl Network {
                 &self.pathloss,
             ));
         }
+        self.flood_sync.note_flood(now);
         self.routing.refresh_due_views(now, self.truth.adjacency());
         self.note_first_partition(now);
         let at = now + mcfg.update_period;

@@ -1,0 +1,187 @@
+//! Topology partitioning and the flood-plane synchronizer.
+//!
+//! ## What is parallel, and what is provably not
+//!
+//! The JTP engine's TDMA event plane is *inherently serial* under the
+//! byte-identity rule: every slot has one global owner, channel attempts
+//! draw from one shared RNG substream (`"channel-attempts"`), and
+//! Gilbert–Elliott link states initialise lazily in first-touch order.
+//! Splitting that plane across threads would either reorder RNG draws
+//! (different bytes) or serialise on a lock per slot (no speedup). So the
+//! sequential event loop **is** the conservative synchronizer: it alone
+//! advances virtual time, and its lookahead barrier is the next TDMA
+//! slot/propagation boundary — no cross-partition event can take effect
+//! earlier than the slot in which it is delivered.
+//!
+//! What *is* embarrassingly parallel is the **flood plane**: when a
+//! dissemination flood (churn, energy advert, battery death, mobility
+//! tick) lands, the routing layer recomputes per-source state — BFS
+//! screen/repair rows, weighted-APSP repairs, next-hop rows. Each source's
+//! recomputation is a pure function of the shared pre-flood snapshot: no
+//! RNG, no cross-source writes. [`TopologyCut`] fixes the assignment of
+//! sources to workers as a pure function of `(n, workers)`, and the
+//! workers' timestamped result batches are merged **in ascending source
+//! order** at the flood's virtual time — byte-identical to the sequential
+//! loop by construction, which is what lets `ExperimentConfig::workers`
+//! be a pure performance knob.
+//!
+//! [`FloodSync`] is the bookkeeping side of that barrier: it records each
+//! flood instant (the virtual times at which every partition must have
+//! converged on the same routing state) and enforces that those barrier
+//! times are monotonic, i.e. that no fan-out is ever merged into the past.
+
+use jtp_sim::par::chunk_ranges;
+use jtp_sim::{NodeId, SimTime};
+use std::ops::Range;
+
+/// A static cut of the topology into at most `workers` contiguous
+/// node-index ranges. The cut is a pure function of `(n, workers)` —
+/// identical on every host, every run, every replay — and clamps the
+/// worker count into `[1, n]` so `workers > n` degenerates to one node
+/// per partition (pinned by `engine_equivalence`'s degenerate tests).
+#[derive(Clone, Debug)]
+pub struct TopologyCut {
+    n: usize,
+    ranges: Vec<Range<usize>>,
+}
+
+impl TopologyCut {
+    /// Cut `n` nodes into at most `workers` contiguous partitions.
+    pub fn new(n: usize, workers: usize) -> Self {
+        TopologyCut {
+            n,
+            ranges: chunk_ranges(n, workers),
+        }
+    }
+
+    /// Number of nodes partitioned.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Effective partition count (`workers` clamped to `[1, n]`).
+    pub fn workers(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The contiguous node-index range of each partition, in order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Which partition owns `node`. Partition sizes differ by at most
+    /// one element, so ownership is a closed-form division, not a scan.
+    pub fn owner_of(&self, node: NodeId) -> usize {
+        let i = node.index();
+        assert!(i < self.n, "node {i} outside cut of {} nodes", self.n);
+        let w = self.ranges.len();
+        let base = self.n / w;
+        let extra = self.n % w;
+        // The first `extra` partitions hold `base + 1` nodes.
+        let fat = extra * (base + 1);
+        if i < fat {
+            i / (base + 1)
+        } else {
+            extra + (i - fat) / base
+        }
+    }
+}
+
+/// The flood-plane barrier ledger: every recorded instant is a virtual
+/// time at which all partitions exchanged their recomputation batches
+/// and converged on identical routing state. Purely observational — the
+/// sequential event loop provides the ordering; this type asserts it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FloodSync {
+    batches: u64,
+    last: Option<SimTime>,
+}
+
+impl FloodSync {
+    /// Record a flood barrier at virtual time `now`. Barriers must be
+    /// non-decreasing: the conservative synchronizer never merges a
+    /// cross-partition batch into the past (debug-asserted).
+    pub fn note_flood(&mut self, now: SimTime) {
+        if let Some(last) = self.last {
+            debug_assert!(
+                now >= last,
+                "flood barrier moved backwards: {now:?} < {last:?}"
+            );
+        }
+        self.last = Some(now);
+        self.batches += 1;
+    }
+
+    /// Cross-partition batch exchanges performed (one per flood barrier).
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Virtual time of the most recent barrier, if any flood happened.
+    pub fn last_barrier(&self) -> Option<SimTime> {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_matches_chunk_ranges_and_owner_is_consistent() {
+        for n in [1usize, 2, 5, 13, 100, 121] {
+            for workers in [1usize, 2, 3, 4, 8, 64, 200] {
+                let cut = TopologyCut::new(n, workers);
+                assert_eq!(cut.nodes(), n);
+                assert_eq!(cut.workers(), workers.min(n));
+                assert_eq!(cut.ranges(), chunk_ranges(n, workers).as_slice());
+                for i in 0..n {
+                    let owner = cut.owner_of(NodeId(i as u32));
+                    assert!(
+                        cut.ranges()[owner].contains(&i),
+                        "n={n} workers={workers} node {i}: owner {owner} \
+                         range {:?}",
+                        cut.ranges()[owner]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workers_beyond_nodes_degenerate_to_singletons() {
+        let cut = TopologyCut::new(5, 64);
+        assert_eq!(cut.workers(), 5);
+        for (i, r) in cut.ranges().iter().enumerate() {
+            assert_eq!(r.clone().count(), 1, "partition {i} is a singleton");
+            assert_eq!(cut.owner_of(NodeId(i as u32)), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside cut")]
+    fn owner_of_out_of_range_panics() {
+        TopologyCut::new(4, 2).owner_of(NodeId(4));
+    }
+
+    #[test]
+    fn flood_sync_counts_and_tracks_monotonic_barriers() {
+        let mut sync = FloodSync::default();
+        assert_eq!(sync.batches(), 0);
+        assert_eq!(sync.last_barrier(), None);
+        sync.note_flood(SimTime::from_micros(10));
+        sync.note_flood(SimTime::from_micros(10)); // same-instant flood is fine
+        sync.note_flood(SimTime::from_micros(25));
+        assert_eq!(sync.batches(), 3);
+        assert_eq!(sync.last_barrier(), Some(SimTime::from_micros(25)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "moved backwards")]
+    fn flood_sync_rejects_time_travel() {
+        let mut sync = FloodSync::default();
+        sync.note_flood(SimTime::from_micros(25));
+        sync.note_flood(SimTime::from_micros(10));
+    }
+}

@@ -212,6 +212,21 @@ pub fn try_run_digest(cfg: &ExperimentConfig) -> Result<GoldenDigest, ConfigErro
     })
 }
 
+/// [`try_run_digest`] on the partitioned engine: run `cfg` with
+/// [`ExperimentConfig::workers`] overridden to `workers`. The byte-identity
+/// rule makes this a pure performance knob — the digest must equal the
+/// sequential one for every worker count, which is exactly what the
+/// partitioned-vs-sequential differential oracle and the
+/// `engine_equivalence` worker sweeps assert.
+pub fn try_run_digest_on(
+    cfg: &ExperimentConfig,
+    workers: usize,
+) -> Result<GoldenDigest, ConfigError> {
+    let mut cfg = cfg.clone();
+    cfg.workers = workers;
+    try_run_digest(&cfg)
+}
+
 /// Convenience: batch-run and summarise energy-per-bit and goodput, the
 /// paper's two headline metrics.
 pub fn summarize_runs(metrics: &[Metrics]) -> (Summary, Summary) {

@@ -442,6 +442,10 @@ pub struct Scenario {
     pub duty_cycle: Option<DutyCycleConfig>,
     /// Route on residual-energy-weighted shortest paths (needs a battery).
     pub energy_routing: bool,
+    /// Flood-plane worker threads (1 = sequential). A pure performance
+    /// knob: every value produces byte-identical results, so the catalog
+    /// keeps the default and goldens never depend on it.
+    pub workers: usize,
 }
 
 impl Scenario {
@@ -458,6 +462,7 @@ impl Scenario {
             battery: None,
             duty_cycle: None,
             energy_routing: false,
+            workers: 1,
         }
     }
 
@@ -510,6 +515,13 @@ impl Scenario {
         self
     }
 
+    /// Run the flood plane on `workers` threads (1 = sequential). Pure
+    /// performance knob — results are byte-identical for every value.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
     /// Lower onto a validated [`ExperimentConfig`] for `transport`.
     ///
     /// Panics if the scenario is malformed — the convenience wrapper for
@@ -544,6 +556,7 @@ impl Scenario {
         if self.energy_routing {
             cfg = cfg.energy_aware_routing();
         }
+        cfg = cfg.workers(self.workers);
         let n_nodes = self.topology.node_count();
         let force_reliable = transport == TransportKind::Tcp || transport == TransportKind::Atp;
         for (i, t) in self.traffic.iter().enumerate() {

@@ -33,6 +33,7 @@
 //! along it; the source itself is free. Weights must be ≥ 1.
 
 use crate::graph::Adjacency;
+use jtp_sim::par::{run_chunked, run_chunked_mut, ParStats};
 use jtp_sim::NodeId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -90,6 +91,212 @@ fn dijkstra_into(adj: &Adjacency, weights: &[u16], src: usize, row: &mut Vec<u32
     }
 }
 
+/// Reusable scratch for one repair worker: the affected/visited marks,
+/// the touched log that un-marks them, and the candidate heap. Every
+/// field is restored to its clean state at the end of each source's
+/// repair, so a fresh scratch and a reused one produce identical rows.
+struct RepairScratch {
+    affected: Vec<bool>,
+    visited: Vec<bool>,
+    touched: Vec<usize>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+}
+
+impl RepairScratch {
+    fn new(n: usize) -> Self {
+        RepairScratch {
+            affected: vec![false; n],
+            visited: vec![false; n],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+/// The shared (read-only) inputs of one [`WeightedApsp::update_on`]
+/// call, bundled so the per-source repair is a free function usable from
+/// both the sequential loop and the worker fan-out.
+struct RepairInputs<'a> {
+    old_adj: &'a Adjacency,
+    new_adj: &'a Adjacency,
+    /// Intermediate weights for the increase pass: every weight at its
+    /// higher value, so the pass sees increase-type changes only.
+    w_mid: &'a [u32],
+    new_weights: &'a [u16],
+    raised: &'a [usize],
+    lowered: &'a [usize],
+    removed: &'a [(usize, usize)],
+    added: &'a [(usize, usize)],
+}
+
+/// Repair one source row from `(old_adj, old weights)` to
+/// `(new_adj, new_weights)` — the two exact phases described in the
+/// module docs. Pure in `(inputs, s, row)`: no shared mutable state, no
+/// RNG, so fanning sources out across threads is byte-identical to the
+/// sequential loop. Returns `(row may have changed, nodes re-settled)`.
+fn repair_row(
+    inp: &RepairInputs<'_>,
+    s: usize,
+    row: &mut [u32],
+    scratch: &mut RepairScratch,
+) -> (bool, u64) {
+    let RepairScratch {
+        affected,
+        visited,
+        touched,
+        heap,
+    } = scratch;
+    let mut changed = false;
+    let mut resettled = 0u64;
+
+    // ---- Phase 1: increase pass over (A_mid = old − removed, w_mid). A
+    //      neighbour iteration over A_mid is "new-adjacency neighbours
+    //      that were also present in the old adjacency" (edge-presence
+    //      checks are O(1)).
+    //
+    // 1a. Identify the affected region: process candidates in ascending
+    //     *old* distance; every potential supporter has a strictly
+    //     smaller old distance (weights ≥ 1), so its affected/unaffected
+    //     status is final when a node is examined.
+    heap.clear();
+    for &v in inp.raised {
+        if v != s && row[v] != UNREACHABLE_COST {
+            heap.push(Reverse((row[v], v as u32)));
+        }
+    }
+    for &(a, b) in inp.removed {
+        for x in [a, b] {
+            if x != s && row[x] != UNREACHABLE_COST {
+                heap.push(Reverse((row[x], x as u32)));
+            }
+        }
+    }
+    touched.clear();
+    while let Some(Reverse((d, x))) = heap.pop() {
+        let x = x as usize;
+        if visited[x] {
+            continue;
+        }
+        visited[x] = true;
+        touched.push(x);
+        let supported = inp.new_adj.neighbors(NodeId(x as u32)).iter().any(|&u| {
+            inp.old_adj.has_edge(NodeId(x as u32), u)
+                && !affected[u.index()]
+                && row[u.index()] != UNREACHABLE_COST
+                && row[u.index()].saturating_add(inp.w_mid[x]) == d
+        });
+        if supported {
+            continue;
+        }
+        affected[x] = true;
+        for &y in inp.new_adj.neighbors(NodeId(x as u32)) {
+            let yi = y.index();
+            if inp.old_adj.has_edge(NodeId(x as u32), y)
+                && !visited[yi]
+                && row[yi] != UNREACHABLE_COST
+                && row[yi] > d
+            {
+                heap.push(Reverse((row[yi], y.0)));
+            }
+        }
+    }
+    // 1b. Re-settle the affected region: Dijkstra seeded from its
+    //     unaffected boundary (whose distances are still exact).
+    heap.clear();
+    for &x in touched.iter() {
+        if !affected[x] {
+            continue;
+        }
+        let mut best = UNREACHABLE_COST;
+        for &u in inp.new_adj.neighbors(NodeId(x as u32)) {
+            if inp.old_adj.has_edge(NodeId(x as u32), u)
+                && !affected[u.index()]
+                && row[u.index()] != UNREACHABLE_COST
+            {
+                best = best.min(row[u.index()].saturating_add(inp.w_mid[x]));
+            }
+        }
+        changed = true;
+        row[x] = best;
+        if best != UNREACHABLE_COST {
+            heap.push(Reverse((best, x as u32)));
+        }
+    }
+    while let Some(Reverse((d, x))) = heap.pop() {
+        let x = x as usize;
+        if d > row[x] {
+            continue;
+        }
+        resettled += 1;
+        for &y in inp.new_adj.neighbors(NodeId(x as u32)) {
+            let yi = y.index();
+            if !affected[yi] || !inp.old_adj.has_edge(NodeId(x as u32), y) {
+                continue;
+            }
+            let cand = d.saturating_add(inp.w_mid[yi]);
+            if cand < row[yi] {
+                row[yi] = cand;
+                heap.push(Reverse((cand, y.0)));
+            }
+        }
+    }
+    for &x in touched.iter() {
+        affected[x] = false;
+        visited[x] = false;
+    }
+
+    // ---- Phase 2: decrease pass to (new_adj, new_weights): added edges
+    //      and lowered weights only improve distances; a seeded
+    //      relaxation touches exactly the improved region.
+    heap.clear();
+    for &v in inp.lowered {
+        if v == s {
+            continue;
+        }
+        let mut best = UNREACHABLE_COST;
+        for &u in inp.new_adj.neighbors(NodeId(v as u32)) {
+            if row[u.index()] != UNREACHABLE_COST {
+                best = best.min(row[u.index()].saturating_add(inp.new_weights[v] as u32));
+            }
+        }
+        if best < row[v] {
+            changed = true;
+            row[v] = best;
+            heap.push(Reverse((best, v as u32)));
+        }
+    }
+    for &(a, b) in inp.added {
+        for (x, via) in [(a, b), (b, a)] {
+            if x == s || row[via] == UNREACHABLE_COST {
+                continue;
+            }
+            let cand = row[via].saturating_add(inp.new_weights[x] as u32);
+            if cand < row[x] {
+                changed = true;
+                row[x] = cand;
+                heap.push(Reverse((cand, x as u32)));
+            }
+        }
+    }
+    while let Some(Reverse((d, x))) = heap.pop() {
+        let x = x as usize;
+        if d > row[x] {
+            continue;
+        }
+        resettled += 1;
+        for &y in inp.new_adj.neighbors(NodeId(x as u32)) {
+            let yi = y.index();
+            let cand = d.saturating_add(inp.new_weights[yi] as u32);
+            if cand < row[yi] {
+                changed = true;
+                row[yi] = cand;
+                heap.push(Reverse((cand, y.0)));
+            }
+        }
+    }
+    (changed, resettled)
+}
+
 impl WeightedApsp {
     /// Build the full table from scratch for `(adj, weights)`.
     ///
@@ -98,15 +305,38 @@ impl WeightedApsp {
     /// count (a zero weight would also break the cost model; the
     /// link-state layer rejects those before they reach here).
     pub fn build(adj: &Adjacency, weights: &[u16]) -> Self {
+        Self::build_on(adj, weights, 1, &mut ParStats::default())
+    }
+
+    /// [`WeightedApsp::build`] with the per-source Dijkstras fanned out
+    /// across `workers` chunks (`workers = 1` runs inline). Each source
+    /// row is an independent computation, so the merged table and the
+    /// work counters are byte-identical for every worker count; the
+    /// fan-out's wall-clock accounting lands in `par`.
+    ///
+    /// # Panics
+    /// Panics when the weight vector's length disagrees with the node
+    /// count.
+    pub fn build_on(adj: &Adjacency, weights: &[u16], workers: usize, par: &mut ParStats) -> Self {
         let n = adj.len();
         assert_eq!(weights.len(), n, "one weight per node");
+        let chunks = run_chunked(n, workers, |_, range| {
+            range
+                .map(|s| {
+                    let mut row = Vec::new();
+                    dijkstra_into(adj, weights, s, &mut row);
+                    row
+                })
+                .collect::<Vec<_>>()
+        });
+        par.record_chunks(&chunks);
         let mut rows = Vec::with_capacity(n);
         let mut stats = WapspStats::default();
-        for s in 0..n {
-            let mut row = Vec::new();
-            dijkstra_into(adj, weights, s, &mut row);
-            stats.full_builds += 1;
-            rows.push(row);
+        for (band, _) in chunks {
+            for row in band {
+                stats.full_builds += 1;
+                rows.push(row);
+            }
         }
         WeightedApsp {
             n,
@@ -146,12 +376,39 @@ impl WeightedApsp {
         edge_diff: &[(NodeId, NodeId, bool)],
         new_weights: &[u16],
     ) -> Vec<bool> {
+        self.update_on(
+            old_adj,
+            new_adj,
+            edge_diff,
+            new_weights,
+            1,
+            &mut ParStats::default(),
+        )
+    }
+
+    /// [`WeightedApsp::update`] with the per-source repairs fanned out
+    /// across `workers` chunks (`workers = 1` runs inline). Each chunk
+    /// repairs a disjoint band of rows in place with its own scratch;
+    /// the per-source repair is pure and scratch state is restored
+    /// between sources, so rows, changed flags and work counters are
+    /// byte-identical for every worker count. The fan-out's wall-clock
+    /// accounting lands in `par`.
+    ///
+    /// # Panics
+    /// Panics when node counts disagree with the table.
+    pub fn update_on(
+        &mut self,
+        old_adj: &Adjacency,
+        new_adj: &Adjacency,
+        edge_diff: &[(NodeId, NodeId, bool)],
+        new_weights: &[u16],
+        workers: usize,
+        par: &mut ParStats,
+    ) -> Vec<bool> {
         assert_eq!(old_adj.len(), self.n, "old adjacency size mismatch");
         assert_eq!(new_adj.len(), self.n, "new adjacency size mismatch");
         assert_eq!(new_weights.len(), self.n, "one weight per node");
         let old_weights = std::mem::replace(&mut self.weights, new_weights.to_vec());
-        // Intermediate weights for the increase pass: every weight at its
-        // higher value, so the pass sees increase-type changes only.
         let w_mid: Vec<u32> = old_weights
             .iter()
             .zip(new_weights)
@@ -177,164 +434,33 @@ impl WeightedApsp {
         if raised.is_empty() && lowered.is_empty() && removed.is_empty() && added.is_empty() {
             return changed;
         }
-
-        // Scratch reused across sources.
-        let mut affected = vec![false; self.n];
-        let mut visited = vec![false; self.n];
-        let mut touched: Vec<usize> = Vec::new();
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-
-        #[allow(clippy::needless_range_loop)] // `s` indexes rows, changed and seeds alike
-        for s in 0..self.n {
-            self.stats.repaired_sources += 1;
-            let row = &mut self.rows[s];
-
-            // ---- Phase 1: increase pass over (A_mid = old − removed,
-            //      w_mid). A neighbour iteration over A_mid is "new-
-            //      adjacency neighbours that were also present in the old
-            //      adjacency" (edge-presence checks are O(1)).
-            //
-            // 1a. Identify the affected region: process candidates in
-            //     ascending *old* distance; every potential supporter has
-            //     a strictly smaller old distance (weights ≥ 1), so its
-            //     affected/unaffected status is final when a node is
-            //     examined.
-            heap.clear();
-            for &v in &raised {
-                if v != s && row[v] != UNREACHABLE_COST {
-                    heap.push(Reverse((row[v], v as u32)));
-                }
+        let inp = RepairInputs {
+            old_adj,
+            new_adj,
+            w_mid: &w_mid,
+            new_weights,
+            raised: &raised,
+            lowered: &lowered,
+            removed: &removed,
+            added: &added,
+        };
+        let n = self.n;
+        let bands = run_chunked_mut(&mut self.rows, workers, |_, range, band| {
+            let mut scratch = RepairScratch::new(n);
+            let mut out = Vec::with_capacity(band.len());
+            for (j, row) in band.iter_mut().enumerate() {
+                out.push(repair_row(&inp, range.start + j, row, &mut scratch));
             }
-            for &(a, b) in &removed {
-                for x in [a, b] {
-                    if x != s && row[x] != UNREACHABLE_COST {
-                        heap.push(Reverse((row[x], x as u32)));
-                    }
-                }
-            }
-            touched.clear();
-            while let Some(Reverse((d, x))) = heap.pop() {
-                let x = x as usize;
-                if visited[x] {
-                    continue;
-                }
-                visited[x] = true;
-                touched.push(x);
-                let supported = new_adj.neighbors(NodeId(x as u32)).iter().any(|&u| {
-                    old_adj.has_edge(NodeId(x as u32), u)
-                        && !affected[u.index()]
-                        && row[u.index()] != UNREACHABLE_COST
-                        && row[u.index()].saturating_add(w_mid[x]) == d
-                });
-                if supported {
-                    continue;
-                }
-                affected[x] = true;
-                for &y in new_adj.neighbors(NodeId(x as u32)) {
-                    let yi = y.index();
-                    if old_adj.has_edge(NodeId(x as u32), y)
-                        && !visited[yi]
-                        && row[yi] != UNREACHABLE_COST
-                        && row[yi] > d
-                    {
-                        heap.push(Reverse((row[yi], y.0)));
-                    }
-                }
-            }
-            // 1b. Re-settle the affected region: Dijkstra seeded from its
-            //     unaffected boundary (whose distances are still exact).
-            heap.clear();
-            for &x in &touched {
-                if !affected[x] {
-                    continue;
-                }
-                let mut best = UNREACHABLE_COST;
-                for &u in new_adj.neighbors(NodeId(x as u32)) {
-                    if old_adj.has_edge(NodeId(x as u32), u)
-                        && !affected[u.index()]
-                        && row[u.index()] != UNREACHABLE_COST
-                    {
-                        best = best.min(row[u.index()].saturating_add(w_mid[x]));
-                    }
-                }
-                changed[s] = true;
-                row[x] = best;
-                if best != UNREACHABLE_COST {
-                    heap.push(Reverse((best, x as u32)));
-                }
-            }
-            while let Some(Reverse((d, x))) = heap.pop() {
-                let x = x as usize;
-                if d > row[x] {
-                    continue;
-                }
-                self.stats.resettled += 1;
-                for &y in new_adj.neighbors(NodeId(x as u32)) {
-                    let yi = y.index();
-                    if !affected[yi] || !old_adj.has_edge(NodeId(x as u32), y) {
-                        continue;
-                    }
-                    let cand = d.saturating_add(w_mid[yi]);
-                    if cand < row[yi] {
-                        row[yi] = cand;
-                        heap.push(Reverse((cand, y.0)));
-                    }
-                }
-            }
-            for &x in &touched {
-                affected[x] = false;
-                visited[x] = false;
-            }
-
-            // ---- Phase 2: decrease pass to (new_adj, new_weights):
-            //      added edges and lowered weights only improve
-            //      distances; a seeded relaxation touches exactly the
-            //      improved region.
-            heap.clear();
-            for &v in &lowered {
-                if v == s {
-                    continue;
-                }
-                let mut best = UNREACHABLE_COST;
-                for &u in new_adj.neighbors(NodeId(v as u32)) {
-                    if row[u.index()] != UNREACHABLE_COST {
-                        best = best.min(row[u.index()].saturating_add(new_weights[v] as u32));
-                    }
-                }
-                if best < row[v] {
-                    changed[s] = true;
-                    row[v] = best;
-                    heap.push(Reverse((best, v as u32)));
-                }
-            }
-            for &(a, b) in &added {
-                for (x, via) in [(a, b), (b, a)] {
-                    if x == s || row[via] == UNREACHABLE_COST {
-                        continue;
-                    }
-                    let cand = row[via].saturating_add(new_weights[x] as u32);
-                    if cand < row[x] {
-                        changed[s] = true;
-                        row[x] = cand;
-                        heap.push(Reverse((cand, x as u32)));
-                    }
-                }
-            }
-            while let Some(Reverse((d, x))) = heap.pop() {
-                let x = x as usize;
-                if d > row[x] {
-                    continue;
-                }
-                self.stats.resettled += 1;
-                for &y in new_adj.neighbors(NodeId(x as u32)) {
-                    let yi = y.index();
-                    let cand = d.saturating_add(new_weights[yi] as u32);
-                    if cand < row[yi] {
-                        changed[s] = true;
-                        row[yi] = cand;
-                        heap.push(Reverse((cand, y.0)));
-                    }
-                }
+            out
+        });
+        par.record_chunks(&bands);
+        let mut s = 0usize;
+        for (band, _) in bands {
+            for (ch, resettled) in band {
+                self.stats.repaired_sources += 1;
+                self.stats.resettled += resettled;
+                changed[s] = ch;
+                s += 1;
             }
         }
         changed

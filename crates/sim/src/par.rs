@@ -1,0 +1,253 @@
+//! Deterministic fork-join fan-out over contiguous index chunks.
+//!
+//! The engine's parallelism-within-a-run rides on one primitive: split
+//! `0..n` into at most `workers` contiguous ranges, run a pure function
+//! per range on scoped worker threads, and hand the per-chunk results
+//! back **in chunk order** so the caller's merge is byte-identical to
+//! the sequential loop it replaced. Workers never share mutable state
+//! and never consume RNG — determinism is by construction, not by
+//! locking (see the determinism checklist in ARCHITECTURE.md).
+//!
+//! Each chunk's busy time is measured so callers can report the
+//! *critical path* of a fan-out: on a machine with fewer cores than
+//! workers the measured wall clock is serialisation noise, while
+//! `Σ busy / Σ per-fan-out max` is the speedup the fan-out makes
+//! attainable — [`ParStats`] accumulates both sides.
+
+use std::ops::Range;
+use std::time::Instant;
+
+/// Split `0..n` into at most `workers` contiguous, non-empty ranges of
+/// near-equal length (the first `n % workers` chunks take one extra
+/// element). `workers` is clamped to `[1, n]`; `n == 0` yields no
+/// ranges. The split is a pure function of `(n, workers)` — partition
+/// layouts never depend on load or timing.
+pub fn chunk_ranges(n: usize, workers: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let w = workers.clamp(1, n);
+    let base = n / w;
+    let extra = n % w;
+    let mut out = Vec::with_capacity(w);
+    let mut start = 0;
+    for i in 0..w {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Run `f(chunk_index, range)` over the chunks of `0..n` on scoped
+/// threads and return `(result, busy_ns)` per chunk **in chunk order**.
+/// With one chunk (or `workers <= 1`) the call runs inline on the
+/// caller's thread — no spawn, same results.
+///
+/// `f` must be a pure function of its range (plus shared `&` state):
+/// chunk results are merged in index order, so output equals the
+/// sequential `for i in 0..n` loop whatever the thread interleaving.
+pub fn run_chunked<T: Send>(
+    n: usize,
+    workers: usize,
+    f: impl Fn(usize, Range<usize>) -> T + Sync,
+) -> Vec<(T, u64)> {
+    let ranges = chunk_ranges(n, workers);
+    let timed = |i: usize, r: Range<usize>| {
+        let t0 = Instant::now();
+        let out = f(i, r);
+        (out, t0.elapsed().as_nanos() as u64)
+    };
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| timed(i, r))
+            .collect();
+    }
+    let mut slots: Vec<Option<(T, u64)>> = ranges.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (i, (slot, range)) in slots.iter_mut().zip(ranges).enumerate() {
+            let timed = &timed;
+            scope.spawn(move || *slot = Some(timed(i, range)));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("scoped worker always completes"))
+        .collect()
+}
+
+/// Like [`run_chunked`], but each chunk additionally receives the
+/// matching contiguous `&mut` sub-slice of `items` (chunked by the same
+/// `chunk_ranges(items.len(), workers)` split) — the in-place variant
+/// for callers that repair rows rather than rebuild them. Results come
+/// back in chunk order; the range passed to `f` is the chunk's global
+/// index range, so `items_chunk[j]` is item `range.start + j`.
+pub fn run_chunked_mut<I: Send, T: Send>(
+    items: &mut [I],
+    workers: usize,
+    f: impl Fn(usize, Range<usize>, &mut [I]) -> T + Sync,
+) -> Vec<(T, u64)> {
+    let ranges = chunk_ranges(items.len(), workers);
+    let timed = |i: usize, r: Range<usize>, chunk: &mut [I]| {
+        let t0 = Instant::now();
+        let out = f(i, r, chunk);
+        (out, t0.elapsed().as_nanos() as u64)
+    };
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| timed(i, r, items))
+            .collect();
+    }
+    let mut slots: Vec<Option<(T, u64)>> = ranges.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        for (i, (slot, range)) in slots.iter_mut().zip(&ranges).enumerate() {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let timed = &timed;
+            let range = range.clone();
+            scope.spawn(move || *slot = Some(timed(i, range, chunk)));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("scoped worker always completes"))
+        .collect()
+}
+
+/// Wall-clock accounting for fan-outs, kept **outside** simulation
+/// results (never folded into `Metrics` — wall time is host noise, and
+/// results must stay byte-identical across worker counts and hosts).
+///
+/// `busy_ns` sums every chunk's busy time (the work that exists);
+/// `critical_ns` sums each fan-out's *slowest* chunk (the work that
+/// cannot be hidden by more cores). Their ratio is the speedup bound
+/// the partitioning achieves with at least as many cores as workers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParStats {
+    /// Fan-outs performed (barriers crossed).
+    pub fanouts: u64,
+    /// Total busy nanoseconds across all chunks of all fan-outs.
+    pub busy_ns: u64,
+    /// Total critical-path nanoseconds (max busy chunk per fan-out).
+    pub critical_ns: u64,
+}
+
+impl ParStats {
+    /// Record one fan-out from its per-chunk busy times.
+    pub fn record(&mut self, busy: &[u64]) {
+        self.fanouts += 1;
+        self.busy_ns += busy.iter().sum::<u64>();
+        self.critical_ns += busy.iter().copied().max().unwrap_or(0);
+    }
+
+    /// Record one fan-out straight from `run_chunked` output. A
+    /// single-chunk run is the inline sequential loop, not a fan-out —
+    /// it is not recorded, so `workers = 1` reports all-zero stats.
+    pub fn record_chunks<T>(&mut self, chunks: &[(T, u64)]) {
+        if chunks.len() <= 1 {
+            return;
+        }
+        self.fanouts += 1;
+        self.busy_ns += chunks.iter().map(|&(_, ns)| ns).sum::<u64>();
+        self.critical_ns += chunks.iter().map(|&(_, ns)| ns).max().unwrap_or(0);
+    }
+
+    /// Fold another accumulator in (e.g. a subsystem's own counter).
+    pub fn merge(&mut self, other: ParStats) {
+        self.fanouts += other.fanouts;
+        self.busy_ns += other.busy_ns;
+        self.critical_ns += other.critical_ns;
+    }
+
+    /// The critical-path speedup bound `Σ busy / Σ critical`: what the
+    /// recorded fan-outs make attainable with enough cores. 1.0 when
+    /// nothing was recorded.
+    pub fn speedup_bound(&self) -> f64 {
+        if self.critical_ns == 0 {
+            1.0
+        } else {
+            self.busy_ns as f64 / self.critical_ns as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_and_balance() {
+        for n in [0usize, 1, 2, 7, 16, 257] {
+            for w in [1usize, 2, 3, 4, 8, 64] {
+                let ranges = chunk_ranges(n, w);
+                if n == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert_eq!(ranges.len(), w.min(n), "n={n} w={w}");
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, n);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "contiguous");
+                }
+                let (min, max) = ranges
+                    .iter()
+                    .map(|r| r.len())
+                    .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+                assert!(min >= 1 && max - min <= 1, "n={n} w={w}: {min}..{max}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_chunked_merges_in_chunk_order() {
+        for w in [1usize, 2, 3, 5, 8] {
+            let out = run_chunked(11, w, |_, r| r.map(|i| i * i).collect::<Vec<_>>());
+            let flat: Vec<usize> = out.into_iter().flat_map(|(v, _)| v).collect();
+            let expect: Vec<usize> = (0..11).map(|i| i * i).collect();
+            assert_eq!(flat, expect, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn run_chunked_mut_sees_disjoint_windows() {
+        for w in [1usize, 2, 4, 16] {
+            let mut items: Vec<u64> = (0..13).collect();
+            let sums = run_chunked_mut(&mut items, w, |_, range, chunk| {
+                assert_eq!(chunk.len(), range.len());
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    assert_eq!(*x, (range.start + j) as u64, "global index mapping");
+                    *x *= 10;
+                }
+                chunk.iter().sum::<u64>()
+            });
+            let expect: Vec<u64> = (0..13u64).map(|i| i * 10).collect();
+            assert_eq!(items, expect, "workers={w}");
+            let total: u64 = sums.iter().map(|&(s, _)| s).sum();
+            assert_eq!(total, expect.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn par_stats_speedup_bound() {
+        let mut st = ParStats::default();
+        st.record(&[100, 100, 100, 100]); // perfectly balanced fan-out
+        assert_eq!(st.fanouts, 1);
+        assert!((st.speedup_bound() - 4.0).abs() < 1e-12);
+        st.record(&[400]); // serial fan-out drags the bound down
+        assert!((st.speedup_bound() - 800.0 / 500.0).abs() < 1e-12);
+        let mut other = ParStats::default();
+        other.record(&[7, 9]);
+        st.merge(other);
+        assert_eq!(st.fanouts, 3);
+        assert_eq!(st.busy_ns, 816);
+        assert_eq!(st.critical_ns, 509);
+        assert_eq!(ParStats::default().speedup_bound(), 1.0);
+    }
+}
