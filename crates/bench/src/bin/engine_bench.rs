@@ -45,16 +45,19 @@
 //! Run: `cargo run --release -p jtp-bench --bin engine_bench -- --quick
 //! --json BENCH_engine.json`. `--section <name>` (repeatable) restricts
 //! the run to a named section — `queue_ops`, `slot_engine`, `batch`,
-//! `next_hop`, `scale`, `mobility` or `parallel` — and **fails loudly**
-//! on an unknown name.
+//! `next_hop`, `scale`, `mobility`, `parallel` or `events` — and
+//! **fails loudly** on an unknown name.
 
 use jtp_bench::Args;
+use jtp_events::{EventCounters, NoopSubscriber, Subscriber, TimeAccountant};
+use jtp_netsim::runner::try_run_subscribed;
 use jtp_netsim::topology::{
     adjacency_from_positions, adjacency_from_positions_brute, edges_from_positions, field_for,
     geometry_edge_diff, place_nodes,
 };
 use jtp_netsim::{
-    run_experiment, ExperimentConfig, FlowSpec, MaskedTruth, Scenario, TopologyKind, TransportKind,
+    run_experiment, ExperimentConfig, FlowSpec, MaskedTruth, ReportRecorder, Scenario,
+    TopologyKind, TraceConfig, TraceSubscriber, TransportKind,
 };
 use jtp_phys::mobility::MobilityModel;
 use jtp_phys::{PathLoss, Point, RandomWaypoint};
@@ -901,6 +904,83 @@ fn bench_parallel_run(name: &str, workers_list: &[usize]) -> Vec<ParallelCell> {
     cells
 }
 
+/// Event-layer overhead on the sparse-load engine workload: the same
+/// run under the disabled subscriber (every emission site compiled
+/// out), the default reception trace (the pre-event-layer hot path),
+/// pure event counters, and the full report stack with wall-clock
+/// spans.
+#[derive(Serialize)]
+struct EventsCell {
+    scenario: String,
+    simulated_s: f64,
+    /// `NoopSubscriber`: emission sites monomorphized away.
+    noop_wall_s: f64,
+    /// `TraceSubscriber` with the default (all-off) trace config — what
+    /// every untraced run paid before the event layer existed.
+    trace_default_wall_s: f64,
+    /// `EventCounters`: every event built and folded into counters.
+    counters_wall_s: f64,
+    /// Reception trace + report recorder + time accountant (the
+    /// `scenario_report` stack, dispatch spans included).
+    full_stack_wall_s: f64,
+    /// Noop vs the pre-event-layer hot path, in percent — the zero-cost
+    /// claim (≤ 1 % is the acceptance bar; negative = noop is faster).
+    noop_overhead_pct: f64,
+}
+
+fn bench_events(sim_s: f64) -> EventsCell {
+    let cfg = fig9_scenario(500, sim_s);
+    fn one_run<S: Subscriber, F: Fn() -> S>(cfg: &ExperimentConfig, mk: F) -> f64 {
+        let start = Instant::now();
+        std::hint::black_box(try_run_subscribed(cfg, mk()).expect("scenario runs"));
+        start.elapsed().as_secs_f64()
+    }
+    // A single run is well under a second, where host noise — frequency
+    // scaling, noisy neighbours — swamps the effect being measured. Warm
+    // once per stack (allocator, caches), then interleave the four
+    // subscriber stacks at single-run granularity and keep each stack's
+    // minimum, so drift hits all stacks alike instead of biasing whichever
+    // happened to run last.
+    const ROUNDS: usize = 12;
+    let (mut noop, mut trace_default, mut counters, mut full) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for round in 0..=ROUNDS {
+        let n = one_run(&cfg, || NoopSubscriber);
+        let t = one_run(&cfg, || TraceSubscriber::new(TraceConfig::default()));
+        let c = one_run(&cfg, EventCounters::default);
+        let f = one_run(&cfg, || {
+            (
+                TraceSubscriber::new(TraceConfig {
+                    receptions: true,
+                    ..Default::default()
+                }),
+                (ReportRecorder::new(), TimeAccountant::default()),
+            )
+        });
+        if round > 0 {
+            // Round 0 is the warm-up pass.
+            noop = noop.min(n);
+            trace_default = trace_default.min(t);
+            counters = counters.min(c);
+            full = full.min(f);
+        }
+    }
+    let cell = EventsCell {
+        scenario: "fig9: random25 sparse load (JTP)".into(),
+        simulated_s: sim_s,
+        noop_wall_s: noop,
+        trace_default_wall_s: trace_default,
+        counters_wall_s: counters,
+        full_stack_wall_s: full,
+        noop_overhead_pct: (noop / trace_default - 1.0) * 100.0,
+    };
+    println!(
+        "events fig9 ({sim_s:.0}s sim)        : noop {noop:>8.3}s | trace-off {trace_default:>8.3}s | counters {counters:>8.3}s | full stack {full:>8.3}s | noop overhead {:+.2}%",
+        cell.noop_overhead_pct
+    );
+    cell
+}
+
 #[derive(Serialize)]
 struct Batch {
     scenario: String,
@@ -934,6 +1014,11 @@ struct Report {
     /// (byte-identical results, see `engine_equivalence` and the fuzz
     /// oracle).
     parallel: Vec<ParallelCell>,
+    /// Event/telemetry layer overhead on the sparse-load workload:
+    /// disabled subscriber vs the pre-event-layer hot path vs counting
+    /// and full-report stacks (byte-identical results, see
+    /// `subscriber_equivalence` and the fuzz oracle).
+    events: Vec<EventsCell>,
 }
 
 /// Configure a scenario as the pre-overhaul engine (slot-per-event loop,
@@ -1004,6 +1089,7 @@ fn main() {
         "scale",
         "mobility",
         "parallel",
+        "events",
     ]);
 
     // 1. Pure queue-op throughput at simulation-realistic and stress
@@ -1140,6 +1226,15 @@ fn main() {
         parallel.extend(bench_parallel_run("grid121-lifetime", &[1, 4]));
     }
 
+    // 8. The event/telemetry layer: the zero-cost-when-disabled claim,
+    //    measured — NoopSubscriber must be within noise of the
+    //    pre-event-layer hot path (a default-config TraceSubscriber),
+    //    with the counting and full-report stacks priced alongside.
+    let mut events = Vec::new();
+    if args.section_enabled("events") {
+        events.push(bench_events(args.pick(25_000.0, 1500.0)));
+    }
+
     let report = Report {
         quick: args.quick,
         queue_workload: "hold model: pop + schedule(now+U[0,100ms]) per step, extra schedule+cancel every 3rd step".into(),
@@ -1150,6 +1245,7 @@ fn main() {
         scale,
         mobility,
         parallel,
+        events,
     };
     jtp_bench::maybe_write_json(&args, &report);
 }

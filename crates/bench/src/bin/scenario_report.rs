@@ -1,0 +1,112 @@
+//! Per-scenario reports: run a slice of the canonical catalog through the
+//! report subscriber stack and emit netbench-style artifacts — one
+//! deterministic JSON document (byte-identical across runs of the same
+//! build; the CI `report-smoke` job runs this twice and `cmp`s) plus a
+//! rendered markdown report with flow timelines, queue-depth histograms,
+//! drop/flood breakdowns and the wall-clock time accounting.
+//!
+//! Run: `cargo run --release -p jtp-bench --bin scenario_report -- --quick
+//! --json BENCH_report.json --md BENCH_report.md [--only <substr>]`
+//!
+//! Args are hand-rolled (not `jtp_bench::Args`) because this binary has
+//! flags of its own: `--md <path>` for the markdown artifact and
+//! `--only <substr>` to restrict the catalog slice by scenario name.
+
+use jtp_netsim::{render_markdown, run_report, Scenario, ScenarioReport, TransportKind};
+use serde::Serialize;
+use std::path::PathBuf;
+
+struct Args {
+    quick: bool,
+    json: Option<PathBuf>,
+    md: Option<PathBuf>,
+    only: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        quick: false,
+        json: None,
+        md: None,
+        only: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => out.quick = true,
+            "--json" => out.json = it.next().map(PathBuf::from),
+            "--md" => out.md = it.next().map(PathBuf::from),
+            "--only" => out.only = it.next(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: scenario_report [--quick] [--json <path>] [--md <path>] \
+                     [--only <substr>]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+#[derive(Serialize)]
+struct Bundle {
+    quick: bool,
+    reports: Vec<ScenarioReport>,
+}
+
+fn main() {
+    let args = parse_args();
+    // Quick mode keeps the cheap half of the catalog (static + dynamics
+    // entries); the full run reports every catalog scenario.
+    let scenarios: Vec<Scenario> = Scenario::catalog()
+        .into_iter()
+        .filter(|sc| {
+            args.only
+                .as_deref()
+                .map(|s| sc.name.contains(s))
+                .unwrap_or(true)
+        })
+        .filter(|sc| !args.quick || (sc.battery.is_none() && sc.mobile_mps.is_none()))
+        .collect();
+    if scenarios.is_empty() {
+        eprintln!("no catalog scenario matches the filter");
+        std::process::exit(2);
+    }
+
+    let mut reports = Vec::new();
+    let mut markdown = String::new();
+    for sc in &scenarios {
+        let (report, time) = run_report(sc, TransportKind::Jtp);
+        println!(
+            "{:<28} delivered {:>6} ({:>5.1}%) | {:>7.2} kbit/s | {:>8.3} µJ/bit | {} floods",
+            report.scenario,
+            report.delivered_packets,
+            report.delivery_ratio * 100.0,
+            report.goodput_kbps,
+            report.energy_per_bit_uj,
+            report.events.total_floods,
+        );
+        markdown.push_str(&render_markdown(&report, Some(&time)));
+        markdown.push('\n');
+        reports.push(report);
+    }
+
+    if let Some(path) = &args.md {
+        std::fs::write(path, &markdown).expect("write markdown report");
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.json {
+        let bundle = Bundle {
+            quick: args.quick,
+            reports,
+        };
+        let json = serde_json::to_string(&bundle).expect("reports serialise");
+        std::fs::write(path, json).expect("write JSON report");
+        println!("wrote {}", path.display());
+    }
+}

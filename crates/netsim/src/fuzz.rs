@@ -36,9 +36,13 @@
 
 use crate::config::{ConfigError, DynamicsAction, DynamicsEvent, TopologyKind, TransportKind};
 use crate::metrics::Metrics;
-use crate::runner::{run_many_on, try_run_digest, try_run_digest_on, try_run_experiment};
+use crate::report::ReportRecorder;
+use crate::runner::{
+    run_many_on, try_run_digest, try_run_digest_on, try_run_digest_with, try_run_experiment,
+};
 use crate::scenario::{DynamicsSpec, Scenario, TrafficPattern};
 use crate::topology::{adjacency_from_positions, try_place_nodes};
+use jtp_events::TimeAccountant;
 use jtp_phys::BatteryConfig;
 use jtp_routing::LinkState;
 use jtp_sim::{NodeId, SimRng, SimTime};
@@ -346,6 +350,24 @@ pub fn check_scenario(sc: &Scenario, transport: TransportKind) -> CaseOutcome {
                          sequential one ran: {e}"
                     )),
                 }
+            }
+            // Subscribers observe, never perturb: stacking the full
+            // report pile (recorder + time accountant) next to the
+            // digest's trace must leave the digest byte-identical.
+            match try_run_digest_with(&cfg, (ReportRecorder::new(), TimeAccountant::default())) {
+                Ok((ds, _)) => {
+                    engine_runs += 1;
+                    if ds.to_line(&sc.name) != line1 {
+                        failures.push(format!(
+                            "full subscriber stack perturbed the digest:\n  \
+                             off: {line1}\n  on:  {}",
+                            ds.to_line(&sc.name)
+                        ));
+                    }
+                }
+                Err(e) => failures.push(format!(
+                    "subscriber stack rejected a config the plain digest ran: {e}"
+                )),
             }
         }
         Err(e) => failures.push(format!(

@@ -16,7 +16,9 @@
 //!   with confidence intervals, and golden-trace digests,
 //! * [`metrics`] — energy-per-bit, goodput and mechanism counters,
 //! * [`trace`] — time-series instrumentation for the paper's trace
-//!   figures.
+//!   figures,
+//! * [`report`] — netbench-style per-scenario reports (deterministic
+//!   JSON + markdown) folded from the `jtp_events` subscriber stream.
 //!
 //! ```
 //! use jtp_netsim::{ExperimentConfig, TransportKind, run_experiment};
@@ -39,6 +41,7 @@ pub mod metrics;
 pub mod network;
 pub mod partition;
 pub mod payload;
+pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod topology;
@@ -55,10 +58,15 @@ pub use fuzz::{
 pub use metrics::{FlowMetrics, Metrics};
 pub use network::{Event, Network};
 pub use partition::{FloodSync, TopologyCut};
+pub use report::{
+    render_markdown, run_report, try_run_report, FlowReport, ReportRecorder, ScenarioReport,
+    TimeBreakdown,
+};
 pub use runner::{
-    run_digest, run_experiment, run_many, run_many_on, run_traced, summarize_runs, try_run_digest,
-    try_run_digest_on, try_run_experiment, try_run_traced, GoldenDigest, Summary,
+    run_digest, run_experiment, run_many, run_many_on, run_subscribed, run_traced, summarize_runs,
+    try_run_digest, try_run_digest_on, try_run_digest_with, try_run_experiment, try_run_subscribed,
+    try_run_traced, GoldenDigest, Summary,
 };
 pub use scenario::{DynamicsSpec, Scenario, TrafficPattern};
-pub use trace::{TraceConfig, TraceLog};
+pub use trace::{TraceConfig, TraceLog, TraceSubscriber};
 pub use truth::MaskedTruth;

@@ -55,11 +55,16 @@ use crate::topology::{
     adjacency_from_positions, adjacency_from_positions_brute, edges_from_positions, field_for,
     geometry_edge_diff, try_place_nodes,
 };
-use crate::trace::{MonitorSample, TraceConfig, TraceLog};
+use crate::trace::{TraceConfig, TraceLog, TraceSubscriber};
 use crate::truth::MaskedTruth;
 use jtp::{IjtpModule, JtpReceiver, JtpSender, LinkInfo, PreXmitVerdict};
 use jtp_baselines::atp::{AtpReceiver, AtpSender};
 use jtp_baselines::tcp::{TcpReceiver, TcpSender};
+use jtp_events::{
+    AttemptBudget, BatteryDeath, Delivery, DropCause, DynamicsApplied, FloodCause, FloodEnd,
+    FloodStart, MonitorUpdate, NoopSubscriber, PacketDrop, PacketKind, PacketSend, SlotGrant,
+    Subscriber, Subsystem,
+};
 use jtp_mac::{Frame, FrameKind, NodeMac, SleepSchedule, SlotOutcome, TdmaSchedule};
 use jtp_phys::energy::EnergyCategory;
 use jtp_phys::gilbert::{GilbertConfig, GilbertElliott};
@@ -69,6 +74,14 @@ use jtp_phys::{
 };
 use jtp_routing::LinkState;
 use jtp_sim::{EventId, EventQueue, FlowId, NodeId, SimDuration, SimRng, SimTime, Simulation};
+use std::time::Instant;
+
+/// Open a wall-clock span iff the subscriber asked for timing — with
+/// `S::TIMING == false` this is a compile-time `None` and no clock is
+/// read (wall-clock reads are not free on the hot path).
+fn span_start<S: Subscriber>() -> Option<Instant> {
+    S::TIMING.then(Instant::now)
+}
 
 /// Event class of TDMA slot boundaries: delivered before same-instant
 /// timer events (classes are ordered before FIFO sequence at ties).
@@ -137,9 +150,18 @@ struct Node {
     mobility: Mobility,
 }
 
-/// One experiment run: build with [`Network::new`], drive with
-/// [`jtp_sim::run_until`], harvest with [`Network::metrics`].
-pub struct Network {
+/// One experiment run: build with [`Network::with_subscriber`] (or
+/// [`Network::new`] for the [`TraceSubscriber`]-instrumented form),
+/// drive with [`jtp_sim::run_until`], harvest with [`Network::metrics`].
+///
+/// The subscriber is a **type parameter**, not a field behind a flag:
+/// every event emission site is gated on the compile-time
+/// [`Subscriber::ENABLED`], so with the default [`NoopSubscriber`] the
+/// whole event layer monomorphizes away — no branch, no payload
+/// construction — and the engine is byte-identical to an
+/// uninstrumented build (pinned by the subscriber-equivalence tests
+/// and the `events` bench section).
+pub struct Network<S: Subscriber = NoopSubscriber> {
     transport: TransportKind,
     nodes: Vec<Node>,
     positions: Vec<Point>,
@@ -168,9 +190,10 @@ pub struct Network {
     mobility_cfg: Option<MobilityConfig>,
     tcp_ack_flush: SimDuration,
     end: SimTime,
-    trace_cfg: TraceConfig,
-    /// Collected time-series traces (see [`TraceConfig`]).
-    pub trace: TraceLog,
+    /// The attached event subscriber (see [`jtp_events`]). The engine
+    /// only ever writes to it — subscriber state never feeds back into
+    /// simulation results.
+    sub: S,
     no_route_drops: u64,
     // ---- substrate dynamics state ----
     /// The scheduled dynamics timeline (from the config).
@@ -236,12 +259,17 @@ pub struct Network {
     completed_flows: usize,
 }
 
-impl Network {
-    /// Build a network and its event queue from a validated configuration.
+impl Network<TraceSubscriber> {
+    /// Build a [`TraceConfig`]-instrumented network and its event queue
+    /// from a validated configuration — the traced front door behind
+    /// every golden digest.
     ///
     /// Panics on an invalid configuration; [`Network::try_new`] reports
     /// the [`ConfigError`] instead.
-    pub fn new(cfg: &ExperimentConfig, trace_cfg: TraceConfig) -> (Network, EventQueue<Event>) {
+    pub fn new(
+        cfg: &ExperimentConfig,
+        trace_cfg: TraceConfig,
+    ) -> (Network<TraceSubscriber>, EventQueue<Event>) {
         Network::try_new(cfg, trace_cfg).expect("invalid experiment configuration")
     }
 
@@ -251,7 +279,31 @@ impl Network {
     pub fn try_new(
         cfg: &ExperimentConfig,
         trace_cfg: TraceConfig,
-    ) -> Result<(Network, EventQueue<Event>), ConfigError> {
+    ) -> Result<(Network<TraceSubscriber>, EventQueue<Event>), ConfigError> {
+        Network::try_with_subscriber(cfg, TraceSubscriber::new(trace_cfg))
+    }
+
+    /// The trace collected so far.
+    pub fn trace(&self) -> &TraceLog {
+        self.sub.log()
+    }
+}
+
+impl<S: Subscriber> Network<S> {
+    /// Build a network wired to an arbitrary event subscriber. With the
+    /// default [`NoopSubscriber`] the event layer compiles to nothing.
+    ///
+    /// Panics on an invalid configuration; use
+    /// [`Network::try_with_subscriber`] to report the error instead.
+    pub fn with_subscriber(cfg: &ExperimentConfig, sub: S) -> (Network<S>, EventQueue<Event>) {
+        Network::try_with_subscriber(cfg, sub).expect("invalid experiment configuration")
+    }
+
+    /// [`Network::with_subscriber`], returning configuration errors.
+    pub fn try_with_subscriber(
+        cfg: &ExperimentConfig,
+        sub: S,
+    ) -> Result<(Network<S>, EventQueue<Event>), ConfigError> {
         cfg.validate()?;
         let n = cfg.topology.node_count();
         let positions = try_place_nodes(&cfg.topology, &cfg.pathloss, cfg.seed)?;
@@ -416,8 +468,7 @@ impl Network {
             mobility_cfg: cfg.mobility,
             tcp_ack_flush: cfg.tcp_ack_flush,
             end,
-            trace_cfg,
-            trace: TraceLog::default(),
+            sub,
             no_route_drops: 0,
             dynamics: cfg.dynamics.clone(),
             incremental_rebuilds: cfg.incremental_rebuilds,
@@ -449,6 +500,18 @@ impl Network {
             net.sync_slot_event(SimTime::ZERO, &mut queue);
         }
         Ok((net, queue))
+    }
+
+    /// The attached subscriber (read-only — the engine's contract is
+    /// that subscriber state never influences simulation results).
+    pub fn subscriber(&self) -> &S {
+        &self.sub
+    }
+
+    /// Consume the network, keeping the subscriber — the harvest path
+    /// for runs whose instrumentation outlives the engine.
+    pub fn into_subscriber(self) -> S {
+        self.sub
     }
 
     /// The configured end of the run.
@@ -516,6 +579,20 @@ impl Network {
             let owner = self.schedule.owner(self.slot_cursor);
             self.nodes[owner.index()].mac.record_owned_slot(false);
             self.charge_baseline(owner, self.slot_cursor);
+            if S::ENABLED {
+                // Replayed slots carry their true slot-boundary time, so
+                // the slot-grant stream matches the naive engine's (which
+                // fires every one of these) — they just arrive in a burst
+                // at catch-up instead of one by one.
+                let ev = SlotGrant {
+                    slot: self.slot_cursor,
+                    owner,
+                    busy: false,
+                    queue_depth: 0,
+                };
+                self.sub
+                    .on_slot(self.schedule.slot_start(self.slot_cursor), &ev);
+            }
             debug_assert!(
                 self.pending_deaths.is_empty(),
                 "battery death inside an idle replay — prediction missed a slot"
@@ -748,9 +825,16 @@ impl Network {
             self.battery_dead[i] = true;
             self.death_slot[i] = None;
             self.deaths.push((now, v));
+            if S::ENABLED {
+                let ev = BatteryDeath {
+                    node: v,
+                    alive: (self.positions.len() - self.deaths.len()) as u32,
+                };
+                self.sub.on_battery_death(now, &ev);
+            }
             if self.truth.is_up(v) {
                 self.truth.set_node_up(v, false);
-                self.churn_drops += self.nodes[i].mac.flush();
+                self.flush_queue(now, v);
                 self.refresh_backlog(v);
             }
             any = true;
@@ -758,9 +842,60 @@ impl Network {
         if any {
             self.backlog_dirty = true;
             self.after_substrate_change();
-            self.flood_sync.note_flood(now);
-            self.routing.force_refresh_all(now, self.truth.adjacency());
+            self.flood_views(now, FloodCause::BatteryDeath, true);
             self.note_first_partition(now);
+        }
+    }
+
+    /// Lose a crashed/dead node's transmit queue, counting (and
+    /// reporting) the frames as churn drops.
+    fn flush_queue(&mut self, now: SimTime, v: NodeId) {
+        let lost = self.nodes[v.index()].mac.flush();
+        self.churn_drops += lost;
+        if S::ENABLED && lost > 0 {
+            let ev = PacketDrop {
+                node: v,
+                cause: DropCause::Churn,
+                packets: lost,
+            };
+            self.sub.on_drop(now, &ev);
+        }
+    }
+
+    /// Advertise the current truth to routing views — all of them
+    /// (`all`, the flooded refresh failure detection triggers) or just
+    /// the staleness-due ones (mobility ticks) — bracketed by flood
+    /// start/end events whose costs are exact routing work-counter
+    /// deltas, under a flood-plane wall span when the subscriber times.
+    fn flood_views(&mut self, now: SimTime, cause: FloodCause, all: bool) {
+        self.flood_sync.note_flood(now);
+        let before = if S::ENABLED {
+            self.sub.on_flood_start(now, &FloodStart { cause });
+            Some(self.routing.stats())
+        } else {
+            None
+        };
+        let t0 = span_start::<S>();
+        if all {
+            self.routing.force_refresh_all(now, self.truth.adjacency());
+        } else {
+            self.routing.refresh_due_views(now, self.truth.adjacency());
+        }
+        if let Some(t0) = t0 {
+            self.sub
+                .on_subsystem_time(Subsystem::FloodPlane, t0.elapsed().as_nanos() as u64);
+        }
+        if let Some(b) = before {
+            let a = self.routing.stats();
+            let ev = FloodEnd {
+                cause,
+                views_refreshed: a.refreshes - b.refreshes,
+                sources_repaired: (a.bfs_run - b.bfs_run)
+                    + (a.bfs_repaired - b.bfs_repaired)
+                    + (a.weighted_repairs - b.weighted_repairs),
+                entries_changed: a.dist_entries_changed - b.dist_entries_changed,
+            };
+            self.sub.on_flood_end(now, &ev);
         }
     }
 
@@ -850,11 +985,15 @@ impl Network {
         let weights: Vec<u16> = (0..self.nodes.len())
             .map(|i| self.advert_weight(i, &e))
             .collect();
-        if self.advertised_weights.as_ref() != Some(&weights) {
+        let changed = self.advertised_weights.as_ref() != Some(&weights);
+        if S::ENABLED {
+            let ev = jtp_events::EnergyAdvert { changed };
+            self.sub.on_energy_advert(now, &ev);
+        }
+        if changed {
             self.routing.set_node_weights(Some(weights.clone()));
             self.advertised_weights = Some(weights);
-            self.flood_sync.note_flood(now);
-            self.routing.force_refresh_all(now, self.truth.adjacency());
+            self.flood_views(now, FloodCause::EnergyAdvert, true);
         }
         let at = now + e.advert_period;
         if at <= self.end {
@@ -892,7 +1031,7 @@ impl Network {
                     // The crash loses the transmit queue; while down the
                     // node enqueues nothing, so its slots stay idle (and
                     // skippable) by construction.
-                    self.churn_drops += self.nodes[v.index()].mac.flush();
+                    self.flush_queue(now, v);
                     self.refresh_backlog(v);
                 }
             }
@@ -929,15 +1068,18 @@ impl Network {
                     let v = NodeId(i as u32);
                     if self.truth.is_up(v) && self.positions[i].distance(centre) <= radius_m {
                         self.truth.set_node_up(v, false);
-                        self.churn_drops += self.nodes[i].mac.flush();
+                        self.flush_queue(now, v);
                         self.refresh_backlog(v);
                     }
                 }
             }
         }
+        if S::ENABLED {
+            let ev = DynamicsApplied { index: idx };
+            self.sub.on_dynamics(now, &ev);
+        }
         self.after_substrate_change();
-        self.flood_sync.note_flood(now);
-        self.routing.force_refresh_all(now, self.truth.adjacency());
+        self.flood_views(now, FloodCause::Dynamics, true);
         self.note_first_partition(now);
     }
 
@@ -946,15 +1088,31 @@ impl Network {
     // ------------------------------------------------------------------
 
     /// Route `tp` one hop from `from` and enqueue it at `from`'s MAC.
-    fn forward_from(&mut self, from: NodeId, tp: TransportPacket) {
+    fn forward_from(&mut self, now: SimTime, from: NodeId, tp: TransportPacket) {
         if !self.truth.is_up(from) {
             // A dead node originates and forwards nothing; transport
             // timers at a crashed endpoint spin harmlessly until it heals.
             self.churn_drops += 1;
+            if S::ENABLED {
+                let ev = PacketDrop {
+                    node: from,
+                    cause: DropCause::Churn,
+                    packets: 1,
+                };
+                self.sub.on_drop(now, &ev);
+            }
             return;
         }
         let Some(next) = self.routing.next_hop(from, tp.dst_end) else {
             self.no_route_drops += 1;
+            if S::ENABLED {
+                let ev = PacketDrop {
+                    node: from,
+                    cause: DropCause::NoRoute,
+                    packets: 1,
+                };
+                self.sub.on_drop(now, &ev);
+            }
             return;
         };
         let bytes = tp.payload.wire_bytes();
@@ -963,7 +1121,15 @@ impl Network {
         // Non-JTP-data frames use the MAC's full budget; JTP data budgets
         // are set per packet by iJTP at first transmission.
         frame.max_attempts = self.nodes[from.index()].mac.max_attempts_cap();
-        let _ = self.nodes[from.index()].mac.enqueue(frame); // overflow counted inside
+        let overflow = self.nodes[from.index()].mac.enqueue(frame).is_err(); // counted inside
+        if S::ENABLED && overflow {
+            let ev = PacketDrop {
+                node: from,
+                cause: DropCause::Queue,
+                packets: 1,
+            };
+            self.sub.on_drop(now, &ev);
+        }
         self.refresh_backlog(from);
     }
 
@@ -994,13 +1160,51 @@ impl Network {
             // death slot; see `predict_death_slot`).
             self.recompute_death_slot(owner.index());
         }
+        // Queue depth is sampled at the slot boundary, before the
+        // pre-transmit hooks get a chance to drop heads.
+        let queue_depth = if S::ENABLED {
+            self.nodes[owner.index()].mac.queue_len() as u32
+        } else {
+            0
+        };
         match self.prepare_head(owner, now) {
             None => {
                 self.nodes[owner.index()].mac.record_owned_slot(false);
+                if S::ENABLED {
+                    let ev = SlotGrant {
+                        slot,
+                        owner,
+                        busy: false,
+                        queue_depth,
+                    };
+                    self.sub.on_slot(now, &ev);
+                }
             }
             Some((dst, bytes, kind)) => {
                 self.nodes[owner.index()].mac.record_owned_slot(true);
+                if S::ENABLED {
+                    let ev = SlotGrant {
+                        slot,
+                        owner,
+                        busy: true,
+                        queue_depth,
+                    };
+                    self.sub.on_slot(now, &ev);
+                }
                 let success = self.sample_channel(owner, dst, now);
+                if S::ENABLED {
+                    let ev = PacketSend {
+                        from: owner,
+                        to: dst,
+                        kind: match kind {
+                            FrameKind::Data => PacketKind::Data,
+                            FrameKind::Ack => PacketKind::Ack,
+                        },
+                        bytes: bytes as u32,
+                        delivered: success,
+                    };
+                    self.sub.on_send(now, &ev);
+                }
                 let tx_j = self.energy_model.tx_energy_j(bytes);
                 let (cat_tx, cat_rx) = match kind {
                     FrameKind::Data => (EnergyCategory::DataTx, EnergyCategory::DataRx),
@@ -1013,7 +1217,17 @@ impl Network {
                 }
                 match self.nodes[owner.index()].mac.transmit_result(success) {
                     SlotOutcome::Delivered(frame) => self.deliver(now, frame, q),
-                    SlotOutcome::Exhausted(_) | SlotOutcome::Retrying => {}
+                    SlotOutcome::Exhausted(_) => {
+                        if S::ENABLED {
+                            let ev = PacketDrop {
+                                node: owner,
+                                cause: DropCause::Arq,
+                                packets: 1,
+                            };
+                            self.sub.on_drop(now, &ev);
+                        }
+                    }
+                    SlotOutcome::Retrying => {}
                     SlotOutcome::Idle => unreachable!("prepared head implies non-idle"),
                 }
                 // Transmission/reception drains materialise *after* the
@@ -1061,6 +1275,14 @@ impl Network {
                         // The local view lost the route: drop (counted).
                         self.nodes[owner.index()].mac.drop_head();
                         self.no_route_drops += 1;
+                        if S::ENABLED {
+                            let ev = PacketDrop {
+                                node: owner,
+                                cause: DropCause::NoRoute,
+                                packets: 1,
+                            };
+                            self.sub.on_drop(now, &ev);
+                        }
                         continue;
                     }
                 };
@@ -1080,13 +1302,25 @@ impl Network {
                 match node.ijtp.pre_xmit_data(data, &link, first) {
                     PreXmitVerdict::DropEnergyExhausted => {
                         node.mac.drop_head();
+                        if S::ENABLED {
+                            let ev = PacketDrop {
+                                node: owner,
+                                cause: DropCause::Energy,
+                                packets: 1,
+                            };
+                            self.sub.on_drop(now, &ev);
+                        }
                         continue;
                     }
                     PreXmitVerdict::Forward { max_attempts } => {
                         if first {
                             head.max_attempts = max_attempts;
-                            if self.trace_cfg.attempts_at == Some(owner) {
-                                self.trace.attempts.push((now, max_attempts));
+                            if S::ENABLED {
+                                let ev = AttemptBudget {
+                                    node: owner,
+                                    budget: max_attempts,
+                                };
+                                self.sub.on_attempt_budget(now, &ev);
                             }
                         }
                     }
@@ -1175,7 +1409,6 @@ impl Network {
 
     /// Hop processing at an intermediate node (Algorithm 2), then forward.
     fn relay(&mut self, now: SimTime, here: NodeId, mut tp: TransportPacket) {
-        let _ = now;
         match &mut tp.payload {
             Payload::JtpData(d) => {
                 self.nodes[here.index()].ijtp.post_rcv_data(d);
@@ -1188,6 +1421,7 @@ impl Network {
                     let data_src = tp.dst_end;
                     for pkt in recovered {
                         self.forward_from(
+                            now,
                             here,
                             TransportPacket {
                                 src_end: data_src,
@@ -1201,7 +1435,7 @@ impl Network {
             // TCP and ATP are end-to-end only: intermediate nodes forward.
             _ => {}
         }
-        self.forward_from(here, tp);
+        self.forward_from(now, here, tp);
     }
 
     /// Mark a flow complete (first time only).
@@ -1223,6 +1457,11 @@ impl Network {
         let fid = tp.payload.flow();
         let fi = fid.index();
         debug_assert!(fi < self.flows.len(), "unknown flow {fid}");
+        let wire_bytes = if S::ENABLED {
+            tp.payload.wire_bytes() as u32
+        } else {
+            0
+        };
         match tp.payload {
             Payload::JtpData(d) => {
                 let (fresh, early, monitor) = {
@@ -1235,23 +1474,29 @@ impl Network {
                     let monitor = rx.rate_monitor_state();
                     (fresh, early, monitor)
                 };
-                if fresh && self.trace_cfg.receptions {
-                    self.trace.receptions.push((now, fid));
-                }
-                if self.trace_cfg.monitor_of == Some(fid) {
+                if S::ENABLED {
+                    let ev = Delivery {
+                        flow: fid,
+                        node: here,
+                        bytes: wire_bytes,
+                        fresh,
+                    };
+                    self.sub.on_delivery(now, &ev);
                     if let Some((lcl, mean, ucl)) = monitor {
-                        self.trace.monitor.push(MonitorSample {
-                            at: now,
+                        let ev = MonitorUpdate {
+                            flow: fid,
                             reported: d.rate_pps as f64,
                             mean,
                             lcl,
                             ucl,
-                        });
+                        };
+                        self.sub.on_monitor(now, &ev);
                     }
                 }
                 if let Some(ack) = early {
                     let back_to = self.flows[fi].src;
                     self.forward_from(
+                        now,
                         here,
                         TransportPacket {
                             src_end: here,
@@ -1283,12 +1528,19 @@ impl Network {
                     let ack = rx.on_data(now, &d);
                     (rx.stats().delivered_packets > before, ack)
                 };
-                if fresh && self.trace_cfg.receptions {
-                    self.trace.receptions.push((now, fid));
+                if S::ENABLED {
+                    let ev = Delivery {
+                        flow: fid,
+                        node: here,
+                        bytes: wire_bytes,
+                        fresh,
+                    };
+                    self.sub.on_delivery(now, &ev);
                 }
                 if let Some(ack) = ack {
                     let back_to = self.flows[fi].src;
                     self.forward_from(
+                        now,
                         here,
                         TransportPacket {
                             src_end: here,
@@ -1320,8 +1572,14 @@ impl Network {
                     rx.on_data(now, &d);
                     rx.stats().delivered_packets > before
                 };
-                if fresh && self.trace_cfg.receptions {
-                    self.trace.receptions.push((now, fid));
+                if S::ENABLED {
+                    let ev = Delivery {
+                        flow: fid,
+                        node: here,
+                        bytes: wire_bytes,
+                        fresh,
+                    };
+                    self.sub.on_delivery(now, &ev);
                 }
             }
             Payload::AtpFeedback(fb) => {
@@ -1407,6 +1665,7 @@ impl Network {
         };
         for p in outgoing {
             self.forward_from(
+                now,
                 src,
                 TransportPacket {
                     src_end: src,
@@ -1453,6 +1712,7 @@ impl Network {
         if let Some(p) = feedback {
             // Feedback travels receiver -> sender.
             self.forward_from(
+                now,
                 dst,
                 TransportPacket {
                     src_end: dst,
@@ -1476,7 +1736,8 @@ impl Network {
                 self.positions[i] = w.position_at(now);
             }
         }
-        if self.incremental_rebuilds {
+        let t0 = span_start::<S>();
+        let changed_edges = if self.incremental_rebuilds {
             // Spatial-grid neighbour discovery (O(n·k)) into a sorted
             // in-range edge list, merged against the standing geometry:
             // only the links that actually appeared or vanished this
@@ -1486,16 +1747,26 @@ impl Network {
             let edges = edges_from_positions(&self.positions, &self.pathloss);
             let diff = geometry_edge_diff(self.truth.geometry(), &edges);
             self.truth.apply_geometry_diff(&diff);
+            diff.len() as u32
         } else {
             // Legacy comparison path: brute-force all-pairs scan plus a
             // whole-truth remask — byte-identical results, O(n²) cost.
+            // No diff exists here, so the tick event reports 0 changes.
             self.truth.set_geometry(adjacency_from_positions_brute(
                 &self.positions,
                 &self.pathloss,
             ));
+            0
+        };
+        if let Some(t0) = t0 {
+            self.sub
+                .on_subsystem_time(Subsystem::GeometryDiff, t0.elapsed().as_nanos() as u64);
         }
-        self.flood_sync.note_flood(now);
-        self.routing.refresh_due_views(now, self.truth.adjacency());
+        if S::ENABLED {
+            let ev = jtp_events::MobilityTick { changed_edges };
+            self.sub.on_mobility(now, &ev);
+        }
+        self.flood_views(now, FloodCause::Mobility, false);
         self.note_first_partition(now);
         let at = now + mcfg.update_period;
         if at <= self.end {
@@ -1644,10 +1915,11 @@ impl Network {
     }
 }
 
-impl Simulation for Network {
+impl<S: Subscriber> Simulation for Network<S> {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        let t0 = span_start::<S>();
         match event {
             Event::Slot(s) => self.handle_slot(now, s, queue),
             Event::FlowStart(f) => self.handle_flow_start(now, f, queue),
@@ -1656,6 +1928,21 @@ impl Simulation for Network {
             Event::MobilityTick => self.handle_mobility_tick(now, queue),
             Event::Dynamics(i) => self.handle_dynamics(now, i),
             Event::EnergyAdvert => self.handle_energy_advert(now, queue),
+        }
+        if let Some(t0) = t0 {
+            // Dispatch-level buckets: every event lands in exactly one
+            // (nested flood-plane / geometry-diff spans ride inside).
+            let sys = match event {
+                Event::Slot(_) => Subsystem::SlotPlane,
+                Event::FlowStart(_) | Event::SenderWakeup(_) | Event::ReceiverTimer(_) => {
+                    Subsystem::Timers
+                }
+                Event::MobilityTick => Subsystem::Mobility,
+                Event::Dynamics(_) => Subsystem::Dynamics,
+                Event::EnergyAdvert => Subsystem::EnergyAdvert,
+            };
+            self.sub
+                .on_subsystem_time(sys, t0.elapsed().as_nanos() as u64);
         }
         // Any handler may have enqueued or drained MAC traffic; keep the
         // skipping engine's slot event aimed at the earliest busy slot.

@@ -10,7 +10,8 @@
 use crate::config::{ConfigError, ExperimentConfig};
 use crate::metrics::Metrics;
 use crate::network::Network;
-use crate::trace::{TraceConfig, TraceLog};
+use crate::trace::{TraceConfig, TraceLog, TraceSubscriber};
+use jtp_events::{NoopSubscriber, Subscriber};
 use jtp_sim::stats::ci95_halfwidth;
 use jtp_sim::{run_until, SimTime};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -21,13 +22,61 @@ use std::sync::Mutex;
 /// Panics on an invalid configuration; [`try_run_experiment`] reports
 /// the [`ConfigError`] instead.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Metrics {
-    run_traced(cfg, TraceConfig::default()).0
+    // `NoopSubscriber` monomorphizes every event emission away — this is
+    // the zero-overhead hot path (pinned by the `events` bench section).
+    run_subscribed(cfg, NoopSubscriber).0
 }
 
 /// [`run_experiment`] with invalid configurations reported as
 /// [`ConfigError`] — the panic-free entry point for generated scenarios.
 pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<Metrics, ConfigError> {
-    try_run_traced(cfg, TraceConfig::default()).map(|(m, _)| m)
+    try_run_subscribed(cfg, NoopSubscriber).map(|(m, _)| m)
+}
+
+/// Run one experiment with an arbitrary event [`Subscriber`] attached and
+/// return it alongside the metrics — the generic core every other entry
+/// point wraps. Subscribers observe the run; they never perturb it
+/// (enforced by the subscriber-equivalence tests).
+///
+/// Panics on an invalid configuration; [`try_run_subscribed`] reports the
+/// [`ConfigError`] instead.
+pub fn run_subscribed<S: Subscriber>(cfg: &ExperimentConfig, sub: S) -> (Metrics, S) {
+    try_run_subscribed(cfg, sub).expect("invalid experiment configuration")
+}
+
+/// [`run_subscribed`] with invalid configurations reported as
+/// [`ConfigError`].
+pub fn try_run_subscribed<S: Subscriber>(
+    cfg: &ExperimentConfig,
+    sub: S,
+) -> Result<(Metrics, S), ConfigError> {
+    run_harvest(cfg, sub).map(|(m, sub, _)| (m, sub))
+}
+
+/// The run-and-harvest core: like [`try_run_subscribed`] but also hands
+/// back the routing layer's flood-plane [`ParStats`] (wall-clock fan-out
+/// accounting the report layer folds into its time breakdown).
+pub(crate) fn run_harvest<S: Subscriber>(
+    cfg: &ExperimentConfig,
+    sub: S,
+) -> Result<(Metrics, S, jtp_sim::par::ParStats), ConfigError> {
+    let (mut net, mut queue) = Network::try_with_subscriber(cfg, sub)?;
+    let horizon = net.horizon();
+    run_until(&mut net, &mut queue, horizon);
+    // Account any TDMA slots the idle-skipping engine elided at the tail.
+    net.finalize(horizon);
+    // Deterministic harvest time: if every flow completed, the drain time
+    // of the queue (identical with idle-slot skipping on or off, since
+    // only no-op events remain pending at completion); otherwise the
+    // configured horizon — incomplete flows were active to the end.
+    let now = if net.all_flows_completed() {
+        queue.now().min(horizon)
+    } else {
+        horizon
+    };
+    let m = net.metrics(now);
+    let par = net.parallel_stats();
+    Ok((m, net.into_subscriber(), par))
 }
 
 /// Run one experiment with tracing enabled.
@@ -43,22 +92,8 @@ pub fn try_run_traced(
     cfg: &ExperimentConfig,
     trace: TraceConfig,
 ) -> Result<(Metrics, TraceLog), ConfigError> {
-    let (mut net, mut queue) = Network::try_new(cfg, trace)?;
-    let horizon = net.horizon();
-    run_until(&mut net, &mut queue, horizon);
-    // Account any TDMA slots the idle-skipping engine elided at the tail.
-    net.finalize(horizon);
-    // Deterministic harvest time: if every flow completed, the drain time
-    // of the queue (identical with idle-slot skipping on or off, since
-    // only no-op events remain pending at completion); otherwise the
-    // configured horizon — incomplete flows were active to the end.
-    let now = if net.all_flows_completed() {
-        queue.now().min(horizon)
-    } else {
-        horizon
-    };
-    let m = net.metrics(now);
-    Ok((m, net.trace))
+    let (m, sub) = try_run_subscribed(cfg, TraceSubscriber::new(trace))?;
+    Ok((m, sub.into_log()))
 }
 
 /// A batch summary of one scalar metric across independent seeds.
@@ -191,25 +226,40 @@ pub fn run_digest(cfg: &ExperimentConfig) -> GoldenDigest {
 
 /// [`run_digest`] with invalid configurations reported as [`ConfigError`].
 pub fn try_run_digest(cfg: &ExperimentConfig) -> Result<GoldenDigest, ConfigError> {
-    let (m, trace) = try_run_traced(
-        cfg,
-        TraceConfig {
-            receptions: true,
-            ..Default::default()
-        },
-    )?;
-    let json = serde_json::to_string(&m).expect("metrics serialise");
+    try_run_digest_with(cfg, NoopSubscriber).map(|(d, _)| d)
+}
+
+/// [`try_run_digest`] with an extra subscriber stacked next to the
+/// digest's reception trace. The digest is computed from the trace half
+/// of the stack exactly as [`try_run_digest`] computes it, so for any
+/// `extra` the digest must be byte-identical to the plain one — the
+/// subscriber-equivalence tests and the fuzz oracle pin exactly that.
+pub fn try_run_digest_with<S: Subscriber>(
+    cfg: &ExperimentConfig,
+    extra: S,
+) -> Result<(GoldenDigest, S), ConfigError> {
+    let trace = TraceSubscriber::new(TraceConfig {
+        receptions: true,
+        ..Default::default()
+    });
+    let (m, (trace, extra)) = try_run_subscribed(cfg, (trace, extra))?;
+    Ok((digest_from_parts(&m, trace.log().checksum()), extra))
+}
+
+/// Assemble a [`GoldenDigest`] from harvested metrics and the reception
+/// trace checksum (shared by the plain and stacked digest runners).
+fn digest_from_parts(m: &Metrics, trace_checksum: u64) -> GoldenDigest {
+    let json = serde_json::to_string(m).expect("metrics serialise");
     let mut fnv = crate::trace::Fnv64::default();
     fnv.write(json.as_bytes());
-    let fnv = fnv.finish();
-    Ok(GoldenDigest {
+    GoldenDigest {
         delivered: m.delivered_packets,
         delivery_ratio: m.delivery_ratio(),
         goodput_kbps: m.avg_goodput_kbps(),
         energy_per_bit_uj: m.energy_per_bit_uj(),
-        metrics_fnv: fnv,
-        trace_checksum: trace.checksum(),
-    })
+        metrics_fnv: fnv.finish(),
+        trace_checksum,
+    }
 }
 
 /// [`try_run_digest`] on the partitioned engine: run `cfg` with

@@ -6,6 +6,7 @@
 //! * path-monitor state at a chosen flow's receiver — Fig. 8 bottom
 //!   (reported value, mean, control limits).
 
+use jtp_events::{AttemptBudget, Delivery, MonitorUpdate, Subscriber};
 use jtp_sim::{FlowId, NodeId, SimDuration, SimTime};
 
 /// Streaming FNV-1a (64-bit) — the one hash behind both golden-digest
@@ -109,6 +110,11 @@ impl TraceLog {
     /// Windowed reception rate (packets/second) of `flow`, sampled every
     /// `step` over `[0, end]` with averaging window `window` — the
     /// post-processing behind Fig. 5 and Fig. 8 top plots.
+    ///
+    /// One pass over the log plus one pass over the sample grid: the
+    /// flow's timestamps are collected once (and sorted, so hand-built
+    /// logs work too — engine logs are already time-ordered) and the
+    /// window `(t - window, t]` slides with two monotone cursors.
     pub fn reception_rate_series(
         &self,
         flow: FlowId,
@@ -117,21 +123,85 @@ impl TraceLog {
         end: SimTime,
     ) -> Vec<(f64, f64)> {
         assert!(!window.is_zero() && !step.is_zero());
-        let times: Vec<SimTime> = self
+        let mut times: Vec<SimTime> = self
             .receptions
             .iter()
             .filter(|(_, f)| *f == flow)
             .map(|(t, _)| *t)
             .collect();
+        times.sort_unstable();
         let mut out = Vec::new();
+        let (mut lo, mut hi) = (0usize, 0usize);
         let mut t = SimTime::ZERO + window;
         while t <= end {
-            let lo = t - window;
-            let count = times.iter().filter(|&&x| x > lo && x <= t).count();
-            out.push((t.as_secs_f64(), count as f64 / window.as_secs_f64()));
+            let floor = t - window;
+            // `hi` = first index with time > t; `lo` = first with time > floor.
+            while hi < times.len() && times[hi] <= t {
+                hi += 1;
+            }
+            while lo < hi && times[lo] <= floor {
+                lo += 1;
+            }
+            out.push((t.as_secs_f64(), (hi - lo) as f64 / window.as_secs_f64()));
             t += step;
         }
         out
+    }
+}
+
+/// The [`TraceConfig`]-filtered subscriber behind every traced run: it
+/// folds the typed event stream back into the exact [`TraceLog`] the
+/// bespoke plumbing used to produce, so golden-trace checksums are
+/// unchanged by the event layer.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSubscriber {
+    cfg: TraceConfig,
+    log: TraceLog,
+}
+
+impl TraceSubscriber {
+    /// A subscriber recording per `cfg`.
+    pub fn new(cfg: TraceConfig) -> Self {
+        TraceSubscriber {
+            cfg,
+            log: TraceLog::default(),
+        }
+    }
+
+    /// The log collected so far.
+    pub fn log(&self) -> &TraceLog {
+        &self.log
+    }
+
+    /// Consume the subscriber, keeping the log.
+    pub fn into_log(self) -> TraceLog {
+        self.log
+    }
+}
+
+impl Subscriber for TraceSubscriber {
+    fn on_attempt_budget(&mut self, now: SimTime, ev: &AttemptBudget) {
+        if self.cfg.attempts_at == Some(ev.node) {
+            self.log.attempts.push((now, ev.budget));
+        }
+    }
+
+    fn on_delivery(&mut self, now: SimTime, ev: &Delivery) {
+        if self.cfg.receptions && ev.fresh {
+            self.log.receptions.push((now, ev.flow));
+        }
+    }
+
+    fn on_monitor(&mut self, now: SimTime, ev: &MonitorUpdate) {
+        if self.cfg.monitor_of == Some(ev.flow) {
+            self.log.monitor.push(MonitorSample {
+                at: now,
+                reported: ev.reported,
+                mean: ev.mean,
+                lcl: ev.lcl,
+                ucl: ev.ucl,
+            });
+        }
     }
 }
 
@@ -184,6 +254,119 @@ mod tests {
         let mut d = a.clone();
         d.attempts.push((SimTime::from_millis(5), 3));
         assert_ne!(a.checksum(), d.checksum(), "attempts feed the checksum");
+    }
+
+    #[test]
+    fn rate_series_matches_naive_rescan() {
+        // Pin the sliding-window rewrite against the quadratic original,
+        // including unsorted logs and step/window mismatches.
+        let naive = |log: &TraceLog, flow: FlowId, window: SimDuration, step: SimDuration, end| {
+            let times: Vec<SimTime> = log
+                .receptions
+                .iter()
+                .filter(|(_, f)| *f == flow)
+                .map(|(t, _)| *t)
+                .collect();
+            let mut out = Vec::new();
+            let mut t = SimTime::ZERO + window;
+            while t <= end {
+                let lo = t - window;
+                let count = times.iter().filter(|&&x| x > lo && x <= t).count();
+                out.push((t.as_secs_f64(), count as f64 / window.as_secs_f64()));
+                t += step;
+            }
+            out
+        };
+        let mut log = TraceLog::default();
+        let mut x = 9u64;
+        for _ in 0..400 {
+            // Cheap xorshift scatter; out-of-order on purpose.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            log.receptions
+                .push((SimTime::from_millis(x % 30_000), FlowId((x % 3) as u16)));
+        }
+        for (window_ms, step_ms) in [(1000, 1000), (2500, 400), (400, 2500), (7, 13)] {
+            let window = SimDuration::from_millis(window_ms);
+            let step = SimDuration::from_millis(step_ms);
+            let end = SimTime::from_secs_f64(31.0);
+            for flow in [FlowId(0), FlowId(1), FlowId(2), FlowId(9)] {
+                assert_eq!(
+                    log.reception_rate_series(flow, window, step, end),
+                    naive(&log, flow, window, step, end),
+                    "flow {flow:?} window {window_ms} step {step_ms}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_subscriber_filters_like_the_old_plumbing() {
+        use jtp_events::{AttemptBudget, Delivery, MonitorUpdate};
+        let cfg = TraceConfig {
+            receptions: true,
+            attempts_at: Some(NodeId(2)),
+            monitor_of: Some(FlowId(1)),
+        };
+        let mut sub = TraceSubscriber::new(cfg);
+        let t = SimTime::from_millis(10);
+        sub.on_delivery(
+            t,
+            &Delivery {
+                flow: FlowId(1),
+                node: NodeId(5),
+                bytes: 64,
+                fresh: true,
+            },
+        );
+        sub.on_delivery(
+            t,
+            &Delivery {
+                flow: FlowId(1),
+                node: NodeId(5),
+                bytes: 64,
+                fresh: false,
+            },
+        );
+        sub.on_attempt_budget(
+            t,
+            &AttemptBudget {
+                node: NodeId(2),
+                budget: 3,
+            },
+        );
+        sub.on_attempt_budget(
+            t,
+            &AttemptBudget {
+                node: NodeId(3),
+                budget: 9,
+            },
+        );
+        let mon = MonitorUpdate {
+            flow: FlowId(1),
+            reported: 2.0,
+            mean: 1.5,
+            lcl: 1.0,
+            ucl: 2.0,
+        };
+        sub.on_monitor(t, &mon);
+        sub.on_monitor(
+            t,
+            &MonitorUpdate {
+                flow: FlowId(0),
+                ..mon
+            },
+        );
+        let log = sub.into_log();
+        assert_eq!(
+            log.receptions,
+            vec![(t, FlowId(1))],
+            "duplicates are not receptions"
+        );
+        assert_eq!(log.attempts, vec![(t, 3)], "only the traced node");
+        assert_eq!(log.monitor.len(), 1, "only the traced flow");
+        assert_eq!(log.monitor[0].mean, 1.5);
     }
 
     #[test]

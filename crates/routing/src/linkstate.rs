@@ -111,6 +111,12 @@ pub struct RoutingStats {
     /// Weighted source rows repaired incrementally (see
     /// [`crate::wapsp::WeightedApsp`]).
     pub weighted_repairs: u64,
+    /// Distance-table entries whose value actually changed across the
+    /// incremental repairs — exact per-entry dirt (hop-count deltas plus
+    /// [`crate::wapsp::WapspStats::entries_changed`]), the true table
+    /// cost a flood propagated. The legacy full-rebuild modes recompute
+    /// everything without diffing and report 0 here.
+    pub dist_entries_changed: u64,
 }
 
 /// The current ground truth, its distances and its next-hop table, shared
@@ -878,6 +884,10 @@ impl LinkState {
             }
             Rc::new(rows)
         };
+        // `deltas` is the exact hop-count entry dirt of this refresh
+        // (only the repair path computes it; legacy whole-BFS rebuilds
+        // leave it empty).
+        self.stats.dist_entries_changed += deltas.len() as u64;
         // The hop table is derived state: updating it here — once per
         // actual topology/advertisement change, right after the
         // incremental distance update — is what lets `next_hop` stay a
@@ -925,6 +935,7 @@ impl LinkState {
                     // repair it to (ground_truth, w).
                     Some(mut ap) => {
                         self.stats.weighted_repairs += n64;
+                        let ec_before = ap.stats().entries_changed;
                         let ch = ap.update_on(
                             &self.cache.adj,
                             ground_truth,
@@ -933,6 +944,7 @@ impl LinkState {
                             pw,
                             &mut self.par,
                         );
+                        self.stats.dist_entries_changed += ap.stats().entries_changed - ec_before;
                         (ap, Some(ch))
                     }
                     // First advertisement since weights were (re)enabled.

@@ -52,6 +52,11 @@ pub struct WapspStats {
     /// actual work done; compare with `repaired_sources × n` for the
     /// from-scratch cost it replaced.
     pub resettled: u64,
+    /// Distance entries whose value actually changed across all repairs
+    /// — exact per-entry dirt (every write is journaled with its
+    /// original value and compared at the end of the row's repair), the
+    /// true cost a flood's table update propagated downstream.
+    pub entries_changed: u64,
 }
 
 /// The node-weighted all-pairs distance table, maintained incrementally.
@@ -100,6 +105,11 @@ struct RepairScratch {
     visited: Vec<bool>,
     touched: Vec<usize>,
     heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// First-write journal: `(entry, original value)` per written entry
+    /// (`logged` dedups), compared at the end of the repair for the
+    /// exact changed-entry count.
+    logged: Vec<bool>,
+    log: Vec<(u32, u32)>,
 }
 
 impl RepairScratch {
@@ -109,6 +119,8 @@ impl RepairScratch {
             visited: vec![false; n],
             touched: Vec::new(),
             heap: BinaryHeap::new(),
+            logged: vec![false; n],
+            log: Vec::new(),
         }
     }
 }
@@ -133,21 +145,34 @@ struct RepairInputs<'a> {
 /// `(new_adj, new_weights)` — the two exact phases described in the
 /// module docs. Pure in `(inputs, s, row)`: no shared mutable state, no
 /// RNG, so fanning sources out across threads is byte-identical to the
-/// sequential loop. Returns `(row may have changed, nodes re-settled)`.
+/// sequential loop. Returns `(entries changed, nodes re-settled)` —
+/// the entry count is exact: every write is journaled with the entry's
+/// original value and compared once the repair settles, so writes that
+/// restore the old value do not count.
 fn repair_row(
     inp: &RepairInputs<'_>,
     s: usize,
     row: &mut [u32],
     scratch: &mut RepairScratch,
-) -> (bool, u64) {
+) -> (u64, u64) {
     let RepairScratch {
         affected,
         visited,
         touched,
         heap,
+        logged,
+        log,
     } = scratch;
-    let mut changed = false;
     let mut resettled = 0u64;
+    macro_rules! journal {
+        ($idx:expr) => {{
+            let i: usize = $idx;
+            if !logged[i] {
+                logged[i] = true;
+                log.push((i as u32, row[i]));
+            }
+        }};
+    }
 
     // ---- Phase 1: increase pass over (A_mid = old − removed, w_mid). A
     //      neighbour iteration over A_mid is "new-adjacency neighbours
@@ -216,7 +241,7 @@ fn repair_row(
                 best = best.min(row[u.index()].saturating_add(inp.w_mid[x]));
             }
         }
-        changed = true;
+        journal!(x);
         row[x] = best;
         if best != UNREACHABLE_COST {
             heap.push(Reverse((best, x as u32)));
@@ -235,6 +260,7 @@ fn repair_row(
             }
             let cand = d.saturating_add(inp.w_mid[yi]);
             if cand < row[yi] {
+                journal!(yi);
                 row[yi] = cand;
                 heap.push(Reverse((cand, y.0)));
             }
@@ -260,7 +286,7 @@ fn repair_row(
             }
         }
         if best < row[v] {
-            changed = true;
+            journal!(v);
             row[v] = best;
             heap.push(Reverse((best, v as u32)));
         }
@@ -272,7 +298,7 @@ fn repair_row(
             }
             let cand = row[via].saturating_add(inp.new_weights[x] as u32);
             if cand < row[x] {
-                changed = true;
+                journal!(x);
                 row[x] = cand;
                 heap.push(Reverse((cand, x as u32)));
             }
@@ -288,13 +314,22 @@ fn repair_row(
             let yi = y.index();
             let cand = d.saturating_add(inp.new_weights[yi] as u32);
             if cand < row[yi] {
-                changed = true;
+                journal!(yi);
                 row[yi] = cand;
                 heap.push(Reverse((cand, y.0)));
             }
         }
     }
-    (changed, resettled)
+    let mut entries = 0u64;
+    for &(i, old) in log.iter() {
+        let i = i as usize;
+        if row[i] != old {
+            entries += 1;
+        }
+        logged[i] = false;
+    }
+    log.clear();
+    (entries, resettled)
 }
 
 impl WeightedApsp {
@@ -362,10 +397,13 @@ impl WeightedApsp {
     /// the hop-count table's incremental BFS, so it is passed in rather
     /// than recomputed. Rows end bit-identical to a from-scratch build.
     ///
-    /// Returns one flag per source: `true` iff that row **may** have
-    /// changed (a conservative superset — the row was written to, even if
-    /// some writes restored the old value). The link-state layer uses
-    /// this to re-derive only the next-hop rows whose inputs moved.
+    /// Returns one flag per source: `true` iff that row changed —
+    /// **exact**, not a superset: every write is journaled against the
+    /// entry's original value, so writes that restore the old value do
+    /// not flag the row. The link-state layer uses this to re-derive
+    /// only the next-hop rows whose inputs moved, and the per-entry
+    /// count behind it ([`WapspStats::entries_changed`]) is the true
+    /// repair cost flood events report.
     ///
     /// # Panics
     /// Panics when node counts disagree with the table.
@@ -456,10 +494,11 @@ impl WeightedApsp {
         par.record_chunks(&bands);
         let mut s = 0usize;
         for (band, _) in bands {
-            for (ch, resettled) in band {
+            for (entries, resettled) in band {
                 self.stats.repaired_sources += 1;
                 self.stats.resettled += resettled;
-                changed[s] = ch;
+                self.stats.entries_changed += entries;
+                changed[s] = entries > 0;
                 s += 1;
             }
         }
@@ -589,20 +628,33 @@ mod tests {
                 }
                 let diff = adj.diff_edges(&new);
                 let before = ap.rows().to_vec();
+                let ec_before = ap.stats().entries_changed;
                 let changed = ap.update(&adj, &new, &diff, &w);
                 adj = new;
                 assert_matches_scratch(&ap, &adj, &w, &format!("n={n} step={step}"));
-                // The changed-rows report must be a superset of the rows
-                // that actually moved (the hop-table row rebuild relies
-                // on unflagged rows being untouched).
+                // The changed-rows report is exact: a row is flagged iff
+                // its values actually moved (the hop-table row rebuild
+                // relies on unflagged rows being untouched, and flood
+                // events report the per-entry count as true repair cost).
+                let mut moved = 0u64;
                 for s in 0..n {
-                    if ap.rows()[s] != before[s] {
-                        assert!(
-                            changed[s],
-                            "n={n} step={step}: row {s} changed but was not flagged"
-                        );
-                    }
+                    assert_eq!(
+                        changed[s],
+                        ap.rows()[s] != before[s],
+                        "n={n} step={step}: row {s} flag is not exact"
+                    );
+                    moved += ap.rows()[s]
+                        .iter()
+                        .zip(before[s].iter())
+                        .filter(|(a, b)| a != b)
+                        .count() as u64;
                 }
+                assert_eq!(
+                    ap.stats().entries_changed - ec_before,
+                    moved,
+                    "n={n} step={step}: entries_changed must count exactly \
+                     the entries that moved"
+                );
             }
             let st = ap.stats();
             assert!(st.repaired_sources > 0, "repairs must run");

@@ -9,7 +9,9 @@
 //! cargo run --release --example energy_audit
 //! ```
 
-use javelen::netsim::{run_experiment, ExperimentConfig, TransportKind};
+use javelen::events::TimeAccountant;
+use javelen::netsim::runner::run_subscribed;
+use javelen::netsim::{run_experiment, ExperimentConfig, ReportRecorder, TransportKind};
 use javelen::phys::gilbert::GilbertConfig;
 use javelen::phys::BatteryConfig;
 
@@ -61,13 +63,17 @@ fn main() {
 
     // The same joules, closed into a lifetime: give every node a small
     // battery, offer an effectively endless transfer, and see which
-    // transport keeps the network delivering longest.
+    // transport keeps the network delivering longest. This table reads
+    // from the per-scenario JSON report document (the same one
+    // `scenario_report --json` writes) instead of raw `Metrics` — the
+    // report also carries the flood costs and battery-death events that
+    // explain the numbers.
     println!();
     println!("network lifetime — same chain, 0.6 J batteries, endless transfer");
     println!();
     println!(
-        "{:<16} {:>14} {:>14} {:>10} {:>9}",
-        "protocol", "first death s", "partition s", "delivered", "uJ/bit"
+        "{:<16} {:>14} {:>14} {:>10} {:>9} {:>7}",
+        "protocol", "first death s", "partition s", "delivered", "uJ/bit", "floods"
     );
     for (kind, name) in kinds {
         let mut cfg = ExperimentConfig::linear(7)
@@ -81,18 +87,21 @@ fn main() {
             bad_loss_floor: 0.8,
             ..GilbertConfig::paper_default()
         };
-        let m = run_experiment(&cfg);
+        let (m, (rec, _time)) =
+            run_subscribed(&cfg, (ReportRecorder::new(), TimeAccountant::default()));
+        let report = rec.into_report("chain7-lifetime", kind, cfg.seed, &m);
         let fmt_opt = |t: Option<f64>| match t {
             Some(t) => format!("{t:.1}"),
             None => "-".into(),
         };
         println!(
-            "{:<16} {:>14} {:>14} {:>10} {:>9.4}",
+            "{:<16} {:>14} {:>14} {:>10} {:>9.4} {:>7}",
             name,
-            fmt_opt(m.first_death_s),
-            fmt_opt(m.first_partition_s),
-            m.delivered_packets,
-            m.energy_per_bit_uj()
+            fmt_opt(report.first_death_s),
+            fmt_opt(report.first_partition_s),
+            report.delivered_packets,
+            report.energy_per_bit_uj,
+            report.events.total_floods,
         );
     }
     println!();

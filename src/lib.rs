@@ -14,6 +14,9 @@
 //! * [`routing`] — link-state routing with possibly stale views.
 //! * [`baselines`] — rate-based TCP-SACK and ATP-like comparison protocols.
 //! * [`netsim`] — node/network assembly, topologies, workloads, metrics.
+//! * [`events`] — the typed event vocabulary and zero-cost subscriber
+//!   layer (counters, time accounting; reports live in
+//!   [`netsim::report`]).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +40,7 @@
 
 pub use jtp;
 pub use jtp_baselines as baselines;
+pub use jtp_events as events;
 pub use jtp_mac as mac;
 pub use jtp_netsim as netsim;
 pub use jtp_phys as phys;
