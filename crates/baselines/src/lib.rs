@@ -13,17 +13,31 @@
 //!   supports only end-to-end recovery, and has constant-rate feedback
 //!   from the receiver. The feedback period is set to be larger than RTT."*
 //!
-//! Both support only 100 %-reliability transfers (0 % loss tolerance), so
-//! the cross-protocol experiments use bulk transfers with full reliability,
-//! as in the paper. Neither uses in-network caching or per-packet MAC
-//! budgets — intermediate nodes simply forward, with the MAC's default
-//! attempt cap.
+//! Beyond the paper's 2007-era pair, two modern opponents give JTP a
+//! contemporary comparison set:
+//!
+//! * [`cubic`] — **CUBIC (RFC 8312)**: the default loss-based controller
+//!   of Linux/Windows; window curve `W(t) = C·(t−K)³ + W_max` with fast
+//!   convergence and the TCP-friendly region, paced at `cwnd/srtt`.
+//! * [`bbr`] — **BBR (model-based)**: windowed max-bandwidth / min-RTT
+//!   path model, Startup→Drain→ProbeBw pacing-gain cycling, inflight
+//!   capped at `cwnd_gain × BDP`; loss does not modulate the rate.
+//!
+//! All four support only 100 %-reliability transfers (0 % loss
+//! tolerance), so the cross-protocol experiments use bulk transfers with
+//! full reliability, as in the paper. None uses in-network caching or
+//! per-packet MAC budgets — intermediate nodes simply forward, with the
+//! MAC's default attempt cap.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atp;
+pub mod bbr;
+pub mod cubic;
 pub mod tcp;
 
 pub use atp::{AtpConfig, AtpFeedback, AtpReceiver, AtpSender};
+pub use bbr::{BbrAck, BbrConfig, BbrData, BbrPhase, BbrReceiver, BbrSender};
+pub use cubic::{CubicAck, CubicConfig, CubicData, CubicReceiver, CubicSender};
 pub use tcp::{TcpAck, TcpConfig, TcpReceiver, TcpSender};

@@ -45,53 +45,13 @@ struct Report {
     cells: Vec<Cell>,
 }
 
-/// Merge `{"lifetime": report}` into an existing JSON object file, or
-/// write a fresh `{"lifetime": ...}` object. Purely textual (the compat
-/// stand-ins have no JSON parser): the existing content is preserved
-/// verbatim and a previous `"lifetime"` section — which this tool always
-/// writes as the trailing key — is replaced. Targets that would lose
-/// data under that assumption (non-objects, or a top-level key after
-/// `"lifetime"`) are refused instead of silently corrupted.
+/// Merge `{"lifetime": report}` into an existing JSON object file (or
+/// write a fresh one) via [`jtp_bench::merge_json_section`]: every other
+/// section is preserved verbatim, a previous `"lifetime"` section is
+/// replaced in place.
 fn write_merged(path: &std::path::Path, report: &Report) {
     let body = serde_json::to_string_pretty(report).expect("serialisable report");
-    let merged = match std::fs::read_to_string(path) {
-        Ok(existing) => {
-            let trimmed = existing.trim_end();
-            assert!(
-                trimmed.starts_with('{') && trimmed.ends_with('}'),
-                "{path:?} is not a JSON object; refusing to merge a lifetime section into it"
-            );
-            let head = match trimmed.rfind("\n  \"lifetime\":") {
-                Some(pos) => {
-                    // Everything from the key on is replaced; that tail
-                    // must contain no *other* top-level (2-space-indented)
-                    // key, or the merge would silently drop it.
-                    let tail = &trimmed[pos + 1..];
-                    assert!(
-                        !tail["  \"lifetime\":".len()..].contains("\n  \""),
-                        "{path:?} has a top-level key after \"lifetime\"; refusing to merge"
-                    );
-                    trimmed[..pos].trim_end().trim_end_matches(',')
-                }
-                None => trimmed[..trimmed.len() - 1]
-                    .trim_end()
-                    .trim_end_matches(','),
-            };
-            // No comma after a bare `{` (previously-empty object).
-            let sep = if head.trim_end().ends_with('{') {
-                ""
-            } else {
-                ","
-            };
-            format!(
-                "{head}{sep}\n  \"lifetime\": {}\n}}",
-                body.replace('\n', "\n  ")
-            )
-        }
-        Err(_) => format!("{{\n  \"lifetime\": {}\n}}", body.replace('\n', "\n  ")),
-    };
-    std::fs::write(path, merged).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
-    println!("\n[lifetime section written to {path:?}]");
+    jtp_bench::merge_json_section(path, "lifetime", &body);
 }
 
 fn main() {

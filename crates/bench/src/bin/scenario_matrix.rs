@@ -1,19 +1,37 @@
-//! Scenario matrix: sweep the canonical scenario catalog across
-//! transports (JTP / TCP / ATP), batch-averaged over independent seeds.
+//! Scenario matrix: sweep the canonical scenario catalog across all five
+//! transports (JTP / TCP / ATP / CUBIC / BBR), batch-averaged over
+//! independent seeds.
 //!
-//! This is the scenario engine's headline artifact: one row per
-//! (scenario, transport) cell with delivery ratio, mean goodput,
-//! energy-per-bit and the recovery/drop counters that explain them —
-//! the paper's two-metric comparison extended to workloads and substrate
-//! dynamics the paper never ran (churn, partitions, link flapping, grids
-//! and clustered fields).
+//! Two sections:
+//!
+//! * `catalog` — the scenario engine's headline artifact: one row per
+//!   (scenario, transport) cell with delivery ratio, mean goodput,
+//!   energy-per-bit and the recovery/drop counters that explain them —
+//!   the paper's two-metric comparison extended to workloads and
+//!   substrate dynamics the paper never ran.
+//! * `transports` — the heavy-traffic opponents matrix: the `heavy-*`
+//!   adversarial scenarios × all five transports, scored on fairness
+//!   (Jain's index over per-flow goodput), latency (mean flow completion
+//!   time) and lifetime (first battery death, death count, energy per
+//!   bit). Merged into the `--json` target as a `"transports"` section,
+//!   preserving whatever else the file holds (e.g. `BENCH_engine.json`).
 //!
 //! Run: `cargo run --release -p jtp-bench --bin scenario_matrix -- --quick
-//! --json BENCH_scenarios.json`
+//! --json BENCH_scenarios.json`, or
+//! `cargo run --release -p jtp-bench --bin scenario_matrix -- --section
+//! transports --json BENCH_engine.json`
 
 use jtp_bench::Args;
-use jtp_netsim::{run_many, summarize_runs, Scenario, TransportKind};
+use jtp_netsim::{run_many, summarize_runs, Metrics, Scenario, TransportKind};
 use serde::Serialize;
+
+const TRANSPORTS: [(TransportKind, &str); 5] = [
+    (TransportKind::Jtp, "JTP"),
+    (TransportKind::Tcp, "TCP"),
+    (TransportKind::Atp, "ATP"),
+    (TransportKind::Cubic, "CUBIC"),
+    (TransportKind::Bbr, "BBR"),
+];
 
 #[derive(Serialize)]
 struct Cell {
@@ -38,22 +56,55 @@ struct Report {
     cells: Vec<Cell>,
 }
 
+/// One (heavy scenario, transport) cell of the opponents matrix.
+#[derive(Serialize)]
+struct TransportCell {
+    scenario: String,
+    transport: String,
+    seeds: usize,
+    flows: usize,
+    delivery_ratio_mean: f64,
+    goodput_kbps_mean: f64,
+    /// Jain's fairness index over per-flow goodput, averaged across runs.
+    jain_fairness_mean: f64,
+    /// Mean time from flow start to completion (or run end), seconds.
+    flow_completion_s_mean: f64,
+    /// Fraction of flows that completed within the run.
+    completed_frac: f64,
+    /// Mean time of the first battery death (run horizon when none died).
+    first_death_s_mean: f64,
+    battery_deaths_mean: f64,
+    energy_per_bit_uj_mean: f64,
+}
+
+#[derive(Serialize)]
+struct TransportReport {
+    quick: bool,
+    cells: Vec<TransportCell>,
+}
+
 fn mean_u64(xs: impl Iterator<Item = u64>, n: usize) -> f64 {
     xs.sum::<u64>() as f64 / n.max(1) as f64
 }
 
-fn main() {
-    let args = Args::parse();
-    let seeds = args.pick(8, 2);
-    let transports = [
-        (TransportKind::Jtp, "JTP"),
-        (TransportKind::Tcp, "TCP"),
-        (TransportKind::Atp, "ATP"),
-    ];
+/// Jain's fairness index `(Σx)² / (n·Σx²)`; 1.0 for an empty or all-zero
+/// allocation (nothing to be unfair about).
+fn jain(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        1.0
+    } else {
+        sum * sum / (n * sq)
+    }
+}
+
+fn catalog_section(args: &Args, seeds: usize) {
     let mut cells = Vec::new();
     let mut rows = Vec::new();
     for sc in Scenario::catalog() {
-        for (t, tname) in transports {
+        for (t, tname) in TRANSPORTS {
             let cfg = sc.build(t);
             let ms = run_many(&cfg, seeds);
             let (epb, gp) = summarize_runs(&ms);
@@ -109,5 +160,103 @@ fn main() {
         quick: args.quick,
         cells,
     };
-    jtp_bench::maybe_write_json(&args, &report);
+    jtp_bench::maybe_write_json(args, &report);
+}
+
+fn transports_section(args: &Args, seeds: usize) {
+    let heavy = Scenario::heavy_catalog();
+    assert!(!heavy.is_empty(), "the catalog lost its heavy-* entries");
+    let mut cells = Vec::new();
+    let mut rows = Vec::new();
+    for sc in &heavy {
+        let horizon = sc.duration_s;
+        for (t, tname) in TRANSPORTS {
+            let cfg = sc.build(t);
+            let ms = run_many(&cfg, seeds);
+            let k = ms.len() as f64;
+            let per_run = |f: &dyn Fn(&Metrics) -> f64| ms.iter().map(f).sum::<f64>() / k;
+            let dr = per_run(&|m| m.delivery_ratio());
+            let (epb, gp) = summarize_runs(&ms);
+            let fairness = per_run(&|m| {
+                let g: Vec<f64> = m.flows.iter().map(|f| f.goodput_kbps()).collect();
+                jain(&g)
+            });
+            let n_flows: usize = ms.iter().map(|m| m.flows.len()).sum();
+            let completion = ms
+                .iter()
+                .flat_map(|m| m.flows.iter().map(|f| f.active_time_s))
+                .sum::<f64>()
+                / n_flows.max(1) as f64;
+            let completed = ms
+                .iter()
+                .flat_map(|m| m.flows.iter().map(|f| f.completed as u32 as f64))
+                .sum::<f64>()
+                / n_flows.max(1) as f64;
+            let first_death = per_run(&|m| m.first_death_s.unwrap_or(horizon));
+            let deaths = per_run(&|m| m.battery_deaths as f64);
+            let cell = TransportCell {
+                scenario: sc.name.clone(),
+                transport: tname.into(),
+                seeds,
+                flows: cfg.flows.len(),
+                delivery_ratio_mean: dr,
+                goodput_kbps_mean: gp.mean,
+                jain_fairness_mean: fairness,
+                flow_completion_s_mean: completion,
+                completed_frac: completed,
+                first_death_s_mean: first_death,
+                battery_deaths_mean: deaths,
+                energy_per_bit_uj_mean: epb.mean,
+            };
+            rows.push(vec![
+                cell.scenario.clone(),
+                cell.transport.clone(),
+                format!("{}", cell.flows),
+                format!("{:.3}", cell.delivery_ratio_mean),
+                format!("{:.2}", cell.goodput_kbps_mean),
+                format!("{:.3}", cell.jain_fairness_mean),
+                format!("{:.1}", cell.flow_completion_s_mean),
+                format!("{:.2}", cell.completed_frac),
+                format!("{:.1}", cell.first_death_s_mean),
+                format!("{:.1}", cell.battery_deaths_mean),
+                format!("{:.3}", cell.energy_per_bit_uj_mean),
+            ]);
+            cells.push(cell);
+        }
+    }
+    jtp_bench::print_table(
+        &format!("Heavy-traffic opponents matrix ({seeds} seeds per cell)"),
+        &[
+            "scenario",
+            "transport",
+            "flows",
+            "delivery",
+            "goodput kbps",
+            "jain",
+            "fct s",
+            "done%",
+            "first death s",
+            "deaths",
+            "µJ/bit",
+        ],
+        &rows,
+    );
+    let report = TransportReport {
+        quick: args.quick,
+        cells,
+    };
+    if let Some(path) = &args.json {
+        let body = serde_json::to_string_pretty(&report).expect("serialisable report");
+        jtp_bench::merge_json_section(path, "transports", &body);
+    }
+}
+
+fn main() {
+    let args = Args::parse_with_sections(&["catalog", "transports"]);
+    if args.section_enabled("catalog") {
+        catalog_section(&args, args.pick(8, 2));
+    }
+    if args.section_enabled("transports") {
+        transports_section(&args, args.pick(6, 2));
+    }
 }

@@ -142,6 +142,57 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Merge `{"<key>": body}` into an existing pretty-printed JSON object
+/// file, or write a fresh one. Purely textual (the compat stand-ins have
+/// no JSON parser), relying on the 2-space serde pretty format this crate
+/// always writes: top-level keys — and only top-level keys — start a line
+/// with exactly two spaces. An existing `"<key>"` section is replaced in
+/// place (bounded by the next top-level key or the closing brace); every
+/// other section is preserved verbatim. Non-object targets are refused
+/// instead of silently corrupted.
+pub fn merge_json_section(path: &std::path::Path, key: &str, body_json: &str) {
+    let entry = format!("\n  \"{key}\": {}", body_json.replace('\n', "\n  "));
+    let merged = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let t = existing.trim_end();
+            assert!(
+                t.starts_with('{') && t.ends_with('}'),
+                "{path:?} is not a JSON object; refusing to merge a \"{key}\" section into it"
+            );
+            let inner = &t[1..t.len() - 1];
+            let marker = format!("\n  \"{key}\":");
+            let (before, after) = match inner.find(&marker) {
+                Some(pos) => {
+                    let rest = &inner[pos + marker.len()..];
+                    let end = rest
+                        .find("\n  \"")
+                        .map(|e| pos + marker.len() + e)
+                        .unwrap_or(inner.len());
+                    (&inner[..pos], &inner[end..])
+                }
+                None => (inner, ""),
+            };
+            let mut out = String::from("{");
+            let before = before.trim_end().trim_end_matches(',');
+            if !before.trim().is_empty() {
+                out.push_str(before);
+                out.push(',');
+            }
+            out.push_str(&entry);
+            let after = after.trim_end();
+            if !after.trim().is_empty() {
+                out.push(',');
+                out.push_str(after);
+            }
+            out.push_str("\n}");
+            out
+        }
+        Err(_) => format!("{{{entry}\n}}"),
+    };
+    std::fs::write(path, merged).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+    println!("\n[\"{key}\" section written to {path:?}]");
+}
+
 /// Serialise results to the requested JSON path, if any.
 pub fn maybe_write_json<T: Serialize>(args: &Args, value: &T) {
     if let Some(path) = &args.json {
@@ -228,6 +279,38 @@ mod tests {
     fn mean_works() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn merge_json_section_inserts_replaces_and_preserves() {
+        let dir = std::env::temp_dir().join(format!("jtp-bench-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merged.json");
+        let _ = std::fs::remove_file(&path);
+
+        // Fresh file.
+        merge_json_section(&path, "alpha", "{\n  \"x\": 1\n}");
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(got, "{\n  \"alpha\": {\n    \"x\": 1\n  }\n}");
+
+        // Append a second section, preserving the first verbatim.
+        merge_json_section(&path, "beta", "[1, 2]");
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            got,
+            "{\n  \"alpha\": {\n    \"x\": 1\n  },\n  \"beta\": [1, 2]\n}"
+        );
+
+        // Replace a *non-trailing* section in place; the tail survives.
+        merge_json_section(&path, "alpha", "7");
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(got, "{\n  \"alpha\": 7,\n  \"beta\": [1, 2]\n}");
+
+        // Replace the trailing section.
+        merge_json_section(&path, "beta", "8");
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(got, "{\n  \"alpha\": 7,\n  \"beta\": 8\n}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

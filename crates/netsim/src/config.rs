@@ -3,6 +3,8 @@
 
 use jtp::JtpConfig;
 use jtp_baselines::atp::AtpConfig;
+use jtp_baselines::bbr::BbrConfig;
+use jtp_baselines::cubic::CubicConfig;
 use jtp_baselines::tcp::TcpConfig;
 use jtp_mac::{DutyCycleConfig, MacConfig};
 use jtp_phys::gilbert::GilbertConfig;
@@ -105,6 +107,21 @@ pub enum TransportKind {
     Tcp,
     /// ATP-like explicit-rate transport.
     Atp,
+    /// CUBIC (RFC 8312) window curve, rate-paced.
+    Cubic,
+    /// BBR bandwidth/RTT path model with pacing-gain cycling.
+    Bbr,
+}
+
+impl TransportKind {
+    /// Transports that only support full-reliability transfers (loss
+    /// tolerance 0): every non-JTP baseline.
+    pub fn requires_full_reliability(self) -> bool {
+        matches!(
+            self,
+            TransportKind::Tcp | TransportKind::Atp | TransportKind::Cubic | TransportKind::Bbr
+        )
+    }
 }
 
 /// Node placement.
@@ -359,6 +376,10 @@ pub struct ExperimentConfig {
     pub tcp: TcpConfig,
     /// ATP parameters (Atp runs).
     pub atp: AtpConfig,
+    /// CUBIC parameters (Cubic runs).
+    pub cubic: CubicConfig,
+    /// BBR parameters (Bbr runs).
+    pub bbr: BbrConfig,
     /// Distance → loss model.
     pub pathloss: PathLoss,
     /// Good/bad channel process.
@@ -434,6 +455,8 @@ impl ExperimentConfig {
             jtp: JtpConfig::default(),
             tcp: TcpConfig::default(),
             atp: AtpConfig::default(),
+            cubic: CubicConfig::default(),
+            bbr: BbrConfig::default(),
             pathloss: PathLoss::javelen_default(),
             gilbert: GilbertConfig::paper_default(),
             energy: RadioEnergyModel::javelen_default(),
@@ -654,9 +677,7 @@ impl ExperimentConfig {
                     f.loss_tolerance
                 )));
             }
-            if (self.transport == TransportKind::Tcp || self.transport == TransportKind::Atp)
-                && f.loss_tolerance != 0.0
-            {
+            if self.transport.requires_full_reliability() && f.loss_tolerance != 0.0 {
                 return Err(flow_err(format!(
                     "{:?} only supports full reliability",
                     self.transport
@@ -807,6 +828,28 @@ mod tests {
             .transport(TransportKind::Tcp)
             .bulk_flow(10, 0.0, 0.2);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn every_baseline_rejects_loss_tolerance() {
+        for t in [
+            TransportKind::Tcp,
+            TransportKind::Atp,
+            TransportKind::Cubic,
+            TransportKind::Bbr,
+        ] {
+            assert!(t.requires_full_reliability());
+            let cfg = ExperimentConfig::linear(3)
+                .transport(t)
+                .bulk_flow(10, 0.0, 0.2);
+            assert!(cfg.validate().is_err(), "{t:?} must reject tolerance");
+            let ok = ExperimentConfig::linear(3)
+                .transport(t)
+                .bulk_flow(10, 0.0, 0.0);
+            ok.validate().unwrap();
+        }
+        assert!(!TransportKind::Jtp.requires_full_reliability());
+        assert!(!TransportKind::Jnc.requires_full_reliability());
     }
 
     #[test]

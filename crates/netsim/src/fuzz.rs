@@ -37,11 +37,10 @@
 use crate::config::{ConfigError, DynamicsAction, DynamicsEvent, TopologyKind, TransportKind};
 use crate::metrics::Metrics;
 use crate::report::ReportRecorder;
-use crate::runner::{
-    run_many_on, try_run_digest, try_run_digest_on, try_run_digest_with, try_run_experiment,
-};
+use crate::runner::{run_many_on, try_run_digest_events, try_run_digest_with, try_run_experiment};
 use crate::scenario::{DynamicsSpec, Scenario, TrafficPattern};
 use crate::topology::{adjacency_from_positions, try_place_nodes};
+use crate::trace::EventChecksum;
 use jtp_events::TimeAccountant;
 use jtp_phys::BatteryConfig;
 use jtp_routing::LinkState;
@@ -166,6 +165,8 @@ impl ScenarioGen {
                 TransportKind::Jnc,
                 TransportKind::Tcp,
                 TransportKind::Atp,
+                TransportKind::Cubic,
+                TransportKind::Bbr,
             ])
             .expect("non-empty");
         let topology = gen_topology(&mut rng);
@@ -328,20 +329,29 @@ pub fn check_scenario(sc: &Scenario, transport: TransportKind) -> CaseOutcome {
 
     // Partitioned vs sequential flood-plane engine: `workers` must be a
     // pure performance knob — identical golden digests (metrics FNV and
-    // reception-trace checksum) for every worker count.
-    match try_run_digest(&cfg) {
-        Ok(d1) => {
+    // reception-trace checksum) *and* identical full event-stream
+    // checksums for every worker count.
+    match try_run_digest_events(&cfg) {
+        Ok((d1, ev1)) => {
             engine_runs += 1;
             let line1 = d1.to_line(&sc.name);
             for workers in [2usize, 4] {
-                match try_run_digest_on(&cfg, workers) {
-                    Ok(dw) => {
+                let mut c = cfg.clone();
+                c.workers = workers;
+                match try_run_digest_events(&c) {
+                    Ok((dw, evw)) => {
                         engine_runs += 1;
                         if dw.to_line(&sc.name) != line1 {
                             failures.push(format!(
                                 "partitioned engine (workers={workers}) diverged from the \
                                  sequential digest:\n  seq: {line1}\n  par: {}",
                                 dw.to_line(&sc.name)
+                            ));
+                        }
+                        if evw != ev1 {
+                            failures.push(format!(
+                                "partitioned engine (workers={workers}) diverged on the \
+                                 event-stream checksum: {ev1:016x} vs {evw:016x}"
                             ));
                         }
                     }
@@ -352,16 +362,31 @@ pub fn check_scenario(sc: &Scenario, transport: TransportKind) -> CaseOutcome {
                 }
             }
             // Subscribers observe, never perturb: stacking the full
-            // report pile (recorder + time accountant) next to the
-            // digest's trace must leave the digest byte-identical.
-            match try_run_digest_with(&cfg, (ReportRecorder::new(), TimeAccountant::default())) {
-                Ok((ds, _)) => {
+            // report pile (recorder + time accountant + event checksum)
+            // next to the digest's trace must leave the digest
+            // byte-identical — and the event checksum folded inside the
+            // stack must equal the standalone one.
+            match try_run_digest_with(
+                &cfg,
+                (
+                    ReportRecorder::new(),
+                    (TimeAccountant::default(), EventChecksum::default()),
+                ),
+            ) {
+                Ok((ds, (_, (_, evs)))) => {
                     engine_runs += 1;
                     if ds.to_line(&sc.name) != line1 {
                         failures.push(format!(
                             "full subscriber stack perturbed the digest:\n  \
                              off: {line1}\n  on:  {}",
                             ds.to_line(&sc.name)
+                        ));
+                    }
+                    if evs.finish() != ev1 {
+                        failures.push(format!(
+                            "event checksum differs inside the full subscriber stack: \
+                             {ev1:016x} vs {:016x}",
+                            evs.finish()
                         ));
                     }
                 }
@@ -758,7 +783,7 @@ fn pair(rng: &mut SimRng, n: usize) -> (NodeId, NodeId) {
 
 fn gen_traffic(rng: &mut SimRng, n: usize, duration_s: f64) -> TrafficPattern {
     let start_s = rng.uniform(0.0, duration_s * 0.5);
-    match rng.below(6) {
+    match rng.below(9) {
         0 => {
             let (src, dst) = pair(rng, n);
             TrafficPattern::Bulk {
@@ -822,13 +847,53 @@ fn gen_traffic(rng: &mut SimRng, n: usize, duration_s: f64) -> TrafficPattern {
                 start_s,
             }
         }
-        _ => TrafficPattern::Poisson {
+        5 => TrafficPattern::Poisson {
             flows: 1 + rng.below(4) as u32,
             rate_per_s: rng.uniform(0.01, 0.1),
             packets: 3 + rng.below(12) as u32,
             start_s,
             loss_tolerance: 0.0,
         },
+        6 => TrafficPattern::FlashCrowd {
+            bursts: 1 + rng.below(3) as u32,
+            burst_rate_per_s: rng.uniform(0.005, 0.05),
+            flows_per_burst: 1 + rng.below(4) as u32,
+            packets: 2 + rng.below(8) as u32,
+            start_s,
+            loss_tolerance: if rng.chance(0.3) {
+                rng.uniform(0.0, 0.4)
+            } else {
+                0.0
+            },
+        },
+        7 => {
+            let min_packets = 1 + rng.below(5) as u32;
+            TrafficPattern::ParetoBulk {
+                flows: 1 + rng.below(6) as u32,
+                alpha: rng.uniform(1.05, 2.5),
+                min_packets,
+                max_packets: min_packets + rng.below(40) as u32,
+                start_s,
+                window_s: rng.uniform(0.0, duration_s * 0.4),
+                loss_tolerance: 0.0,
+            }
+        }
+        _ => {
+            let sink = NodeId(rng.below(n) as u32);
+            let mut sources: Vec<NodeId> =
+                (0..n as u32).map(NodeId).filter(|v| *v != sink).collect();
+            rng.shuffle(&mut sources);
+            sources.truncate(1 + rng.below(4));
+            let waves = 1 + rng.below(3) as u32;
+            TrafficPattern::Incast {
+                sink,
+                sources,
+                packets: 1 + rng.below(8) as u32,
+                start_s,
+                waves,
+                period_s: rng.uniform(5.0, 60.0),
+            }
+        }
     }
 }
 
@@ -995,15 +1060,33 @@ mod tests {
             }),
             "no disconnected-at-t0 cases"
         );
-        // All four transports appear.
+        // All six transports appear.
         for t in [
             TransportKind::Jtp,
             TransportKind::Jnc,
             TransportKind::Tcp,
             TransportKind::Atp,
+            TransportKind::Cubic,
+            TransportKind::Bbr,
         ] {
             assert!(cases.iter().any(|c| c.transport == t), "{t:?} never drawn");
         }
+        // The heavy-traffic family flows through the generator too.
+        let has = |f: fn(&TrafficPattern) -> bool| {
+            cases.iter().any(|c| c.scenario.traffic.iter().any(&f))
+        };
+        assert!(
+            has(|p| matches!(p, TrafficPattern::FlashCrowd { .. })),
+            "no flash-crowd cases"
+        );
+        assert!(
+            has(|p| matches!(p, TrafficPattern::ParetoBulk { .. })),
+            "no pareto-bulk cases"
+        );
+        assert!(
+            has(|p| matches!(p, TrafficPattern::Incast { .. })),
+            "no incast cases"
+        );
     }
 
     #[test]

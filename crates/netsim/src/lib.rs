@@ -63,10 +63,11 @@ pub use report::{
     TimeBreakdown,
 };
 pub use runner::{
-    run_digest, run_experiment, run_many, run_many_on, run_subscribed, run_traced, summarize_runs,
-    try_run_digest, try_run_digest_on, try_run_digest_with, try_run_experiment, try_run_subscribed,
-    try_run_traced, GoldenDigest, Summary,
+    run_digest, run_digest_events, run_experiment, run_many, run_many_on, run_subscribed,
+    run_traced, summarize_runs, try_run_digest, try_run_digest_events, try_run_digest_on,
+    try_run_digest_with, try_run_experiment, try_run_subscribed, try_run_traced, GoldenDigest,
+    Summary,
 };
 pub use scenario::{DynamicsSpec, Scenario, TrafficPattern};
-pub use trace::{TraceConfig, TraceLog, TraceSubscriber};
+pub use trace::{EventChecksum, TraceConfig, TraceLog, TraceSubscriber};
 pub use truth::MaskedTruth;

@@ -59,6 +59,8 @@ use crate::trace::{TraceConfig, TraceLog, TraceSubscriber};
 use crate::truth::MaskedTruth;
 use jtp::{IjtpModule, JtpReceiver, JtpSender, LinkInfo, PreXmitVerdict};
 use jtp_baselines::atp::{AtpReceiver, AtpSender};
+use jtp_baselines::bbr::{BbrReceiver, BbrSender};
+use jtp_baselines::cubic::{CubicReceiver, CubicSender};
 use jtp_baselines::tcp::{TcpReceiver, TcpSender};
 use jtp_events::{
     AttemptBudget, BatteryDeath, Delivery, DropCause, DynamicsApplied, FloodCause, FloodEnd,
@@ -120,6 +122,8 @@ enum Endpoints {
     Jtp(Box<JtpSender>, Box<JtpReceiver>),
     Tcp(Box<TcpSender>, Box<TcpReceiver>),
     Atp(Box<AtpSender>, Box<AtpReceiver>),
+    Cubic(Box<CubicSender>, Box<CubicReceiver>),
+    Bbr(Box<BbrSender>, Box<BbrReceiver>),
 }
 
 struct Flow {
@@ -363,6 +367,10 @@ impl<S: Subscriber> Network<S> {
         tcp_cfg.max_rate_pps = tcp_cfg.max_rate_pps.min(capacity * 2.0);
         let mut atp_cfg = cfg.atp.clone();
         atp_cfg.max_rate_pps = atp_cfg.max_rate_pps.min(capacity * 2.0);
+        let mut cubic_cfg = cfg.cubic.clone();
+        cubic_cfg.max_rate_pps = cubic_cfg.max_rate_pps.min(capacity * 2.0);
+        let mut bbr_cfg = cfg.bbr.clone();
+        bbr_cfg.max_rate_pps = bbr_cfg.max_rate_pps.min(capacity * 2.0);
 
         let flows: Vec<Flow> = cfg
             .flows
@@ -393,6 +401,14 @@ impl<S: Subscriber> Network<S> {
                     TransportKind::Atp => Endpoints::Atp(
                         Box::new(AtpSender::new(id, spec.packets, atp_cfg.clone())),
                         Box::new(AtpReceiver::new(id, atp_cfg.clone())),
+                    ),
+                    TransportKind::Cubic => Endpoints::Cubic(
+                        Box::new(CubicSender::new(id, spec.packets, cubic_cfg.clone())),
+                        Box::new(CubicReceiver::new(id, cubic_cfg.clone())),
+                    ),
+                    TransportKind::Bbr => Endpoints::Bbr(
+                        Box::new(BbrSender::new(id, spec.packets, bbr_cfg.clone())),
+                        Box::new(BbrReceiver::new(id, bbr_cfg.clone())),
                     ),
                 };
                 Flow {
@@ -1595,6 +1611,94 @@ impl<S: Subscriber> Network<S> {
                 }
                 self.request_wakeup(fi, now, q);
             }
+            Payload::CubicData(d) => {
+                let (fresh, ack) = {
+                    let Endpoints::Cubic(_, rx) = &mut self.flows[fi].endpoints else {
+                        return;
+                    };
+                    let before = rx.stats().delivered_packets;
+                    let ack = rx.on_data(now, &d);
+                    (rx.stats().delivered_packets > before, ack)
+                };
+                if S::ENABLED {
+                    let ev = Delivery {
+                        flow: fid,
+                        node: here,
+                        bytes: wire_bytes,
+                        fresh,
+                    };
+                    self.sub.on_delivery(now, &ev);
+                }
+                if let Some(ack) = ack {
+                    let back_to = self.flows[fi].src;
+                    self.forward_from(
+                        now,
+                        here,
+                        TransportPacket {
+                            src_end: here,
+                            dst_end: back_to,
+                            payload: Payload::CubicAck(ack),
+                        },
+                    );
+                }
+            }
+            Payload::CubicAck(a) => {
+                let complete = {
+                    let Endpoints::Cubic(tx, _) = &mut self.flows[fi].endpoints else {
+                        return;
+                    };
+                    tx.on_ack(now, &a);
+                    tx.is_complete()
+                };
+                if complete {
+                    self.mark_completed(fi, now);
+                }
+                self.request_wakeup(fi, now, q);
+            }
+            Payload::BbrData(d) => {
+                let (fresh, ack) = {
+                    let Endpoints::Bbr(_, rx) = &mut self.flows[fi].endpoints else {
+                        return;
+                    };
+                    let before = rx.stats().delivered_packets;
+                    let ack = rx.on_data(now, &d);
+                    (rx.stats().delivered_packets > before, ack)
+                };
+                if S::ENABLED {
+                    let ev = Delivery {
+                        flow: fid,
+                        node: here,
+                        bytes: wire_bytes,
+                        fresh,
+                    };
+                    self.sub.on_delivery(now, &ev);
+                }
+                if let Some(ack) = ack {
+                    let back_to = self.flows[fi].src;
+                    self.forward_from(
+                        now,
+                        here,
+                        TransportPacket {
+                            src_end: here,
+                            dst_end: back_to,
+                            payload: Payload::BbrAck(ack),
+                        },
+                    );
+                }
+            }
+            Payload::BbrAck(a) => {
+                let complete = {
+                    let Endpoints::Bbr(tx, _) = &mut self.flows[fi].endpoints else {
+                        return;
+                    };
+                    tx.on_ack(now, &a);
+                    tx.is_complete()
+                };
+                if complete {
+                    self.mark_completed(fi, now);
+                }
+                self.request_wakeup(fi, now, q);
+            }
         }
     }
 
@@ -1662,6 +1766,20 @@ impl<S: Subscriber> Network<S> {
                 }
                 Some(tx.next_wakeup())
             }
+            Endpoints::Cubic(tx, _) => {
+                tx.on_timer(now);
+                while let Some(p) = tx.poll_send(now) {
+                    outgoing.push(Payload::CubicData(p));
+                }
+                tx.next_wakeup()
+            }
+            Endpoints::Bbr(tx, _) => {
+                tx.on_timer(now);
+                while let Some(p) = tx.poll_send(now) {
+                    outgoing.push(Payload::BbrData(p));
+                }
+                tx.next_wakeup()
+            }
         };
         for p in outgoing {
             self.forward_from(
@@ -1707,6 +1825,18 @@ impl<S: Subscriber> Network<S> {
                     feedback = Some(Payload::AtpFeedback(rx.poll_feedback(now)));
                 }
                 rx.next_feedback_at()
+            }
+            Endpoints::Cubic(_, rx) => {
+                if let Some(ack) = rx.flush_ack() {
+                    feedback = Some(Payload::CubicAck(ack));
+                }
+                now + self.tcp_ack_flush
+            }
+            Endpoints::Bbr(_, rx) => {
+                if let Some(ack) = rx.flush_ack() {
+                    feedback = Some(Payload::BbrAck(ack));
+                }
+                now + self.tcp_ack_flush
             }
         };
         if let Some(p) = feedback {
@@ -1850,6 +1980,34 @@ impl<S: Subscriber> Network<S> {
                         source_retransmissions: ts.retransmissions,
                         locally_recovered: 0,
                         feedbacks_sent: rs.feedbacks_sent,
+                        active_time_s: active,
+                        completed: f.completed_at.is_some(),
+                    }
+                }
+                Endpoints::Cubic(tx, rx) => {
+                    let (ts, rs) = (tx.stats(), rx.stats());
+                    FlowMetrics {
+                        flow: f.id.0,
+                        delivered_packets: rs.delivered_packets,
+                        delivered_bytes: rs.delivered_bytes,
+                        offered_packets: f.offered_packets,
+                        source_retransmissions: ts.retransmissions,
+                        locally_recovered: 0,
+                        feedbacks_sent: rs.acks_sent,
+                        active_time_s: active,
+                        completed: f.completed_at.is_some(),
+                    }
+                }
+                Endpoints::Bbr(tx, rx) => {
+                    let (ts, rs) = (tx.stats(), rx.stats());
+                    FlowMetrics {
+                        flow: f.id.0,
+                        delivered_packets: rs.delivered_packets,
+                        delivered_bytes: rs.delivered_bytes,
+                        offered_packets: f.offered_packets,
+                        source_retransmissions: ts.retransmissions,
+                        locally_recovered: 0,
+                        feedbacks_sent: rs.acks_sent,
                         active_time_s: active,
                         completed: f.completed_at.is_some(),
                     }

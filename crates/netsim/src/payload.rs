@@ -3,11 +3,13 @@
 
 use jtp::packet::{AckPacket, DataPacket};
 use jtp_baselines::atp::{AtpData, AtpFeedback};
+use jtp_baselines::bbr::{BbrAck, BbrData};
+use jtp_baselines::cubic::{CubicAck, CubicData};
 use jtp_baselines::tcp::{TcpAck, TcpData};
 use jtp_mac::FrameKind;
 use jtp_sim::{FlowId, NodeId};
 
-/// A transport PDU from any of the three protocols.
+/// A transport PDU from any of the five protocols.
 #[derive(Clone, Debug)]
 pub enum Payload {
     /// JTP data packet.
@@ -22,6 +24,14 @@ pub enum Payload {
     AtpData(AtpData),
     /// ATP feedback packet.
     AtpFeedback(AtpFeedback),
+    /// CUBIC data segment.
+    CubicData(CubicData),
+    /// CUBIC acknowledgment.
+    CubicAck(CubicAck),
+    /// BBR data segment.
+    BbrData(BbrData),
+    /// BBR acknowledgment.
+    BbrAck(BbrAck),
 }
 
 impl Payload {
@@ -34,13 +44,21 @@ impl Payload {
             Payload::TcpAck(p) => p.flow,
             Payload::AtpData(p) => p.flow,
             Payload::AtpFeedback(p) => p.flow,
+            Payload::CubicData(p) => p.flow,
+            Payload::CubicAck(p) => p.flow,
+            Payload::BbrData(p) => p.flow,
+            Payload::BbrAck(p) => p.flow,
         }
     }
 
     /// Data or feedback, for MAC/energy classification.
     pub fn kind(&self) -> FrameKind {
         match self {
-            Payload::JtpData(_) | Payload::TcpData(_) | Payload::AtpData(_) => FrameKind::Data,
+            Payload::JtpData(_)
+            | Payload::TcpData(_)
+            | Payload::AtpData(_)
+            | Payload::CubicData(_)
+            | Payload::BbrData(_) => FrameKind::Data,
             _ => FrameKind::Ack,
         }
     }
@@ -55,6 +73,11 @@ impl Payload {
             Payload::TcpAck(_) => 52,
             Payload::AtpData(p) => 32 + p.payload_len as usize,
             Payload::AtpFeedback(_) => 64,
+            // CUBIC and BBR ride the same IP+TCP framing as TCP-SACK.
+            Payload::CubicData(p) => 40 + p.payload_len as usize,
+            Payload::CubicAck(_) => 52,
+            Payload::BbrData(p) => 40 + p.payload_len as usize,
+            Payload::BbrAck(_) => 52,
         }
     }
 }

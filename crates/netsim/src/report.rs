@@ -378,6 +378,8 @@ pub fn transport_label(t: TransportKind) -> &'static str {
         TransportKind::Jnc => "jnc",
         TransportKind::Tcp => "tcp",
         TransportKind::Atp => "atp",
+        TransportKind::Cubic => "cubic",
+        TransportKind::Bbr => "bbr",
     }
 }
 

@@ -262,6 +262,25 @@ fn digest_from_parts(m: &Metrics, trace_checksum: u64) -> GoldenDigest {
     }
 }
 
+/// [`run_digest`] plus the [`crate::trace::EventChecksum`] over the full
+/// typed event stream — the third golden surface (`events.txt`) next to
+/// the digest's metrics FNV and reception-trace checksum. The digest half
+/// is byte-identical to [`run_digest`]'s (subscriber equivalence), so the
+/// pair extends the pinned surface without touching existing golden lines.
+///
+/// Panics on an invalid configuration; [`try_run_digest_events`] reports
+/// the [`ConfigError`] instead.
+pub fn run_digest_events(cfg: &ExperimentConfig) -> (GoldenDigest, u64) {
+    try_run_digest_events(cfg).expect("invalid experiment configuration")
+}
+
+/// [`run_digest_events`] with invalid configurations reported as
+/// [`ConfigError`].
+pub fn try_run_digest_events(cfg: &ExperimentConfig) -> Result<(GoldenDigest, u64), ConfigError> {
+    let (d, ev) = try_run_digest_with(cfg, crate::trace::EventChecksum::default())?;
+    Ok((d, ev.finish()))
+}
+
 /// [`try_run_digest`] on the partitioned engine: run `cfg` with
 /// [`ExperimentConfig::workers`] overridden to `workers`. The byte-identity
 /// rule makes this a pure performance knob — the digest must equal the

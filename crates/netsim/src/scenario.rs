@@ -146,6 +146,68 @@ pub enum TrafficPattern {
         /// End-to-end loss tolerance (JTP only; forced to 0 for TCP/ATP).
         loss_tolerance: f64,
     },
+    /// A flash crowd: burst *events* arrive as a Poisson process of rate
+    /// `burst_rate_per_s`, and each event spawns `flows_per_burst` short
+    /// flows **at the same instant** between uniformly drawn distinct
+    /// endpoint pairs — the synchronized-demand spike that exposes slow
+    /// ramp-up and unfair convergence in congestion controllers. Drawn
+    /// from the `"scenario-flash"` substream of the scenario seed, so the
+    /// burst pattern is identical across the transports being compared.
+    FlashCrowd {
+        /// Number of burst events.
+        bursts: u32,
+        /// Burst-event arrival rate (events per second).
+        burst_rate_per_s: f64,
+        /// Simultaneous flows per burst event.
+        flows_per_burst: u32,
+        /// Packets per flow (flash flows are short).
+        packets: u32,
+        /// Process start time (seconds).
+        start_s: f64,
+        /// End-to-end loss tolerance (JTP only; forced to 0 for baselines).
+        loss_tolerance: f64,
+    },
+    /// Heavy-tailed transfer sizes: `flows` transfers whose sizes follow a
+    /// bounded Pareto distribution with shape `alpha` on
+    /// `[min_packets, max_packets]` (inverse-CDF sampled — most flows are
+    /// mice, a few are elephants), each starting uniformly inside
+    /// `[start_s, start_s + window_s)` between uniformly drawn distinct
+    /// endpoint pairs. Drawn from the `"scenario-pareto"` substream.
+    ParetoBulk {
+        /// Number of transfers.
+        flows: u32,
+        /// Pareto shape (smaller ⇒ heavier tail; 1.1–1.5 is web-like).
+        alpha: f64,
+        /// Smallest transfer (packets).
+        min_packets: u32,
+        /// Largest transfer (packets).
+        max_packets: u32,
+        /// Window start (seconds).
+        start_s: f64,
+        /// Arrival window length (seconds).
+        window_s: f64,
+        /// End-to-end loss tolerance (JTP only; forced to 0 for baselines).
+        loss_tolerance: f64,
+    },
+    /// An incast storm: every source fires `packets` at the common sink
+    /// **simultaneously**, in `waves` synchronized waves `period_s` apart
+    /// — the datacenter-style fan-in that collapses the sink's last hop.
+    /// Fully deterministic (no substream): the synchronization *is* the
+    /// workload. Always fully reliable, like convergecast.
+    Incast {
+        /// The common destination.
+        sink: NodeId,
+        /// Sending nodes (all start at once).
+        sources: Vec<NodeId>,
+        /// Packets per source per wave.
+        packets: u32,
+        /// First wave start (seconds).
+        start_s: f64,
+        /// Number of synchronized waves.
+        waves: u32,
+        /// Wave spacing (seconds; must be positive when `waves > 1`).
+        period_s: f64,
+    },
 }
 
 impl TrafficPattern {
@@ -157,8 +219,12 @@ impl TrafficPattern {
             TrafficPattern::Bulk { loss_tolerance, .. }
             | TrafficPattern::Cbr { loss_tolerance, .. }
             | TrafficPattern::OnOff { loss_tolerance, .. }
-            | TrafficPattern::Poisson { loss_tolerance, .. } => Some(*loss_tolerance),
-            TrafficPattern::Convergecast { .. } | TrafficPattern::CrossTraffic { .. } => None,
+            | TrafficPattern::Poisson { loss_tolerance, .. }
+            | TrafficPattern::FlashCrowd { loss_tolerance, .. }
+            | TrafficPattern::ParetoBulk { loss_tolerance, .. } => Some(*loss_tolerance),
+            TrafficPattern::Convergecast { .. }
+            | TrafficPattern::CrossTraffic { .. }
+            | TrafficPattern::Incast { .. } => None,
         }
     }
 
@@ -284,6 +350,96 @@ impl TrafficPattern {
                         lt(*loss_tolerance),
                         None,
                     );
+                }
+            }
+            TrafficPattern::FlashCrowd {
+                bursts,
+                burst_rate_per_s,
+                flows_per_burst,
+                packets,
+                start_s,
+                loss_tolerance,
+            } => {
+                assert!(*burst_rate_per_s > 0.0, "flash-crowd rate must be positive");
+                assert!(n_nodes >= 2, "flash-crowd flows need two endpoints");
+                let mut rng = SimRng::derive_indexed(seed, "scenario-flash", index as u64);
+                let mut at = *start_s;
+                for _ in 0..*bursts {
+                    at += rng.exponential(1.0 / burst_rate_per_s);
+                    for _ in 0..*flows_per_burst {
+                        let src = rng.below(n_nodes);
+                        let dst = loop {
+                            let d = rng.below(n_nodes);
+                            if d != src {
+                                break d;
+                            }
+                        };
+                        push(
+                            NodeId(src as u32),
+                            NodeId(dst as u32),
+                            at,
+                            *packets,
+                            lt(*loss_tolerance),
+                            None,
+                        );
+                    }
+                }
+            }
+            TrafficPattern::ParetoBulk {
+                flows: n_flows,
+                alpha,
+                min_packets,
+                max_packets,
+                start_s,
+                window_s,
+                loss_tolerance,
+            } => {
+                assert!(*alpha > 0.0, "Pareto shape must be positive");
+                assert!(
+                    1 <= *min_packets && min_packets <= max_packets,
+                    "Pareto bounds must satisfy 1 <= min <= max"
+                );
+                assert!(n_nodes >= 2, "Pareto flows need two endpoints");
+                let mut rng = SimRng::derive_indexed(seed, "scenario-pareto", index as u64);
+                let (l, h) = (*min_packets as f64, *max_packets as f64);
+                for _ in 0..*n_flows {
+                    let at = start_s + rng.uniform(0.0, window_s.max(0.0));
+                    // Bounded Pareto via inverse CDF:
+                    //   x = L / (1 − U·(1 − (L/H)^α))^(1/α),  U ∈ [0, 1)
+                    // U = 0 ⇒ L (a mouse), U → 1 ⇒ H (an elephant).
+                    let u = rng.f64();
+                    let x = l / (1.0 - u * (1.0 - (l / h).powf(*alpha))).powf(1.0 / alpha);
+                    let size = (x.round() as u32).clamp(*min_packets, *max_packets);
+                    let src = rng.below(n_nodes);
+                    let dst = loop {
+                        let d = rng.below(n_nodes);
+                        if d != src {
+                            break d;
+                        }
+                    };
+                    push(
+                        NodeId(src as u32),
+                        NodeId(dst as u32),
+                        at,
+                        size,
+                        lt(*loss_tolerance),
+                        None,
+                    );
+                }
+            }
+            TrafficPattern::Incast {
+                sink,
+                sources,
+                packets,
+                start_s,
+                waves,
+                period_s,
+            } => {
+                for w in 0..*waves {
+                    let at = start_s + w as f64 * period_s;
+                    for src in sources {
+                        push(*src, *sink, at, *packets, 0.0, None);
+                    }
                 }
             }
         }
@@ -558,7 +714,7 @@ impl Scenario {
         }
         cfg = cfg.workers(self.workers);
         let n_nodes = self.topology.node_count();
-        let force_reliable = transport == TransportKind::Tcp || transport == TransportKind::Atp;
+        let force_reliable = transport.requires_full_reliability();
         for (i, t) in self.traffic.iter().enumerate() {
             t.lower(&mut cfg.flows, force_reliable, n_nodes, self.seed, i);
         }
@@ -593,6 +749,61 @@ impl Scenario {
                     return Err(err(format!(
                         "traffic {i}: Poisson rate must be finite and positive \
                          (got {rate_per_s} flows/s)"
+                    )));
+                }
+            }
+            if let TrafficPattern::FlashCrowd {
+                burst_rate_per_s, ..
+            } = t
+            {
+                if !(burst_rate_per_s.is_finite() && *burst_rate_per_s > 0.0) {
+                    return Err(err(format!(
+                        "traffic {i}: flash-crowd burst rate must be finite and \
+                         positive (got {burst_rate_per_s} events/s)"
+                    )));
+                }
+            }
+            if let TrafficPattern::ParetoBulk {
+                alpha,
+                min_packets,
+                max_packets,
+                window_s,
+                ..
+            } = t
+            {
+                if !(alpha.is_finite() && *alpha > 0.0) {
+                    return Err(err(format!(
+                        "traffic {i}: Pareto shape must be finite and positive \
+                         (got {alpha})"
+                    )));
+                }
+                if *min_packets < 1 || min_packets > max_packets {
+                    return Err(err(format!(
+                        "traffic {i}: Pareto bounds must satisfy 1 <= min <= max \
+                         (got [{min_packets}, {max_packets}])"
+                    )));
+                }
+                if !(window_s.is_finite() && *window_s >= 0.0) {
+                    return Err(err(format!(
+                        "traffic {i}: Pareto arrival window must be finite and \
+                         non-negative (got {window_s} s)"
+                    )));
+                }
+            }
+            if let TrafficPattern::Incast {
+                sources,
+                waves,
+                period_s,
+                ..
+            } = t
+            {
+                if sources.is_empty() {
+                    return Err(err(format!("traffic {i}: incast needs sources")));
+                }
+                if *waves > 1 && !(period_s.is_finite() && *period_s > 0.0) {
+                    return Err(err(format!(
+                        "traffic {i}: incast wave period must be finite and positive \
+                         (got {period_s} s for {waves} waves)"
                     )));
                 }
             }
@@ -1063,7 +1274,152 @@ impl Scenario {
                 ..BatteryConfig::javelen_small()
             })
             .energy_routing(),
+            // ---- heavy family: adversarial Internet-style load. Flash
+            // crowds (synchronized demand spikes), bounded-Pareto sizes
+            // (mice + elephants) and incast storms (synchronized fan-in),
+            // composed with churn/flap/mobility — the workloads the
+            // modern congestion-control opponents (CUBIC/BBR) were built
+            // for, and where 2007-era baselines fall over. ----
+            Scenario::new(
+                "heavy-flash-grid",
+                TopologyKind::Grid {
+                    cols: 10,
+                    rows: 10,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(600.0)
+            .seed(117)
+            .traffic(TrafficPattern::FlashCrowd {
+                bursts: 3,
+                burst_rate_per_s: 0.01,
+                flows_per_burst: 4,
+                packets: 8,
+                start_s: 10.0,
+                loss_tolerance: 0.0,
+            })
+            .dynamics(DynamicsSpec::LinkFlap {
+                a: NodeId(44),
+                b: NodeId(45),
+                first_down_s: 60.0,
+                down_s: 20.0,
+                period_s: 120.0,
+                cycles: 3,
+            }),
+            Scenario::new(
+                "heavy-pareto-mobile",
+                TopologyKind::Grid {
+                    cols: 10,
+                    rows: 10,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(600.0)
+            .seed(118)
+            .mobile(1.0)
+            .traffic(TrafficPattern::ParetoBulk {
+                flows: 10,
+                alpha: 1.3,
+                min_packets: 4,
+                max_packets: 60,
+                start_s: 5.0,
+                window_s: 120.0,
+                loss_tolerance: 0.0,
+            }),
+            Scenario::new(
+                "heavy-incast-clustered",
+                TopologyKind::Clustered {
+                    clusters: 8,
+                    per_cluster: 15,
+                    spread_m: 25.0,
+                    cluster_spacing_m: 90.0,
+                },
+            )
+            .duration_s(600.0)
+            .seed(119)
+            .traffic(TrafficPattern::Incast {
+                sink: NodeId(0),
+                sources: vec![
+                    NodeId(20),
+                    NodeId(41),
+                    NodeId(62),
+                    NodeId(83),
+                    NodeId(104),
+                    NodeId(119),
+                ],
+                packets: 10,
+                start_s: 10.0,
+                waves: 2,
+                period_s: 150.0,
+            })
+            .dynamics(DynamicsSpec::NodeChurn {
+                node: NodeId(1),
+                fail_at_s: 30.0,
+                recover_at_s: 100.0,
+            }),
+            Scenario::new(
+                "heavy-mixed-storm",
+                TopologyKind::Grid {
+                    cols: 10,
+                    rows: 10,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(900.0)
+            .seed(120)
+            .traffic(TrafficPattern::FlashCrowd {
+                bursts: 2,
+                burst_rate_per_s: 0.02,
+                flows_per_burst: 3,
+                packets: 6,
+                start_s: 10.0,
+                loss_tolerance: 0.0,
+            })
+            .traffic(TrafficPattern::ParetoBulk {
+                flows: 6,
+                alpha: 1.2,
+                min_packets: 3,
+                max_packets: 40,
+                start_s: 20.0,
+                window_s: 200.0,
+                loss_tolerance: 0.0,
+            })
+            .traffic(TrafficPattern::Incast {
+                sink: NodeId(0),
+                sources: vec![NodeId(9), NodeId(90), NodeId(99)],
+                packets: 8,
+                start_s: 60.0,
+                waves: 1,
+                period_s: 1.0,
+            })
+            .dynamics(DynamicsSpec::NodeChurn {
+                node: NodeId(55),
+                fail_at_s: 80.0,
+                recover_at_s: 200.0,
+            })
+            .dynamics(DynamicsSpec::LinkFlap {
+                a: NodeId(0),
+                b: NodeId(1),
+                first_down_s: 100.0,
+                down_s: 15.0,
+                period_s: 120.0,
+                cycles: 3,
+            })
+            // Finite batteries: the heavy family's lifetime column. With
+            // 100 nodes a frame is 2.5 s; the idle draw alone crosses the
+            // javelen_small reservoir inside the 900 s horizon.
+            .battery(BatteryConfig::javelen_small()),
         ]
+    }
+
+    /// The heavy-traffic adversarial slice of the catalog (flash crowds,
+    /// heavy tails, incast storms) — the `scenario_matrix` transports
+    /// section sweeps exactly these across all five transports.
+    pub fn heavy_catalog() -> Vec<Scenario> {
+        Self::catalog()
+            .into_iter()
+            .filter(|s| s.name.starts_with("heavy-"))
+            .collect()
     }
 }
 
@@ -1354,16 +1710,189 @@ mod tests {
             cat.iter().filter(|s| s.battery.is_some()).count() >= 3,
             "the lifetime family must keep finite batteries in the catalog"
         );
+        assert!(
+            cat.iter().filter(|s| s.name.starts_with("heavy-")).count() >= 4,
+            "the heavy family must keep flash/pareto/incast entries"
+        );
         for sc in &cat {
             for t in [
                 TransportKind::Jtp,
                 TransportKind::Jnc,
                 TransportKind::Tcp,
                 TransportKind::Atp,
+                TransportKind::Cubic,
+                TransportKind::Bbr,
             ] {
                 let cfg = sc.build(t);
                 assert!(!cfg.flows.is_empty(), "{}: no traffic lowered", sc.name);
             }
+        }
+    }
+
+    #[test]
+    fn heavy_catalog_is_the_heavy_slice() {
+        let heavy = Scenario::heavy_catalog();
+        assert!(heavy.len() >= 4);
+        assert!(heavy.iter().all(|s| s.name.starts_with("heavy-")));
+        assert!(
+            heavy.iter().any(|s| s.battery.is_some()),
+            "the heavy family needs a lifetime column"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_lowering_is_deterministic_and_synchronized() {
+        let pat = TrafficPattern::FlashCrowd {
+            bursts: 4,
+            burst_rate_per_s: 0.05,
+            flows_per_burst: 3,
+            packets: 7,
+            start_s: 5.0,
+            loss_tolerance: 0.2,
+        };
+        let mut a = Vec::new();
+        pat.lower(&mut a, false, 20, 42, 0);
+        let mut b = Vec::new();
+        pat.lower(&mut b, false, 20, 42, 0);
+        assert_eq!(a.len(), 12, "bursts × flows_per_burst");
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!((fa.src, fa.dst, fa.start), (fb.src, fb.dst, fb.start));
+            assert_ne!(fa.src, fa.dst);
+            assert_eq!(fa.packets, 7);
+            assert_eq!(fa.loss_tolerance, 0.2);
+        }
+        // Flows inside one burst share the arrival instant (the spike).
+        for chunk in a.chunks(3) {
+            assert!(chunk.iter().all(|f| f.start == chunk[0].start));
+        }
+        // Bursts are strictly ordered in time.
+        assert!(a[0].start < a[3].start && a[3].start < a[6].start);
+        // Baseline lowering forces full reliability.
+        let mut reliable = Vec::new();
+        pat.lower(&mut reliable, true, 20, 42, 0);
+        assert!(reliable.iter().all(|f| f.loss_tolerance == 0.0));
+    }
+
+    #[test]
+    fn pareto_sizes_are_bounded_and_heavy_tailed() {
+        let pat = TrafficPattern::ParetoBulk {
+            flows: 200,
+            alpha: 1.2,
+            min_packets: 4,
+            max_packets: 120,
+            start_s: 10.0,
+            window_s: 60.0,
+            loss_tolerance: 0.0,
+        };
+        let mut flows = Vec::new();
+        pat.lower(&mut flows, false, 30, 7, 0);
+        assert_eq!(flows.len(), 200);
+        for f in &flows {
+            assert!((4..=120).contains(&f.packets), "size {} escaped", f.packets);
+            let s = f.start.as_secs_f64();
+            assert!((10.0..70.0).contains(&s), "start {s} outside window");
+            assert_ne!(f.src, f.dst);
+        }
+        // Heavy tail: most flows are mice, but elephants exist.
+        let mice = flows.iter().filter(|f| f.packets <= 12).count();
+        let elephants = flows.iter().filter(|f| f.packets >= 60).count();
+        assert!(mice > 100, "mice = {mice}");
+        assert!(elephants >= 1, "elephants = {elephants}");
+        // Same seed, same draw.
+        let mut again = Vec::new();
+        pat.lower(&mut again, false, 30, 7, 0);
+        assert_eq!(
+            flows.iter().map(|f| f.packets).collect::<Vec<_>>(),
+            again.iter().map(|f| f.packets).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn incast_waves_are_synchronized_fan_in() {
+        let pat = TrafficPattern::Incast {
+            sink: NodeId(0),
+            sources: vec![NodeId(3), NodeId(5), NodeId(7)],
+            packets: 9,
+            start_s: 20.0,
+            waves: 2,
+            period_s: 100.0,
+        };
+        let mut flows = Vec::new();
+        pat.lower(&mut flows, false, 10, 1, 0);
+        assert_eq!(flows.len(), 6);
+        assert!(flows.iter().all(|f| f.dst == NodeId(0)));
+        assert!(flows.iter().all(|f| f.loss_tolerance == 0.0));
+        let w0: Vec<_> = flows.iter().take(3).map(|f| f.start).collect();
+        assert!(w0.iter().all(|&t| t == w0[0]), "wave is simultaneous");
+        let gap = flows[3].start.as_secs_f64() - flows[0].start.as_secs_f64();
+        assert!((gap - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_specs_reject_malformed_input() {
+        let chain = TopologyKind::Linear {
+            n: 4,
+            spacing_m: 55.0,
+        };
+        let nan_flash =
+            Scenario::new("bad-flash", chain.clone()).traffic(TrafficPattern::FlashCrowd {
+                bursts: 2,
+                burst_rate_per_s: f64::NAN,
+                flows_per_burst: 2,
+                packets: 5,
+                start_s: 1.0,
+                loss_tolerance: 0.0,
+            });
+        let inverted_pareto =
+            Scenario::new("bad-pareto", chain.clone()).traffic(TrafficPattern::ParetoBulk {
+                flows: 3,
+                alpha: 1.2,
+                min_packets: 50,
+                max_packets: 10,
+                start_s: 1.0,
+                window_s: 10.0,
+                loss_tolerance: 0.0,
+            });
+        let nan_alpha =
+            Scenario::new("bad-alpha", chain.clone()).traffic(TrafficPattern::ParetoBulk {
+                flows: 3,
+                alpha: f64::NAN,
+                min_packets: 1,
+                max_packets: 10,
+                start_s: 1.0,
+                window_s: 10.0,
+                loss_tolerance: 0.0,
+            });
+        let empty_incast =
+            Scenario::new("bad-incast", chain.clone()).traffic(TrafficPattern::Incast {
+                sink: NodeId(0),
+                sources: vec![],
+                packets: 5,
+                start_s: 1.0,
+                waves: 1,
+                period_s: 1.0,
+            });
+        let dead_period = Scenario::new("bad-period", chain).traffic(TrafficPattern::Incast {
+            sink: NodeId(0),
+            sources: vec![NodeId(1)],
+            packets: 5,
+            start_s: 1.0,
+            waves: 3,
+            period_s: 0.0,
+        });
+        for sc in [
+            nan_flash,
+            inverted_pareto,
+            nan_alpha,
+            empty_incast,
+            dead_period,
+        ] {
+            let err = sc.try_build(TransportKind::Jtp).unwrap_err();
+            assert!(
+                matches!(err, ConfigError::Scenario { ref name, .. } if *name == sc.name),
+                "{}: expected a scenario-level error, got {err}",
+                sc.name
+            );
         }
     }
 }

@@ -6,7 +6,10 @@
 //! * path-monitor state at a chosen flow's receiver — Fig. 8 bottom
 //!   (reported value, mean, control limits).
 
-use jtp_events::{AttemptBudget, Delivery, MonitorUpdate, Subscriber};
+use jtp_events::{
+    AttemptBudget, BatteryDeath, Delivery, DynamicsApplied, EnergyAdvert, FloodEnd, FloodStart,
+    MobilityTick, MonitorUpdate, PacketDrop, PacketKind, PacketSend, SlotGrant, Subscriber,
+};
 use jtp_sim::{FlowId, NodeId, SimDuration, SimTime};
 
 /// Streaming FNV-1a (64-bit) — the one hash behind both golden-digest
@@ -205,9 +208,155 @@ impl Subscriber for TraceSubscriber {
     }
 }
 
+/// Order-sensitive FNV-1a over the *entire* typed event stream — every
+/// deterministic event, every field, in emission order. This is the third
+/// golden surface next to `metrics_fnv` and [`TraceLog::checksum`]: the
+/// reception trace only sees fresh deliveries, while this digest also pins
+/// slot grants, sends, drops, floods, deaths, adverts, dynamics and
+/// mobility ticks. Wall-clock subsystem spans are deliberately *not*
+/// folded — they are host noise and must never reach a compared value.
+///
+/// Each handler folds a distinct type tag, the event time and every field
+/// (times as microseconds, floats as IEEE bit patterns, enums by their
+/// stable `index()`), so two equal checksums mean the same events fired at
+/// the same times in the same order with the same payloads.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EventChecksum(Fnv64);
+
+impl EventChecksum {
+    /// The checksum over all events observed so far.
+    pub fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+
+    fn tag(&mut self, tag: u64, now: SimTime) {
+        self.0.write_u64(tag);
+        self.0.write_u64(now.as_micros());
+    }
+}
+
+impl Subscriber for EventChecksum {
+    fn on_slot(&mut self, now: SimTime, ev: &SlotGrant) {
+        self.tag(1, now);
+        self.0.write_u64(ev.slot);
+        self.0.write_u64(ev.owner.0 as u64);
+        self.0.write_u64(ev.busy as u64);
+        self.0.write_u64(ev.queue_depth as u64);
+    }
+    fn on_send(&mut self, now: SimTime, ev: &PacketSend) {
+        self.tag(2, now);
+        self.0.write_u64(ev.from.0 as u64);
+        self.0.write_u64(ev.to.0 as u64);
+        self.0.write_u64(matches!(ev.kind, PacketKind::Ack) as u64);
+        self.0.write_u64(ev.bytes as u64);
+        self.0.write_u64(ev.delivered as u64);
+    }
+    fn on_attempt_budget(&mut self, now: SimTime, ev: &AttemptBudget) {
+        self.tag(3, now);
+        self.0.write_u64(ev.node.0 as u64);
+        self.0.write_u64(ev.budget as u64);
+    }
+    fn on_delivery(&mut self, now: SimTime, ev: &Delivery) {
+        self.tag(4, now);
+        self.0.write_u64(ev.flow.0 as u64);
+        self.0.write_u64(ev.node.0 as u64);
+        self.0.write_u64(ev.bytes as u64);
+        self.0.write_u64(ev.fresh as u64);
+    }
+    fn on_drop(&mut self, now: SimTime, ev: &PacketDrop) {
+        self.tag(5, now);
+        self.0.write_u64(ev.node.0 as u64);
+        self.0.write_u64(ev.cause.index() as u64);
+        self.0.write_u64(ev.packets);
+    }
+    fn on_monitor(&mut self, now: SimTime, ev: &MonitorUpdate) {
+        self.tag(6, now);
+        self.0.write_u64(ev.flow.0 as u64);
+        self.0.write_u64(ev.reported.to_bits());
+        self.0.write_u64(ev.mean.to_bits());
+        self.0.write_u64(ev.lcl.to_bits());
+        self.0.write_u64(ev.ucl.to_bits());
+    }
+    fn on_flood_start(&mut self, now: SimTime, ev: &FloodStart) {
+        self.tag(7, now);
+        self.0.write_u64(ev.cause.index() as u64);
+    }
+    fn on_flood_end(&mut self, now: SimTime, ev: &FloodEnd) {
+        self.tag(8, now);
+        self.0.write_u64(ev.cause.index() as u64);
+        self.0.write_u64(ev.views_refreshed);
+        self.0.write_u64(ev.sources_repaired);
+        self.0.write_u64(ev.entries_changed);
+    }
+    fn on_battery_death(&mut self, now: SimTime, ev: &BatteryDeath) {
+        self.tag(9, now);
+        self.0.write_u64(ev.node.0 as u64);
+        self.0.write_u64(ev.alive as u64);
+    }
+    fn on_energy_advert(&mut self, now: SimTime, ev: &EnergyAdvert) {
+        self.tag(10, now);
+        self.0.write_u64(ev.changed as u64);
+    }
+    fn on_dynamics(&mut self, now: SimTime, ev: &DynamicsApplied) {
+        self.tag(11, now);
+        self.0.write_u64(ev.index as u64);
+    }
+    fn on_mobility(&mut self, now: SimTime, ev: &MobilityTick) {
+        self.tag(12, now);
+        self.0.write_u64(ev.changed_edges as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn event_checksum_is_order_content_and_type_sensitive() {
+        let t = SimTime::from_millis(10);
+        let send = PacketSend {
+            from: NodeId(1),
+            to: NodeId(2),
+            kind: PacketKind::Data,
+            bytes: 840,
+            delivered: true,
+        };
+        let drop = PacketDrop {
+            node: NodeId(2),
+            cause: jtp_events::DropCause::Queue,
+            packets: 1,
+        };
+        let mut a = EventChecksum::default();
+        a.on_send(t, &send);
+        a.on_drop(t, &drop);
+        let mut b = EventChecksum::default();
+        b.on_drop(t, &drop);
+        b.on_send(t, &send);
+        assert_ne!(a.finish(), b.finish(), "order must matter");
+        let mut c = EventChecksum::default();
+        c.on_send(t, &send);
+        c.on_drop(t, &drop);
+        assert_eq!(a.finish(), c.finish(), "same stream, same checksum");
+        let mut d = EventChecksum::default();
+        d.on_send(
+            t,
+            &PacketSend {
+                delivered: false,
+                ..send
+            },
+        );
+        d.on_drop(t, &drop);
+        assert_ne!(a.finish(), d.finish(), "fields must matter");
+        let mut e = EventChecksum::default();
+        e.on_send(SimTime::from_millis(11), &send);
+        e.on_drop(t, &drop);
+        assert_ne!(a.finish(), e.finish(), "event times must matter");
+        assert_ne!(
+            EventChecksum::default().finish(),
+            a.finish(),
+            "content must matter"
+        );
+    }
 
     #[test]
     fn rate_series_counts_window() {

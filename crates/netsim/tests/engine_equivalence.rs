@@ -635,13 +635,18 @@ fn run_workers(cfg: &ExperimentConfig, workers: usize) -> Metrics {
 }
 
 /// The committed golden digests (also pinned, at workers = 1, by
-/// `golden_traces.rs`): the first catalog-many non-comment lines are the
-/// JTP pins, then the `:tcp` and `:atp` blocks.
-fn committed_golden_lines() -> Vec<String> {
+/// `golden_traces.rs`), keyed by pin name (`name` for JTP, `name:tag`
+/// for the baseline transports) so the tests are layout-independent:
+/// the file grows append-only and heavy-* entries are grouped by
+/// scenario rather than by transport block.
+fn committed_golden_map() -> std::collections::HashMap<String, String> {
     include_str!("golden/digests.txt")
         .lines()
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(str::to_string)
+        .map(|l| {
+            let name = l.split_whitespace().next().expect("non-empty pin line");
+            (name.to_string(), l.to_string())
+        })
         .collect()
 }
 
@@ -654,13 +659,12 @@ fn committed_golden_lines() -> Vec<String> {
 fn catalog_digests_identical_across_workers() {
     use jtp_netsim::{try_run_digest_on, Scenario};
     let cat = Scenario::catalog();
-    let golden = committed_golden_lines();
-    assert!(
-        golden.len() >= cat.len(),
-        "golden file shorter than catalog"
-    );
+    let golden = committed_golden_map();
     let mut drift = Vec::new();
-    for (sc, want) in cat.iter().zip(&golden) {
+    for sc in cat.iter() {
+        let want = golden
+            .get(sc.name.as_str())
+            .unwrap_or_else(|| panic!("no golden JTP pin for {}", sc.name));
         let cfg = sc.build(TransportKind::Jtp);
         for workers in [2usize, 4, 8] {
             let got = try_run_digest_on(&cfg, workers)
@@ -681,24 +685,34 @@ fn catalog_digests_identical_across_workers() {
     );
 }
 
-/// A slice of the TCP and ATP golden pins under the partitioned engine:
-/// the byte-identity rule is transport-independent.
+/// A slice of the baseline-transport golden pins (TCP, ATP, CUBIC, BBR)
+/// under the partitioned engine: the byte-identity rule is
+/// transport-independent.
 #[test]
 fn baseline_transport_digests_identical_across_workers() {
     use jtp_netsim::{try_run_digest_on, Scenario};
     let cat = Scenario::catalog();
-    let golden = committed_golden_lines();
-    assert_eq!(golden.len(), 3 * cat.len(), "JTP + tcp + atp pin blocks");
-    for (block, (t, tag)) in [(TransportKind::Tcp, "tcp"), (TransportKind::Atp, "atp")]
-        .into_iter()
-        .enumerate()
-    {
-        for (i, sc) in cat.iter().take(3).enumerate() {
-            let want = &golden[(block + 1) * cat.len() + i];
+    let golden = committed_golden_map();
+    assert_eq!(
+        golden.len(),
+        5 * cat.len(),
+        "five transport pins per catalog entry"
+    );
+    for (t, tag) in [
+        (TransportKind::Tcp, "tcp"),
+        (TransportKind::Atp, "atp"),
+        (TransportKind::Cubic, "cubic"),
+        (TransportKind::Bbr, "bbr"),
+    ] {
+        for sc in cat.iter().take(3) {
+            let name = format!("{}:{tag}", sc.name);
+            let want = golden
+                .get(name.as_str())
+                .unwrap_or_else(|| panic!("no golden pin for {name}"));
             let got = try_run_digest_on(&sc.build(t), 4)
                 .expect("catalog scenario must run")
-                .to_line(&format!("{}:{tag}", sc.name));
-            assert_eq!(&got, want, "{}:{tag} diverged at workers=4", sc.name);
+                .to_line(&name);
+            assert_eq!(&got, want, "{name} diverged at workers=4");
         }
     }
 }
