@@ -56,12 +56,12 @@ use jtp_netsim::topology::{
     geometry_edge_diff, place_nodes,
 };
 use jtp_netsim::{
-    run_experiment, ExperimentConfig, FlowSpec, MaskedTruth, ReportRecorder, Scenario,
-    TopologyKind, TraceConfig, TraceSubscriber, TransportKind,
+    cluster_spec_for, run_experiment, ExperimentConfig, FlowSpec, MaskedTruth, ReportRecorder,
+    RoutingBackendKind, Scenario, TopologyKind, TraceConfig, TraceSubscriber, TransportKind,
 };
 use jtp_phys::mobility::MobilityModel;
 use jtp_phys::{PathLoss, Point, RandomWaypoint};
-use jtp_routing::{Adjacency, LinkState, UNREACHABLE};
+use jtp_routing::{Adjacency, BackendSelect, LinkState, UNREACHABLE};
 use jtp_sim::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
 use serde::Serialize;
 use std::time::Instant;
@@ -1077,6 +1077,189 @@ fn bench_slot_engine(
     out
 }
 
+// ----------------------------------------------------------------------
+// xl: the 1000+-node family — exact vs hierarchical routing backend
+// ----------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct XlStateCell {
+    scenario: String,
+    nodes: usize,
+    clusters: u64,
+    /// Flat per-view tables: n² distance entries (the O(n²) wall).
+    exact_table_entries: u64,
+    /// Σ|C|² intra-cluster entries + k·n summary rows.
+    hierarchical_table_entries: u64,
+    /// exact / hierarchical — the state-compression factor.
+    compression: f64,
+}
+
+#[derive(Serialize)]
+struct XlRepairCell {
+    scenario: String,
+    nodes: usize,
+    /// Node-churn rounds applied (fail + recover alternating).
+    churn_rounds: u64,
+    exact_wall_s: f64,
+    hierarchical_wall_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct XlRunCell {
+    scenario: String,
+    nodes: usize,
+    simulated_s: f64,
+    exact_wall_s: f64,
+    hierarchical_wall_s: f64,
+    speedup: f64,
+    exact_delivered: u64,
+    hierarchical_delivered: u64,
+}
+
+#[derive(Serialize)]
+struct XlSection {
+    /// Routing-state footprint, exact vs hierarchical, per xl entry.
+    state: Vec<XlStateCell>,
+    /// Churn flood-repair cost on the xl placements: identical
+    /// fail/recover sequences through both backends.
+    repair: Vec<XlRepairCell>,
+    /// Whole-run wall clock of an xl catalog entry under each backend.
+    whole_run: Vec<XlRunCell>,
+}
+
+/// Routing-state footprint of both backends on an xl placement. Exact
+/// is n² by construction; the hierarchical figure is computed from the
+/// backend's *actual* clusters (Σ|C|² intra tables + k rows of n
+/// toward/dc entries).
+fn bench_xl_state(sc: &Scenario) -> XlStateCell {
+    let cfg = sc.build(TransportKind::Jtp);
+    let pts = place_nodes(&cfg.topology, &cfg.pathloss, cfg.seed);
+    let adj = adjacency_from_positions(&pts, &cfg.pathloss);
+    let n = adj.len();
+    let select = BackendSelect::Hierarchical(cluster_spec_for(&cfg.topology));
+    let hier = LinkState::with_backend(&adj, cfg.routing_refresh, &select);
+    let back = hier.hierarchical().expect("hierarchical selected");
+    let stats = back.hierarchy_stats();
+    let mut sizes = vec![0u64; stats.clusters as usize];
+    for v in 0..n {
+        sizes[back.cluster_id(NodeId(v as u32)) as usize] += 1;
+    }
+    let intra: u64 = sizes.iter().map(|s| s * s).sum();
+    let summary = stats.clusters * n as u64;
+    let out = XlStateCell {
+        scenario: sc.name.clone(),
+        nodes: n,
+        clusters: stats.clusters,
+        exact_table_entries: (n * n) as u64,
+        hierarchical_table_entries: intra + summary,
+        compression: (n * n) as f64 / (intra + summary) as f64,
+    };
+    println!(
+        "xl state {:<22}: exact {:>10} entries | hierarchical {:>9} entries | compression {:.1}x",
+        out.scenario, out.exact_table_entries, out.hierarchical_table_entries, out.compression
+    );
+    out
+}
+
+/// Churn flood-repair cost on an xl placement: alternate a mid-field
+/// node failing and recovering, flooding a full refresh each round,
+/// through both backends on the identical adjacency sequence. This is
+/// the repair path every NodeChurn dynamics event exercises; at 1000+
+/// nodes the hierarchical backend must win (cluster-scoped repair vs
+/// O(n)-row floods) — asserted, not just reported.
+fn bench_xl_repair(sc: &Scenario, rounds: u64) -> XlRepairCell {
+    let cfg = sc.build(TransportKind::Jtp);
+    let pts = place_nodes(&cfg.topology, &cfg.pathloss, cfg.seed);
+    let base = adjacency_from_positions(&pts, &cfg.pathloss);
+    let n = base.len();
+    // The churned variant: a node near the field centre loses every
+    // link (exactly what a NodeChurn failure does to the truth).
+    let victim = NodeId(n as u32 / 2);
+    let mut failed = base.clone();
+    for nbr in base.neighbors(victim).to_vec() {
+        failed.set_edge(victim, nbr, false);
+    }
+    let select = BackendSelect::Hierarchical(cluster_spec_for(&cfg.topology));
+    let run_mode = |hier: bool| -> f64 {
+        let mut ls = if hier {
+            LinkState::with_backend(&base, cfg.routing_refresh, &select)
+        } else {
+            LinkState::new(&base, cfg.routing_refresh)
+        };
+        let start = Instant::now();
+        for round in 0..rounds {
+            let truth = if round % 2 == 0 { &failed } else { &base };
+            ls.force_refresh_all(SimTime::from_secs_f64(round as f64 + 1.0), truth);
+            std::hint::black_box(ls.next_hop(NodeId(0), NodeId(n as u32 - 1)));
+        }
+        start.elapsed().as_secs_f64()
+    };
+    run_mode(true); // warm
+    let best_of_2 = |hier: bool| run_mode(hier).min(run_mode(hier));
+    let exact = best_of_2(false);
+    let hier_wall = best_of_2(true);
+    let out = XlRepairCell {
+        scenario: sc.name.clone(),
+        nodes: n,
+        churn_rounds: rounds,
+        exact_wall_s: exact,
+        hierarchical_wall_s: hier_wall,
+        speedup: exact / hier_wall,
+    };
+    println!(
+        "xl repair {:<21}: exact {exact:>8.3}s | hierarchical {hier_wall:>8.3}s | speedup {:.2}x",
+        out.scenario, out.speedup
+    );
+    assert!(
+        out.speedup > 1.0,
+        "hierarchical repair must win at n = {n} (exact {exact:.3}s vs {hier_wall:.3}s)"
+    );
+    out
+}
+
+/// Whole-run wall clock of an xl catalog entry under each backend: the
+/// same scenario lowered once with `routing_backend = Exact` and once
+/// `Hierarchical`. Delivered counts are reported for both (routes
+/// differ across backends, so metrics legitimately differ); at 1000+
+/// nodes the hierarchical run must be faster — asserted.
+fn bench_xl_run(sc: &Scenario, best_of: usize) -> XlRunCell {
+    let nodes = sc.topology.node_count();
+    let time_backend = |kind: RoutingBackendKind| -> (f64, u64) {
+        let cfg = sc.clone().routing_backend(kind).build(TransportKind::Jtp);
+        let m = run_experiment(&cfg); // warm + metrics
+        let wall = (0..best_of)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(run_experiment(&cfg));
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min);
+        (wall, m.delivered_packets)
+    };
+    let (hier_wall, hier_delivered) = time_backend(RoutingBackendKind::Hierarchical);
+    let (exact_wall, exact_delivered) = time_backend(RoutingBackendKind::Exact);
+    let out = XlRunCell {
+        scenario: sc.name.clone(),
+        nodes,
+        simulated_s: sc.duration_s,
+        exact_wall_s: exact_wall,
+        hierarchical_wall_s: hier_wall,
+        speedup: exact_wall / hier_wall,
+        exact_delivered,
+        hierarchical_delivered: hier_delivered,
+    };
+    println!(
+        "xl run {:<24}: exact {exact_wall:>8.3}s | hierarchical {hier_wall:>8.3}s | speedup {:.2}x",
+        out.scenario, out.speedup
+    );
+    assert!(
+        out.speedup > 1.0,
+        "hierarchical whole-run must win at n = {nodes} (exact {exact_wall:.3}s vs {hier_wall:.3}s)"
+    );
+    out
+}
+
 fn main() {
     // An unknown `--section` is a hard error at parse time — a CI job
     // gating on a renamed section must fail, not upload an artifact
@@ -1090,6 +1273,7 @@ fn main() {
         "mobility",
         "parallel",
         "events",
+        "xl",
     ]);
 
     // 1. Pure queue-op throughput at simulation-realistic and stress
@@ -1235,6 +1419,26 @@ fn main() {
         events.push(bench_events(args.pick(25_000.0, 1500.0)));
     }
 
+    // 9. xl: the 1000+-node family — routing-state footprint, churn
+    //    flood-repair cost and whole-run wall clock, exact vs
+    //    hierarchical backend. Hierarchical must win at this scale; the
+    //    cells assert it. Written as its own top-level JSON section (like
+    //    `lifetime` and `transports`) so `--section xl` can refresh it
+    //    without touching the core report.
+    let mut xl = None;
+    if args.section_enabled("xl") {
+        let cat = Scenario::xl_catalog();
+        let churn_entry = cat
+            .iter()
+            .find(|s| s.name == "xl-grid-churn")
+            .expect("xl catalog entry");
+        xl = Some(XlSection {
+            state: cat.iter().map(bench_xl_state).collect(),
+            repair: vec![bench_xl_repair(churn_entry, args.pick(24, 8))],
+            whole_run: vec![bench_xl_run(churn_entry, args.pick(2, 1))],
+        });
+    }
+
     let report = Report {
         quick: args.quick,
         queue_workload: "hold model: pop + schedule(now+U[0,100ms]) per step, extra schedule+cancel every 3rd step".into(),
@@ -1247,5 +1451,14 @@ fn main() {
         parallel,
         events,
     };
-    jtp_bench::maybe_write_json(&args, &report);
+    // `--section xl` alone must not clobber the core report (or the
+    // `lifetime`/`transports` sections other binaries merge in).
+    let core_ran = args.sections.is_empty() || args.sections.iter().any(|s| s != "xl");
+    if core_ran {
+        jtp_bench::maybe_write_json(&args, &report);
+    }
+    if let (Some(xl), Some(path)) = (&xl, &args.json) {
+        let body = serde_json::to_string_pretty(xl).expect("serialisable xl section");
+        jtp_bench::merge_json_section(path, "xl", &body);
+    }
 }

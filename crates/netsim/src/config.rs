@@ -72,6 +72,9 @@ pub enum ConfigError {
     /// The worker-thread knob is unusable (zero workers would leave the
     /// flood-plane fan-outs with nobody to run them).
     Workers(String),
+    /// The routing-backend knob clashes with another knob (today:
+    /// hierarchical routing cannot consume energy-weighted tables).
+    RoutingBackend(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -90,11 +93,39 @@ impl std::fmt::Display for ConfigError {
             ConfigError::Scenario { name, reason } => write!(f, "scenario {name:?}: {reason}"),
             ConfigError::Placement(r) => write!(f, "placement: {r}"),
             ConfigError::Workers(r) => write!(f, "workers: {r}"),
+            ConfigError::RoutingBackend(r) => write!(f, "routing backend: {r}"),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Which routing backend maintains the per-node link-state views.
+///
+/// `Exact` is the historical flat-table machinery: full n×n distance
+/// tables with incremental BFS-row repair — every golden trace in the
+/// repository was produced by it and stays byte-identical under it.
+/// `Hierarchical` partitions the network into connected clusters (derived
+/// from the topology: grid blocks, the clustered family's natural groups,
+/// or ⌈√n⌉ BFS-grown patches) and keeps exact tables only within each
+/// cluster plus one distance-to-cluster row per cluster — O(n·√n)-ish
+/// state instead of O(n²), at the cost of bounded route stretch
+/// (≤ destination-cluster diameter). Traces differ from `Exact` wherever
+/// an inter-cluster route takes a lawful-but-longer path, so goldens are
+/// pinned per backend. Hierarchical routing does not consume
+/// energy-advertised weights; combining it with
+/// [`ExperimentConfig::energy_aware_routing`] is rejected by
+/// [`ExperimentConfig::validate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RoutingBackendKind {
+    /// Flat exact tables with incremental repair (the default; all
+    /// pre-existing goldens).
+    #[default]
+    Exact,
+    /// Cluster-partitioned tables: exact intra-cluster, summarized
+    /// inter-cluster, loop-free with bounded stretch.
+    Hierarchical,
+}
 
 /// Which transport protocol a flow (and the whole run) uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -440,6 +471,12 @@ pub struct ExperimentConfig {
     /// conservative synchronizer — see ARCHITECTURE.md, "Partitioned
     /// flood-plane engine".
     pub workers: usize,
+    /// Which routing backend maintains per-node views (see
+    /// [`RoutingBackendKind`]). `Exact` (the default) reproduces every
+    /// historical trace byte-for-byte; `Hierarchical` trades bounded
+    /// route stretch for sub-quadratic routing state, opening the
+    /// 1000-node scenario families.
+    pub routing_backend: RoutingBackendKind,
 }
 
 impl ExperimentConfig {
@@ -471,6 +508,7 @@ impl ExperimentConfig {
             wakeup_coalescing: true,
             incremental_rebuilds: true,
             workers: 1,
+            routing_backend: RoutingBackendKind::Exact,
         }
     }
 
@@ -588,6 +626,15 @@ impl ExperimentConfig {
         self
     }
 
+    /// Select the routing backend (see [`RoutingBackendKind`]). The
+    /// hierarchical backend is incompatible with
+    /// [`ExperimentConfig::energy_aware_routing`]; the combination is
+    /// rejected by [`Self::validate`].
+    pub fn routing_backend(mut self, kind: RoutingBackendKind) -> Self {
+        self.routing_backend = kind;
+        self
+    }
+
     /// Convenience: one bulk transfer of `packets` packets from node 0 to
     /// the last node, starting at `start_s`, with loss tolerance `lt`.
     pub fn bulk_flow(self, packets: u32, start_s: f64, lt: f64) -> Self {
@@ -634,6 +681,13 @@ impl ExperimentConfig {
             if self.battery.is_none() {
                 return Err(ConfigError::EnergyRouting(
                     "needs a battery (weights are residual fractions)".into(),
+                ));
+            }
+            if self.routing_backend == RoutingBackendKind::Hierarchical {
+                return Err(ConfigError::RoutingBackend(
+                    "hierarchical routing cannot consume energy-weighted tables \
+                     (cluster summaries are hop-count only); use the exact backend"
+                        .into(),
                 ));
             }
         }
@@ -875,6 +929,31 @@ mod tests {
         // Worker counts above the node count are valid (they clamp to
         // one source per partition inside the routing layer).
         base.clone().workers(64).validate().unwrap();
+    }
+
+    #[test]
+    fn hierarchical_backend_rejects_energy_routing() {
+        let hier = ExperimentConfig::grid(4, 4)
+            .bulk_flow(5, 0.0, 0.0)
+            .routing_backend(RoutingBackendKind::Hierarchical);
+        assert_eq!(
+            ExperimentConfig::grid(4, 4).routing_backend,
+            RoutingBackendKind::Exact,
+            "exact by default"
+        );
+        hier.validate().unwrap();
+        let clash = hier
+            .clone()
+            .battery(BatteryConfig::javelen_small())
+            .energy_aware_routing();
+        let err = clash.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::RoutingBackend(_)));
+        assert!(err.to_string().contains("routing backend"));
+        // The same knobs with the exact backend are fine.
+        clash
+            .routing_backend(RoutingBackendKind::Exact)
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -34,8 +34,11 @@
 //!
 //! Drive it with `cargo run --release -p jtp-bench --bin fuzz_scenarios`.
 
-use crate::config::{ConfigError, DynamicsAction, DynamicsEvent, TopologyKind, TransportKind};
+use crate::config::{
+    ConfigError, DynamicsAction, DynamicsEvent, RoutingBackendKind, TopologyKind, TransportKind,
+};
 use crate::metrics::Metrics;
+use crate::network::cluster_spec_for;
 use crate::report::ReportRecorder;
 use crate::runner::{run_many_on, try_run_digest_events, try_run_digest_with, try_run_experiment};
 use crate::scenario::{DynamicsSpec, Scenario, TrafficPattern};
@@ -43,7 +46,7 @@ use crate::topology::{adjacency_from_positions, try_place_nodes};
 use crate::trace::EventChecksum;
 use jtp_events::TimeAccountant;
 use jtp_phys::BatteryConfig;
-use jtp_routing::LinkState;
+use jtp_routing::{BackendSelect, LinkState, UNREACHABLE};
 use jtp_sim::{NodeId, SimRng, SimTime};
 
 /// A seeded generator of adversarial scenarios. Case `i` of seed `s` is a
@@ -199,6 +202,13 @@ impl ScenarioGen {
             if rng.chance(0.4) {
                 sc = sc.energy_routing();
             }
+        }
+
+        // Hierarchical cluster routing rides along on a slice of the
+        // energy-unweighted cases (validation rejects the combination
+        // with energy routing, so the generator never draws it).
+        if !sc.energy_routing && rng.chance(0.25) {
+            sc = sc.routing_backend(RoutingBackendKind::Hierarchical);
         }
 
         let expect_reject = rng.chance(0.12);
@@ -427,6 +437,7 @@ pub fn check_scenario(sc: &Scenario, transport: TransportKind) -> CaseOutcome {
             let adj = adjacency_from_positions(&pts, &cfg.pathloss);
             failures.extend(relabelling_failures(&adj, cfg.seed));
             failures.extend(unit_weight_failures(&adj, &cfg));
+            failures.extend(hierarchical_lawfulness_failures(&adj, &cfg));
         }
         Err(e) => failures.push(format!("placement failed after the engine ran: {e}")),
     }
@@ -446,8 +457,9 @@ pub fn check_scenario(sc: &Scenario, transport: TransportKind) -> CaseOutcome {
 /// Starting from `sc` (for which `still_fails` must hold), repeatedly try
 /// deleting one component at a time — dynamics events first, then traffic
 /// flows, then nodes (via topology-shape steps: shorter chain, dropped
-/// lattice row/column, dropped cluster) — keeping each deletion only if
-/// the shrunk scenario still fails. Runs to a fixpoint: one full pass in
+/// lattice row/column, dropped cluster), then the engine knobs back to
+/// their defaults (`workers` → 1, `routing_backend` → exact) — keeping
+/// each reduction only if the shrunk scenario still fails. Runs to a fixpoint: one full pass in
 /// which no deletion survives. Candidates that merely become *invalid*
 /// (e.g. traffic referencing a dropped node) naturally report not-failing
 /// via the predicate (the oracle stack rejects them cleanly), so the
@@ -494,6 +506,19 @@ pub fn shrink_scenario(
         for topo in shrunk_topologies(&cur.topology) {
             let mut cand = cur.clone();
             cand.topology = topo;
+            progressed |= try_shrink(&mut cur, cand, &mut evals);
+        }
+        // Engine knobs toward their defaults: a repro that survives on
+        // one worker and the exact backend implicates neither the
+        // flood-plane partitioning nor the hierarchical tables.
+        if cur.workers != 1 {
+            let mut cand = cur.clone();
+            cand.workers = 1;
+            progressed |= try_shrink(&mut cur, cand, &mut evals);
+        }
+        if cur.routing_backend != RoutingBackendKind::Exact {
+            let mut cand = cur.clone();
+            cand.routing_backend = RoutingBackendKind::Exact;
             progressed |= try_shrink(&mut cur, cand, &mut evals);
         }
         if !progressed || evals >= max_evals {
@@ -586,6 +611,76 @@ fn relabelling_failures(adj: &jtp_routing::Adjacency, seed: u64) -> Vec<String> 
                     d[a][b],
                     dp[perm[a].index()][perm[b].index()]
                 )];
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Hierarchical cluster routing must be *lawful* on every placement the
+/// engine accepts, whatever backend the case itself runs under: routes
+/// are loop-free, deliver exactly when the exact backend's do, stay
+/// within `exact distance + destination-cluster diameter` hops, and the
+/// remaining-hops estimate never under-counts the walked route. The
+/// oracle mirrors the engine's own cluster derivation
+/// ([`cluster_spec_for`]), so it exercises precisely the structure a
+/// hierarchical run would route on — including disconnected placements
+/// (chains spaced beyond radio range), where unreachable pairs must stay
+/// unreachable.
+fn hierarchical_lawfulness_failures(
+    adj: &jtp_routing::Adjacency,
+    cfg: &crate::config::ExperimentConfig,
+) -> Vec<String> {
+    let n = adj.len();
+    let select = BackendSelect::Hierarchical(cluster_spec_for(&cfg.topology));
+    let mut hier = LinkState::with_backend(adj, cfg.routing_refresh, &select);
+    hier.force_refresh_all(SimTime::ZERO, adj);
+    let back = hier.hierarchical().expect("hierarchical backend selected");
+    let d = adj.all_pairs_distances();
+    for (a, row) in d.iter().enumerate() {
+        for (b, &exact) in row.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            let (src, dst) = (NodeId(a as u32), NodeId(b as u32));
+            let reachable = exact != UNREACHABLE;
+            let path = match (hier.trace_path(src, dst), reachable) {
+                (None, true) => {
+                    return vec![format!(
+                        "hierarchical route {a}->{b} fails or loops (exact distance {exact})"
+                    )]
+                }
+                (Some(_), false) => {
+                    return vec![format!(
+                        "hierarchical route {a}->{b} exists for an exact-unreachable pair"
+                    )]
+                }
+                (None, false) => continue,
+                (Some(p), true) => p,
+            };
+            let mut seen = vec![false; n];
+            for v in &path {
+                if seen[v.index()] {
+                    return vec![format!("hierarchical route {a}->{b} revisits {v}")];
+                }
+                seen[v.index()] = true;
+            }
+            let hops = (path.len() - 1) as u32;
+            let bound = exact as u32 + back.cluster_diameter(dst);
+            if hops < exact as u32 || hops > bound {
+                return vec![format!(
+                    "hierarchical stretch violated at {a}->{b}: {hops} hops, exact \
+                     {exact}, bound {bound}"
+                )];
+            }
+            match hier.remaining_hops(src, dst) {
+                Some(est) if est >= hops => {}
+                other => {
+                    return vec![format!(
+                        "hierarchical remaining-hops estimate {other:?} under-counts \
+                         the {hops}-hop route {a}->{b}"
+                    )]
+                }
             }
         }
     }
@@ -1049,6 +1144,21 @@ mod tests {
         assert!(
             cases
                 .iter()
+                .any(|c| c.scenario.routing_backend == RoutingBackendKind::Hierarchical),
+            "no hierarchical-backend cases"
+        );
+        // Outside the deliberately-invalid slice the generator must never
+        // draw the combination validation rejects (inject_invalid may).
+        assert!(
+            cases.iter().filter(|c| !c.expect_reject).all(|c| {
+                c.scenario.routing_backend == RoutingBackendKind::Exact
+                    || !c.scenario.energy_routing
+            }),
+            "generator drew the rejected hierarchical + energy-routing combination"
+        );
+        assert!(
+            cases
+                .iter()
                 .any(|c| !c.expect_reject && c.scenario.dynamics.len() >= 2),
             "no composed-dynamics cases"
         );
@@ -1193,6 +1303,44 @@ mod tests {
         assert_eq!(min.dynamics.len(), 1, "dynamics: {:?}", min.dynamics);
         assert!(matches!(min.topology, TopologyKind::Linear { n: 2, .. }));
         assert!(evals <= 40, "greedy shrink took {evals} evaluations");
+    }
+
+    #[test]
+    fn shrinker_resets_engine_knobs_to_defaults() {
+        // The failing core is one dynamics event; the worker count and
+        // routing backend are innocent bystanders the shrinker must
+        // return to their defaults.
+        let sc = Scenario::new(
+            "knobs",
+            TopologyKind::Linear {
+                n: 4,
+                spacing_m: 50.0,
+            },
+        )
+        .workers(4)
+        .routing_backend(RoutingBackendKind::Hierarchical)
+        .dynamics(DynamicsSpec::AreaFailure {
+            x_m: 0.0,
+            y_m: 0.0,
+            radius_m: 30.0,
+            at_s: 8.0,
+        });
+        let min = shrink_scenario(
+            &sc,
+            |s| {
+                s.dynamics
+                    .iter()
+                    .any(|d| matches!(d, DynamicsSpec::AreaFailure { .. }))
+            },
+            1000,
+        );
+        assert_eq!(min.workers, 1, "workers not reduced");
+        assert_eq!(
+            min.routing_backend,
+            RoutingBackendKind::Exact,
+            "backend not reduced"
+        );
+        assert!(matches!(min.topology, TopologyKind::Linear { n: 2, .. }));
     }
 
     #[test]

@@ -50,13 +50,13 @@ pub mod truth;
 
 pub use config::{
     ConfigError, DynamicsAction, DynamicsEvent, EnergyRoutingConfig, ExperimentConfig, FlowSpec,
-    MobilityConfig, TopologyKind, TransportKind,
+    MobilityConfig, RoutingBackendKind, TopologyKind, TransportKind,
 };
 pub use fuzz::{
     check_scenario, shrink_scenario, CaseOutcome, CaseReport, GeneratedCase, ScenarioGen,
 };
 pub use metrics::{FlowMetrics, Metrics};
-pub use network::{Event, Network};
+pub use network::{cluster_spec_for, Event, Network};
 pub use partition::{FloodSync, TopologyCut};
 pub use report::{
     render_markdown, run_report, try_run_report, FlowReport, ReportRecorder, ScenarioReport,

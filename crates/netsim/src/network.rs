@@ -46,14 +46,14 @@
 
 use crate::config::{
     ConfigError, DynamicsAction, DynamicsEvent, EnergyRoutingConfig, ExperimentConfig,
-    MobilityConfig, TransportKind,
+    MobilityConfig, RoutingBackendKind, TopologyKind, TransportKind,
 };
 use crate::metrics::{FlowMetrics, Metrics};
 use crate::partition::{FloodSync, TopologyCut};
 use crate::payload::{Payload, TransportPacket};
 use crate::topology::{
-    adjacency_from_positions, adjacency_from_positions_brute, edges_from_positions, field_for,
-    geometry_edge_diff, try_place_nodes,
+    adjacency_from_positions, adjacency_from_positions_brute, field_for, geometry_edge_diff,
+    try_place_nodes, EdgeScratch,
 };
 use crate::trace::{TraceConfig, TraceLog, TraceSubscriber};
 use crate::truth::MaskedTruth;
@@ -74,7 +74,7 @@ use jtp_phys::{
     Battery, BatteryConfig, EnergyMeter, MobilityModel, PathLoss, Point, RadioEnergyModel,
     RandomWaypoint,
 };
-use jtp_routing::LinkState;
+use jtp_routing::{BackendSelect, ClusterSpec, LinkState};
 use jtp_sim::{EventId, EventQueue, FlowId, NodeId, SimDuration, SimRng, SimTime, Simulation};
 use std::time::Instant;
 
@@ -83,6 +83,56 @@ use std::time::Instant;
 /// read (wall-clock reads are not free on the hot path).
 fn span_start<S: Subscriber>() -> Option<Instant> {
     S::TIMING.then(Instant::now)
+}
+
+/// Derive the hierarchical backend's cluster structure from the
+/// placement family — the topology already knows where the natural
+/// routing regions are:
+///
+/// * `Grid` — contiguous `b×b` blocks (`b ≈ (cols·rows)^¼`, so block
+///   size tracks √n). Blocks are connected rectangles of the
+///   4-connected lattice and geodesically convex, so intra-block routes
+///   are exact shortest paths.
+/// * `Clustered` — the placement's own groups (nodes are laid down
+///   `per_cluster` at a time, so node `i` belongs to group
+///   `i / per_cluster`). Each group is a dense disc (complete subgraph
+///   at the default spread).
+/// * `Linear` / `Random` — no exploitable structure declared; BFS-grown
+///   patches of ≈ ⌈√n⌉ nodes (`ClusterSpec::Auto`).
+///
+/// Disconnected labels (possible under adversarial geometry) are split
+/// into connected components by the backend at construction, so the
+/// derivation never has to prove connectivity itself. Shared with the
+/// fuzzer's lawfulness oracle, which must mirror the engine's clustering
+/// exactly.
+pub fn cluster_spec_for(topology: &TopologyKind) -> ClusterSpec {
+    match topology {
+        TopologyKind::Grid { cols, rows, .. } => {
+            let n = cols * rows;
+            let b = ((n as f64).sqrt().sqrt().round() as usize).max(1);
+            let blocks_per_row = cols.div_ceil(b).max(1);
+            let labels = (0..n)
+                .map(|i| {
+                    let (r, c) = (i / cols, i % cols);
+                    ((r / b) * blocks_per_row + c / b) as u32
+                })
+                .collect();
+            ClusterSpec::Assignment(labels)
+        }
+        TopologyKind::Clustered {
+            clusters,
+            per_cluster,
+            ..
+        } => {
+            let labels = (0..clusters * per_cluster)
+                .map(|i| (i / per_cluster) as u32)
+                .collect();
+            ClusterSpec::Assignment(labels)
+        }
+        TopologyKind::Linear { .. } | TopologyKind::Random { .. } => {
+            ClusterSpec::Auto { target: 0 }
+        }
+    }
 }
 
 /// Event class of TDMA slot boundaries: delivered before same-instant
@@ -187,6 +237,10 @@ pub struct Network<S: Subscriber = NoopSubscriber> {
     /// order exactly (the former `HashMap` behaviour).
     channels: Vec<Option<GilbertElliott>>,
     attempt_rng: SimRng,
+    /// Reused neighbour-discovery buffers for mobility ticks (spatial
+    /// grid CSR arrays + packed candidate and edge lists): zero
+    /// steady-state allocations per tick, byte-identical edge sets.
+    edge_scratch: EdgeScratch,
     pathloss: PathLoss,
     gilbert_cfg: GilbertConfig,
     energy_model: RadioEnergyModel,
@@ -312,7 +366,13 @@ impl<S: Subscriber> Network<S> {
         let n = cfg.topology.node_count();
         let positions = try_place_nodes(&cfg.topology, &cfg.pathloss, cfg.seed)?;
         let truth = MaskedTruth::new(adjacency_from_positions(&positions, &cfg.pathloss));
-        let mut routing = LinkState::new(truth.adjacency(), cfg.routing_refresh);
+        let select = match cfg.routing_backend {
+            RoutingBackendKind::Exact => BackendSelect::Exact,
+            RoutingBackendKind::Hierarchical => {
+                BackendSelect::Hierarchical(cluster_spec_for(&cfg.topology))
+            }
+        };
+        let mut routing = LinkState::with_backend(truth.adjacency(), cfg.routing_refresh, &select);
         routing.set_full_weighted_rebuild(!cfg.incremental_rebuilds);
         routing.set_full_table_rebuild(!cfg.incremental_rebuilds);
         routing.set_workers(cfg.workers);
@@ -359,18 +419,26 @@ impl<S: Subscriber> Network<S> {
         // paper: "the eJTP destination also limits the sending rate by its
         // delivery rate"), leaving headroom for rate probing.
         jtp_cfg.max_rate_pps = jtp_cfg.max_rate_pps.min(capacity * 2.0);
+        // At xl scale the TDMA frame is long enough that the capacity
+        // ceiling can undercut the configured rate floor; the floor must
+        // follow the ceiling down or the transport config turns invalid.
+        jtp_cfg.min_rate_pps = jtp_cfg.min_rate_pps.min(jtp_cfg.max_rate_pps);
         // The congestion-avoidance margin δ scales with the slot capacity:
         // JTP "aggressively seeks to avoid any congestion-based packet
         // loss" by keeping the path's available rate strictly positive.
         jtp_cfg.delta_avail_pps = jtp_cfg.delta_avail_pps.max(0.10 * capacity);
         let mut tcp_cfg = cfg.tcp.clone();
         tcp_cfg.max_rate_pps = tcp_cfg.max_rate_pps.min(capacity * 2.0);
+        tcp_cfg.min_rate_pps = tcp_cfg.min_rate_pps.min(tcp_cfg.max_rate_pps);
         let mut atp_cfg = cfg.atp.clone();
         atp_cfg.max_rate_pps = atp_cfg.max_rate_pps.min(capacity * 2.0);
+        atp_cfg.min_rate_pps = atp_cfg.min_rate_pps.min(atp_cfg.max_rate_pps);
         let mut cubic_cfg = cfg.cubic.clone();
         cubic_cfg.max_rate_pps = cubic_cfg.max_rate_pps.min(capacity * 2.0);
+        cubic_cfg.min_rate_pps = cubic_cfg.min_rate_pps.min(cubic_cfg.max_rate_pps);
         let mut bbr_cfg = cfg.bbr.clone();
         bbr_cfg.max_rate_pps = bbr_cfg.max_rate_pps.min(capacity * 2.0);
+        bbr_cfg.min_rate_pps = bbr_cfg.min_rate_pps.min(bbr_cfg.max_rate_pps);
 
         let flows: Vec<Flow> = cfg
             .flows
@@ -477,6 +545,7 @@ impl<S: Subscriber> Network<S> {
             truth,
             channels: vec![None; n * (n.saturating_sub(1)) / 2],
             attempt_rng: SimRng::derive(cfg.seed, "channel-attempts"),
+            edge_scratch: EdgeScratch::new(),
             pathloss: cfg.pathloss,
             gilbert_cfg: cfg.gilbert,
             energy_model: cfg.energy,
@@ -1874,8 +1943,10 @@ impl<S: Subscriber> Network<S> {
             // tick are patched and re-masked — no per-tick graph
             // construction — and the same diff-shaped change is what the
             // routing cache repairs from.
-            let edges = edges_from_positions(&self.positions, &self.pathloss);
-            let diff = geometry_edge_diff(self.truth.geometry(), &edges);
+            let edges = self
+                .edge_scratch
+                .edges_from_positions(&self.positions, &self.pathloss);
+            let diff = geometry_edge_diff(self.truth.geometry(), edges);
             self.truth.apply_geometry_diff(&diff);
             diff.len() as u32
         } else {

@@ -39,8 +39,8 @@
 //! ```
 
 use crate::config::{
-    ConfigError, DynamicsAction, DynamicsEvent, ExperimentConfig, FlowSpec, TopologyKind,
-    TransportKind,
+    ConfigError, DynamicsAction, DynamicsEvent, ExperimentConfig, FlowSpec, RoutingBackendKind,
+    TopologyKind, TransportKind,
 };
 use jtp_mac::DutyCycleConfig;
 use jtp_phys::BatteryConfig;
@@ -602,6 +602,19 @@ pub struct Scenario {
     /// knob: every value produces byte-identical results, so the catalog
     /// keeps the default and goldens never depend on it.
     pub workers: usize,
+    /// Which routing backend maintains per-node views. `Exact` (the
+    /// default) keeps every historical golden byte-identical; the
+    /// `xl` catalog switches to `Hierarchical` for sub-quadratic
+    /// routing state at 1000+ nodes.
+    pub routing_backend: RoutingBackendKind,
+    /// TDMA slot length override in milliseconds (None = the engine
+    /// default, 25 ms). A 1000+-node frame at the default slot spans
+    /// ~26 s — per-node capacity ≈ 0.04 pps, so no multi-hop flow can
+    /// complete inside a realistic horizon; the `xl` catalog shortens
+    /// the slot to keep the frame (and thus hop latency) around a
+    /// second. Historical catalog entries leave this `None` so their
+    /// goldens never move.
+    pub slot_ms: Option<u64>,
 }
 
 impl Scenario {
@@ -619,6 +632,8 @@ impl Scenario {
             duty_cycle: None,
             energy_routing: false,
             workers: 1,
+            routing_backend: RoutingBackendKind::Exact,
+            slot_ms: None,
         }
     }
 
@@ -678,6 +693,19 @@ impl Scenario {
         self
     }
 
+    /// Select the routing backend (see [`RoutingBackendKind`]).
+    pub fn routing_backend(mut self, kind: RoutingBackendKind) -> Self {
+        self.routing_backend = kind;
+        self
+    }
+
+    /// Override the TDMA slot length (milliseconds, must be positive —
+    /// enforced by [`ExperimentConfig::validate`] at lowering time).
+    pub fn slot_ms(mut self, ms: u64) -> Self {
+        self.slot_ms = Some(ms);
+        self
+    }
+
     /// Lower onto a validated [`ExperimentConfig`] for `transport`.
     ///
     /// Panics if the scenario is malformed — the convenience wrapper for
@@ -713,6 +741,10 @@ impl Scenario {
             cfg = cfg.energy_aware_routing();
         }
         cfg = cfg.workers(self.workers);
+        cfg = cfg.routing_backend(self.routing_backend);
+        if let Some(ms) = self.slot_ms {
+            cfg.slot = SimDuration::from_millis(ms);
+        }
         let n_nodes = self.topology.node_count();
         let force_reliable = transport.requires_full_reliability();
         for (i, t) in self.traffic.iter().enumerate() {
@@ -1420,6 +1452,149 @@ impl Scenario {
             .into_iter()
             .filter(|s| s.name.starts_with("heavy-"))
             .collect()
+    }
+
+    /// The 1000+-node `xl` scenario family — a **separate** catalog, so
+    /// the historical golden digests never move. Every entry selects the
+    /// hierarchical routing backend: at this scale the exact backend's
+    /// flat n×n tables are the O(n²) wall the backend exists to break
+    /// (`engine_bench --section xl` prices both side by side). The
+    /// family composes the three stressors the paper's machinery must
+    /// absorb at city scale: churn floods (cluster-scoped repair),
+    /// mobility (per-tick geometry diffs into cluster splits), and
+    /// heavy traffic (incast + flash crowds across long routes). CI's
+    /// `xl-smoke` job runs one entry under a wall-clock bound.
+    ///
+    /// Every entry also shortens the TDMA slot to 1 ms: a 1024-node
+    /// frame at the default 25 ms slot spans ~26 s, making multi-hop
+    /// delivery physically impossible inside the horizon. At 1 ms the
+    /// frame is ~1 s, so per-node capacity (~1 pps) and hop latency
+    /// stay in the regime the historical catalog exercises.
+    pub fn xl_catalog() -> Vec<Scenario> {
+        vec![
+            // 32×32 lattice (1024 nodes): diagonal bulk + CBR while
+            // nodes churn mid-grid — every churn event floods a repair
+            // the hierarchical backend scopes to the touched clusters.
+            Scenario::new(
+                "xl-grid-churn",
+                TopologyKind::Grid {
+                    cols: 32,
+                    rows: 32,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(300.0)
+            .seed(901)
+            .routing_backend(RoutingBackendKind::Hierarchical)
+            .slot_ms(1)
+            .traffic(TrafficPattern::Bulk {
+                src: NodeId(0),
+                dst: NodeId(1023),
+                packets: 40,
+                start_s: 5.0,
+                loss_tolerance: 0.0,
+            })
+            // A 15-hop row flow: long enough to cross the churned region,
+            // short enough that per-hop fading leaves healthy delivery
+            // (the 62-hop diagonal above is the stress case — at that
+            // length correlated fades make end-to-end survival rare, as
+            // on a real dense mesh).
+            .traffic(TrafficPattern::Cbr {
+                src: NodeId(512),
+                dst: NodeId(527),
+                rate_pps: 1.0,
+                start_s: 10.0,
+                duration_s: 60.0,
+                loss_tolerance: 0.1,
+            })
+            .dynamics(DynamicsSpec::NodeChurn {
+                node: NodeId(528),
+                fail_at_s: 40.0,
+                recover_at_s: 90.0,
+            })
+            .dynamics(DynamicsSpec::NodeChurn {
+                node: NodeId(497),
+                fail_at_s: 60.0,
+                recover_at_s: 120.0,
+            })
+            .dynamics(DynamicsSpec::LinkFlap {
+                a: NodeId(496),
+                b: NodeId(528),
+                first_down_s: 130.0,
+                down_s: 10.0,
+                period_s: 40.0,
+                cycles: 3,
+            }),
+            // 40 dense clusters × 25 nodes (1000 nodes) under mobility:
+            // the placement's natural groups seed the hierarchy, and
+            // drifting nodes force cluster splits — the worst case the
+            // lawfulness pins cover.
+            Scenario::new(
+                "xl-clustered-mobile",
+                TopologyKind::Clustered {
+                    clusters: 40,
+                    per_cluster: 25,
+                    spread_m: 25.0,
+                    cluster_spacing_m: 90.0,
+                },
+            )
+            .duration_s(240.0)
+            .seed(902)
+            .routing_backend(RoutingBackendKind::Hierarchical)
+            .slot_ms(1)
+            .mobile(1.0)
+            .traffic(TrafficPattern::Convergecast {
+                sink: NodeId(0),
+                sources: vec![NodeId(999), NodeId(500), NodeId(250)],
+                packets: 30,
+                start_s: 5.0,
+                stagger_s: 10.0,
+            }),
+            // 1024-node lattice under heavy traffic: an incast storm at
+            // the grid centre plus flash-crowd arrivals, with an area
+            // failure knocking out a corner mid-run.
+            Scenario::new(
+                "xl-grid-heavy",
+                TopologyKind::Grid {
+                    cols: 32,
+                    rows: 32,
+                    spacing_m: 80.0,
+                },
+            )
+            .duration_s(240.0)
+            .seed(903)
+            .routing_backend(RoutingBackendKind::Hierarchical)
+            .slot_ms(1)
+            .traffic(TrafficPattern::Incast {
+                sink: NodeId(528),
+                sources: vec![
+                    NodeId(0),
+                    NodeId(31),
+                    NodeId(992),
+                    NodeId(1023),
+                    NodeId(16),
+                    NodeId(1007),
+                ],
+                packets: 12,
+                start_s: 5.0,
+                waves: 2,
+                period_s: 60.0,
+            })
+            .traffic(TrafficPattern::FlashCrowd {
+                bursts: 2,
+                burst_rate_per_s: 0.02,
+                flows_per_burst: 3,
+                packets: 6,
+                start_s: 30.0,
+                loss_tolerance: 0.1,
+            })
+            .dynamics(DynamicsSpec::AreaFailure {
+                x_m: 0.0,
+                y_m: 0.0,
+                radius_m: 150.0,
+                at_s: 120.0,
+            }),
+        ]
     }
 }
 

@@ -144,34 +144,79 @@ fn grid_cell(pathloss: &PathLoss) -> f64 {
 /// against the standing geometry via [`geometry_edge_diff`] and patches
 /// only what changed).
 pub fn edges_from_positions(positions: &[Point], pathloss: &PathLoss) -> Vec<(NodeId, NodeId)> {
-    if positions.len() < 2 {
-        return Vec::new();
+    EdgeScratch::new()
+        .edges_from_positions(positions, pathloss)
+        .to_vec()
+}
+
+/// Persistent buffers for [`edges_from_positions`]: the spatial grid's
+/// CSR arrays, the packed candidate list and the output edge list are
+/// all reused call to call, so a steady-state mobility tick performs
+/// zero allocations in neighbour discovery (the buffers grow once to the
+/// field's working size and stay). The computed edge set is identical to
+/// the free function's — [`EdgeScratch::edges_from_positions`] *is* its
+/// implementation.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeScratch {
+    grid: Option<SpatialGrid>,
+    packed: Vec<u64>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl EdgeScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let grid = SpatialGrid::build(positions, grid_cell(pathloss));
-    // Squared-distance **prefilter only**: a candidate strictly beyond
-    // `r·(1+1e-9)` squared provably has `sqrt(d²) > max_range`, so it can
-    // be rejected without the sqrt. Everything inside the loose bound
-    // still goes through the exact `in_range(distance)` predicate — the
-    // boundary decision is never made on squared values (see the module
-    // docs), so the result stays bit-identical to the brute scan.
-    let rr_loose = (pathloss.max_range * (1.0 + 1e-9)).powi(2);
-    let mut packed: Vec<u64> = Vec::with_capacity(positions.len() * 4);
-    grid.for_each_candidate_pair(|i, j| {
-        let (p, q) = (positions[i as usize], positions[j as usize]);
-        let d2 = (p.x - q.x) * (p.x - q.x) + (p.y - q.y) * (p.y - q.y);
-        if d2 > rr_loose {
-            return;
+
+    /// [`edges_from_positions`] into the reused buffers: the in-range
+    /// undirected pairs `(a, b)` with `a < b`, sorted lexicographically.
+    /// The returned slice is valid until the next call.
+    pub fn edges_from_positions(
+        &mut self,
+        positions: &[Point],
+        pathloss: &PathLoss,
+    ) -> &[(NodeId, NodeId)] {
+        self.edges.clear();
+        if positions.len() < 2 {
+            return &self.edges;
         }
-        if pathloss.in_range(p.distance(q)) {
-            packed.push((i as u64) << 32 | j as u64);
-        }
-    });
-    // Lexicographic `(a, b)` order == numeric order of the packed keys.
-    packed.sort_unstable();
-    packed
-        .into_iter()
-        .map(|k| (NodeId((k >> 32) as u32), NodeId(k as u32)))
-        .collect()
+        let cell = grid_cell(pathloss);
+        let grid = match &mut self.grid {
+            Some(g) => {
+                g.rebuild(positions, cell);
+                g
+            }
+            None => self.grid.insert(SpatialGrid::build(positions, cell)),
+        };
+        // Squared-distance **prefilter only**: a candidate strictly beyond
+        // `r·(1+1e-9)` squared provably has `sqrt(d²) > max_range`, so it can
+        // be rejected without the sqrt. Everything inside the loose bound
+        // still goes through the exact `in_range(distance)` predicate — the
+        // boundary decision is never made on squared values (see the module
+        // docs), so the result stays bit-identical to the brute scan.
+        let rr_loose = (pathloss.max_range * (1.0 + 1e-9)).powi(2);
+        let packed = &mut self.packed;
+        packed.clear();
+        grid.for_each_candidate_pair(|i, j| {
+            let (p, q) = (positions[i as usize], positions[j as usize]);
+            let d2 = (p.x - q.x) * (p.x - q.x) + (p.y - q.y) * (p.y - q.y);
+            if d2 > rr_loose {
+                return;
+            }
+            if pathloss.in_range(p.distance(q)) {
+                packed.push((i as u64) << 32 | j as u64);
+            }
+        });
+        // Lexicographic `(a, b)` order == numeric order of the packed keys.
+        packed.sort_unstable();
+        self.edges.extend(
+            packed
+                .iter()
+                .map(|&k| (NodeId((k >> 32) as u32), NodeId(k as u32))),
+        );
+        &self.edges
+    }
 }
 
 /// Diff the standing geometric adjacency against a sorted in-range edge
@@ -306,6 +351,29 @@ mod tests {
         assert!(adjacency_from_positions(&a, &pl()).is_connected());
         let c = place_nodes(&kind, &pl(), 10);
         assert!(a.iter().zip(&c).any(|(p, q)| p != q), "seeds differ");
+    }
+
+    #[test]
+    fn edge_scratch_reuse_matches_fresh_computation() {
+        // The same scratch walked across many distinct position sets
+        // (different sizes, including degenerate ones) must reproduce
+        // the free function exactly — buffer reuse is invisible.
+        let mut scratch = EdgeScratch::new();
+        let mut rng = jtp_sim::SimRng::derive(42, "edge-scratch-test");
+        for round in 0..12 {
+            let n = match round % 4 {
+                0 => 0,
+                1 => 1,
+                2 => 9,
+                _ => 40,
+            };
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.uniform(0.0, 500.0), rng.uniform(0.0, 500.0)))
+                .collect();
+            let fresh = edges_from_positions(&pts, &pl());
+            let reused = scratch.edges_from_positions(&pts, &pl());
+            assert_eq!(fresh, reused, "round {round} (n = {n}) diverged");
+        }
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct SpatialGrid {
     /// ascend (insertion follows the caller's position order).
     starts: Vec<u32>,
     items: Vec<u32>,
+    /// Counting-sort fill cursors, kept between [`SpatialGrid::rebuild`]
+    /// calls purely so the per-tick path allocates nothing once the
+    /// buffers have grown to the field's working size.
+    cursor: Vec<u32>,
 }
 
 impl SpatialGrid {
@@ -50,8 +54,31 @@ impl SpatialGrid {
     /// indexing, so two points strictly closer than `range` provably
     /// land in the same or adjacent cells.
     pub fn build(positions: &[Point], cell: f64) -> Self {
+        let mut grid = SpatialGrid {
+            cell,
+            inv_cell: 1.0 / cell,
+            cols: 0,
+            rows: 0,
+            min_x: 0.0,
+            min_y: 0.0,
+            starts: Vec::new(),
+            items: Vec::new(),
+            cursor: Vec::new(),
+        };
+        grid.rebuild(positions, cell);
+        grid
+    }
+
+    /// Re-bucket `positions` in place — the same grid state
+    /// [`SpatialGrid::build`] produces, but reusing the CSR buffers, so a
+    /// steady-state mobility tick performs **zero** allocations once the
+    /// buffers have grown to the field's working size. The candidate-pair
+    /// set (and its enumeration order) is identical to a fresh build.
+    pub fn rebuild(&mut self, positions: &[Point], cell: f64) {
         assert!(cell > 0.0, "cell size must be positive");
-        let inv_cell = 1.0 / cell;
+        self.cell = cell;
+        self.inv_cell = 1.0 / cell;
+        let inv_cell = self.inv_cell;
         let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
         let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
         for p in positions {
@@ -61,19 +88,21 @@ impl SpatialGrid {
             max_y = max_y.max(p.y);
         }
         if positions.is_empty() {
-            return SpatialGrid {
-                cell,
-                inv_cell,
-                cols: 0,
-                rows: 0,
-                min_x: 0.0,
-                min_y: 0.0,
-                starts: vec![0],
-                items: Vec::new(),
-            };
+            self.cols = 0;
+            self.rows = 0;
+            self.min_x = 0.0;
+            self.min_y = 0.0;
+            self.starts.clear();
+            self.starts.push(0);
+            self.items.clear();
+            return;
         }
         let cols = ((max_x - min_x) * inv_cell) as usize + 1;
         let rows = ((max_y - min_y) * inv_cell) as usize + 1;
+        self.cols = cols;
+        self.rows = rows;
+        self.min_x = min_x;
+        self.min_y = min_y;
         let cell_of = |p: &Point| {
             let cx = (((p.x - min_x) * inv_cell) as usize).min(cols - 1);
             let cy = (((p.y - min_y) * inv_cell) as usize).min(rows - 1);
@@ -81,29 +110,22 @@ impl SpatialGrid {
         };
         // Counting sort: sizes, prefix sums, then a stable fill (so
         // within-cell order is the caller's position order).
-        let mut starts = vec![0u32; cols * rows + 1];
+        self.starts.clear();
+        self.starts.resize(cols * rows + 1, 0);
         for p in positions {
-            starts[cell_of(p) + 1] += 1;
+            self.starts[cell_of(p) + 1] += 1;
         }
-        for c in 1..starts.len() {
-            starts[c] += starts[c - 1];
+        for c in 1..self.starts.len() {
+            self.starts[c] += self.starts[c - 1];
         }
-        let mut cursor = starts.clone();
-        let mut items = vec![0u32; positions.len()];
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts);
+        self.items.clear();
+        self.items.resize(positions.len(), 0);
         for (i, p) in positions.iter().enumerate() {
             let c = cell_of(p);
-            items[cursor[c] as usize] = i as u32;
-            cursor[c] += 1;
-        }
-        SpatialGrid {
-            cell,
-            inv_cell,
-            cols,
-            rows,
-            min_x,
-            min_y,
-            starts,
-            items,
+            self.items[self.cursor[c] as usize] = i as u32;
+            self.cursor[c] += 1;
         }
     }
 

@@ -72,15 +72,22 @@ impl BfsRepairScratch {
     }
 }
 
-/// Repair `row` — source `s`'s exact BFS distances over `old_adj` — into
-/// its exact BFS distances over `new_adj`. `removed`/`added` are the
-/// edge diff split by direction (as `(usize, usize)` index pairs).
+/// Repair `row` — exact BFS distances over `old_adj` — into exact BFS
+/// distances over `new_adj`. `removed`/`added` are the edge diff split
+/// by direction (as `(usize, usize)` index pairs).
+///
+/// Sources are identified **by value**: every entry at distance 0 is a
+/// source and is never modified. For the classic single-source row that
+/// is exactly the source node; the hierarchical backend reuses the same
+/// repair on **multi-source** rows (distance-to-cluster, a BFS from a
+/// super-source), where every cluster member sits at 0 — the support and
+/// relaxation arguments are unchanged because a multi-source BFS is a
+/// single-source BFS from the contracted super-source.
 pub(crate) fn repair_bfs_row(
     old_adj: &Adjacency,
     new_adj: &Adjacency,
     removed: &[(usize, usize)],
     added: &[(usize, usize)],
-    s: usize,
     row: &mut [u16],
     scratch: &mut BfsRepairScratch,
 ) {
@@ -122,7 +129,7 @@ pub(crate) fn repair_bfs_row(
     };
     for &(a, b) in removed {
         for x in [a, b] {
-            if x != s && row[x] != UNREACHABLE {
+            if row[x] != 0 && row[x] != UNREACHABLE {
                 push(buckets, row[x] as usize, x as u32, &mut lo, &mut hi);
             }
         }
@@ -225,7 +232,7 @@ pub(crate) fn repair_bfs_row(
     let (mut lo, mut hi) = (usize::MAX, 0usize);
     for &(a, b) in added {
         for (x, via) in [(a, b), (b, a)] {
-            if x == s || row[via] == UNREACHABLE {
+            if row[x] == 0 || row[via] == UNREACHABLE {
                 continue;
             }
             let cand = row[via] + 1;
@@ -311,7 +318,7 @@ mod tests {
                 let (removed, added) = split_diff(&diff);
                 for (s, row) in rows.iter_mut().enumerate() {
                     let before = row.clone();
-                    repair_bfs_row(&adj, &new, &removed, &added, s, row, &mut scratch);
+                    repair_bfs_row(&adj, &new, &removed, &added, row, &mut scratch);
                     // The dirty log must cover every entry that changed
                     // (the hop-table patch relies on that).
                     let mut logged = vec![false; n];
@@ -342,11 +349,11 @@ mod tests {
         cut.set_edge(NodeId(2), NodeId(3), false);
         let mut scratch = BfsRepairScratch::new(6);
         let mut row = adj.bfs_distances(NodeId(0));
-        repair_bfs_row(&adj, &cut, &[(2, 3)], &[], 0, &mut row, &mut scratch);
+        repair_bfs_row(&adj, &cut, &[(2, 3)], &[], &mut row, &mut scratch);
         scratch.drain_dirty(|_| {});
         assert_eq!(row, cut.bfs_distances(NodeId(0)));
         assert_eq!(row[5], UNREACHABLE);
-        repair_bfs_row(&cut, &adj, &[], &[(2, 3)], 0, &mut row, &mut scratch);
+        repair_bfs_row(&cut, &adj, &[], &[(2, 3)], &mut row, &mut scratch);
         scratch.drain_dirty(|_| {});
         assert_eq!(row, adj.bfs_distances(NodeId(0)));
         assert_eq!(row[5], 5);

@@ -27,11 +27,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod bfs_repair;
 pub mod graph;
+pub mod hierarchy;
 pub mod linkstate;
 pub mod wapsp;
 
+pub use backend::{BackendSelect, LinkState, RoutingBackend};
 pub use graph::{Adjacency, UNREACHABLE};
-pub use linkstate::{LinkState, RoutingStats};
+pub use hierarchy::{ClusterSpec, HierarchicalBackend, HierarchyStats};
+pub use linkstate::{ExactBackend, RoutingStats};
 pub use wapsp::{WapspStats, WeightedApsp, UNREACHABLE_COST};

@@ -6,14 +6,14 @@
 //! * all views refreshing to the same ground truth **share** one
 //!   `Rc`-owned snapshot and one all-pairs distance table instead of
 //!   recomputing BFS-per-source per view (n× less work, n× less memory).
-//!   `Rc`, not `Arc`: a `LinkState` lives inside one single-threaded
+//!   `Rc`, not `Arc`: an `ExactBackend` lives inside one single-threaded
 //!   `Network` (batch parallelism is per-replica, each with its own
 //!   network), so the share counts need no atomics — they sit on the
 //!   per-mobility-tick refresh path. The intra-run fan-outs below keep
 //!   this invariant: worker threads read plain `&[u16]` row views and
 //!   return owned data, and only the merging main thread touches `Rc`
 //!   counts;
-//! * with [`LinkState::set_workers`] > 1, the per-source recomputations
+//! * with [`ExactBackend::set_workers`] > 1, the per-source recomputations
 //!   a flooded advertisement triggers — BFS row screens/repairs,
 //!   weighted-APSP repairs, next-hop row rebuilds — are fanned out
 //!   across scoped worker threads in contiguous source chunks and merged
@@ -39,12 +39,12 @@
 //!   adjacent to actually-changed distance entries are re-derived (BFS
 //!   distances are symmetric, so a changed row is a changed column) —
 //!   and shared across views through the same `Rc`.
-//!   [`LinkState::next_hop`] is therefore a single array load on an
+//!   [`ExactBackend::next_hop`] is therefore a single array load on an
 //!   immutable `&self` — the per-packet neighbour scan is gone, and its
 //!   tie-break (minimise `(distance, id)`) is baked into the table so
 //!   routes are unchanged.
 //!
-//! **Energy-aware routing** ([`LinkState::set_node_weights`]): when
+//! **Energy-aware routing** ([`ExactBackend::set_node_weights`]): when
 //! per-node forwarding weights are advertised (netsim derives them from
 //! residual battery fractions), the next-hop table is built from a
 //! node-weighted Dijkstra instead of hop counts — max-min-lifetime style:
@@ -484,7 +484,7 @@ fn build_hop_table_weighted_on(
 /// alternate support (no surviving neighbour one level closer); if every
 /// removed far endpoint keeps support, no distance in the row can
 /// change — induction on ascending distance over the surviving graph.
-fn row_affected(
+pub(crate) fn row_affected(
     row: &[u16],
     changed: &[(NodeId, NodeId, bool)],
     old: &Adjacency,
@@ -563,14 +563,20 @@ fn dijkstra_node_weighted(adj: &Adjacency, weights: &[u16], src: NodeId) -> Vec<
     dist
 }
 
-/// Link-state routing: one possibly stale snapshot (`View`) per node, refreshed
-/// from ground truth every `refresh_interval`.
+/// The exact flat-table routing backend: one possibly stale snapshot
+/// (`View`) per node, refreshed from ground truth every
+/// `refresh_interval`, with full all-pairs distance and next-hop tables
+/// maintained incrementally. This is the historical `LinkState`
+/// machinery verbatim, now one implementor of
+/// [`crate::backend::RoutingBackend`] behind the [`crate::LinkState`]
+/// facade — the refactor is observationally invisible (goldens, event
+/// checksums and statistics are byte-identical).
 #[derive(Clone, Debug)]
-pub struct LinkState {
+pub struct ExactBackend {
     views: Vec<View>,
     refresh_interval: SimDuration,
     stats: RoutingStats,
-    /// `no_route` lives in a `Cell` so the hot `&self` [`LinkState::next_hop`]
+    /// `no_route` lives in a `Cell` so the hot `&self` [`ExactBackend::next_hop`]
     /// can count misses without requiring `&mut self`.
     no_route: Cell<u64>,
     cache: TruthCache,
@@ -597,7 +603,7 @@ pub struct LinkState {
     par: ParStats,
 }
 
-impl LinkState {
+impl ExactBackend {
     /// Create with all views initialised from `initial` at t=0 (the
     /// network boots with converged routing, like the paper's warm-up).
     pub fn new(initial: &Adjacency, refresh_interval: SimDuration) -> Self {
@@ -617,7 +623,7 @@ impl LinkState {
                 refreshed_at: SimTime::ZERO,
             })
             .collect();
-        LinkState {
+        ExactBackend {
             views,
             refresh_interval,
             stats: RoutingStats::default(),
@@ -785,15 +791,7 @@ impl LinkState {
                             continue;
                         }
                         let mut r = row.to_vec();
-                        repair_bfs_row(
-                            old,
-                            ground_truth,
-                            &removed,
-                            &added,
-                            s,
-                            &mut r,
-                            &mut scratch,
-                        );
+                        repair_bfs_row(old, ground_truth, &removed, &added, &mut r, &mut scratch);
                         let mut moved: Vec<u32> = Vec::new();
                         scratch.drain_dirty(|v| {
                             if r[v] != row[v] {
@@ -846,7 +844,7 @@ impl LinkState {
                             self.stats.bfs_repaired += 1;
                             let scratch = scratch.as_mut().expect("repair mode has scratch");
                             let mut r = (**row).clone();
-                            repair_bfs_row(old, ground_truth, &removed, &added, s, &mut r, scratch);
+                            repair_bfs_row(old, ground_truth, &removed, &added, &mut r, scratch);
                             // The affected criterion is conservative; an exact
                             // compare over the repair's dirty log (some writes
                             // restore the original value) keeps the next-hop
@@ -1093,6 +1091,18 @@ impl LinkState {
         (d != UNREACHABLE).then_some(d as u32)
     }
 
+    /// Exact shortest distance from `from` to `dst` in the shared truth
+    /// cache (as of the last completed refresh) — the trait's converged
+    /// row access. Per-view staleness does not apply here; equivalence
+    /// tests measure hierarchical stretch against this.
+    pub fn converged_distance(&self, from: NodeId, dst: NodeId) -> Option<u32> {
+        if from == dst {
+            return Some(0);
+        }
+        let d = self.cache.dist[from.index()][dst.index()];
+        (d != UNREACHABLE).then_some(d as u32)
+    }
+
     /// Walk the per-hop next-hop decisions from `src` to `dst`; returns
     /// the node sequence, or None if the walk fails or loops (possible
     /// with inconsistent views).
@@ -1123,8 +1133,8 @@ impl LinkState {
 mod tests {
     use super::*;
 
-    fn ls(n: usize) -> LinkState {
-        LinkState::new(&Adjacency::linear(n), SimDuration::from_secs(5))
+    fn ls(n: usize) -> ExactBackend {
+        ExactBackend::new(&Adjacency::linear(n), SimDuration::from_secs(5))
     }
 
     #[test]
@@ -1144,7 +1154,7 @@ mod tests {
         for (u, v) in [(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (1, 4)] {
             a.set_edge(NodeId(u), NodeId(v), true);
         }
-        let r = LinkState::new(&a, SimDuration::from_secs(5));
+        let r = ExactBackend::new(&a, SimDuration::from_secs(5));
         let fwd = r.trace_path(NodeId(0), NodeId(5)).unwrap();
         let mut rev = r.trace_path(NodeId(5), NodeId(0)).unwrap();
         rev.reverse();
@@ -1190,7 +1200,7 @@ mod tests {
         let mut truth = Adjacency::new(4);
         truth.set_edge(NodeId(0), NodeId(1), true);
         truth.set_edge(NodeId(2), NodeId(3), true);
-        let r = LinkState::new(&truth, SimDuration::from_secs(5));
+        let r = ExactBackend::new(&truth, SimDuration::from_secs(5));
         assert!(r.trace_path(NodeId(0), NodeId(3)).is_none());
     }
 
@@ -1222,7 +1232,7 @@ mod tests {
         // shared distance table must equal a from-scratch recompute.
         let n = 9;
         let mut truth = Adjacency::linear(n);
-        let mut r = LinkState::new(&truth, SimDuration::from_secs(1));
+        let mut r = ExactBackend::new(&truth, SimDuration::from_secs(1));
         let edits: Vec<(u32, u32, bool)> = vec![
             (0, 5, true),
             (3, 4, false),
@@ -1265,8 +1275,8 @@ mod tests {
         let mut rng = SimRng::derive(31, "linkstate-partial-churn");
         let mut truth = Adjacency::linear(n);
         truth.set_edge(NodeId(0), NodeId(9), true);
-        let mut fast = LinkState::new(&truth, SimDuration::from_secs(1));
-        let mut legacy = LinkState::new(&truth, SimDuration::from_secs(1));
+        let mut fast = ExactBackend::new(&truth, SimDuration::from_secs(1));
+        let mut legacy = ExactBackend::new(&truth, SimDuration::from_secs(1));
         legacy.set_full_table_rebuild(true);
         for step in 0..60 {
             for _ in 0..1 + rng.below(3) {
@@ -1309,8 +1319,8 @@ mod tests {
             let mut rng = SimRng::derive(58, "linkstate-par-churn");
             let mut truth = Adjacency::linear(n);
             truth.set_edge(NodeId(0), NodeId(8), true);
-            let mut seq = LinkState::new(&truth, SimDuration::from_secs(1));
-            let mut par = LinkState::new(&truth, SimDuration::from_secs(1));
+            let mut seq = ExactBackend::new(&truth, SimDuration::from_secs(1));
+            let mut par = ExactBackend::new(&truth, SimDuration::from_secs(1));
             par.set_workers(workers);
             let mut weights: Option<Vec<u16>> = None;
             for step in 0..50 {
@@ -1377,7 +1387,7 @@ mod tests {
     fn hop_table_matches_neighbour_scan() {
         let n = 9;
         let mut truth = Adjacency::linear(n);
-        let mut r = LinkState::new(&truth, SimDuration::from_secs(1));
+        let mut r = ExactBackend::new(&truth, SimDuration::from_secs(1));
         let edits: Vec<(u32, u32, bool)> = vec![
             (0, 4, true),
             (2, 3, false),
@@ -1426,7 +1436,7 @@ mod tests {
     fn churn_fail_then_heal_restores_all_pairs_reachability() {
         let n = 7;
         let healthy = Adjacency::linear(n);
-        let mut r = LinkState::new(&healthy, SimDuration::from_secs(5));
+        let mut r = ExactBackend::new(&healthy, SimDuration::from_secs(5));
         let before: Vec<Option<NodeId>> = (0..n as u32)
             .flat_map(|s| (0..n as u32).map(move |d| (s, d)))
             .map(|(s, d)| r.next_hop(NodeId(s), NodeId(d)))
@@ -1477,8 +1487,8 @@ mod tests {
         let mut a = Adjacency::linear(7);
         a.set_edge(NodeId(0), NodeId(4), true);
         a.set_edge(NodeId(2), NodeId(6), true);
-        let r_hops = LinkState::new(&a, SimDuration::from_secs(5));
-        let mut r_w = LinkState::new(&a, SimDuration::from_secs(5));
+        let r_hops = ExactBackend::new(&a, SimDuration::from_secs(5));
+        let mut r_w = ExactBackend::new(&a, SimDuration::from_secs(5));
         r_w.set_node_weights(Some(vec![1; 7]));
         r_w.force_refresh_all(SimTime::from_secs_f64(0.1), &a);
         for s in 0..7u32 {
@@ -1495,7 +1505,7 @@ mod tests {
     #[test]
     fn heavy_weight_steers_route_around_drained_node() {
         let a = diamond();
-        let mut r = LinkState::new(&a, SimDuration::from_secs(5));
+        let mut r = ExactBackend::new(&a, SimDuration::from_secs(5));
         // Hop-count tie between relays 1 and 2 resolves to the lower id.
         assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(1)));
         // Node 1 is nearly drained: routes shift to relay 2 …
@@ -1515,7 +1525,7 @@ mod tests {
     #[test]
     fn weight_change_propagates_on_due_refresh_without_topology_change() {
         let a = diamond();
-        let mut r = LinkState::new(&a, SimDuration::from_secs(5));
+        let mut r = ExactBackend::new(&a, SimDuration::from_secs(5));
         r.set_node_weights(Some(vec![1, 8, 1, 1]));
         // Inside the refresh interval nothing is due: stale tie-break.
         r.refresh_due_views(SimTime::from_secs_f64(1.0), &a);
@@ -1530,7 +1540,7 @@ mod tests {
     #[test]
     fn weighted_routing_respects_disconnection() {
         let mut a = diamond();
-        let mut r = LinkState::new(&a, SimDuration::from_secs(5));
+        let mut r = ExactBackend::new(&a, SimDuration::from_secs(5));
         r.set_node_weights(Some(vec![2, 3, 4, 5]));
         a.set_edge(NodeId(0), NodeId(1), false);
         a.set_edge(NodeId(0), NodeId(2), false);
@@ -1551,8 +1561,8 @@ mod tests {
         let mut truth = Adjacency::linear(n);
         truth.set_edge(NodeId(0), NodeId(7), true);
         truth.set_edge(NodeId(3), NodeId(11), true);
-        let mut fast = LinkState::new(&truth, SimDuration::from_secs(5));
-        let mut legacy = LinkState::new(&truth, SimDuration::from_secs(5));
+        let mut fast = ExactBackend::new(&truth, SimDuration::from_secs(5));
+        let mut legacy = ExactBackend::new(&truth, SimDuration::from_secs(5));
         legacy.set_full_weighted_rebuild(true);
         let mut weights = vec![1u16; n];
         for step in 0..40 {
@@ -1605,7 +1615,7 @@ mod tests {
     #[test]
     fn weight_toggle_rebuilds_cached_table() {
         let a = diamond();
-        let mut r = LinkState::new(&a, SimDuration::from_secs(5));
+        let mut r = ExactBackend::new(&a, SimDuration::from_secs(5));
         r.set_node_weights(Some(vec![1, 8, 1, 1]));
         r.force_refresh_all(SimTime::from_secs_f64(1.0), &a);
         assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(NodeId(2)));

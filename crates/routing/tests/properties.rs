@@ -1,7 +1,7 @@
 //! Property-based tests of the link-state routing invariants.
 
-use jtp_routing::{Adjacency, LinkState};
-use jtp_sim::{NodeId, SimDuration, SimRng};
+use jtp_routing::{Adjacency, BackendSelect, ClusterSpec, LinkState};
+use jtp_sim::{NodeId, SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 
 /// Build a random connected graph over `n` nodes from a seed: a random
@@ -112,6 +112,133 @@ proptest! {
         for (i, node) in path.iter().enumerate() {
             let remaining = ls.remaining_hops(*node, dst).unwrap();
             prop_assert_eq!(remaining as usize, path.len() - 1 - i);
+        }
+    }
+
+    /// The hierarchical backend on random graphs under random edge churn
+    /// (which may disconnect the graph): against the exact backend as
+    /// oracle, every walk is loop-free, delivers exactly when exact has
+    /// a route, stays within the stretch bound `d_exact +
+    /// diam(cluster(dst))`, and `remaining_hops` never under-counts the
+    /// walk. The auto cluster target is itself randomised (0 = ⌈√n⌉).
+    #[test]
+    fn hierarchical_stays_lawful_under_random_churn(
+        n in 4usize..14,
+        seed in any::<u64>(),
+        extra in 0usize..8,
+        target in 0usize..6,
+    ) {
+        let mut adj = random_connected(n, seed, extra);
+        let ival = SimDuration::from_secs(1);
+        let mut exact = LinkState::new(&adj, ival);
+        let mut hier = LinkState::with_backend(
+            &adj,
+            ival,
+            &BackendSelect::Hierarchical(ClusterSpec::Auto { target }),
+        );
+        let mut rng = SimRng::derive(seed, "proptest-hier-churn");
+        for round in 0..4u64 {
+            if round > 0 {
+                // Toggle 1–2 random edges; disconnection is in scope.
+                for _ in 0..1 + rng.below(2) {
+                    let u = rng.below(n);
+                    let v = rng.below(n);
+                    if u != v {
+                        let (u, v) = (NodeId(u as u32), NodeId(v as u32));
+                        adj.set_edge(u, v, !adj.has_edge(u, v));
+                    }
+                }
+                let now = SimTime::from_secs_f64(round as f64);
+                exact.force_refresh_all(now, &adj);
+                hier.force_refresh_all(now, &adj);
+            }
+            let hb = hier.hierarchical().expect("hierarchical backend");
+            for s in 0..n as u32 {
+                for d in 0..n as u32 {
+                    if s == d {
+                        continue;
+                    }
+                    let (src, dst) = (NodeId(s), NodeId(d));
+                    // Manual walk with a seen-set: loop-freedom is the
+                    // property under test, not trace_path's guard.
+                    let mut seen = vec![false; n];
+                    let mut cur = src;
+                    let mut hops = Some(0u32);
+                    while cur != dst {
+                        prop_assert!(!seen[cur.index()], "loop at {:?} on {s}->{d}", cur);
+                        seen[cur.index()] = true;
+                        match hier.next_hop(cur, dst) {
+                            Some(next) => {
+                                cur = next;
+                                hops = hops.map(|h| h + 1);
+                            }
+                            None => {
+                                hops = None;
+                                break;
+                            }
+                        }
+                    }
+                    match exact.converged_distance(src, dst) {
+                        None => prop_assert!(
+                            hops.is_none(),
+                            "{s}->{d} routed but exact says unreachable"
+                        ),
+                        Some(dist) => {
+                            let hops = hops.expect("undelivered despite exact route");
+                            let bound = dist + hb.cluster_diameter(dst);
+                            prop_assert!(
+                                hops >= dist && hops <= bound,
+                                "{s}->{d}: {} hops outside [{}, {}]",
+                                hops,
+                                dist,
+                                bound
+                            );
+                            let est = hier.remaining_hops(src, dst).expect("estimate");
+                            prop_assert!(
+                                est >= hops,
+                                "{s}->{d}: estimate {} under-counts {} hops",
+                                est,
+                                hops
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Degenerate clusterings are route-identical to exact on random
+    /// graphs: one all-nodes cluster (the intra table is the full
+    /// table), singleton labels, and an auto target beyond n (which
+    /// collapses to one cluster on a connected graph).
+    #[test]
+    fn degenerate_clusterings_route_identical_to_exact(
+        n in 2usize..12,
+        seed in any::<u64>(),
+        extra in 0usize..8,
+    ) {
+        let adj = random_connected(n, seed, extra);
+        let ival = SimDuration::from_secs(5);
+        let exact = LinkState::new(&adj, ival);
+        let specs = [
+            ClusterSpec::Assignment(vec![0; n]),
+            ClusterSpec::Assignment((0..n as u32).collect()),
+            ClusterSpec::Auto { target: n + 100 },
+        ];
+        for spec in specs {
+            let hier =
+                LinkState::with_backend(&adj, ival, &BackendSelect::Hierarchical(spec));
+            for s in 0..n as u32 {
+                for d in 0..n as u32 {
+                    prop_assert_eq!(
+                        hier.next_hop(NodeId(s), NodeId(d)),
+                        exact.next_hop(NodeId(s), NodeId(d)),
+                        "degenerate clustering diverged for {}->{}",
+                        s,
+                        d
+                    );
+                }
+            }
         }
     }
 }
